@@ -1,0 +1,170 @@
+//! Clock-domain crossing: a dual-clock FIFO model.
+//!
+//! The over-clock domain (DMA/ICAP) and the fabric domain (interconnect)
+//! exchange data through dual-clock FIFOs. The bounded [`pdr_sim_core::Fifo`] primitive
+//! already provides safe cross-domain storage (the simulation is
+//! discrete-event, so there is no metastability to model functionally);
+//! what a real async FIFO *adds* is the gray-coded pointer-synchroniser
+//! latency — an item written on one side becomes visible to the other only
+//! after two destination-domain clock edges.
+//!
+//! [`AsyncFifoCdc`] models exactly that: bind it to the **destination**
+//! clock domain, and it forwards items from its input to its output at one
+//! per destination cycle with a two-cycle visibility delay, preserving
+//! order and back-pressure.
+
+use std::collections::VecDeque;
+
+use pdr_sim_core::{Component, Consumer, EdgeCtx, Producer};
+
+/// Destination-domain cycles before a written item becomes visible
+/// (two-flop pointer synchroniser).
+pub const SYNC_CYCLES: u8 = 2;
+
+/// A dual-clock FIFO's synchroniser stage. See the
+/// [module documentation](self).
+#[derive(Debug)]
+pub struct AsyncFifoCdc<T> {
+    name: String,
+    input: Consumer<T>,
+    output: Producer<T>,
+    /// Items in flight through the synchroniser, with remaining cycles.
+    staging: VecDeque<(T, u8)>,
+    forwarded: u64,
+}
+
+impl<T> AsyncFifoCdc<T> {
+    /// Creates a synchroniser between `input` (written in the source
+    /// domain) and `output` (read in the destination domain).
+    pub fn new(name: &str, input: Consumer<T>, output: Producer<T>) -> Self {
+        AsyncFifoCdc {
+            name: name.to_string(),
+            input,
+            output,
+            staging: VecDeque::new(),
+            forwarded: 0,
+        }
+    }
+
+    /// Items forwarded across the crossing so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Items currently inside the synchroniser.
+    pub fn in_flight(&self) -> usize {
+        self.staging.len()
+    }
+}
+
+impl<T: 'static> Component for AsyncFifoCdc<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_clock_edge(&mut self, _ctx: &mut EdgeCtx<'_>) {
+        // Age the synchroniser pipeline.
+        for (_, cycles) in self.staging.iter_mut() {
+            *cycles = cycles.saturating_sub(1);
+        }
+        // Deliver at most one visible item per destination cycle.
+        if self.staging.front().is_some_and(|(_, cycles)| *cycles == 0) && self.output.can_push() {
+            let (item, _) = self.staging.pop_front().expect("checked front");
+            self.output.try_push(item).ok().expect("checked can_push");
+            self.forwarded += 1;
+        }
+        // Accept at most one new item per destination cycle (the write
+        // pointer advances in the source domain; sampling it here bounds
+        // the transfer rate to the slower domain, as in real CDC FIFOs).
+        if self.staging.len() < 2 * SYNC_CYCLES as usize {
+            if let Some(item) = self.input.pop() {
+                self.staging.push_back((item, SYNC_CYCLES));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_sim_core::{fifo_channel, Engine, Frequency, SimDuration};
+
+    fn rig(
+        dst_mhz: u64,
+    ) -> (
+        Engine,
+        pdr_sim_core::Producer<u32>,
+        pdr_sim_core::Consumer<u32>,
+        pdr_sim_core::ComponentId,
+    ) {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("dst", Frequency::from_mhz(dst_mhz));
+        let (in_tx, in_rx) = fifo_channel::<u32>("cdc-in", 16);
+        let (out_tx, out_rx) = fifo_channel::<u32>("cdc-out", 16);
+        let id = e.add_component(AsyncFifoCdc::new("cdc", in_rx, out_tx), Some(clk));
+        (e, in_tx, out_rx, id)
+    }
+
+    #[test]
+    fn items_cross_with_synchroniser_latency() {
+        let (mut e, tx, rx, _) = rig(100);
+        tx.try_push(0xAB).unwrap();
+        // After 1 cycle: item accepted into staging. After 2 more: visible
+        // and delivered. Total ≥ 3 destination cycles.
+        e.run_for(SimDuration::from_nanos(20)); // 2 cycles
+        assert!(rx.pop().is_none(), "too early");
+        e.run_for(SimDuration::from_nanos(20)); // 2 more cycles
+        assert_eq!(rx.pop(), Some(0xAB));
+    }
+
+    #[test]
+    fn sustains_one_item_per_cycle() {
+        let (mut e, tx, rx, id) = rig(100);
+        for i in 0..16 {
+            tx.try_push(i).unwrap();
+        }
+        // 16 items need 16 cycles + pipeline fill; run 25 cycles, then
+        // verify throughput was ~1/cycle after the fill.
+        let mut seen = Vec::new();
+        for _ in 0..25 {
+            e.run_for(SimDuration::from_nanos(10));
+            while let Some(v) = rx.pop() {
+                seen.push(v);
+            }
+            let _ = tx.try_push(99); // keep the source side supplied
+        }
+        assert!(seen.len() >= 16, "only {} crossed in 25 cycles", seen.len());
+        assert_eq!(
+            e.component::<AsyncFifoCdc<u32>>(id).forwarded() as usize,
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn order_is_preserved_under_backpressure() {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("dst", Frequency::from_mhz(100));
+        let (in_tx, in_rx) = fifo_channel::<u32>("cdc-in", 64);
+        let (out_tx, out_rx) = fifo_channel::<u32>("cdc-out", 1); // tiny: stalls
+        e.add_component(AsyncFifoCdc::new("cdc", in_rx, out_tx), Some(clk));
+        for i in 0..32 {
+            in_tx.try_push(i).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 32 {
+            e.run_for(SimDuration::from_nanos(50));
+            while let Some(v) = out_rx.pop() {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_crossing_does_nothing() {
+        let (mut e, _tx, rx, id) = rig(310);
+        e.run_for(SimDuration::from_micros(1));
+        assert!(rx.pop().is_none());
+        assert_eq!(e.component::<AsyncFifoCdc<u32>>(id).in_flight(), 0);
+    }
+}

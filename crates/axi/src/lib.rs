@@ -1,0 +1,36 @@
+//! # pdr-axi
+//!
+//! Cycle-level models of the AXI bus family used by the Zynq-7000 PS↔PL
+//! interface:
+//!
+//! * [`stream`] — AXI4-Stream beats (the DMA → ICAP data path);
+//! * [`lite`] — an AXI4-Lite register file (control and status registers);
+//! * [`mm`] — memory-mapped read/write burst channels (the DMA ↔ DRAM path
+//!   through the high-performance ports);
+//! * [`cdc`] — dual-clock FIFO synchroniser latency modelling;
+//! * [`interconnect`] — an N-master round-robin interconnect with separate
+//!   address and data channels, forwarding one data beat per clock cycle —
+//!   the component whose 64-bit × clock ceiling produces the paper's
+//!   throughput plateau;
+//! * [`width`] — the 64→32-bit stream width converter in front of the ICAP.
+//!
+//! All components exchange data exclusively through bounded
+//! [`pdr_sim_core::fifo`] channels, so back-pressure propagates exactly as
+//! ready/valid handshakes do on the fabric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdc;
+pub mod interconnect;
+pub mod lite;
+pub mod mm;
+pub mod stream;
+pub mod width;
+
+pub use cdc::AsyncFifoCdc;
+pub use interconnect::ReadInterconnect;
+pub use lite::RegisterFile;
+pub use mm::{ReadBeat, ReadReq};
+pub use stream::StreamBeat;
+pub use width::Width64To32;

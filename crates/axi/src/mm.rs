@@ -1,0 +1,71 @@
+//! Memory-mapped burst channel message types.
+//!
+//! The read path (the only heavily used one — bitstreams flow DRAM → PL) is
+//! split into an address channel carrying [`ReadReq`] and a data channel
+//! carrying [`ReadBeat`]s, mirroring AXI's AR/R separation so that address
+//! handshakes do not steal data-beat cycles.
+
+/// A burst read request (AR channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadReq {
+    /// Transaction id; the interconnect routes responses back by id, so
+    /// masters must use their interconnect port index.
+    pub id: u8,
+    /// Byte address of the first beat.
+    pub addr: u64,
+    /// Number of 8-byte beats in the burst (AXI `ARLEN`+1; ≤ 256).
+    pub beats: u16,
+}
+
+impl ReadReq {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is zero or exceeds the AXI4 maximum of 256.
+    pub fn new(id: u8, addr: u64, beats: u16) -> Self {
+        assert!(
+            (1..=256).contains(&beats),
+            "burst length out of range: {beats}"
+        );
+        ReadReq { id, addr, beats }
+    }
+
+    /// Total bytes in the burst.
+    pub const fn bytes(&self) -> u64 {
+        self.beats as u64 * 8
+    }
+}
+
+/// One beat of read data (R channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadBeat {
+    /// Transaction id (copied from the request).
+    pub id: u8,
+    /// 64 bits of data.
+    pub data: u64,
+    /// Marks the final beat of the burst (`RLAST`).
+    pub last: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bytes() {
+        assert_eq!(ReadReq::new(0, 0x100, 64).bytes(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length out of range")]
+    fn zero_beats_panics() {
+        let _ = ReadReq::new(0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length out of range")]
+    fn oversized_burst_panics() {
+        let _ = ReadReq::new(0, 0, 257);
+    }
+}

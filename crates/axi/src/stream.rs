@@ -1,0 +1,62 @@
+//! AXI4-Stream beats.
+
+/// One AXI4-Stream beat on a 64-bit bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamBeat {
+    /// The data word (`TDATA`).
+    pub data: u64,
+    /// Byte-enable mask (`TKEEP`); bit *i* validates byte *i*.
+    pub keep: u8,
+    /// End-of-packet marker (`TLAST`).
+    pub last: bool,
+}
+
+impl StreamBeat {
+    /// A full-width beat (all bytes valid).
+    pub const fn full(data: u64, last: bool) -> Self {
+        StreamBeat {
+            data,
+            keep: 0xFF,
+            last,
+        }
+    }
+
+    /// Number of valid bytes in this beat.
+    pub const fn valid_bytes(&self) -> u32 {
+        self.keep.count_ones()
+    }
+
+    /// Splits a 64-bit beat into its two 32-bit halves, low half first (the
+    /// order the width converter emits them).
+    pub const fn halves(&self) -> [u32; 2] {
+        [self.data as u32, (self.data >> 32) as u32]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_beat_has_all_bytes() {
+        let b = StreamBeat::full(0xDEAD_BEEF_0123_4567, true);
+        assert_eq!(b.valid_bytes(), 8);
+        assert!(b.last);
+    }
+
+    #[test]
+    fn halves_are_little_word_order() {
+        let b = StreamBeat::full(0xAAAA_BBBB_CCCC_DDDD, false);
+        assert_eq!(b.halves(), [0xCCCC_DDDD, 0xAAAA_BBBB]);
+    }
+
+    #[test]
+    fn partial_keep_counts() {
+        let b = StreamBeat {
+            data: 0,
+            keep: 0x0F,
+            last: true,
+        };
+        assert_eq!(b.valid_bytes(), 4);
+    }
+}

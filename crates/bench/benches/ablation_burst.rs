@@ -1,0 +1,82 @@
+//! A2 — ablation: AXI burst length × DMA pipelining.
+//!
+//! Short bursts pay a per-transaction cost (request round-trip + DRAM
+//! access). Whether that cost reaches the throughput plateau depends on
+//! pipelining: with two bursts in flight the row-hit latency hides behind
+//! the data channel, while an un-pipelined engine exposes every gap — and
+//! the shorter the burst, the more gaps per byte.
+
+use pdr_bench::{publish, Table};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_dma::DmaConfig;
+use pdr_fabric::AspKind;
+use pdr_sim_core::Frequency;
+
+fn run(burst_beats: u16, max_outstanding: u32) -> f64 {
+    let mut cfg = SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    };
+    cfg.dma = DmaConfig {
+        burst_beats,
+        max_outstanding,
+        ..DmaConfig::default()
+    };
+    let mut sys = ZynqPdrSystem::new(cfg);
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(280));
+    assert!(r.crc_ok());
+    r.throughput_mb_s().expect("safe frequency interrupts")
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut t = Table::new(&[
+        "burst [beats]",
+        "plateau, 1 outstanding [MB/s]",
+        "plateau, 2 outstanding [MB/s]",
+    ]);
+    let mut single = Vec::new();
+    let mut double = Vec::new();
+    for burst in [4u16, 8, 16, 32, 64, 128] {
+        let s = run(burst, 1);
+        let d = run(burst, 2);
+        t.row(&[burst.to_string(), format!("{s:.1}"), format!("{d:.1}")]);
+        single.push((burst, s));
+        double.push((burst, d));
+    }
+
+    // Un-pipelined: short bursts are crippled by per-transaction gaps.
+    let s4 = single[0].1;
+    let s64 = single[4].1;
+    assert!(
+        s64 / s4 > 1.5,
+        "un-pipelined 4-beat bursts must clearly lose: {s4:.1} vs {s64:.1}"
+    );
+    // Pipelined: two in flight hide the row-hit latency almost entirely.
+    let d4 = double[0].1;
+    let d64 = double[4].1;
+    assert!(
+        d64 / d4 < 1.05,
+        "pipelining must hide short-burst gaps: {d4:.1} vs {d64:.1}"
+    );
+    // Longer bursts never hurt.
+    for w in single.windows(2) {
+        assert!(w[1].1 >= w[0].1 - 0.5, "{single:?}");
+    }
+
+    let content = format!(
+        "## Ablation A2 — AXI burst length × DMA pipelining\n\n{}\n\
+         With a single outstanding burst, every transaction exposes its \
+         request round-trip and DRAM access, so 4-beat bursts lose \
+         ≈{:.0} % of the plateau; with two bursts in flight (the AXI DMA \
+         default) the row-hit latency pipelines away and even short bursts \
+         come within a few percent. Long bursts remain the robust choice — \
+         they do not depend on pipelining depth to reach the plateau.\n\n\
+         _regenerated in {:.2?}_\n",
+        t.render(),
+        100.0 * (1.0 - s4 / s64),
+        t0.elapsed()
+    );
+    publish("ablation_burst", &content);
+}

@@ -1,0 +1,75 @@
+//! A8 — ablation: reconfiguration under accelerator traffic.
+//!
+//! Fig. 1 gives every reconfigurable partition its own HP-port DMA, all
+//! sharing the memory interconnect with the configuration DMA. A running
+//! accelerator therefore steals memory bandwidth from a concurrent
+//! reconfiguration (and vice versa) — a deployment reality the paper's
+//! quiet-system measurements do not cover. This sweep quantifies it: the
+//! plateau under 0–3 concurrently streaming accelerators.
+
+use pdr_bench::{publish, Table};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_fabric::AspKind;
+use pdr_sim_core::Frequency;
+
+fn plateau_with_streams(active_streams: usize) -> f64 {
+    let mut sys = ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    });
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    // Saturating transfers on the other partitions' data DMAs (large enough
+    // to outlast the reconfiguration).
+    for rp in 1..=active_streams {
+        sys.start_asp_dma(rp, 0x40_0000, u32::MAX / 4);
+    }
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(280));
+    assert!(r.crc_ok(), "contention must never corrupt: {r:?}");
+    r.throughput_mb_s().expect("280 MHz interrupts")
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut t = Table::new(&[
+        "active accelerator streams",
+        "reconfig thpt @280 MHz [MB/s]",
+        "share of quiet plateau [%]",
+    ]);
+    let quiet = plateau_with_streams(0);
+    let mut results = vec![(0usize, quiet)];
+    t.row(&["0".into(), format!("{quiet:.1}"), "100.0".into()]);
+    for n in 1..=3 {
+        let thpt = plateau_with_streams(n);
+        t.row(&[
+            n.to_string(),
+            format!("{thpt:.1}"),
+            format!("{:.1}", 100.0 * thpt / quiet),
+        ]);
+        results.push((n, thpt));
+    }
+    // Round-robin fairness: with n contenders the config stream gets about
+    // 1/(n+1) of the interconnect.
+    for &(n, thpt) in &results[1..] {
+        let fair = quiet / (n as f64 + 1.0);
+        assert!(
+            (thpt - fair).abs() / fair < 0.15,
+            "{n} streams: {thpt:.1} vs fair share {fair:.1}"
+        );
+        assert!(thpt < results[n - 1].1, "more streams must cost more");
+    }
+
+    let content = format!(
+        "## Ablation A8 — reconfiguration under accelerator traffic\n\n{}\n\
+         The round-robin interconnect shares the 800 MB/s memory path \
+         fairly, so each active accelerator stream costs the configuration \
+         path one fair share — with three busy partitions the reconfiguration \
+         runs at ~a quarter of the quiet plateau. Deployments that need the \
+         paper's headline latency during operation should idle the HP ports \
+         for the ~700 µs of the swap, or adopt the Sec. VI design whose SRAM \
+         path bypasses the shared interconnect entirely.\n\n_regenerated in \
+         {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("ablation_contention", &content);
+}

@@ -1,0 +1,90 @@
+//! A1 — ablation: DMA pipelining (outstanding bursts) and stream-FIFO depth.
+//!
+//! Two buffering decisions in the datamover:
+//!
+//! * **outstanding bursts** — with only one burst in flight, the memory
+//!   path drains between bursts while the next request makes the round trip
+//!   (interconnect forward + DRAM row activate), punching holes in the data
+//!   channel exactly where the plateau is set;
+//! * **stream-FIFO depth** — downstream buffering between the DMA and the
+//!   width converter. Throughput losses happen at the *source* (the memory
+//!   link), so downstream depth barely moves the plateau; it exists for
+//!   clock-domain crossing, not bandwidth. The sweep demonstrates both
+//!   facts.
+
+use pdr_bench::{publish, Table};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_dma::DmaConfig;
+use pdr_fabric::AspKind;
+use pdr_sim_core::Frequency;
+
+fn plateau(max_outstanding: u32, stream_fifo_depth: usize) -> f64 {
+    let mut cfg = SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    };
+    cfg.dma = DmaConfig {
+        max_outstanding,
+        ..DmaConfig::default()
+    };
+    cfg.stream_fifo_depth = stream_fifo_depth;
+    let mut sys = ZynqPdrSystem::new(cfg);
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(280));
+    assert!(r.crc_ok());
+    r.throughput_mb_s().expect("280 MHz interrupts")
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut t = Table::new(&[
+        "outstanding bursts",
+        "stream FIFO [beats]",
+        "plateau @280 MHz [MB/s]",
+    ]);
+    let mut by_outstanding = Vec::new();
+    for outstanding in [1u32, 2, 4] {
+        let thpt = plateau(outstanding, 64);
+        t.row(&[outstanding.to_string(), "64".into(), format!("{thpt:.1}")]);
+        by_outstanding.push((outstanding, thpt));
+    }
+    let mut by_depth = Vec::new();
+    for depth in [2usize, 8, 64, 256] {
+        let thpt = plateau(2, depth);
+        t.row(&["2".into(), depth.to_string(), format!("{thpt:.1}")]);
+        by_depth.push((depth, thpt));
+    }
+
+    // Pipelining matters: 1 outstanding burst loses visibly to 2.
+    let single = by_outstanding[0].1;
+    let double = by_outstanding[1].1;
+    assert!(
+        double / single > 1.05,
+        "un-pipelined bursts must cost throughput: {single} vs {double}"
+    );
+    // More than 2 outstanding buys almost nothing (the link is saturated).
+    let quad = by_outstanding[2].1;
+    assert!((quad - double) / double < 0.02);
+    // Downstream depth is throughput-neutral (source-side losses dominate).
+    let min = by_depth.iter().map(|(_, t)| *t).fold(f64::MAX, f64::min);
+    let max = by_depth.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    assert!(
+        (max - min) / max < 0.02,
+        "stream depth should not matter: {by_depth:?}"
+    );
+
+    let content = format!(
+        "## Ablation A1 — DMA pipelining and stream-FIFO depth\n\n{}\n\
+         One outstanding burst leaves the data channel idle during every \
+         request round-trip ({:.1} → {:.1} MB/s when pipelined); beyond two \
+         in flight the link is saturated. Downstream stream-FIFO depth is \
+         throughput-neutral because plateau losses occur at the memory \
+         source — the FIFO exists for clock-domain crossing, not \
+         bandwidth.\n\n_regenerated in {:.2?}_\n",
+        t.render(),
+        single,
+        double,
+        t0.elapsed()
+    );
+    publish("ablation_fifo", &content);
+}

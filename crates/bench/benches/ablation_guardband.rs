@@ -1,0 +1,71 @@
+//! A7 — ablation: the governor's guard band trades throughput for
+//! robustness.
+//!
+//! The Sec. IV-A stress result implies an envelope margin: 310 MHz works at
+//! 40 °C but fails hot. A governor that characterises at 40 °C and then
+//! operates in the field must leave headroom. This sweep quantifies the
+//! trade: for each guard band, the selected frequency, its throughput, and
+//! whether the point survives a 100 °C excursion.
+
+use pdr_bench::{publish, Table};
+use pdr_core::governor::{Governor, GovernorConfig};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_sim_core::Frequency;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut t = Table::new(&[
+        "guard band [MHz]",
+        "selected [MHz]",
+        "thpt @40 °C [MB/s]",
+        "survives 100 °C?",
+    ]);
+    let mut survived_at = Vec::new();
+    for guard in [0u64, 10, 20, 40] {
+        let mut sys = ZynqPdrSystem::new(SystemConfig {
+            ideal_instruments: true,
+            ..SystemConfig::default()
+        });
+        let mut gov = Governor::new(GovernorConfig {
+            guard_band_mhz: guard,
+            probe_step_mhz: 10,
+            ..GovernorConfig::default()
+        });
+        gov.characterise(&mut sys, 0);
+        let point = gov.select_highest().clone();
+        let bs = sys.make_partial_bitstream(0, 1);
+        sys.set_die_temp_c(100.0);
+        let hot = sys.reconfigure(0, &bs, Frequency::from_mhz(point.freq_mhz));
+        let ok = hot.crc_ok() && hot.interrupt_seen;
+        t.row(&[
+            guard.to_string(),
+            point.freq_mhz.to_string(),
+            point
+                .throughput_mb_s
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_default(),
+            if ok { "yes" } else { "**no**" }.into(),
+        ]);
+        survived_at.push((guard, ok));
+    }
+    // Zero guard band rides the edge and dies hot; ≥10 MHz survives
+    // (300 − 10 = 290 < the 100 °C interrupt limit of 299).
+    assert_eq!(survived_at[0], (0, false), "edge-riding must fail hot");
+    for &(g, ok) in &survived_at[1..] {
+        assert!(ok, "guard band {g} MHz must survive the excursion");
+    }
+
+    let content = format!(
+        "## Ablation A7 — governor guard band vs robustness\n\n{}\n\
+         Characterised at 40 °C, the envelope tops out at 300 MHz, but the \
+         hot-die interrupt limit is ~299 MHz: a zero guard band picks a \
+         point that loses its completion interrupt at 100 °C (the Sec. IV-A \
+         failure mode), while 10 MHz of headroom — costing nothing on the \
+         plateau — survives the full stress range. This is the quantitative \
+         version of the paper's robustness argument.\n\n_regenerated in \
+         {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("ablation_guardband", &content);
+}

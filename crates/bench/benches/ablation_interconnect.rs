@@ -1,0 +1,69 @@
+//! A5 — ablation: the interconnect clock sets the plateau.
+//!
+//! The paper locates its bottleneck in "Memory Port → AXI Interconnect →
+//! AXI DMA". In the model that is literal: the plateau is one 64-bit beat
+//! per interconnect cycle. Sweeping the interconnect clock moves the
+//! plateau proportionally — which is why the Sec. VI redesign, which removes
+//! this link entirely, is the right fix rather than more over-clocking.
+
+use pdr_bench::{publish, Table};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_fabric::AspKind;
+use pdr_sim_core::Frequency;
+
+fn plateau(interconnect_mhz: u64) -> (f64, f64) {
+    let mut cfg = SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    };
+    cfg.interconnect_clock = Frequency::from_mhz(interconnect_mhz);
+    let mut sys = ZynqPdrSystem::new(cfg);
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(280));
+    assert!(r.crc_ok());
+    let measured = r.throughput_mb_s().expect("280 MHz interrupts");
+    let ceiling = interconnect_mhz as f64 * 8.0; // 64-bit × f
+    (measured, ceiling)
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut t = Table::new(&[
+        "interconnect clock [MHz]",
+        "ceiling 8B×f [MB/s]",
+        "plateau @280 MHz [MB/s]",
+        "efficiency [%]",
+    ]);
+    let mut effs = Vec::new();
+    for mhz in [75u64, 100, 125, 140] {
+        let (measured, ceiling) = plateau(mhz);
+        let eff = measured / ceiling * 100.0;
+        t.row(&[
+            mhz.to_string(),
+            format!("{ceiling:.0}"),
+            format!("{measured:.1}"),
+            format!("{eff:.1}"),
+        ]);
+        effs.push(eff);
+        assert!(measured < ceiling, "cannot beat the beat-rate ceiling");
+    }
+    // The plateau tracks the interconnect clock at near-constant efficiency.
+    let spread =
+        effs.iter().fold(0.0f64, |a, &b| a.max(b)) - effs.iter().fold(100.0f64, |a, &b| a.min(b));
+    assert!(
+        spread < 3.0,
+        "efficiency should be clock-invariant: {effs:?}"
+    );
+
+    let content = format!(
+        "## Ablation A5 — the interconnect clock sets the plateau\n\n{}\n\
+         Efficiency stays ~constant (spread {spread:.1} pp): the plateau is a \
+         property of the memory-side link, not of the over-clocked blocks — \
+         exactly the paper's diagnosis, and the reason Sec. VI replaces the \
+         link with a dedicated SRAM instead of over-clocking harder.\n\n\
+         _regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("ablation_interconnect", &content);
+}

@@ -1,0 +1,66 @@
+//! E4 — regenerates **Fig. 6**: P_PDR vs frequency at die temperatures
+//! 40/60/80/100 °C.
+
+use pdr_bench::{publish, Table};
+use pdr_core::experiments::{fig6, ExperimentConfig, FIG6_TEMPS_C};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = fig6(&ExperimentConfig::default());
+
+    let mut freqs: Vec<u64> = points.iter().map(|p| p.freq_mhz).collect();
+    freqs.sort_unstable();
+    freqs.dedup();
+
+    let mut header: Vec<String> = vec!["f \\ T".into()];
+    header.extend(FIG6_TEMPS_C.iter().map(|t| format!("{t:.0} °C [W]")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for &f in &freqs {
+        let mut row = vec![format!("{f} MHz")];
+        for &temp in &FIG6_TEMPS_C {
+            let p = points
+                .iter()
+                .find(|p| p.freq_mhz == f && p.temp_c == temp)
+                .expect("point present");
+            row.push(format!("{:.3}", p.p_pdr_w));
+        }
+        t.row(&row);
+    }
+
+    // The paper's two structural findings.
+    let p = |f: u64, temp: f64| {
+        points
+            .iter()
+            .find(|p| p.freq_mhz == f && p.temp_c == temp)
+            .expect("point")
+            .p_pdr_w
+    };
+    let slope40 = p(280, 40.0) - p(100, 40.0);
+    for &temp in &FIG6_TEMPS_C {
+        let slope = p(280, temp) - p(100, temp);
+        assert!(
+            (slope - slope40).abs() < 0.02,
+            "dynamic power must be T-independent: {slope} vs {slope40}"
+        );
+    }
+    let d1 = p(100, 60.0) - p(100, 40.0);
+    let d2 = p(100, 80.0) - p(100, 60.0);
+    let d3 = p(100, 100.0) - p(100, 80.0);
+    assert!(d2 > d1 && d3 > d2, "static power must grow super-linearly");
+    for pt in &points {
+        assert!((0.9..2.1).contains(&pt.p_pdr_w), "Fig. 6 window: {pt:?}");
+    }
+
+    let content = format!(
+        "## Fig. 6 — power dissipation vs frequency and temperature\n\n{}\n\
+         Checks that hold (as in the paper): the dynamic slope is identical \
+         at every temperature ({slope40:.3} W per 180 MHz), the static offset \
+         grows super-linearly with temperature \
+         ({d1:.3} → {d2:.3} → {d3:.3} W per 20 °C step), and the whole fan \
+         sits in the published 1–2 W window.\n\n_regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("fig6", &content);
+}

@@ -1,0 +1,86 @@
+//! E7 — the **Sec. VI proposed environment**: QDR-SRAM staging + PR
+//! controller + bitstream decompressor, vs the measured system.
+
+use pdr_bench::{publish, Table};
+use pdr_core::experiments::{proposed, ExperimentConfig};
+use pdr_core::proposed::{ProposedConfig, ProposedSystem};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_fabric::AspKind;
+use pdr_sim_core::Frequency;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    // Reference: the measured system at its knee.
+    let mut measured = ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    });
+    let bs = measured.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let base = measured.reconfigure(0, &bs, Frequency::from_mhz(200));
+    let base_t = base.throughput_mb_s().expect("interrupts at 200 MHz");
+    let base_lat = base.latency.expect("interrupts at 200 MHz").as_micros_f64();
+
+    let rows = proposed(&ExperimentConfig::default());
+    let mut t = Table::new(&[
+        "System",
+        "raw bytes",
+        "latency [us]",
+        "raw thpt [MB/s]",
+        "stored ratio",
+        "CRC",
+    ]);
+    t.row(&[
+        "measured @ 200 MHz (Sec. IV)".into(),
+        base.bitstream_bytes.to_string(),
+        format!("{base_lat:.1}"),
+        format!("{base_t:.1}"),
+        "1.00".into(),
+        if base.crc_ok() { "ok" } else { "FAIL" }.into(),
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.scenario.clone(),
+            r.raw_bytes.to_string(),
+            format!("{:.1}", r.latency_us),
+            format!("{:.1}", r.throughput_mb_s),
+            format!("{:.2}", r.compression_ratio),
+            if r.crc_ok { "ok" } else { "FAIL" }.into(),
+        ]);
+        assert!(r.crc_ok);
+    }
+
+    let raw = rows
+        .iter()
+        .find(|r| r.scenario.contains("raw"))
+        .expect("raw row");
+    let comp = rows
+        .iter()
+        .find(|r| r.scenario.contains("compressed"))
+        .expect("compressed row");
+    let bound = ProposedSystem::new(ProposedConfig::default()).theoretical_bound_mb_s();
+    // The paper's claim: the redesign nearly doubles the measured plateau.
+    assert!((bound - 1237.5).abs() < 0.1);
+    assert!(raw.throughput_mb_s > 0.95 * bound && raw.throughput_mb_s <= bound + 1.0);
+    assert!(raw.throughput_mb_s / base_t > 1.4);
+    assert!(comp.throughput_mb_s > raw.throughput_mb_s);
+
+    let content = format!(
+        "## Sec. VI — proposed partial-reconfiguration environment\n\n{}\n\
+         The paper derives a theoretical bound of 550 MHz x 36 bit / 2 = \
+         **{bound:.1} MB/s** for the SRAM read port and calls it \"almost \
+         double\" the measured system's throughput; the simulated raw-staging \
+         pipeline delivers {:.1} MB/s ({:.2}x the measured plateau). Frame \
+         compression moves template frames off the SRAM port entirely and \
+         reaches {:.1} MB/s of effective configuration rate (bounded by the \
+         550 MHz ICAP macro's 2200 MB/s). The pre-load runs on the \
+         independent QDR write port, overlapped with accelerator runtime by \
+         the PS Scheduler.\n\n_regenerated in {:.2?}_\n",
+        t.render(),
+        raw.throughput_mb_s,
+        raw.throughput_mb_s / base_t,
+        comp.throughput_mb_s,
+        t0.elapsed()
+    );
+    publish("proposed", &content);
+}

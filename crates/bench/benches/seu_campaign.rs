@@ -1,0 +1,72 @@
+//! A9 — SEU-detection campaign: statistical characterisation of the CRC
+//! read-back monitor on the full-scale device.
+//!
+//! 64 randomly placed upsets across two monitored partitions, plus
+//! out-of-scope upsets in the static region that must not alarm.
+
+use pdr_bench::{publish, Table};
+use pdr_core::campaign::{run_seu_campaign, SeuCampaign};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_fabric::AspKind;
+use pdr_sim_core::Frequency;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut sys = ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    });
+    for rp in 0..2 {
+        let bs = sys.make_asp_bitstream(rp, AspKind::AesMix, rp as u32 + 1);
+        assert!(sys.reconfigure(rp, &bs, Frequency::from_mhz(200)).crc_ok());
+    }
+    let campaign = SeuCampaign {
+        injections: 64,
+        out_of_scope_injections: 8,
+        rps: vec![0, 1],
+        seed: 2017,
+    };
+    let r = run_seu_campaign(&mut sys, &campaign);
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&[
+        "injections (monitored regions)".into(),
+        campaign.injections.to_string(),
+    ]);
+    t.row(&["detected".into(), r.detected.to_string()]);
+    t.row(&["missed".into(), r.missed.to_string()]);
+    t.row(&[
+        "out-of-scope injections".into(),
+        campaign.out_of_scope_injections.to_string(),
+    ]);
+    t.row(&["false alarms".into(), r.false_alarms.to_string()]);
+    t.row(&[
+        "detection latency mean [us]".into(),
+        format!("{:.0}", r.latency_us.mean),
+    ]);
+    t.row(&[
+        "detection latency min/max [us]".into(),
+        format!("{:.0} / {:.0}", r.latency_us.min, r.latency_us.max),
+    ]);
+    t.row(&[
+        "full monitor sweep [us]".into(),
+        format!("{:.0}", r.scan_period_us),
+    ]);
+
+    assert_eq!(r.detected, campaign.injections);
+    assert_eq!(r.missed, 0);
+    assert_eq!(r.false_alarms, 0);
+    assert!(r.latency_us.max <= 2.2 * r.scan_period_us);
+
+    let content = format!(
+        "## SEU campaign — the CRC read-back block as a background monitor\n\n{}\n\
+         Every in-scope upset is detected within two monitor sweeps (the \
+         round-robin bound), averaging about one sweep; upsets outside the \
+         monitored partitions never alarm. This is the \"harsh environments\" \
+         robustness story of the paper's introduction, quantified.\n\n\
+         _regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("seu_campaign", &content);
+}

@@ -1,0 +1,94 @@
+//! E6 — regenerates **Table III**: comparison with related work.
+
+use pdr_bench::{publish, Table};
+use pdr_core::baselines::{Hkt2011, Vf2012};
+use pdr_core::experiments::{table3, ExperimentConfig, TABLE3_PAPER};
+use pdr_sim_core::Frequency;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let rows = table3(&ExperimentConfig::default());
+    let mut t = Table::new(&[
+        "Design",
+        "Platform",
+        "ICAP f [MHz]",
+        "thpt sim [MB/s]",
+        "thpt paper [MB/s]",
+        "CRC?",
+    ]);
+    for (row, (design, _, _, paper_t)) in rows.iter().zip(TABLE3_PAPER.iter()) {
+        assert_eq!(&row.design, design);
+        t.row(&[
+            row.design.clone(),
+            row.platform.clone(),
+            format!("{:.0}", row.freq_mhz),
+            format!("{:.1}", row.throughput_mb_s),
+            format!("{paper_t:.0}"),
+            if row.design == "This work" {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
+        ]);
+    }
+
+    // Qualitative claims of the paper's Sec. V discussion.
+    let get = |d: &str| {
+        rows.iter()
+            .find(|r| r.design == d)
+            .expect("row present")
+            .throughput_mb_s
+    };
+    assert!(get("HKT-2011") > get("VF-2012"));
+    assert!(get("VF-2012") > get("This work"));
+    assert!(get("This work") > get("HP-2011"));
+    // Parity with VF-2012 at the 100 MHz nominal.
+    let vf100 = Vf2012
+        .run(Frequency::from_mhz(100))
+        .throughput_mb_s
+        .unwrap();
+    assert!((vf100 - 400.0).abs() < 5.0);
+    // The HKT sustainability doubt the paper raises: at 1.4 MB the burst
+    // rate collapses to the refill rate.
+    let hkt_large = Hkt2011::default().run(1_400_000).throughput_mb_s.unwrap();
+    assert!(hkt_large < 450.0);
+
+    // Cross-check: VF-2012 rebuilt as a full cycle-level simulation (same
+    // substrate, its own envelope and no CRC) against its published points.
+    let mut sim_t = Table::new(&["VF-2012 (cycle-level sim)", "outcome", "published"]);
+    for (mhz, published) in [
+        (100u64, "400 MB/s"),
+        (210, "838.55 MB/s"),
+        (240, "fails"),
+        (320, "freezes FPGA"),
+    ] {
+        let o = Vf2012.run_simulated(Frequency::from_mhz(mhz));
+        let outcome = match (o.throughput_mb_s, o.froze) {
+            (Some(v), _) => format!("{v:.1} MB/s"),
+            (None, true) => "FPGA frozen".into(),
+            (None, false) => "corrupt, undetected (no CRC)".into(),
+        };
+        sim_t.row(&[format!("{mhz} MHz"), outcome, published.into()]);
+    }
+
+    let content = format!(
+        "## Table III — comparison with related work\n\n{}\n\
+         Sec. V context reproduced by the models: VF-2012 matches this work at \
+         the 100 MHz nominal ({vf100:.0} MB/s) but has **no CRC** (failures \
+         above 210 MHz go undetected, and >300 MHz freezes the FPGA); \
+         HP-2011's active feedback is safe but slow; HKT-2011's 2200 MB/s \
+         holds only for FIFO-resident bitstreams — for a 1.4 MB image the \
+         sustained rate collapses to ~{hkt_large:.0} MB/s through its \
+         refill path, which is exactly the doubt the paper raises.\n\n\
+         ### Cross-check: VF-2012 rebuilt at cycle level\n\n{}\n\
+         The same substrate wired with VF-2012's envelope (Virtex-6-class \
+         memory path, data path giving out just above 210 MHz, no CRC) \
+         reproduces its published operating points and its silent-failure \
+         behaviour.\n\n_regenerated in {:.2?}_\n",
+        t.render(),
+        sim_t.render(),
+        t0.elapsed()
+    );
+    publish("table3", &content);
+}

@@ -1,0 +1,111 @@
+//! E3 — regenerates the **Sec. IV-A temperature stress** matrix: every
+//! Table I frequency up to 310 MHz at die temperatures 40–100 °C.
+//!
+//! Every cell is an independent simulation (its own `Engine`), so the sweep
+//! fans out across threads with crossbeam's scoped threads.
+
+use pdr_bench::{publish, Table};
+use pdr_core::experiments::{StressCell, STRESS_TEMPS_C, TABLE1_FREQS_MHZ};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_core::CrcStatus;
+use pdr_sim_core::Frequency;
+
+/// One stress cell, simulated in isolation.
+fn run_cell(freq_mhz: u64, temp_c: f64) -> StressCell {
+    let mut sys = ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        initial_die_temp_c: temp_c,
+        ..SystemConfig::default()
+    });
+    let bs = sys.make_partial_bitstream(0, 1);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(freq_mhz));
+    StressCell {
+        freq_mhz,
+        temp_c,
+        crc_valid: r.crc == CrcStatus::Valid,
+        interrupt_seen: r.interrupt_seen,
+    }
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let freqs: Vec<u64> = TABLE1_FREQS_MHZ
+        .iter()
+        .copied()
+        .filter(|&f| f <= 310)
+        .collect();
+    let points: Vec<(u64, f64)> = STRESS_TEMPS_C
+        .iter()
+        .flat_map(|&t| freqs.iter().map(move |&f| (f, t)))
+        .collect();
+
+    // Fan the independent cells across worker threads.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(points.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut cells: Vec<Option<StressCell>> = vec![None; points.len()];
+    let cells_mutex = std::sync::Mutex::new(&mut cells);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(f, t)) = points.get(i) else { break };
+                let cell = run_cell(f, t);
+                cells_mutex.lock().expect("poisoned")[i] = Some(cell);
+            });
+        }
+    })
+    .expect("stress workers");
+    let cells: Vec<StressCell> = cells
+        .into_iter()
+        .map(|c| c.expect("every cell computed"))
+        .collect();
+
+    let mut header: Vec<String> = vec!["T \\ f".into()];
+    header.extend(freqs.iter().map(|f| format!("{f} MHz")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for &temp in &STRESS_TEMPS_C {
+        let mut row = vec![format!("{temp:.0} °C")];
+        for &f in &freqs {
+            let c = cells
+                .iter()
+                .find(|c| c.freq_mhz == f && c.temp_c == temp)
+                .expect("cell present");
+            row.push(
+                match (c.crc_valid, c.interrupt_seen) {
+                    (true, true) => "ok",
+                    (true, false) => "ok (no irq)",
+                    (false, _) => "**FAIL**",
+                }
+                .into(),
+            );
+        }
+        t.row(&row);
+    }
+
+    let failures: Vec<(u64, f64)> = cells
+        .iter()
+        .filter(|c| !c.crc_valid)
+        .map(|c| (c.freq_mhz, c.temp_c))
+        .collect();
+    assert_eq!(
+        failures,
+        vec![(310, 100.0)],
+        "the paper reports exactly one failing cell"
+    );
+
+    let content = format!(
+        "## Sec. IV-A — temperature stress of the over-clocked PDR\n\n{}\n\
+         Failing cells: {failures:?} — matching the paper's single failure at \
+         (310 MHz, 100 °C). At 310 MHz the completion interrupt is lost at \
+         every temperature (as in Table I), but the configuration content \
+         stays CRC-valid up to 90 °C.\n\n_regenerated in {:.2?} on {workers} \
+         threads_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("temp_stress", &content);
+}

@@ -1,0 +1,118 @@
+//! Shared helpers for the experiment benches: markdown rendering and report
+//! files under `target/experiments/`.
+//!
+//! Every bench target regenerates one table or figure of the paper (or one
+//! ablation) and both prints it and writes
+//! `target/experiments/<name>.md`, from which `EXPERIMENTS.md` is refreshed.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Where experiment reports land.
+pub fn report_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <workspace>/crates/bench
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("target");
+    p.push("experiments");
+    p
+}
+
+/// Prints `content` and writes it to `target/experiments/<name>.md`.
+pub fn publish(name: &str, content: &str) {
+    println!("{content}");
+    let dir = report_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.md"));
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[report written to {}]", path.display());
+    }
+}
+
+/// A tiny markdown table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats an `Option<f64>` with two decimals or `N/A`.
+pub fn opt2(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into())
+}
+
+/// Relative error in percent between a measured and a reference value.
+pub fn rel_err_pct(measured: f64, reference: f64) -> f64 {
+    100.0 * (measured - reference) / reference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.render();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(opt2(None), "N/A");
+        assert_eq!(opt2(Some(1.234)), "1.23");
+        assert!((rel_err_pct(101.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+}

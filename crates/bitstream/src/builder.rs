@@ -1,0 +1,191 @@
+//! Partial-bitstream construction.
+
+use crate::crc::ConfigCrc;
+use crate::frame::{Frame, FrameAddress};
+use crate::packet::{
+    Bitstream, CmdCode, ConfigReg, PacketHeader, BUS_WIDTH_DETECT, BUS_WIDTH_SYNC, DUMMY_WORD,
+    NOP_WORD, SYNC_WORD,
+};
+
+/// One contiguous run of frames starting at a FAR.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: FrameAddress,
+    frames: Vec<Frame>,
+}
+
+/// Builds partial configuration bitstreams.
+///
+/// The emitted stream follows the canonical partial-reconfiguration packet
+/// sequence: pad/bus-width preamble, sync, `RCRC`, `IDCODE`, `WCFG`, then one
+/// `FAR` + `FDRI` burst per frame segment, a `CRC` check word and `DESYNC`.
+///
+/// The builder computes the configuration CRC exactly as the parser will
+/// recompute it, so an unmodified bitstream always verifies and any
+/// single-bit corruption of register or frame data fails the check.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    idcode: u32,
+    segments: Vec<Segment>,
+}
+
+impl Builder {
+    /// Starts a bitstream for a device with the given `IDCODE`.
+    pub fn new(idcode: u32) -> Self {
+        Builder {
+            idcode,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Appends a contiguous run of frames starting at `far`.
+    ///
+    /// Builder methods return `&mut self` for chaining; call
+    /// [`Builder::build`] to produce the bitstream.
+    pub fn add_frames(&mut self, far: FrameAddress, frames: Vec<Frame>) -> &mut Self {
+        assert!(
+            !frames.is_empty(),
+            "segment must contain at least one frame"
+        );
+        self.segments.push(Segment { start: far, frames });
+        self
+    }
+
+    /// Total frames across all segments.
+    pub fn frame_count(&self) -> usize {
+        self.segments.iter().map(|s| s.frames.len()).sum()
+    }
+
+    /// Serialises the bitstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frames were added (an empty partial bitstream is always
+    /// a caller bug).
+    pub fn build(&self) -> Bitstream {
+        assert!(
+            !self.segments.is_empty(),
+            "partial bitstream must contain at least one frame segment"
+        );
+        let mut words: Vec<u32> = Vec::new();
+        let mut crc = ConfigCrc::new();
+
+        // Absorbs a register write into the running CRC and emits the packet.
+        let write_reg = |words: &mut Vec<u32>, crc: &mut ConfigCrc, reg: ConfigReg, data: u32| {
+            words.push(PacketHeader::write1(reg, 1).encode());
+            words.push(data);
+            crc.absorb(reg.addr(), data);
+            if reg == ConfigReg::Cmd && data == CmdCode::Rcrc as u32 {
+                crc.reset();
+            }
+        };
+
+        // Preamble: pad words, bus-width auto-detect, sync.
+        words.extend_from_slice(&[DUMMY_WORD; 8]);
+        words.push(BUS_WIDTH_SYNC);
+        words.push(BUS_WIDTH_DETECT);
+        words.extend_from_slice(&[DUMMY_WORD; 2]);
+        words.push(SYNC_WORD);
+        words.push(NOP_WORD);
+
+        write_reg(&mut words, &mut crc, ConfigReg::Cmd, CmdCode::Rcrc as u32);
+        words.push(NOP_WORD);
+        words.push(NOP_WORD);
+        write_reg(&mut words, &mut crc, ConfigReg::Idcode, self.idcode);
+        write_reg(&mut words, &mut crc, ConfigReg::Cmd, CmdCode::Wcfg as u32);
+        words.push(NOP_WORD);
+
+        for seg in &self.segments {
+            write_reg(&mut words, &mut crc, ConfigReg::Far, seg.start.as_word());
+            words.push(NOP_WORD);
+            let count = (seg.frames.len() * crate::frame::FRAME_WORDS) as u32;
+            // Canonical long-FDRI form: a zero-count type 1 selecting FDRI,
+            // then a type 2 carrying the real word count.
+            words.push(PacketHeader::write1(ConfigReg::Fdri, 0).encode());
+            words.push(
+                PacketHeader::Type2 {
+                    op: crate::packet::Opcode::Write,
+                    count,
+                }
+                .encode(),
+            );
+            for frame in &seg.frames {
+                for &w in frame.words() {
+                    words.push(w);
+                    crc.absorb(ConfigReg::Fdri.addr(), w);
+                }
+            }
+        }
+
+        // CRC check word (not itself absorbed), then desync.
+        let check = crc.value();
+        words.push(PacketHeader::write1(ConfigReg::Crc, 1).encode());
+        words.push(check);
+        write_reg(&mut words, &mut crc, ConfigReg::Cmd, CmdCode::Desync as u32);
+        words.push(NOP_WORD);
+        words.push(NOP_WORD);
+
+        Bitstream::from_words(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FRAME_WORDS;
+
+    fn far() -> FrameAddress {
+        FrameAddress::new(0, 1, 2, 0)
+    }
+
+    #[test]
+    fn size_is_frames_plus_fixed_overhead() {
+        let mut b = Builder::new(0x1234_5678);
+        b.add_frames(far(), vec![Frame::zeroed(); 10]);
+        let bs = b.build();
+        // Preamble 13 + nop 1 + rcrc 2 + 2 nops + idcode 2 + wcfg 2 + nop 1
+        // + far 2 + nop 1 + fdri hdrs 2 + crc 2 + desync 2 + 2 nops = 34.
+        assert_eq!(bs.word_count(), 10 * FRAME_WORDS + 34);
+    }
+
+    #[test]
+    fn multi_segment_adds_five_words_each() {
+        let mut b = Builder::new(1);
+        b.add_frames(far(), vec![Frame::zeroed(); 2]);
+        b.add_frames(FrameAddress::new(0, 2, 2, 0), vec![Frame::zeroed(); 3]);
+        assert_eq!(b.frame_count(), 5);
+        let bs = b.build();
+        assert_eq!(bs.word_count(), 5 * FRAME_WORDS + 34 + 5);
+    }
+
+    #[test]
+    fn stream_begins_with_dummy_and_contains_sync() {
+        let mut b = Builder::new(1);
+        b.add_frames(far(), vec![Frame::zeroed()]);
+        let bs = b.build();
+        assert_eq!(bs.word(0), DUMMY_WORD);
+        assert!(bs.words().any(|w| w == SYNC_WORD));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame segment")]
+    fn empty_build_panics() {
+        let _ = Builder::new(1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_segment_panics() {
+        let _ = Builder::new(1).add_frames(far(), vec![]);
+    }
+
+    #[test]
+    fn identical_inputs_build_identical_streams() {
+        let build = || {
+            let mut b = Builder::new(7);
+            b.add_frames(far(), vec![Frame::filled(0xA5A5_A5A5); 3]);
+            b.build()
+        };
+        assert_eq!(build(), build());
+    }
+}

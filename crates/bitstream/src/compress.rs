@@ -1,0 +1,464 @@
+//! Frame-level bitstream compression.
+//!
+//! The paper's proposed Sec. VI architecture inserts a *Bitstream
+//! Decompressor* between the staging SRAM and the ICAP so that the SRAM (one
+//! bitstream deep) holds a compressed image while the ICAP still receives
+//! full frames. Partial bitstreams compress extremely well at frame
+//! granularity: unrouted regions are zero frames and logic regions repeat
+//! column patterns.
+//!
+//! The codec is a deliberately hardware-shaped token stream over frames:
+//!
+//! ```text
+//! token := 0x00 u16(n)            n literal frames follow (404 bytes each, LE words)
+//!        | 0x01 u16(n)            n all-zero frames
+//!        | 0x02 u16(n)            repeat the previously output frame n more times
+//! ```
+//!
+//! [`StreamingDecompressor`] exposes the decoder as a push/pop state machine
+//! so the simulated hardware block can consume compressed bytes at the SRAM
+//! interface rate while producing one 32-bit word per ICAP cycle.
+//!
+//! ```
+//! use pdr_bitstream::{compress_frames, decompress, Frame};
+//!
+//! let frames = vec![Frame::zeroed(); 100]; // an unrouted region
+//! let packed = compress_frames(&frames);
+//! assert!(packed.len() < 10); // 40,400 raw bytes become one token
+//! assert_eq!(decompress(&packed).unwrap(), frames);
+//! ```
+
+use crate::frame::{Frame, FRAME_WORDS};
+
+const TOK_LITERAL: u8 = 0x00;
+const TOK_ZERO: u8 = 0x01;
+const TOK_REPEAT: u8 = 0x02;
+const MAX_RUN: usize = u16::MAX as usize;
+
+/// Compresses a frame sequence to the token stream described in the
+/// [module documentation](self).
+pub fn compress_frames(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut prev: Option<&Frame> = None;
+    let mut pending_literals: Vec<&Frame> = Vec::new();
+
+    let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<&Frame>| {
+        for chunk in lits.chunks(MAX_RUN) {
+            out.push(TOK_LITERAL);
+            out.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+            for f in chunk {
+                for w in f.words() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        lits.clear();
+    };
+
+    while i < frames.len() {
+        let f = &frames[i];
+        // Count a run of identical frames starting here.
+        let mut run = 1;
+        while i + run < frames.len() && frames[i + run] == *f && run < MAX_RUN {
+            run += 1;
+        }
+        let is_zero = f.is_zero();
+        let repeats_prev = prev.is_some_and(|p| p == f);
+        if is_zero && run >= 1 {
+            flush_literals(&mut out, &mut pending_literals);
+            out.push(TOK_ZERO);
+            out.extend_from_slice(&(run as u16).to_le_bytes());
+        } else if repeats_prev {
+            flush_literals(&mut out, &mut pending_literals);
+            out.push(TOK_REPEAT);
+            out.extend_from_slice(&(run as u16).to_le_bytes());
+        } else if run > 1 {
+            // New repeated content: one literal then a repeat token.
+            pending_literals.push(f);
+            flush_literals(&mut out, &mut pending_literals);
+            out.push(TOK_REPEAT);
+            out.extend_from_slice(&((run - 1) as u16).to_le_bytes());
+        } else {
+            pending_literals.push(f);
+        }
+        prev = Some(f);
+        i += run;
+    }
+    flush_literals(&mut out, &mut pending_literals);
+    out
+}
+
+/// Errors produced by the decompressor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// An unknown token byte was encountered.
+    BadToken(u8),
+    /// A repeat token arrived before any frame was output.
+    RepeatWithoutPrevious,
+    /// The stream ended inside a token or a literal frame.
+    Truncated,
+}
+
+impl core::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecompressError::BadToken(t) => write!(f, "unknown compression token {t:#04X}"),
+            DecompressError::RepeatWithoutPrevious => {
+                write!(f, "repeat token with no previous frame")
+            }
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// One-shot decompression of a full token stream.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] on malformed input.
+pub fn decompress(bytes: &[u8]) -> Result<Vec<Frame>, DecompressError> {
+    let mut d = StreamingDecompressor::new();
+    d.push_bytes(bytes);
+    let mut frames = Vec::new();
+    let mut words = Vec::with_capacity(FRAME_WORDS);
+    while let Some(w) = d.pop_word()? {
+        words.push(w);
+        if words.len() == FRAME_WORDS {
+            frames.push(Frame::from_words(std::mem::take(&mut words)));
+        }
+    }
+    if !words.is_empty() || !d.is_drained() {
+        return Err(DecompressError::Truncated);
+    }
+    Ok(frames)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeState {
+    /// Expecting a token byte.
+    Token,
+    /// Collecting the two length bytes of `token`.
+    Len { token: u8, got: Option<u8> },
+    /// Emitting `frames_left` literal frames; `word_bytes` accumulates the
+    /// current word.
+    Literal { frames_left: u16 },
+    /// Emitting `frames_left` zero/repeat frames from `template`.
+    Template { frames_left: u16 },
+}
+
+/// A push/pop streaming decoder: feed compressed bytes with
+/// [`push_bytes`](Self::push_bytes), drain decoded words with
+/// [`pop_word`](Self::pop_word).
+///
+/// The simulated hardware block wraps this with rate control: bytes arrive
+/// at the SRAM port rate and words leave at the ICAP clock rate.
+#[derive(Debug, Clone)]
+pub struct StreamingDecompressor {
+    input: std::collections::VecDeque<u8>,
+    state: DecodeState,
+    /// Bytes of the word currently being assembled (literal mode).
+    word_bytes: Vec<u8>,
+    /// Words of the frame currently being assembled (literal mode); becomes
+    /// the repeat template once complete.
+    frame_words: Vec<u32>,
+    /// The last completely output frame (repeat template).
+    template: Option<Frame>,
+    /// Cursor into the template while replaying it.
+    template_cursor: usize,
+    frames_out: u64,
+    poisoned: Option<DecompressError>,
+}
+
+impl Default for StreamingDecompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingDecompressor {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        StreamingDecompressor {
+            input: std::collections::VecDeque::new(),
+            state: DecodeState::Token,
+            word_bytes: Vec::with_capacity(4),
+            frame_words: Vec::with_capacity(FRAME_WORDS),
+            template: None,
+            template_cursor: 0,
+            frames_out: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Appends compressed bytes to the input buffer.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes);
+    }
+
+    /// Buffered input bytes not yet decoded.
+    pub fn buffered_input(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Complete frames emitted so far.
+    pub fn frames_out(&self) -> u64 {
+        self.frames_out
+    }
+
+    /// True when all input has been consumed and no partial state remains.
+    pub fn is_drained(&self) -> bool {
+        self.input.is_empty()
+            && self.state == DecodeState::Token
+            && self.word_bytes.is_empty()
+            && self.frame_words.is_empty()
+    }
+
+    /// Produces the next decoded 32-bit word, `Ok(None)` if more input is
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns (and latches) a [`DecompressError`] on malformed input.
+    pub fn pop_word(&mut self) -> Result<Option<u32>, DecompressError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        loop {
+            match self.state {
+                DecodeState::Token => {
+                    let Some(tok) = self.input.pop_front() else {
+                        return Ok(None);
+                    };
+                    if tok != TOK_LITERAL && tok != TOK_ZERO && tok != TOK_REPEAT {
+                        return self.poison(DecompressError::BadToken(tok));
+                    }
+                    self.state = DecodeState::Len {
+                        token: tok,
+                        got: None,
+                    };
+                }
+                DecodeState::Len { token, got } => {
+                    let Some(b) = self.input.pop_front() else {
+                        return Ok(None);
+                    };
+                    match got {
+                        None => {
+                            self.state = DecodeState::Len {
+                                token,
+                                got: Some(b),
+                            }
+                        }
+                        Some(lo) => {
+                            let n = u16::from_le_bytes([lo, b]);
+                            if n == 0 {
+                                self.state = DecodeState::Token;
+                                continue;
+                            }
+                            match token {
+                                TOK_LITERAL => self.state = DecodeState::Literal { frames_left: n },
+                                TOK_ZERO => {
+                                    self.template = Some(Frame::zeroed());
+                                    self.template_cursor = 0;
+                                    self.state = DecodeState::Template { frames_left: n };
+                                }
+                                TOK_REPEAT => {
+                                    if self.template.is_none() {
+                                        return self.poison(DecompressError::RepeatWithoutPrevious);
+                                    }
+                                    self.template_cursor = 0;
+                                    self.state = DecodeState::Template { frames_left: n };
+                                }
+                                _ => unreachable!("token validated above"),
+                            }
+                        }
+                    }
+                }
+                DecodeState::Literal { frames_left } => {
+                    let Some(b) = self.input.pop_front() else {
+                        return Ok(None);
+                    };
+                    self.word_bytes.push(b);
+                    if self.word_bytes.len() < 4 {
+                        continue;
+                    }
+                    let w = u32::from_le_bytes([
+                        self.word_bytes[0],
+                        self.word_bytes[1],
+                        self.word_bytes[2],
+                        self.word_bytes[3],
+                    ]);
+                    self.word_bytes.clear();
+                    self.frame_words.push(w);
+                    if self.frame_words.len() == FRAME_WORDS {
+                        let frame = Frame::from_words(std::mem::take(&mut self.frame_words));
+                        self.frame_words = Vec::with_capacity(FRAME_WORDS);
+                        self.template = Some(frame);
+                        self.frames_out += 1;
+                        let left = frames_left - 1;
+                        self.state = if left == 0 {
+                            DecodeState::Token
+                        } else {
+                            DecodeState::Literal { frames_left: left }
+                        };
+                    }
+                    return Ok(Some(w));
+                }
+                DecodeState::Template { frames_left } => {
+                    let template = self.template.as_ref().expect("checked at token decode");
+                    let w = template.words()[self.template_cursor];
+                    self.template_cursor += 1;
+                    if self.template_cursor == FRAME_WORDS {
+                        self.template_cursor = 0;
+                        self.frames_out += 1;
+                        let left = frames_left - 1;
+                        self.state = if left == 0 {
+                            DecodeState::Token
+                        } else {
+                            DecodeState::Template { frames_left: left }
+                        };
+                    }
+                    return Ok(Some(w));
+                }
+            }
+        }
+    }
+
+    fn poison(&mut self, e: DecompressError) -> Result<Option<u32>, DecompressError> {
+        self.poisoned = Some(e);
+        Err(e)
+    }
+}
+
+/// Compression ratio (compressed / raw) for a frame sequence; raw size is
+/// `frames × 404` bytes.
+pub fn compression_ratio(frames: &[Frame]) -> f64 {
+    if frames.is_empty() {
+        return 1.0;
+    }
+    let raw = frames.len() * FRAME_WORDS * 4;
+    compress_frames(frames).len() as f64 / raw as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u32) -> Frame {
+        let mut f = Frame::zeroed();
+        for (i, w) in f.words_mut().iter_mut().enumerate() {
+            *w = tag.wrapping_mul(0x9E37) ^ i as u32;
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_mixed_content() {
+        let mut frames = vec![Frame::zeroed(); 10];
+        frames.push(frame(1));
+        frames.push(frame(1));
+        frames.push(frame(1));
+        frames.push(frame(2));
+        frames.extend(vec![Frame::zeroed(); 5]);
+        frames.push(frame(3));
+        let packed = compress_frames(&frames);
+        assert_eq!(decompress(&packed).unwrap(), frames);
+    }
+
+    #[test]
+    fn zero_frames_compress_massively() {
+        let frames = vec![Frame::zeroed(); 1000];
+        let packed = compress_frames(&frames);
+        assert!(packed.len() <= 8, "got {} bytes", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), frames);
+    }
+
+    #[test]
+    fn repeated_frames_compress_to_one_literal() {
+        let frames = vec![frame(7); 100];
+        let packed = compress_frames(&frames);
+        // One literal frame (404 bytes) + two tokens.
+        assert!(packed.len() < 420, "got {} bytes", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), frames);
+    }
+
+    #[test]
+    fn unique_frames_have_small_overhead() {
+        let frames: Vec<Frame> = (0..50).map(frame).collect();
+        let packed = compress_frames(&frames);
+        let raw = 50 * FRAME_WORDS * 4;
+        assert!(packed.len() >= raw, "literals cannot shrink");
+        assert!(packed.len() < raw + 16, "got {} bytes", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), frames);
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        assert_eq!(compress_frames(&[]), Vec::<u8>::new());
+        assert_eq!(decompress(&[]).unwrap(), Vec::<Frame>::new());
+    }
+
+    #[test]
+    fn bad_token_is_detected_and_latched() {
+        let mut d = StreamingDecompressor::new();
+        d.push_bytes(&[0xFF]);
+        assert_eq!(d.pop_word(), Err(DecompressError::BadToken(0xFF)));
+        assert_eq!(d.pop_word(), Err(DecompressError::BadToken(0xFF)));
+    }
+
+    #[test]
+    fn repeat_without_previous_is_detected() {
+        let bytes = [TOK_REPEAT, 1, 0];
+        assert_eq!(
+            decompress(&bytes),
+            Err(DecompressError::RepeatWithoutPrevious)
+        );
+    }
+
+    #[test]
+    fn truncated_literal_is_detected() {
+        let frames = vec![frame(1)];
+        let packed = compress_frames(&frames);
+        assert_eq!(
+            decompress(&packed[..packed.len() - 3]),
+            Err(DecompressError::Truncated)
+        );
+    }
+
+    #[test]
+    fn streaming_decoder_survives_byte_at_a_time_input() {
+        let frames = vec![Frame::zeroed(), frame(9), frame(9), frame(4)];
+        let packed = compress_frames(&frames);
+        let mut d = StreamingDecompressor::new();
+        let mut words = Vec::new();
+        for &b in &packed {
+            d.push_bytes(&[b]);
+            while let Some(w) = d.pop_word().unwrap() {
+                words.push(w);
+            }
+        }
+        assert_eq!(words.len(), frames.len() * FRAME_WORDS);
+        assert_eq!(d.frames_out(), frames.len() as u64);
+        let expect: Vec<u32> = frames.iter().flat_map(|f| f.words().to_vec()).collect();
+        assert_eq!(words, expect);
+    }
+
+    #[test]
+    fn compression_ratio_bounds() {
+        assert_eq!(compression_ratio(&[]), 1.0);
+        let zeros = vec![Frame::zeroed(); 100];
+        assert!(compression_ratio(&zeros) < 0.001);
+        let unique: Vec<Frame> = (0..20).map(frame).collect();
+        let r = compression_ratio(&unique);
+        assert!((1.0..1.01).contains(&r), "r={r}");
+    }
+
+    #[test]
+    fn long_runs_split_at_u16_max() {
+        let frames = vec![Frame::zeroed(); 70_000];
+        let packed = compress_frames(&frames);
+        assert_eq!(decompress(&packed).unwrap().len(), 70_000);
+    }
+}

@@ -1,0 +1,213 @@
+//! CRC engines.
+//!
+//! Two engines are provided:
+//!
+//! * [`Crc32`] — a table-driven, reflected CRC-32 usable with the IEEE 802.3
+//!   polynomial ([`Crc32::ieee`]) or Castagnoli ([`Crc32::castagnoli`]).
+//!   The paper's CRC Bitstream Read-Back block uses this over frame data.
+//! * [`ConfigCrc`] — the configuration-logic CRC that protects the bitstream
+//!   itself: like the 7-series hardware, it absorbs 37 bits per register
+//!   write (5-bit register address ∥ 32-bit data) into a CRC-32C and is
+//!   checked by writing the expected value to the `CRC` register.
+
+/// Reflected IEEE 802.3 polynomial.
+pub const POLY_IEEE: u32 = 0xEDB8_8320;
+/// Reflected Castagnoli (CRC-32C) polynomial, used by the config logic.
+pub const POLY_CASTAGNOLI: u32 = 0x82F6_3B78;
+
+/// A table-driven, reflected CRC-32.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    table: [u32; 256],
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates an engine for an arbitrary reflected polynomial.
+    pub fn new(poly: u32) -> Self {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ poly
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        Crc32 {
+            table,
+            state: 0xFFFF_FFFF,
+        }
+    }
+
+    /// The IEEE 802.3 (zlib/Ethernet) CRC-32.
+    pub fn ieee() -> Self {
+        Self::new(POLY_IEEE)
+    }
+
+    /// The Castagnoli CRC-32C.
+    pub fn castagnoli() -> Self {
+        Self::new(POLY_CASTAGNOLI)
+    }
+
+    /// Resets the running state.
+    pub fn reset(&mut self) {
+        self.state = 0xFFFF_FFFF;
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ self.table[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Absorbs one 32-bit word (little-endian byte order).
+    pub fn update_word(&mut self, word: u32) {
+        self.update(&word.to_le_bytes());
+    }
+
+    /// The finalised (bit-inverted) CRC of everything absorbed so far.
+    /// Does not reset the state.
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot CRC of a byte slice with this engine's polynomial.
+    pub fn checksum(poly: u32, data: &[u8]) -> u32 {
+        let mut c = Crc32::new(poly);
+        c.update(data);
+        c.value()
+    }
+}
+
+/// The configuration-logic CRC: a bitwise CRC-32C over 37-bit units of
+/// `(register_address[4:0] ∥ data[31:0])`, absorbed data-bit-0 first, the
+/// way the 7-series configuration CRC is specified.
+///
+/// The [`Builder`](crate::Builder) computes it while emitting packets, and
+/// the [`Parser`](crate::Parser) recomputes it while consuming them; writing
+/// the expected value to the `CRC` register compares the two. The `RCRC`
+/// command resets the running value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigCrc {
+    state: u32,
+}
+
+impl Default for ConfigCrc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConfigCrc {
+    /// Creates a reset engine (state zero, like post-`RCRC` hardware).
+    pub fn new() -> Self {
+        ConfigCrc { state: 0 }
+    }
+
+    /// Resets the running value (the `RCRC` command).
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    fn absorb_bit(&mut self, bit: u32) {
+        let fb = (self.state ^ bit) & 1;
+        self.state >>= 1;
+        if fb != 0 {
+            self.state ^= POLY_CASTAGNOLI;
+        }
+    }
+
+    /// Absorbs one register write: 32 data bits (LSB first) then the 5-bit
+    /// register address (LSB first).
+    pub fn absorb(&mut self, reg_addr: u32, data: u32) {
+        for i in 0..32 {
+            self.absorb_bit((data >> i) & 1);
+        }
+        for i in 0..5 {
+            self.absorb_bit((reg_addr >> i) & 1);
+        }
+    }
+
+    /// The current running value.
+    pub fn value(&self) -> u32 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee_check_value() {
+        // The canonical CRC-32 check: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(Crc32::checksum(POLY_IEEE, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn castagnoli_check_value() {
+        // The canonical CRC-32C check: CRC32C("123456789") = 0xE3069283.
+        assert_eq!(Crc32::checksum(POLY_CASTAGNOLI, b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::ieee();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.value(), Crc32::checksum(POLY_IEEE, data));
+    }
+
+    #[test]
+    fn update_word_is_little_endian_bytes() {
+        let mut a = Crc32::ieee();
+        a.update_word(0x0403_0201);
+        let mut b = Crc32::ieee();
+        b.update(&[1, 2, 3, 4]);
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn value_does_not_reset() {
+        let mut c = Crc32::ieee();
+        c.update(b"abc");
+        let v1 = c.value();
+        assert_eq!(c.value(), v1);
+        c.update(b"d");
+        assert_ne!(c.value(), v1);
+    }
+
+    #[test]
+    fn config_crc_detects_single_bit_flip() {
+        let mut a = ConfigCrc::new();
+        let mut b = ConfigCrc::new();
+        a.absorb(2, 0x1234_5678);
+        b.absorb(2, 0x1234_5678 ^ 0x10);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn config_crc_is_address_sensitive() {
+        let mut a = ConfigCrc::new();
+        let mut b = ConfigCrc::new();
+        a.absorb(2, 0xAAAA_AAAA);
+        b.absorb(3, 0xAAAA_AAAA);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn config_crc_reset_restores_initial_state() {
+        let mut a = ConfigCrc::new();
+        a.absorb(1, 99);
+        a.reset();
+        assert_eq!(a, ConfigCrc::new());
+    }
+}

@@ -1,0 +1,276 @@
+//! Configuration frames and frame addressing.
+//!
+//! The 7-series configuration memory is organised in *frames* of 101 32-bit
+//! words, addressed by the Frame Address Register (FAR). A FAR value packs a
+//! block type, a top/bottom half selector, a row, a column and a *minor*
+//! address (the frame index within the column).
+
+use core::fmt;
+
+/// Words per configuration frame (7-series geometry).
+pub const FRAME_WORDS: usize = 101;
+
+/// The block type field of a frame address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockType {
+    /// CLB / interconnect / IO / clocking configuration.
+    Main = 0,
+    /// Block-RAM content.
+    BramContent = 1,
+    /// CFG_CLB (special).
+    Special = 2,
+}
+
+impl BlockType {
+    /// Decodes a 3-bit field.
+    pub fn from_bits(bits: u32) -> Option<BlockType> {
+        match bits {
+            0 => Some(BlockType::Main),
+            1 => Some(BlockType::BramContent),
+            2 => Some(BlockType::Special),
+            _ => None,
+        }
+    }
+}
+
+/// A packed frame address (FAR) in 7-series layout:
+///
+/// ```text
+/// [25:23] block type   [22] top/bottom   [21:17] row
+/// [16:7]  column       [6:0] minor
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameAddress(u32);
+
+impl FrameAddress {
+    /// Builds a FAR for block type [`BlockType::Main`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit width.
+    pub fn new(top: u32, row: u32, column: u32, minor: u32) -> Self {
+        Self::with_block(BlockType::Main, top, row, column, minor)
+    }
+
+    /// Builds a FAR with an explicit block type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit width (top ≤ 1, row < 32,
+    /// column < 1024, minor < 128).
+    pub fn with_block(block: BlockType, top: u32, row: u32, column: u32, minor: u32) -> Self {
+        assert!(top <= 1, "top/bottom must be 0 or 1");
+        assert!(row < 32, "row out of range: {row}");
+        assert!(column < 1024, "column out of range: {column}");
+        assert!(minor < 128, "minor out of range: {minor}");
+        FrameAddress(((block as u32) << 23) | (top << 22) | (row << 17) | (column << 7) | minor)
+    }
+
+    /// Decodes a raw FAR word. Returns `None` for an invalid block type or
+    /// non-zero reserved bits.
+    pub fn from_word(word: u32) -> Option<Self> {
+        if word >> 26 != 0 {
+            return None;
+        }
+        BlockType::from_bits((word >> 23) & 0x7)?;
+        Some(FrameAddress(word))
+    }
+
+    /// The raw 32-bit FAR encoding.
+    pub const fn as_word(self) -> u32 {
+        self.0
+    }
+
+    /// Block type field.
+    pub fn block(self) -> BlockType {
+        BlockType::from_bits((self.0 >> 23) & 0x7).expect("validated at construction")
+    }
+
+    /// Top/bottom half selector (0 = top).
+    pub const fn top(self) -> u32 {
+        (self.0 >> 22) & 0x1
+    }
+
+    /// Row field.
+    pub const fn row(self) -> u32 {
+        (self.0 >> 17) & 0x1F
+    }
+
+    /// Column field.
+    pub const fn column(self) -> u32 {
+        (self.0 >> 7) & 0x3FF
+    }
+
+    /// Minor (frame-within-column) field.
+    pub const fn minor(self) -> u32 {
+        self.0 & 0x7F
+    }
+
+    /// The next minor address within the same column.
+    ///
+    /// Real devices advance FAR through a device-specific column map; in this
+    /// model the fabric (which knows the geometry) performs column rollover,
+    /// and the parser only increments the minor field.
+    pub fn next_minor(self) -> FrameAddress {
+        FrameAddress(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for FrameAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FAR({:?} t{} r{} c{} m{})",
+            self.block(),
+            self.top(),
+            self.row(),
+            self.column(),
+            self.minor()
+        )
+    }
+}
+
+impl fmt::Display for FrameAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One configuration frame: exactly [`FRAME_WORDS`] 32-bit words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    words: Vec<u32>,
+}
+
+impl Frame {
+    /// An all-zero frame.
+    pub fn zeroed() -> Self {
+        Frame {
+            words: vec![0; FRAME_WORDS],
+        }
+    }
+
+    /// A frame with every word set to `value`.
+    pub fn filled(value: u32) -> Self {
+        Frame {
+            words: vec![value; FRAME_WORDS],
+        }
+    }
+
+    /// Builds a frame from exactly [`FRAME_WORDS`] words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other length.
+    pub fn from_words(words: Vec<u32>) -> Self {
+        assert_eq!(
+            words.len(),
+            FRAME_WORDS,
+            "frame must contain {FRAME_WORDS} words"
+        );
+        Frame { words }
+    }
+
+    /// The frame's words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Mutable access to the frame's words.
+    pub fn words_mut(&mut self) -> &mut [u32] {
+        &mut self.words
+    }
+
+    /// True if every word is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// XOR-flips bit `bit` of word `word_idx` (fault injection helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx >= FRAME_WORDS` or `bit >= 32`.
+    pub fn flip_bit(&mut self, word_idx: usize, bit: u32) {
+        assert!(bit < 32, "bit index out of range");
+        self.words[word_idx] ^= 1 << bit;
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::zeroed()
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Frame[{:08X} {:08X} … {:08X}]",
+            self.words[0],
+            self.words[1],
+            self.words[FRAME_WORDS - 1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn far_fields_roundtrip() {
+        let far = FrameAddress::with_block(BlockType::BramContent, 1, 17, 513, 99);
+        assert_eq!(far.block(), BlockType::BramContent);
+        assert_eq!(far.top(), 1);
+        assert_eq!(far.row(), 17);
+        assert_eq!(far.column(), 513);
+        assert_eq!(far.minor(), 99);
+        assert_eq!(FrameAddress::from_word(far.as_word()), Some(far));
+    }
+
+    #[test]
+    fn far_rejects_garbage() {
+        assert_eq!(FrameAddress::from_word(0xFFFF_FFFF), None);
+        assert_eq!(FrameAddress::from_word(7 << 23), None); // invalid block type
+        assert!(FrameAddress::from_word(0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn far_new_validates() {
+        let _ = FrameAddress::new(0, 0, 1024, 0);
+    }
+
+    #[test]
+    fn next_minor_increments() {
+        let far = FrameAddress::new(0, 2, 5, 7);
+        let n = far.next_minor();
+        assert_eq!(n.minor(), 8);
+        assert_eq!(n.column(), 5);
+    }
+
+    #[test]
+    fn frame_construction_and_zero_check() {
+        assert!(Frame::zeroed().is_zero());
+        assert!(!Frame::filled(1).is_zero());
+        let f = Frame::from_words((0..FRAME_WORDS as u32).collect());
+        assert_eq!(f.words()[100], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "101 words")]
+    fn frame_wrong_length_panics() {
+        let _ = Frame::from_words(vec![0; 100]);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let mut f = Frame::zeroed();
+        f.flip_bit(50, 31);
+        assert_eq!(f.words()[50], 0x8000_0000);
+        f.flip_bit(50, 31);
+        assert!(f.is_zero());
+    }
+}

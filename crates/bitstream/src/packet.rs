@@ -1,0 +1,436 @@
+//! Configuration packets, registers and the [`Bitstream`] container.
+
+use bytes::Bytes;
+use core::fmt;
+
+/// The synchronisation word that starts configuration.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+/// Bus-width auto-detect pattern, first word.
+pub const BUS_WIDTH_SYNC: u32 = 0x0000_00BB;
+/// Bus-width auto-detect pattern, second word.
+pub const BUS_WIDTH_DETECT: u32 = 0x1122_0044;
+/// Dummy pad word.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+/// A type-1 NOP packet.
+pub const NOP_WORD: u32 = 0x2000_0000;
+
+/// Configuration registers (7-series numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the register names themselves
+pub enum ConfigReg {
+    Crc = 0,
+    Far = 1,
+    Fdri = 2,
+    Fdro = 3,
+    Cmd = 4,
+    Ctl0 = 5,
+    Mask = 6,
+    Stat = 7,
+    Lout = 8,
+    Cor0 = 9,
+    Mfwr = 10,
+    Cbc = 11,
+    Idcode = 12,
+    Axss = 13,
+    Cor1 = 14,
+    Wbstar = 16,
+    Timer = 17,
+    Bootsts = 22,
+    Ctl1 = 24,
+}
+
+impl ConfigReg {
+    /// Decodes a 5-bit register address.
+    pub fn from_addr(addr: u32) -> Option<ConfigReg> {
+        use ConfigReg::*;
+        Some(match addr {
+            0 => Crc,
+            1 => Far,
+            2 => Fdri,
+            3 => Fdro,
+            4 => Cmd,
+            5 => Ctl0,
+            6 => Mask,
+            7 => Stat,
+            8 => Lout,
+            9 => Cor0,
+            10 => Mfwr,
+            11 => Cbc,
+            12 => Idcode,
+            13 => Axss,
+            14 => Cor1,
+            16 => Wbstar,
+            17 => Timer,
+            22 => Bootsts,
+            24 => Ctl1,
+            _ => return None,
+        })
+    }
+
+    /// The 5-bit register address.
+    pub const fn addr(self) -> u32 {
+        self as u32
+    }
+}
+
+/// `CMD` register command codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the command names themselves
+pub enum CmdCode {
+    Null = 0,
+    Wcfg = 1,
+    Mfw = 2,
+    Lfrm = 3,
+    Rcfg = 4,
+    Start = 5,
+    Rcap = 6,
+    Rcrc = 7,
+    AgHigh = 8,
+    Switch = 9,
+    GRestore = 10,
+    Shutdown = 11,
+    GCapture = 12,
+    Desync = 13,
+    Iprog = 15,
+}
+
+impl CmdCode {
+    /// Decodes a command code.
+    pub fn from_word(w: u32) -> Option<CmdCode> {
+        use CmdCode::*;
+        Some(match w {
+            0 => Null,
+            1 => Wcfg,
+            2 => Mfw,
+            3 => Lfrm,
+            4 => Rcfg,
+            5 => Start,
+            6 => Rcap,
+            7 => Rcrc,
+            8 => AgHigh,
+            9 => Switch,
+            10 => GRestore,
+            11 => Shutdown,
+            12 => GCapture,
+            13 => Desync,
+            15 => Iprog,
+            _ => return None,
+        })
+    }
+}
+
+/// Packet opcode field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// Register read.
+    Read = 1,
+    /// Register write.
+    Write = 2,
+}
+
+impl Opcode {
+    /// Decodes the 2-bit opcode field.
+    pub fn from_bits(bits: u32) -> Option<Opcode> {
+        match bits {
+            0 => Some(Opcode::Nop),
+            1 => Some(Opcode::Read),
+            2 => Some(Opcode::Write),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded packet header word.
+///
+/// Layout (7-series):
+///
+/// ```text
+/// type 1: [31:29]=001  [28:27]=op  [17:13]=reg  [10:0]=count
+/// type 2: [31:29]=010  [28:27]=op  [26:0]=count    (register from previous type 1)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketHeader {
+    /// A type-1 header: addresses a register with an 11-bit word count.
+    Type1 {
+        /// Operation.
+        op: Opcode,
+        /// Target register address (5 bits).
+        reg: u32,
+        /// Payload word count.
+        count: u32,
+    },
+    /// A type-2 header: extends the previous type-1 with a 27-bit count.
+    Type2 {
+        /// Operation.
+        op: Opcode,
+        /// Payload word count.
+        count: u32,
+    },
+}
+
+impl PacketHeader {
+    /// Encodes this header to its word form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count exceeds the field width (11 bits for type 1,
+    /// 27 bits for type 2) or a type-1 register address exceeds 5 bits.
+    pub fn encode(self) -> u32 {
+        match self {
+            PacketHeader::Type1 { op, reg, count } => {
+                assert!(reg < 32, "register address out of range: {reg}");
+                assert!(count < (1 << 11), "type-1 count out of range: {count}");
+                (0b001 << 29) | ((op as u32) << 27) | (reg << 13) | count
+            }
+            PacketHeader::Type2 { op, count } => {
+                assert!(count < (1 << 27), "type-2 count out of range: {count}");
+                (0b010 << 29) | ((op as u32) << 27) | count
+            }
+        }
+    }
+
+    /// Decodes a header word. Returns `None` for unknown packet types or
+    /// invalid opcodes.
+    pub fn decode(word: u32) -> Option<PacketHeader> {
+        let ty = word >> 29;
+        let op = Opcode::from_bits((word >> 27) & 0x3)?;
+        match ty {
+            0b001 => Some(PacketHeader::Type1 {
+                op,
+                reg: (word >> 13) & 0x1F,
+                count: word & 0x7FF,
+            }),
+            0b010 => Some(PacketHeader::Type2 {
+                op,
+                count: word & 0x7FF_FFFF,
+            }),
+            _ => None,
+        }
+    }
+
+    /// A type-1 write header.
+    pub fn write1(reg: ConfigReg, count: u32) -> PacketHeader {
+        PacketHeader::Type1 {
+            op: Opcode::Write,
+            reg: reg.addr(),
+            count,
+        }
+    }
+
+    /// A type-1 read header.
+    pub fn read1(reg: ConfigReg, count: u32) -> PacketHeader {
+        PacketHeader::Type1 {
+            op: Opcode::Read,
+            reg: reg.addr(),
+            count,
+        }
+    }
+}
+
+/// An immutable configuration bitstream: a byte container with word-level
+/// views and fault-injection helpers.
+///
+/// Words are stored big-endian (the configuration port's natural order).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    bytes: Bytes,
+}
+
+impl Bitstream {
+    /// Wraps raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 4 (the config port consumes
+    /// whole words).
+    pub fn from_bytes(bytes: Bytes) -> Self {
+        assert!(
+            bytes.len().is_multiple_of(4),
+            "bitstream length {} is not word-aligned",
+            bytes.len()
+        );
+        Bitstream { bytes }
+    }
+
+    /// Builds a bitstream from words (big-endian serialisation).
+    pub fn from_words(words: &[u32]) -> Self {
+        let mut v = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            v.extend_from_slice(&w.to_be_bytes());
+        }
+        Bitstream {
+            bytes: Bytes::from(v),
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for a zero-length bitstream.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Size in 32-bit words.
+    pub fn word_count(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    /// The raw bytes (cheaply cloneable).
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// The word at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= word_count()`.
+    pub fn word(&self, idx: usize) -> u32 {
+        let o = idx * 4;
+        u32::from_be_bytes([
+            self.bytes[o],
+            self.bytes[o + 1],
+            self.bytes[o + 2],
+            self.bytes[o + 3],
+        ])
+    }
+
+    /// Iterates over all words.
+    pub fn words(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.word_count()).map(|i| self.word(i))
+    }
+
+    /// The bitstream serialised as little-endian words — the in-DRAM layout
+    /// the DMA driver stages, so that the 64-bit memory path delivers words
+    /// to the ICAP in the correct order.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        for w in self.words() {
+            v.extend_from_slice(&w.to_le_bytes());
+        }
+        v
+    }
+
+    /// Returns a copy with bit `bit` of word `word_idx` flipped — simulates
+    /// a transfer corrupted by a timing violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_idx` or `bit` is out of range.
+    pub fn with_flipped_bit(&self, word_idx: usize, bit: u32) -> Bitstream {
+        assert!(bit < 32, "bit out of range");
+        let mut v = self.bytes.to_vec();
+        let w = self.word(word_idx) ^ (1 << bit);
+        v[word_idx * 4..word_idx * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        Bitstream {
+            bytes: Bytes::from(v),
+        }
+    }
+}
+
+impl fmt::Debug for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bitstream({} bytes, {} words)",
+            self.len(),
+            self.word_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type1_header_roundtrip() {
+        let h = PacketHeader::write1(ConfigReg::Far, 1);
+        let w = h.encode();
+        assert_eq!(PacketHeader::decode(w), Some(h));
+        assert_eq!(w >> 29, 0b001);
+    }
+
+    #[test]
+    fn type2_header_roundtrip() {
+        let h = PacketHeader::Type2 {
+            op: Opcode::Write,
+            count: 132_108,
+        };
+        assert_eq!(PacketHeader::decode(h.encode()), Some(h));
+    }
+
+    #[test]
+    fn nop_word_is_type1_nop() {
+        assert_eq!(
+            PacketHeader::decode(NOP_WORD),
+            Some(PacketHeader::Type1 {
+                op: Opcode::Nop,
+                reg: 0,
+                count: 0
+            })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        assert_eq!(PacketHeader::decode(0b111 << 29), None);
+        // opcode 0b11 is reserved
+        assert_eq!(PacketHeader::decode((0b001 << 29) | (0b11 << 27)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "type-1 count out of range")]
+    fn type1_count_overflow_panics() {
+        let _ = PacketHeader::write1(ConfigReg::Fdri, 1 << 11).encode();
+    }
+
+    #[test]
+    fn config_reg_addr_roundtrip() {
+        for addr in 0..32 {
+            if let Some(reg) = ConfigReg::from_addr(addr) {
+                assert_eq!(reg.addr(), addr);
+            }
+        }
+        assert_eq!(ConfigReg::from_addr(31), None);
+    }
+
+    #[test]
+    fn cmd_code_roundtrip() {
+        for w in 0..16 {
+            if let Some(c) = CmdCode::from_word(w) {
+                assert_eq!(c as u32, w);
+            }
+        }
+        assert_eq!(CmdCode::from_word(14), None);
+    }
+
+    #[test]
+    fn bitstream_word_views() {
+        let bs = Bitstream::from_words(&[SYNC_WORD, 0x0102_0304]);
+        assert_eq!(bs.len(), 8);
+        assert_eq!(bs.word_count(), 2);
+        assert_eq!(bs.word(0), SYNC_WORD);
+        assert_eq!(bs.words().collect::<Vec<_>>(), vec![SYNC_WORD, 0x0102_0304]);
+    }
+
+    #[test]
+    fn bitstream_flip_bit() {
+        let bs = Bitstream::from_words(&[0, 0]);
+        let c = bs.with_flipped_bit(1, 7);
+        assert_eq!(c.word(0), 0);
+        assert_eq!(c.word(1), 0x80);
+        assert_ne!(bs, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_bytes_panic() {
+        let _ = Bitstream::from_bytes(Bytes::from(vec![1, 2, 3]));
+    }
+}

@@ -1,0 +1,582 @@
+//! The streaming configuration parser: the state machine the ICAP runs.
+//!
+//! The parser consumes one 32-bit word per call — exactly the rate at which
+//! the ICAP primitive accepts data — and emits [`Action`]s describing the
+//! side effects the configuration logic would perform (set FAR, commit a
+//! frame, check CRC, desync, …). It is deliberately geometry-free: frame
+//! address *advance* across column boundaries belongs to the fabric model,
+//! so frames are emitted with the FAR of the burst start plus a sequence
+//! index.
+
+use crate::crc::ConfigCrc;
+use crate::frame::{Frame, FrameAddress, FRAME_WORDS};
+use crate::packet::{CmdCode, ConfigReg, Opcode, PacketHeader, SYNC_WORD};
+
+/// A side effect requested by the configuration stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// The stream synchronised.
+    Sync,
+    /// The `IDCODE` register was written; the device must verify it.
+    Idcode(u32),
+    /// The frame address register was set.
+    SetFar(FrameAddress),
+    /// A command was executed.
+    Command(CmdCode),
+    /// A complete frame arrived. `far` is the FAR of the enclosing FDRI
+    /// burst's start; `seq` is the frame's index within the burst (the
+    /// fabric maps `(far, seq)` to a physical frame).
+    WriteFrame {
+        /// FAR at the start of the FDRI burst.
+        far: FrameAddress,
+        /// Frame index within the burst.
+        seq: u32,
+        /// Frame payload.
+        data: Frame,
+    },
+    /// The `CRC` register was written and compared against the running CRC.
+    CrcCheck {
+        /// Whether the written value matched.
+        ok: bool,
+    },
+    /// The stream desynchronised (end of configuration).
+    Desync,
+    /// A register without special parser handling was written.
+    WriteReg(ConfigReg, u32),
+    /// A read-back was requested (`FDRO` or status reads).
+    ReadRequest(ConfigReg, u32),
+}
+
+/// A malformed configuration stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// A word that is not a valid packet header arrived in header position.
+    InvalidHeader(u32),
+    /// A type-2 header arrived without a preceding zero-count type-1.
+    UnexpectedType2(u32),
+    /// A write addressed an unknown register.
+    UnknownRegister(u32),
+    /// An unknown `CMD` code was written.
+    InvalidCommand(u32),
+    /// A frame burst ended mid-frame (count not a multiple of 101).
+    TruncatedFrame,
+    /// FDRI data arrived before any FAR was set.
+    FdriWithoutFar,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::InvalidHeader(w) => write!(f, "invalid packet header {w:#010X}"),
+            ParseError::UnexpectedType2(w) => write!(f, "type-2 header {w:#010X} without type-1"),
+            ParseError::UnknownRegister(a) => write!(f, "write to unknown register {a}"),
+            ParseError::InvalidCommand(w) => write!(f, "invalid command code {w:#010X}"),
+            ParseError::TruncatedFrame => write!(f, "FDRI burst ended mid-frame"),
+            ParseError::FdriWithoutFar => write!(f, "frame data arrived before FAR was set"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Hunting for the sync word.
+    PreSync,
+    /// Expecting a packet header.
+    Header,
+    /// Consuming `remaining` payload words for `reg`.
+    Data { reg: ConfigReg, remaining: u32 },
+    /// A zero-count type-1 arrived; a type-2 may extend it.
+    AwaitType2 { reg: ConfigReg },
+    /// A malformed stream was detected; all further words are ignored.
+    Poisoned,
+}
+
+/// The streaming parser. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct Parser {
+    state: State,
+    crc: ConfigCrc,
+    /// FAR value of the current FDRI burst start.
+    burst_far: Option<FrameAddress>,
+    /// Frames completed in the current FDRI burst.
+    burst_seq: u32,
+    /// Partial frame assembly buffer.
+    frame_buf: Vec<u32>,
+    words_consumed: u64,
+    frames_emitted: u64,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parser {
+    /// Creates a parser hunting for the sync word.
+    pub fn new() -> Self {
+        Parser {
+            state: State::PreSync,
+            crc: ConfigCrc::new(),
+            burst_far: None,
+            burst_seq: 0,
+            frame_buf: Vec::with_capacity(FRAME_WORDS),
+            words_consumed: 0,
+            frames_emitted: 0,
+        }
+    }
+
+    /// Words consumed so far.
+    pub fn words_consumed(&self) -> u64 {
+        self.words_consumed
+    }
+
+    /// Complete frames emitted so far.
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames_emitted
+    }
+
+    /// True once a parse error poisoned the stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.state == State::Poisoned
+    }
+
+    /// Consumes one word, invoking `sink` for every resulting [`Action`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ParseError`] that poisoned the stream; after an error
+    /// every subsequent word is ignored (the real configuration logic
+    /// likewise wedges until resynchronised), and the caller is expected to
+    /// treat the whole transfer as failed.
+    pub fn push_word(
+        &mut self,
+        word: u32,
+        sink: &mut impl FnMut(Action),
+    ) -> Result<(), ParseError> {
+        self.words_consumed += 1;
+        match self.state {
+            State::Poisoned => Ok(()),
+            State::PreSync => {
+                if word == SYNC_WORD {
+                    self.state = State::Header;
+                    sink(Action::Sync);
+                }
+                Ok(())
+            }
+            State::Header => self.handle_header(word, sink),
+            State::AwaitType2 { reg } => match PacketHeader::decode(word) {
+                Some(PacketHeader::Type2 {
+                    op: Opcode::Write,
+                    count,
+                }) => {
+                    self.begin_data(reg, count);
+                    Ok(())
+                }
+                Some(PacketHeader::Type2 {
+                    op: Opcode::Read,
+                    count,
+                }) => {
+                    sink(Action::ReadRequest(reg, count));
+                    self.state = State::Header;
+                    Ok(())
+                }
+                // A zero-count type 1 not followed by a type 2 is legal; the
+                // write was simply empty. Re-interpret this word as a header.
+                _ => {
+                    self.state = State::Header;
+                    self.handle_header(word, sink)
+                }
+            },
+            State::Data { reg, remaining } => {
+                debug_assert!(remaining > 0);
+                self.consume_data(reg, word, sink)?;
+                // A DESYNC command inside the payload moves the state to
+                // PreSync; only advance the payload counter if we are still
+                // consuming data.
+                if matches!(self.state, State::Data { .. }) {
+                    let remaining = remaining - 1;
+                    if remaining == 0 {
+                        if reg == ConfigReg::Fdri && !self.frame_buf.is_empty() {
+                            return self.poison(ParseError::TruncatedFrame);
+                        }
+                        self.state = State::Header;
+                    } else {
+                        self.state = State::Data { reg, remaining };
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Convenience wrapper: parses an entire word slice, collecting actions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ParseError`].
+    pub fn parse_all(words: impl IntoIterator<Item = u32>) -> Result<Vec<Action>, ParseError> {
+        let mut parser = Parser::new();
+        let mut out = Vec::new();
+        for w in words {
+            parser.push_word(w, &mut |a| out.push(a))?;
+        }
+        Ok(out)
+    }
+
+    fn handle_header(
+        &mut self,
+        word: u32,
+        sink: &mut impl FnMut(Action),
+    ) -> Result<(), ParseError> {
+        match PacketHeader::decode(word) {
+            Some(PacketHeader::Type1 {
+                op: Opcode::Nop, ..
+            }) => Ok(()),
+            Some(PacketHeader::Type1 {
+                op: Opcode::Write,
+                reg,
+                count,
+            }) => {
+                let reg = match ConfigReg::from_addr(reg) {
+                    Some(r) => r,
+                    None => return self.poison(ParseError::UnknownRegister(reg)),
+                };
+                if count == 0 {
+                    self.state = State::AwaitType2 { reg };
+                } else {
+                    self.begin_data(reg, count);
+                }
+                Ok(())
+            }
+            Some(PacketHeader::Type1 {
+                op: Opcode::Read,
+                reg,
+                count,
+            }) => {
+                let reg = match ConfigReg::from_addr(reg) {
+                    Some(r) => r,
+                    None => return self.poison(ParseError::UnknownRegister(reg)),
+                };
+                if count == 0 {
+                    // The long-read idiom: a zero-count type 1 selecting the
+                    // register, then a type 2 carrying the real word count.
+                    self.state = State::AwaitType2 { reg };
+                } else {
+                    sink(Action::ReadRequest(reg, count));
+                }
+                Ok(())
+            }
+            Some(PacketHeader::Type2 { .. }) => self.poison(ParseError::UnexpectedType2(word)),
+            None => self.poison(ParseError::InvalidHeader(word)),
+        }
+    }
+
+    fn begin_data(&mut self, reg: ConfigReg, count: u32) {
+        if reg == ConfigReg::Fdri {
+            self.burst_seq = 0;
+            self.frame_buf.clear();
+        }
+        if count == 0 {
+            self.state = State::Header;
+        } else {
+            self.state = State::Data {
+                reg,
+                remaining: count,
+            };
+        }
+    }
+
+    fn consume_data(
+        &mut self,
+        reg: ConfigReg,
+        word: u32,
+        sink: &mut impl FnMut(Action),
+    ) -> Result<(), ParseError> {
+        // Every register write is absorbed into the running CRC except the
+        // CRC check word itself.
+        if reg != ConfigReg::Crc {
+            self.crc.absorb(reg.addr(), word);
+        }
+        match reg {
+            ConfigReg::Far => match FrameAddress::from_word(word) {
+                Some(far) => {
+                    self.burst_far = Some(far);
+                    sink(Action::SetFar(far));
+                    Ok(())
+                }
+                None => self.poison(ParseError::InvalidHeader(word)),
+            },
+            ConfigReg::Fdri => {
+                let far = match self.burst_far {
+                    Some(f) => f,
+                    None => return self.poison(ParseError::FdriWithoutFar),
+                };
+                self.frame_buf.push(word);
+                if self.frame_buf.len() == FRAME_WORDS {
+                    let data = Frame::from_words(std::mem::take(&mut self.frame_buf));
+                    self.frame_buf = Vec::with_capacity(FRAME_WORDS);
+                    let seq = self.burst_seq;
+                    self.burst_seq += 1;
+                    self.frames_emitted += 1;
+                    sink(Action::WriteFrame { far, seq, data });
+                }
+                Ok(())
+            }
+            ConfigReg::Cmd => match CmdCode::from_word(word) {
+                Some(cmd) => {
+                    if cmd == CmdCode::Rcrc {
+                        self.crc.reset();
+                    }
+                    sink(Action::Command(cmd));
+                    if cmd == CmdCode::Desync {
+                        sink(Action::Desync);
+                        self.desync();
+                    }
+                    Ok(())
+                }
+                None => self.poison(ParseError::InvalidCommand(word)),
+            },
+            ConfigReg::Idcode => {
+                sink(Action::Idcode(word));
+                Ok(())
+            }
+            ConfigReg::Crc => {
+                let ok = word == self.crc.value();
+                sink(Action::CrcCheck { ok });
+                Ok(())
+            }
+            other => {
+                sink(Action::WriteReg(other, word));
+                Ok(())
+            }
+        }
+    }
+
+    /// Forces the parser back to sync hunting (DESYNC semantics).
+    fn desync(&mut self) {
+        self.burst_far = None;
+        self.frame_buf.clear();
+        self.state = State::PreSync;
+    }
+
+    fn poison(&mut self, e: ParseError) -> Result<(), ParseError> {
+        self.state = State::Poisoned;
+        Err(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::packet::NOP_WORD;
+
+    fn sample_bitstream(frames: usize) -> crate::packet::Bitstream {
+        let mut b = Builder::new(0x0372_7093);
+        let far = FrameAddress::new(0, 0, 4, 0);
+        let fs: Vec<Frame> = (0..frames)
+            .map(|i| Frame::filled(0x1000_0000 + i as u32))
+            .collect();
+        b.add_frames(far, fs);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_parses_builder_output_with_valid_crc() {
+        let bs = sample_bitstream(5);
+        let actions = Parser::parse_all(bs.words()).unwrap();
+        let frames: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, Action::WriteFrame { .. }))
+            .collect();
+        assert_eq!(frames.len(), 5);
+        assert!(actions.contains(&Action::CrcCheck { ok: true }));
+        assert!(actions.contains(&Action::Desync));
+        assert!(actions.contains(&Action::Command(CmdCode::Wcfg)));
+    }
+
+    #[test]
+    fn frame_sequence_numbers_increase() {
+        let bs = sample_bitstream(3);
+        let actions = Parser::parse_all(bs.words()).unwrap();
+        let seqs: Vec<u32> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::WriteFrame { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn corrupted_frame_word_fails_crc() {
+        let bs = sample_bitstream(2);
+        // Flip a bit in the middle of the frame payload (word 60 is well
+        // inside the first frame's data).
+        let corrupt = bs.with_flipped_bit(60, 3);
+        let actions = Parser::parse_all(corrupt.words()).unwrap();
+        assert!(actions.contains(&Action::CrcCheck { ok: false }));
+    }
+
+    #[test]
+    fn corrupted_far_value_fails_crc_or_poisons() {
+        let bs = sample_bitstream(1);
+        // Find the FAR data word (follows the FAR type-1 header).
+        let words: Vec<u32> = bs.words().collect();
+        let far_hdr = PacketHeader::write1(ConfigReg::Far, 1).encode();
+        let idx = words.iter().position(|&w| w == far_hdr).unwrap() + 1;
+        let corrupt = bs.with_flipped_bit(idx, 0);
+        if let Ok(actions) = Parser::parse_all(corrupt.words()) {
+            assert!(actions.contains(&Action::CrcCheck { ok: false }));
+        } // a parse error is also an acceptable detection
+    }
+
+    #[test]
+    fn sync_hunting_skips_garbage() {
+        let mut words = vec![0x0BAD_F00D, 0x1234_5678, SYNC_WORD, NOP_WORD];
+        let actions = Parser::parse_all(words.drain(..)).unwrap();
+        assert_eq!(actions, vec![Action::Sync]);
+    }
+
+    #[test]
+    fn type2_without_type1_errors() {
+        let t2 = PacketHeader::Type2 {
+            op: Opcode::Write,
+            count: 4,
+        }
+        .encode();
+        let err = Parser::parse_all(vec![SYNC_WORD, t2]).unwrap_err();
+        assert_eq!(err, ParseError::UnexpectedType2(t2));
+    }
+
+    #[test]
+    fn fdri_without_far_errors() {
+        let words = vec![
+            SYNC_WORD,
+            PacketHeader::write1(ConfigReg::Fdri, 2).encode(),
+            0,
+            0,
+        ];
+        assert_eq!(
+            Parser::parse_all(words).unwrap_err(),
+            ParseError::FdriWithoutFar
+        );
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let far = FrameAddress::new(0, 0, 0, 0);
+        let mut words = vec![
+            SYNC_WORD,
+            PacketHeader::write1(ConfigReg::Far, 1).encode(),
+            far.as_word(),
+            PacketHeader::write1(ConfigReg::Fdri, 50).encode(),
+        ];
+        words.extend(std::iter::repeat_n(0u32, 50));
+        assert_eq!(
+            Parser::parse_all(words).unwrap_err(),
+            ParseError::TruncatedFrame
+        );
+    }
+
+    #[test]
+    fn poisoned_parser_ignores_further_words() {
+        let t2 = PacketHeader::Type2 {
+            op: Opcode::Write,
+            count: 1,
+        }
+        .encode();
+        let mut p = Parser::new();
+        let mut sink = |_a: Action| {};
+        p.push_word(SYNC_WORD, &mut sink).unwrap();
+        assert!(p.push_word(t2, &mut sink).is_err());
+        assert!(p.is_poisoned());
+        // Subsequent words are swallowed without further errors or actions.
+        let mut count = 0;
+        p.push_word(SYNC_WORD, &mut |_| count += 1).unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn desync_returns_to_sync_hunt() {
+        let bs = sample_bitstream(1);
+        let mut p = Parser::new();
+        let mut actions = Vec::new();
+        for w in bs.words() {
+            p.push_word(w, &mut |a| actions.push(a)).unwrap();
+        }
+        // Feed a second bitstream through the same parser: it must re-sync.
+        let bs2 = sample_bitstream(2);
+        for w in bs2.words() {
+            p.push_word(w, &mut |a| actions.push(a)).unwrap();
+        }
+        let syncs = actions.iter().filter(|a| **a == Action::Sync).count();
+        assert_eq!(syncs, 2);
+        assert_eq!(p.frames_emitted(), 3);
+    }
+
+    #[test]
+    fn readback_request_is_surfaced() {
+        let words = vec![
+            SYNC_WORD,
+            PacketHeader::read1(ConfigReg::Fdro, 0).encode(),
+            PacketHeader::Type2 {
+                op: Opcode::Read,
+                count: 202,
+            }
+            .encode(),
+        ];
+        let actions = Parser::parse_all(words).unwrap();
+        assert!(actions.contains(&Action::ReadRequest(ConfigReg::Fdro, 202)));
+    }
+
+    #[test]
+    fn short_read_uses_type1_count() {
+        let words = vec![SYNC_WORD, PacketHeader::read1(ConfigReg::Stat, 1).encode()];
+        let actions = Parser::parse_all(words).unwrap();
+        assert_eq!(
+            actions,
+            vec![Action::Sync, Action::ReadRequest(ConfigReg::Stat, 1)]
+        );
+    }
+
+    #[test]
+    fn zero_count_type1_without_type2_is_harmless() {
+        // A zero-count write to FDRI followed by a NOP (not a type 2): legal
+        // empty write; the NOP is re-interpreted as a header.
+        let words = vec![
+            SYNC_WORD,
+            PacketHeader::write1(ConfigReg::Fdri, 0).encode(),
+            NOP_WORD,
+            PacketHeader::write1(ConfigReg::Idcode, 1).encode(),
+            0x1234_5678,
+        ];
+        let actions = Parser::parse_all(words).unwrap();
+        assert!(actions.contains(&Action::Idcode(0x1234_5678)));
+    }
+
+    #[test]
+    fn generic_register_writes_are_reported() {
+        let words = vec![
+            SYNC_WORD,
+            PacketHeader::write1(ConfigReg::Cor0, 1).encode(),
+            0xCAFE,
+        ];
+        let actions = Parser::parse_all(words).unwrap();
+        assert!(actions.contains(&Action::WriteReg(ConfigReg::Cor0, 0xCAFE)));
+    }
+
+    #[test]
+    fn words_consumed_counts_everything() {
+        let bs = sample_bitstream(1);
+        let mut p = Parser::new();
+        for w in bs.words() {
+            p.push_word(w, &mut |_| {}).unwrap();
+        }
+        assert_eq!(p.words_consumed(), bs.word_count() as u64);
+    }
+}

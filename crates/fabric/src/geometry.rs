@@ -1,0 +1,265 @@
+//! Device geometry: rows, columns and the FAR ↔ linear-frame mapping.
+
+use pdr_bitstream::{BlockType, FrameAddress};
+
+/// The resource type of a fabric column, which determines how many
+/// configuration frames (minor addresses) the column holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// CLB / interconnect column: 36 frames.
+    Clb,
+    /// DSP column: 28 frames.
+    Dsp,
+    /// Block-RAM interconnect/configuration column: 30 frames.
+    Bram,
+    /// Clocking column: 8 frames.
+    Clk,
+    /// IO column: 42 frames.
+    Io,
+}
+
+impl ColumnKind {
+    /// Number of frames (minor addresses) in a column of this kind.
+    pub const fn minors(self) -> u32 {
+        match self {
+            ColumnKind::Clb => 36,
+            ColumnKind::Dsp => 28,
+            ColumnKind::Bram => 30,
+            ColumnKind::Clk => 8,
+            ColumnKind::Io => 42,
+        }
+    }
+}
+
+/// A device's configuration geometry: `rows` identical clock rows, each with
+/// the same left-to-right column layout.
+///
+/// Frames are linearised row-major: all frames of row 0 (column 0 minor 0,
+/// minor 1, …, column 1 minor 0, …) then row 1, and so on. Only the `top = 0`
+/// half and [`BlockType::Main`] are populated in this model; partial
+/// bitstreams for CLB/DSP regions never touch BRAM-content block types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Geometry {
+    rows: u32,
+    columns: Vec<ColumnKind>,
+    /// Cumulative frame offset of each column within a row (len = columns+1).
+    col_offsets: Vec<u32>,
+}
+
+impl Geometry {
+    /// Builds a geometry from an explicit column layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero, the layout is empty, or it exceeds the FAR
+    /// field widths (32 rows / 1024 columns).
+    pub fn new(rows: u32, columns: Vec<ColumnKind>) -> Self {
+        assert!(rows > 0 && rows < 32, "row count out of range: {rows}");
+        assert!(
+            !columns.is_empty() && columns.len() < 1024,
+            "column count out of range: {}",
+            columns.len()
+        );
+        let mut col_offsets = Vec::with_capacity(columns.len() + 1);
+        let mut acc = 0u32;
+        for c in &columns {
+            col_offsets.push(acc);
+            acc += c.minors();
+        }
+        col_offsets.push(acc);
+        Geometry {
+            rows,
+            columns,
+            col_offsets,
+        }
+    }
+
+    /// The ZedBoard Zynq-7020-like geometry: 4 rows × 73 columns
+    /// (64 CLB + 8 DSP + 1 central clock column), 2536 frames per row,
+    /// 10,144 frames ≈ 4.1 MB of configuration data — the right order of
+    /// magnitude for a 7z020 full bitstream (~4 MB).
+    pub fn zynq7020() -> Self {
+        let mut columns = Vec::with_capacity(73);
+        for i in 0..72 {
+            columns.push(if i % 9 == 8 {
+                ColumnKind::Dsp
+            } else {
+                ColumnKind::Clb
+            });
+        }
+        columns.insert(36, ColumnKind::Clk);
+        Geometry::new(4, columns)
+    }
+
+    /// Number of clock rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The column layout of one row.
+    pub fn columns(&self) -> &[ColumnKind] {
+        &self.columns
+    }
+
+    /// Frames in one row.
+    pub fn frames_per_row(&self) -> u32 {
+        *self.col_offsets.last().expect("non-empty layout")
+    }
+
+    /// Frames in the whole device.
+    pub fn total_frames(&self) -> u32 {
+        self.frames_per_row() * self.rows
+    }
+
+    /// Configuration bytes in the whole device (frames × 101 × 4).
+    pub fn total_config_bytes(&self) -> u64 {
+        self.total_frames() as u64 * pdr_bitstream::FRAME_WORDS as u64 * 4
+    }
+
+    /// Frames in a contiguous column range of one row.
+    pub fn frames_in_columns(&self, cols: core::ops::Range<u32>) -> u32 {
+        assert!(
+            cols.end as usize <= self.columns.len(),
+            "column range out of device"
+        );
+        self.col_offsets[cols.end as usize] - self.col_offsets[cols.start as usize]
+    }
+
+    /// Maps a FAR to its linear frame index, or `None` if the address does
+    /// not exist on this device.
+    pub fn frame_index(&self, far: FrameAddress) -> Option<u32> {
+        if far.block() != BlockType::Main || far.top() != 0 {
+            return None;
+        }
+        if far.row() >= self.rows {
+            return None;
+        }
+        let col = far.column() as usize;
+        if col >= self.columns.len() {
+            return None;
+        }
+        if far.minor() >= self.columns[col].minors() {
+            return None;
+        }
+        Some(far.row() * self.frames_per_row() + self.col_offsets[col] + far.minor())
+    }
+
+    /// Maps a linear frame index back to its FAR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the device.
+    pub fn far_at(&self, index: u32) -> FrameAddress {
+        assert!(
+            index < self.total_frames(),
+            "frame index {index} out of device"
+        );
+        let row = index / self.frames_per_row();
+        let within = index % self.frames_per_row();
+        // Binary search the column containing `within`.
+        let col = match self.col_offsets.binary_search(&within) {
+            Ok(c) if c == self.columns.len() => c - 1,
+            Ok(c) => c,
+            Err(c) => c - 1,
+        };
+        let minor = within - self.col_offsets[col];
+        FrameAddress::new(0, row, col as u32, minor)
+    }
+
+    /// Advances a FAR by `n` frames in linear order (the geometry-aware FAR
+    /// auto-increment the configuration logic performs during FDRI bursts).
+    ///
+    /// Returns `None` when the address runs off the end of the device.
+    pub fn advance(&self, far: FrameAddress, n: u32) -> Option<FrameAddress> {
+        let idx = self.frame_index(far)?;
+        let target = idx.checked_add(n)?;
+        if target >= self.total_frames() {
+            return None;
+        }
+        Some(self.far_at(target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zynq7020_shape() {
+        let g = Geometry::zynq7020();
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.columns().len(), 73);
+        assert_eq!(g.frames_per_row(), 64 * 36 + 8 * 28 + 8);
+        assert_eq!(g.total_frames(), 4 * 2536);
+        // Same order of magnitude as a real 7z020 full bitstream (~4 MB).
+        assert!(g.total_config_bytes() > 4_000_000);
+        assert!(g.total_config_bytes() < 4_300_000);
+    }
+
+    #[test]
+    fn rp_column_range_is_1308_frames() {
+        let g = Geometry::zynq7020();
+        assert_eq!(g.frames_in_columns(0..38), 1308);
+    }
+
+    #[test]
+    fn far_index_bijection_over_whole_device() {
+        let g = Geometry::zynq7020();
+        for idx in 0..g.total_frames() {
+            let far = g.far_at(idx);
+            assert_eq!(g.frame_index(far), Some(idx), "at index {idx} / {far}");
+        }
+    }
+
+    #[test]
+    fn frame_index_rejects_out_of_device() {
+        let g = Geometry::zynq7020();
+        assert_eq!(g.frame_index(FrameAddress::new(0, 4, 0, 0)), None); // row
+        assert_eq!(g.frame_index(FrameAddress::new(0, 0, 73, 0)), None); // col
+        assert_eq!(g.frame_index(FrameAddress::new(0, 0, 36, 8)), None); // minor in CLK col
+        assert_eq!(g.frame_index(FrameAddress::new(1, 0, 0, 0)), None); // bottom half
+    }
+
+    #[test]
+    fn advance_crosses_columns_and_rows() {
+        let g = Geometry::zynq7020();
+        let start = FrameAddress::new(0, 0, 0, 35); // last minor of column 0
+        let next = g.advance(start, 1).unwrap();
+        assert_eq!((next.column(), next.minor()), (1, 0));
+        // Crossing into row 1.
+        let row_end = g.far_at(g.frames_per_row() - 1);
+        let wrapped = g.advance(row_end, 1).unwrap();
+        assert_eq!(
+            (wrapped.row(), wrapped.column(), wrapped.minor()),
+            (1, 0, 0)
+        );
+        // Off the end of the device.
+        let last = g.far_at(g.total_frames() - 1);
+        assert_eq!(g.advance(last, 1), None);
+    }
+
+    #[test]
+    fn advance_zero_is_identity() {
+        let g = Geometry::zynq7020();
+        let far = FrameAddress::new(0, 2, 10, 5);
+        assert_eq!(g.advance(far, 0), Some(far));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of device")]
+    fn far_at_out_of_range_panics() {
+        let g = Geometry::zynq7020();
+        let _ = g.far_at(g.total_frames());
+    }
+
+    #[test]
+    fn custom_geometry_offsets() {
+        let g = Geometry::new(1, vec![ColumnKind::Clk, ColumnKind::Dsp, ColumnKind::Io]);
+        assert_eq!(g.frames_per_row(), 8 + 28 + 42);
+        assert_eq!(g.frame_index(FrameAddress::new(0, 0, 1, 0)), Some(8));
+        assert_eq!(
+            g.frame_index(FrameAddress::new(0, 0, 2, 41)),
+            Some(8 + 28 + 41)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # pdr-fabric
+//!
+//! The FPGA fabric model: device geometry, the configuration memory the ICAP
+//! reads and writes, reconfigurable partitions (the paper's RP 1–4), and
+//! behavioural accelerators (ASPs) so examples can *run* what they configure.
+//!
+//! The modelled device mirrors the ZedBoard's Zynq-7020 programmable logic at
+//! the granularity that matters for reconfiguration-latency experiments:
+//! frames of 101 words grouped into columns of type-specific depth, four
+//! clock rows, and a floorplan with four single-row reconfigurable
+//! partitions of 1308 frames each — which makes a partial bitstream of
+//! 528,568 bytes, matching the ~529 kB bitstreams implied by Table I of the
+//! paper.
+//!
+//! # Example
+//!
+//! ```
+//! use pdr_fabric::{Floorplan, ConfigMemory};
+//!
+//! let plan = Floorplan::zedboard_quad();
+//! let mem = ConfigMemory::new(plan.geometry().clone());
+//! assert_eq!(plan.partitions().len(), 4);
+//! assert_eq!(plan.partitions()[0].frame_count(&plan.geometry()), 1308);
+//! assert!(mem.frame_count() > 10_000); // whole-device config space
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asp;
+pub mod geometry;
+pub mod memory;
+pub mod partition;
+
+pub use asp::{AspImage, AspKind};
+pub use geometry::{ColumnKind, Geometry};
+pub use memory::ConfigMemory;
+pub use partition::{Floorplan, Partition};

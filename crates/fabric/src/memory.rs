@@ -1,0 +1,182 @@
+//! The configuration memory: the frame array behind the ICAP.
+
+use pdr_bitstream::{Crc32, Frame, FrameAddress};
+
+use crate::geometry::Geometry;
+
+/// The device's configuration memory: one [`Frame`] per geometry frame slot,
+/// written by the ICAP during configuration and read back by the CRC
+/// read-back block.
+#[derive(Debug, Clone)]
+pub struct ConfigMemory {
+    geometry: Geometry,
+    frames: Vec<Frame>,
+    writes: u64,
+    reads: u64,
+}
+
+impl ConfigMemory {
+    /// Creates an all-zero configuration memory for `geometry`.
+    pub fn new(geometry: Geometry) -> Self {
+        let n = geometry.total_frames() as usize;
+        ConfigMemory {
+            geometry,
+            frames: vec![Frame::zeroed(); n],
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Total frame slots.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Lifetime frame writes.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Lifetime frame reads.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Reads the frame at `far`.
+    ///
+    /// Returns `None` if the address does not exist on this device.
+    pub fn read_frame(&mut self, far: FrameAddress) -> Option<&Frame> {
+        let idx = self.geometry.frame_index(far)?;
+        self.reads += 1;
+        Some(&self.frames[idx as usize])
+    }
+
+    /// Reads the frame at linear index `idx` (read-back scanning order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn read_frame_at(&mut self, idx: u32) -> &Frame {
+        self.reads += 1;
+        &self.frames[idx as usize]
+    }
+
+    /// Writes `data` to the frame at `far`. Returns `false` (and discards
+    /// the data, like real config logic writing a bad address) if the
+    /// address does not exist.
+    pub fn write_frame(&mut self, far: FrameAddress, data: Frame) -> bool {
+        match self.geometry.frame_index(far) {
+            Some(idx) => {
+                self.frames[idx as usize] = data;
+                self.writes += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Writes the `seq`-th frame of an FDRI burst that started at
+    /// `burst_far`, applying the geometry-aware FAR auto-increment.
+    pub fn write_burst_frame(&mut self, burst_far: FrameAddress, seq: u32, data: Frame) -> bool {
+        match self.geometry.advance(burst_far, seq) {
+            Some(far) => self.write_frame(far, data),
+            None => false,
+        }
+    }
+
+    /// CRC-32 (IEEE) over a linear frame range, in address order — the
+    /// golden value the CRC read-back block compares against.
+    pub fn range_crc(&self, start_idx: u32, count: u32) -> u32 {
+        let mut crc = Crc32::ieee();
+        let end = (start_idx + count).min(self.frames.len() as u32);
+        for idx in start_idx..end {
+            for &w in self.frames[idx as usize].words() {
+                crc.update_word(w);
+            }
+        }
+        crc.value()
+    }
+
+    /// Injects a bit flip into the stored frame at `far` (SEU / fault
+    /// injection). Returns `false` for a nonexistent address.
+    pub fn inject_bit_flip(&mut self, far: FrameAddress, word_idx: usize, bit: u32) -> bool {
+        match self.geometry.frame_index(far) {
+            Some(idx) => {
+                self.frames[idx as usize].flip_bit(word_idx, bit);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> ConfigMemory {
+        ConfigMemory::new(Geometry::zynq7020())
+    }
+
+    #[test]
+    fn starts_zeroed() {
+        let mut m = mem();
+        let far = FrameAddress::new(0, 1, 5, 3);
+        assert!(m.read_frame(far).unwrap().is_zero());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = mem();
+        let far = FrameAddress::new(0, 2, 40, 7);
+        let f = Frame::filled(0xCAFE_BABE);
+        assert!(m.write_frame(far, f.clone()));
+        assert_eq!(m.read_frame(far), Some(&f));
+        assert_eq!(m.write_count(), 1);
+    }
+
+    #[test]
+    fn bad_address_write_is_rejected() {
+        let mut m = mem();
+        assert!(!m.write_frame(FrameAddress::new(0, 0, 36, 20), Frame::zeroed()));
+        assert_eq!(m.write_count(), 0);
+    }
+
+    #[test]
+    fn burst_write_follows_geometry_order() {
+        let mut m = mem();
+        let start = FrameAddress::new(0, 0, 0, 34); // 2 frames left in column 0
+        assert!(m.write_burst_frame(start, 0, Frame::filled(1)));
+        assert!(m.write_burst_frame(start, 1, Frame::filled(2)));
+        assert!(m.write_burst_frame(start, 2, Frame::filled(3))); // rolls into column 1
+        assert_eq!(
+            m.read_frame(FrameAddress::new(0, 0, 1, 0)).unwrap(),
+            &Frame::filled(3)
+        );
+    }
+
+    #[test]
+    fn range_crc_changes_with_content() {
+        let mut m = mem();
+        let base = m.range_crc(0, 100);
+        m.write_frame(FrameAddress::new(0, 0, 0, 0), Frame::filled(9));
+        assert_ne!(m.range_crc(0, 100), base);
+        // A disjoint range is unaffected.
+        let far_range = m.range_crc(5000, 100);
+        m.write_frame(FrameAddress::new(0, 0, 0, 1), Frame::filled(7));
+        assert_eq!(m.range_crc(5000, 100), far_range);
+    }
+
+    #[test]
+    fn inject_bit_flip_breaks_crc() {
+        let mut m = mem();
+        let before = m.range_crc(0, 10);
+        assert!(m.inject_bit_flip(FrameAddress::new(0, 0, 0, 2), 50, 17));
+        assert_ne!(m.range_crc(0, 10), before);
+    }
+}

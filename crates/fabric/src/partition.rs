@@ -1,0 +1,209 @@
+//! Reconfigurable partitions and the board floorplan.
+
+use pdr_bitstream::FrameAddress;
+
+use crate::geometry::Geometry;
+
+/// A reconfigurable partition: a contiguous column range of one clock row
+/// (the shape Vivado's PR flow produces for single-row Pblocks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Human-readable name (e.g. `"RP1"`).
+    name: String,
+    row: u32,
+    cols: core::ops::Range<u32>,
+}
+
+impl Partition {
+    /// Defines a partition over `cols` of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column range is empty.
+    pub fn new(name: &str, row: u32, cols: core::ops::Range<u32>) -> Self {
+        assert!(!cols.is_empty(), "partition must span at least one column");
+        Partition {
+            name: name.to_string(),
+            row,
+            cols,
+        }
+    }
+
+    /// The partition's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock row the partition occupies.
+    pub fn row(&self) -> u32 {
+        self.row
+    }
+
+    /// The column range the partition occupies.
+    pub fn columns(&self) -> core::ops::Range<u32> {
+        self.cols.clone()
+    }
+
+    /// The FAR of the partition's first frame.
+    pub fn start_far(&self) -> FrameAddress {
+        FrameAddress::new(0, self.row, self.cols.start, 0)
+    }
+
+    /// Number of frames the partition occupies on `geometry`.
+    pub fn frame_count(&self, geometry: &Geometry) -> u32 {
+        geometry.frames_in_columns(self.cols.clone())
+    }
+
+    /// Linear index of the partition's first frame on `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not fit the geometry.
+    pub fn start_index(&self, geometry: &Geometry) -> u32 {
+        geometry
+            .frame_index(self.start_far())
+            .expect("partition start outside device")
+    }
+
+    /// Partial-bitstream payload size in bytes for this partition
+    /// (frames × 101 words × 4; excludes packet overhead).
+    pub fn payload_bytes(&self, geometry: &Geometry) -> u64 {
+        self.frame_count(geometry) as u64 * pdr_bitstream::FRAME_WORDS as u64 * 4
+    }
+}
+
+/// A device floorplan: the geometry plus the reconfigurable partitions
+/// placed on it (the static region is everything else).
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    geometry: Geometry,
+    partitions: Vec<Partition>,
+}
+
+impl Floorplan {
+    /// Builds a floorplan, validating that partitions fit the device and do
+    /// not overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-device or overlapping partitions.
+    pub fn new(geometry: Geometry, partitions: Vec<Partition>) -> Self {
+        for p in &partitions {
+            assert!(
+                p.row < geometry.rows(),
+                "partition {} row outside device",
+                p.name
+            );
+            assert!(
+                p.cols.end as usize <= geometry.columns().len(),
+                "partition {} columns outside device",
+                p.name
+            );
+        }
+        for (i, a) in partitions.iter().enumerate() {
+            for b in &partitions[i + 1..] {
+                let overlap =
+                    a.row == b.row && a.cols.start < b.cols.end && b.cols.start < a.cols.end;
+                assert!(!overlap, "partitions {} and {} overlap", a.name, b.name);
+            }
+        }
+        Floorplan {
+            geometry,
+            partitions,
+        }
+    }
+
+    /// The paper's Fig. 1 floorplan: the Zynq-7020-like device with four
+    /// reconfigurable partitions (RP 1–4), one per clock row, each spanning
+    /// columns 0..38 = 1308 frames → 528,568-byte partial bitstreams.
+    pub fn zedboard_quad() -> Self {
+        let geometry = Geometry::zynq7020();
+        let partitions = (0..4)
+            .map(|r| Partition::new(&format!("RP{}", r + 1), r, 0..38))
+            .collect();
+        Floorplan::new(geometry, partitions)
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The reconfigurable partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Looks up a partition by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (use [`Floorplan::partitions`] for
+    /// fallible access).
+    pub fn partition(&self, idx: usize) -> &Partition {
+        &self.partitions[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zedboard_quad_matches_paper_bitstream_size() {
+        let plan = Floorplan::zedboard_quad();
+        assert_eq!(plan.partitions().len(), 4);
+        for (i, p) in plan.partitions().iter().enumerate() {
+            assert_eq!(p.row(), i as u32);
+            assert_eq!(p.frame_count(plan.geometry()), 1308);
+            // 1308 frames × 101 words × 4 B = 528,432 B payload; with the 34
+            // packet-overhead words the built bitstream is 528,568 B ≈ the
+            // ~529 kB implied by Table I.
+            assert_eq!(p.payload_bytes(plan.geometry()), 528_432);
+        }
+    }
+
+    #[test]
+    fn partition_start_far_and_index() {
+        let plan = Floorplan::zedboard_quad();
+        let p = plan.partition(2);
+        assert_eq!(p.start_far(), FrameAddress::new(0, 2, 0, 0));
+        assert_eq!(
+            p.start_index(plan.geometry()),
+            2 * plan.geometry().frames_per_row()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_partitions_panic() {
+        let g = Geometry::zynq7020();
+        let _ = Floorplan::new(
+            g,
+            vec![Partition::new("A", 0, 0..10), Partition::new("B", 0, 5..15)],
+        );
+    }
+
+    #[test]
+    fn same_columns_different_rows_do_not_overlap() {
+        let g = Geometry::zynq7020();
+        let plan = Floorplan::new(
+            g,
+            vec![Partition::new("A", 0, 0..10), Partition::new("B", 1, 0..10)],
+        );
+        assert_eq!(plan.partitions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns outside device")]
+    fn out_of_device_partition_panics() {
+        let g = Geometry::zynq7020();
+        let _ = Floorplan::new(g, vec![Partition::new("A", 0, 70..80)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_partition_panics() {
+        let _ = Partition::new("E", 0, 5..5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared byte storage behind memory controllers.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    bytes: Vec<u8>,
+    oob_accesses: u64,
+}
+
+/// A shared, bounds-checked byte store. The processor model writes
+/// bitstreams into it; controllers serve reads from it. Cloning yields
+/// another handle to the same storage.
+#[derive(Clone)]
+pub struct Backing {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Backing {
+    /// Allocates `size` zeroed bytes.
+    pub fn new(size: usize) -> Self {
+        Backing {
+            inner: Rc::new(RefCell::new(Inner {
+                bytes: vec![0; size],
+                oob_accesses: 0,
+            })),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().bytes.len()
+    }
+
+    /// True for a zero-capacity store.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies `data` to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write runs past the end of the store — software writing
+    /// out of bounds is a scenario bug, unlike hardware reads which must
+    /// degrade gracefully.
+    pub fn write(&self, addr: u64, data: &[u8]) {
+        let mut inner = self.inner.borrow_mut();
+        let start = addr as usize;
+        let end = start
+            .checked_add(data.len())
+            .expect("address arithmetic overflow");
+        assert!(
+            end <= inner.bytes.len(),
+            "write [{start}, {end}) outside backing of {} bytes",
+            inner.bytes.len()
+        );
+        inner.bytes[start..end].copy_from_slice(data);
+    }
+
+    /// Reads the 64-bit little-endian word at `addr`. Out-of-range reads
+    /// return zero and are counted (hardware reading a bad address returns
+    /// bus garbage rather than halting the system).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let start = addr as usize;
+        if start + 8 > inner.bytes.len() {
+            inner.oob_accesses += 1;
+            return 0;
+        }
+        u64::from_le_bytes(inner.bytes[start..start + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Reads the 32-bit little-endian word at `addr` (zero out of range).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut inner = self.inner.borrow_mut();
+        let start = addr as usize;
+        if start + 4 > inner.bytes.len() {
+            inner.oob_accesses += 1;
+            return 0;
+        }
+        u32::from_le_bytes(inner.bytes[start..start + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Copies out `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_slice(&self, addr: u64, len: usize) -> Vec<u8> {
+        let inner = self.inner.borrow();
+        let start = addr as usize;
+        assert!(start + len <= inner.bytes.len(), "read outside backing");
+        inner.bytes[start..start + len].to_vec()
+    }
+
+    /// Count of out-of-range hardware reads observed.
+    pub fn oob_accesses(&self) -> u64 {
+        self.inner.borrow().oob_accesses
+    }
+}
+
+impl fmt::Debug for Backing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backing")
+            .field("len", &self.len())
+            .field("oob_accesses", &self.oob_accesses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let b = Backing::new(64);
+        b.write(8, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(b.read_u64(8), 0x0807_0605_0403_0201);
+        assert_eq!(b.read_u32(8), 0x0403_0201);
+        assert_eq!(b.read_slice(8, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn oob_read_returns_zero_and_counts() {
+        let b = Backing::new(16);
+        assert_eq!(b.read_u64(12), 0);
+        assert_eq!(b.read_u32(14), 0);
+        assert_eq!(b.oob_accesses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside backing")]
+    fn oob_write_panics() {
+        let b = Backing::new(4);
+        b.write(2, &[0; 4]);
+    }
+
+    #[test]
+    fn handles_share_storage() {
+        let a = Backing::new(8);
+        let b = a.clone();
+        a.write(0, &[9; 8]);
+        assert_eq!(b.read_u64(0), u64::from_le_bytes([9; 8]));
+    }
+}

@@ -1,0 +1,330 @@
+//! Models of the related-work controllers compared in Table III, plus the
+//! Zynq's stock PCAP path.
+//!
+//! Each baseline is reconstructed from its paper's published architecture
+//! and numbers (the comparison in Table III is across *publications*, not
+//! re-implementations on common hardware — we model each system's structure
+//! and calibrate to its reported operating points):
+//!
+//! * **VF-2012** (Vipin & Fahmy, FPT'12 — the ZyCAP lineage): over-clocked
+//!   DMA+ICAP on a Virtex-6, 400 MB/s at the 100 MHz nominal scaling
+//!   linearly to 838.55 MB/s at 210 MHz; reconfiguration *fails* above that,
+//!   and above 300 MHz starting a transfer freezes the whole FPGA. No CRC —
+//!   failures go undetected.
+//! * **HP-2011** (Hoffman & Pattichis, IJRC 2011): ICAP behind a multi-port
+//!   memory controller on a Virtex-5 with over-clocking under *active
+//!   feedback* (voltage/temperature kept nominal): ~419 MB/s at 133 MHz,
+//!   intrinsically safe but slower.
+//! * **HKT-2011** (Hansen, Koch & Torresen, IPDPSW 2011): an enhanced ICAP
+//!   hard macro at 550 MHz fed from an on-chip FIFO: 2200 MB/s, but only for
+//!   bitstreams that fit the FIFO (≤ 50 kB); larger images are bounded by
+//!   the rate that refills the FIFO.
+//! * **PCAP**: the Zynq processor configuration access port, ~145 MB/s —
+//!   the no-PL-logic fallback.
+
+use pdr_sim_core::Frequency;
+use pdr_timing::{CriticalPath, OverclockModel};
+use serde::{Deserialize, Serialize};
+
+use crate::report::CrcStatus;
+use crate::system::{SystemConfig, ZynqPdrSystem};
+
+/// Outcome of running a baseline at an operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// Delivered throughput, `None` if the transfer failed.
+    pub throughput_mb_s: Option<f64>,
+    /// The transfer corrupted the fabric *without any error indication*
+    /// (the cost of omitting a CRC).
+    pub undetected_failure: bool,
+    /// The whole FPGA froze (VF-2012 above 300 MHz).
+    pub froze: bool,
+}
+
+impl BaselineOutcome {
+    fn ok(t: f64) -> Self {
+        BaselineOutcome {
+            throughput_mb_s: Some(t),
+            undetected_failure: false,
+            froze: false,
+        }
+    }
+}
+
+/// VF-2012: over-clocked ICAP controller, no CRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vf2012;
+
+impl Vf2012 {
+    /// Nominal ICAP rate: 4 bytes per cycle.
+    pub const NOMINAL_MB_S: f64 = 400.0;
+    /// Highest working frequency reported.
+    pub const MAX_OK_MHZ: f64 = 210.0;
+    /// Above this, starting a reconfiguration freezes the FPGA.
+    pub const FREEZE_MHZ: f64 = 300.0;
+
+    /// Runs a transfer at `freq`.
+    pub fn run(&self, freq: Frequency) -> BaselineOutcome {
+        let mhz = freq.as_mhz_f64();
+        if mhz > Self::FREEZE_MHZ {
+            return BaselineOutcome {
+                throughput_mb_s: None,
+                undetected_failure: true,
+                froze: true,
+            };
+        }
+        if mhz > Self::MAX_OK_MHZ {
+            // The transfer "completes" but the configuration is corrupt and
+            // nothing reports it: no CRC.
+            return BaselineOutcome {
+                throughput_mb_s: None,
+                undetected_failure: true,
+                froze: false,
+            };
+        }
+        // Linear 4 B/cycle scaling: 838.55 MB/s at 210 MHz reported — the
+        // slight super-linearity in their numbers is measurement spread; we
+        // use the 3.993 B/cycle implied by 838.55/210.
+        BaselineOutcome::ok(mhz * 838.55 / 210.0)
+    }
+
+    /// The Table III row: best published operating point.
+    pub fn table3_point(&self) -> (f64, f64) {
+        (210.0, 838.55)
+    }
+
+    /// A **simulatable** VF-2012: the same substrate wired with VF-2012's
+    /// published envelope — a slightly faster Virtex-6 memory path (plateau
+    /// ≈ 839 MB/s at 210 MHz), a data path that gives out just above
+    /// 210 MHz, and *no* CRC verification in the user's view.
+    ///
+    /// Running it and interpreting the result through
+    /// [`Vf2012::interpret_simulated`] shows the architectural difference to
+    /// this paper's system: the same physics, but failures ship silently.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            // 106.6 MHz × 8 B × ~98.4 % efficiency ≈ 839 MB/s plateau.
+            interconnect_clock: Frequency::from_hz(106_600_000),
+            overclock: OverclockModel::new(
+                CriticalPath::new("vf-data", 212.0, 0.05, 0.002),
+                CriticalPath::new("vf-freeze", 300.0, 0.05, 0.0),
+            ),
+            ideal_instruments: true,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Runs one simulated VF-2012 transfer at `freq` and interprets it the
+    /// way a CRC-less design presents itself to its user.
+    pub fn run_simulated(&self, freq: Frequency) -> BaselineOutcome {
+        let mhz = freq.as_mhz_f64();
+        if mhz > Self::FREEZE_MHZ {
+            // Past the control-path envelope the whole device wedges; there
+            // is nothing useful to simulate.
+            return BaselineOutcome {
+                throughput_mb_s: None,
+                undetected_failure: true,
+                froze: true,
+            };
+        }
+        let mut sys = ZynqPdrSystem::new(self.system_config());
+        let bs = sys.make_partial_bitstream(0, 1);
+        let r = sys.reconfigure(0, &bs, freq);
+        Self::interpret_simulated(&r)
+    }
+
+    /// Interprets a simulated report as VF-2012's user would see it: no CRC
+    /// means a corrupt transfer is indistinguishable from a good one.
+    pub fn interpret_simulated(report: &crate::report::ReconfigReport) -> BaselineOutcome {
+        if report.crc != CrcStatus::Valid {
+            BaselineOutcome {
+                throughput_mb_s: None,
+                undetected_failure: true,
+                froze: false,
+            }
+        } else {
+            BaselineOutcome {
+                throughput_mb_s: report.throughput_mb_s(),
+                undetected_failure: false,
+                froze: false,
+            }
+        }
+    }
+}
+
+/// HP-2011: multiport memory controller + active feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hp2011;
+
+impl Hp2011 {
+    /// Feedback-limited operating frequency.
+    pub const FEEDBACK_MHZ: f64 = 133.0;
+    /// Throughput at that point.
+    pub const THROUGHPUT_MB_S: f64 = 419.0;
+
+    /// Runs a transfer; the active feedback clamps any requested frequency
+    /// to the safe operating point, so the outcome is frequency-independent
+    /// (and never fails).
+    pub fn run(&self, _freq: Frequency) -> BaselineOutcome {
+        BaselineOutcome::ok(Self::THROUGHPUT_MB_S)
+    }
+
+    /// The Table III row.
+    pub fn table3_point(&self) -> (f64, f64) {
+        (Self::FEEDBACK_MHZ, Self::THROUGHPUT_MB_S)
+    }
+}
+
+/// HKT-2011: enhanced ICAP hard macro fed from an on-chip FIFO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hkt2011 {
+    /// FIFO capacity in bytes (50 kB in the paper).
+    pub fifo_bytes: u64,
+    /// Rate at which the FIFO can be refilled from external memory, MB/s
+    /// (a Virtex-5 PLB/NPI-class path; the paper leaves this unstated,
+    /// which is exactly the doubt Table III's discussion raises).
+    pub refill_mb_s: f64,
+}
+
+impl Default for Hkt2011 {
+    fn default() -> Self {
+        Hkt2011 {
+            fifo_bytes: 50 * 1024,
+            refill_mb_s: 400.0,
+        }
+    }
+}
+
+impl Hkt2011 {
+    /// ICAP hard-macro burst rate at 550 MHz.
+    pub const BURST_MB_S: f64 = 2200.0;
+
+    /// Effective throughput for a bitstream of `bytes`: full burst rate
+    /// while the image fits the FIFO, refill-limited beyond it.
+    ///
+    /// For a pre-loaded FIFO the first `fifo_bytes` drain at 2200 MB/s; the
+    /// remainder arrives at the refill rate (the ICAP idles between chunks),
+    /// so the aggregate is the byte-weighted harmonic combination.
+    pub fn run(&self, bytes: u64) -> BaselineOutcome {
+        if bytes <= self.fifo_bytes {
+            return BaselineOutcome::ok(Self::BURST_MB_S);
+        }
+        let burst = self.fifo_bytes as f64;
+        let rest = (bytes - self.fifo_bytes) as f64;
+        let time = burst / (Self::BURST_MB_S * 1e6) + rest / (self.refill_mb_s * 1e6);
+        BaselineOutcome::ok(bytes as f64 / time / 1e6)
+    }
+
+    /// The Table III row (small-bitstream burst).
+    pub fn table3_point(&self) -> (f64, f64) {
+        (550.0, Self::BURST_MB_S)
+    }
+}
+
+/// The Zynq PCAP: PS-driven configuration, no PL logic required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pcap;
+
+impl Pcap {
+    /// Sustained PCAP throughput (the commonly measured ~145 MB/s against
+    /// its 400 MB/s theoretical).
+    pub const THROUGHPUT_MB_S: f64 = 145.0;
+
+    /// Runs a transfer (frequency-independent: the PCAP is in the PS).
+    pub fn run(&self) -> BaselineOutcome {
+        BaselineOutcome::ok(Self::THROUGHPUT_MB_S)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(m: u64) -> Frequency {
+        Frequency::from_mhz(m)
+    }
+
+    #[test]
+    fn vf2012_matches_published_points() {
+        let vf = Vf2012;
+        let at100 = vf.run(mhz(100)).throughput_mb_s.unwrap();
+        assert!((at100 - 399.3).abs() < 1.0, "{at100}");
+        let at210 = vf.run(mhz(210)).throughput_mb_s.unwrap();
+        assert!((at210 - 838.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn vf2012_fails_undetected_above_210() {
+        let o = Vf2012.run(mhz(240));
+        assert_eq!(o.throughput_mb_s, None);
+        assert!(o.undetected_failure, "no CRC: failure is silent");
+        assert!(!o.froze);
+    }
+
+    #[test]
+    fn vf2012_freezes_above_300() {
+        let o = Vf2012.run(mhz(310));
+        assert!(o.froze);
+    }
+
+    #[test]
+    fn vf2012_simulated_matches_published_envelope() {
+        // The cycle-level VF-2012 reproduces its published points: ~400 MB/s
+        // at 100 MHz, ~839 MB/s at 210 MHz (both CRC-clean under the hood).
+        let at100 = Vf2012
+            .run_simulated(mhz(100))
+            .throughput_mb_s
+            .expect("100 MHz works");
+        assert!((395.0..=405.0).contains(&at100), "{at100}");
+        let at210 = Vf2012
+            .run_simulated(mhz(210))
+            .throughput_mb_s
+            .expect("210 MHz works");
+        assert!((825.0..=845.0).contains(&at210), "{at210}");
+    }
+
+    #[test]
+    fn vf2012_simulated_fails_silently_past_the_edge() {
+        let o = Vf2012.run_simulated(mhz(240));
+        assert_eq!(o.throughput_mb_s, None);
+        assert!(o.undetected_failure, "no CRC: the user never learns");
+        assert!(!o.froze);
+        let frozen = Vf2012.run_simulated(mhz(320));
+        assert!(frozen.froze);
+    }
+
+    #[test]
+    fn hp2011_is_frequency_clamped_and_safe() {
+        let a = Hp2011.run(mhz(133));
+        let b = Hp2011.run(mhz(500)); // feedback clamps
+        assert_eq!(a, b);
+        assert_eq!(a.throughput_mb_s, Some(419.0));
+        assert!(!a.undetected_failure);
+    }
+
+    #[test]
+    fn hkt2011_bursts_small_but_slumps_on_large_bitstreams() {
+        let hkt = Hkt2011::default();
+        assert_eq!(hkt.run(50 * 1024).throughput_mb_s, Some(2200.0));
+        // The paper's 1.4 MB case: dominated by the refill rate.
+        let large = hkt.run(1_400_000).throughput_mb_s.unwrap();
+        assert!(large < 450.0, "sustained rate {large} must collapse");
+        assert!(large > 390.0);
+    }
+
+    #[test]
+    fn hkt2011_monotone_decreasing_in_size() {
+        let hkt = Hkt2011::default();
+        let mut prev = f64::INFINITY;
+        for bytes in [10_000u64, 60_000, 200_000, 1_400_000] {
+            let t = hkt.run(bytes).throughput_mb_s.unwrap();
+            assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn pcap_is_slow_but_steady() {
+        assert_eq!(Pcap.run().throughput_mb_s, Some(145.0));
+    }
+}

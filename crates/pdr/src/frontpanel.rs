@@ -1,0 +1,127 @@
+//! The test front panel: switch-selected frequencies and the OLED status
+//! display (Fig. 3/4 of the paper).
+//!
+//! During testing the paper selects the over-clock frequency with the
+//! ZedBoard's eight slide switches, starts transfers with two push-buttons
+//! and reads results from the OLED. The same information flows through
+//! [`FrontPanel`], which examples print instead of driving a panel.
+
+use pdr_sim_core::Frequency;
+
+use crate::report::ReconfigReport;
+
+/// The switch-to-frequency map used in the experiments: switch *i* (one-hot,
+/// highest set bit wins) selects the *i*-th tested frequency; all-off is the
+/// 100 MHz nominal.
+pub const SWITCH_TABLE_MHZ: [u64; 8] = [140, 180, 200, 240, 280, 310, 320, 360];
+
+/// Decodes the eight slide switches into an over-clock frequency.
+///
+/// ```
+/// use pdr_core::frontpanel::switch_frequency;
+/// use pdr_sim_core::Frequency;
+///
+/// assert_eq!(switch_frequency(0b0000_0000), Frequency::from_mhz(100));
+/// assert_eq!(switch_frequency(0b0000_0001), Frequency::from_mhz(140));
+/// assert_eq!(switch_frequency(0b0001_0000), Frequency::from_mhz(280));
+/// ```
+pub fn switch_frequency(switches: u8) -> Frequency {
+    if switches == 0 {
+        return Frequency::from_mhz(100);
+    }
+    let idx = 7 - switches.leading_zeros() as usize;
+    Frequency::from_mhz(SWITCH_TABLE_MHZ[idx])
+}
+
+/// The OLED panel state: what the tester reads after each run.
+#[derive(Debug, Clone, Default)]
+pub struct FrontPanel {
+    lines: Vec<String>,
+}
+
+impl FrontPanel {
+    /// An empty (blank) panel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders a report onto the panel, replacing its content — over-clock
+    /// frequency and chip temperature, CRC result and transfer time, exactly
+    /// the quantities of Fig. 3.
+    pub fn show(&mut self, report: &ReconfigReport) {
+        self.lines = vec![
+            format!(
+                "FREQ {:>4} MHz   TEMP {:>5.1} C",
+                report.frequency_hz / 1_000_000,
+                report.die_temp_c
+            ),
+            match report.latency {
+                Some(l) => format!("XFER {:>10.2} us", l.as_micros_f64()),
+                None => "XFER        N/A (no irq)".to_string(),
+            },
+            match report.throughput_mb_s() {
+                Some(t) => format!("RATE {t:>10.2} MB/s"),
+                None => "RATE        N/A".to_string(),
+            },
+            format!(
+                "CRC  {}",
+                match report.crc {
+                    crate::report::CrcStatus::Valid => "VALID",
+                    crate::report::CrcStatus::Invalid => "NOT VALID",
+                    crate::report::CrcStatus::NotChecked => "----",
+                }
+            ),
+        ];
+    }
+
+    /// The panel's current lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The panel as one printable block.
+    pub fn render(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CrcStatus;
+    use pdr_sim_core::SimDuration;
+
+    #[test]
+    fn switch_decoding_matches_table() {
+        assert_eq!(switch_frequency(0), Frequency::from_mhz(100));
+        assert_eq!(switch_frequency(0b0000_0010), Frequency::from_mhz(180));
+        assert_eq!(switch_frequency(0b1000_0000), Frequency::from_mhz(360));
+        // Highest set switch wins.
+        assert_eq!(switch_frequency(0b1000_0001), Frequency::from_mhz(360));
+    }
+
+    #[test]
+    fn panel_shows_the_papers_quantities() {
+        let report = ReconfigReport {
+            frequency_hz: 200_000_000,
+            die_temp_c: 40.0,
+            bitstream_bytes: 528_568,
+            latency: Some(SimDuration::from_micros(676)),
+            interrupt_seen: true,
+            crc: CrcStatus::Valid,
+            stream_crc_ok: Some(true),
+            frames_written: 1308,
+            corrupted_words: 0,
+            p_pdr_w: 1.3,
+            energy_j: None,
+        };
+        let mut panel = FrontPanel::new();
+        panel.show(&report);
+        let text = panel.render();
+        assert!(text.contains("200 MHz"));
+        assert!(text.contains("40.0 C"));
+        assert!(text.contains("676.00 us"));
+        assert!(text.contains("CRC  VALID"));
+        assert_eq!(panel.lines().len(), 4);
+    }
+}

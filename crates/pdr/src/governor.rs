@@ -1,0 +1,466 @@
+//! The over-clocking governor: the paper's "methodology to achieve the most
+//! power efficient implementation" as executable code.
+//!
+//! The paper closes by noting that its throughput/power/temperature analysis
+//! "can be extended to any IP block implemented in the FPGA to determine its
+//! best trade-off throughput vs. energy". This module packages that
+//! methodology:
+//!
+//! 1. **Characterise** ([`Governor::characterise`]): sweep the over-clock
+//!    frequency on the live system, measuring throughput and P_PDR per
+//!    point and validating every transfer with the CRC read-back — points
+//!    that corrupt or lose their interrupt are marked unusable, exactly as
+//!    in Table I.
+//! 2. **Select** ([`Governor::select`]): pick the operating point for an
+//!    [`Objective`] — maximum throughput, maximum performance-per-watt, or
+//!    the lowest-power point meeting a latency target — with a configurable
+//!    safety margin below the highest working frequency (robustness
+//!    headroom for temperature excursions, Sec. IV-A).
+//! 3. **Adapt** ([`Governor::on_failure`]): back off when the field reports
+//!    a CRC error or lost interrupt (die heated past the characterised
+//!    envelope), mirroring the active-feedback idea the paper credits to
+//!    HP-2011 — but driven by end-to-end verification instead of voltage
+//!    monitors.
+//!
+//! ```
+//! use pdr_core::governor::{Governor, GovernorConfig, Objective};
+//! use pdr_core::{SystemConfig, ZynqPdrSystem};
+//!
+//! let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+//! let mut gov = Governor::new(GovernorConfig {
+//!     probe_ceil_mhz: 220, // a short probe for the example
+//!     guard_band_mhz: 0,
+//!     ..GovernorConfig::default()
+//! });
+//! gov.characterise(&mut sys, 0);
+//! let point = gov.select(Objective::MaxEfficiency);
+//! assert_eq!(point.freq_mhz, 200); // the paper's knee
+//! ```
+
+use pdr_sim_core::Frequency;
+use serde::{Deserialize, Serialize};
+
+use crate::report::CrcStatus;
+use crate::system::ZynqPdrSystem;
+
+/// One characterised operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Over-clock frequency in MHz.
+    pub freq_mhz: u64,
+    /// Measured throughput in MB/s (`None` when unusable).
+    pub throughput_mb_s: Option<f64>,
+    /// Measured configuration latency in µs (`None` when the interrupt was
+    /// lost).
+    pub latency_us: Option<f64>,
+    /// Measured P_PDR in W.
+    pub p_pdr_w: f64,
+    /// Performance-per-watt in MB/J (`None` when unusable).
+    pub ppw_mb_j: Option<f64>,
+    /// The point completed with a verified CRC and a completion interrupt.
+    pub usable: bool,
+}
+
+/// What the governor optimises for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Highest verified throughput (the 280 MHz point of Table I).
+    MaxThroughput,
+    /// Highest performance-per-watt (the 200 MHz knee of Table II).
+    MaxEfficiency,
+    /// Lowest power that still reconfigures a bitstream of the
+    /// characterisation size within the given budget.
+    LatencyBudget(pdr_sim_core::SimDuration),
+}
+
+/// Governor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorConfig {
+    /// Frequencies to probe during characterisation, in MHz.
+    pub probe_floor_mhz: u64,
+    /// Upper probe bound, in MHz.
+    pub probe_ceil_mhz: u64,
+    /// Probe step, in MHz.
+    pub probe_step_mhz: u64,
+    /// Safety margin: selected points must sit at least this many MHz below
+    /// the highest usable probe (temperature headroom).
+    pub guard_band_mhz: u64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            probe_floor_mhz: 100,
+            probe_ceil_mhz: 340,
+            probe_step_mhz: 20,
+            guard_band_mhz: 20,
+        }
+    }
+}
+
+/// The governor: characterisation results plus selection/adaptation state.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    config: GovernorConfig,
+    points: Vec<OperatingPoint>,
+    /// Index of the currently selected point, if any.
+    current: Option<usize>,
+}
+
+impl Governor {
+    /// Creates an uncharacterised governor.
+    pub fn new(config: GovernorConfig) -> Self {
+        Governor {
+            config,
+            points: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Sweeps the probe range on `sys` (at its current die temperature),
+    /// reconfiguring partition `rp` once per frequency and recording
+    /// verified throughput and power. Returns the characterised points.
+    pub fn characterise(&mut self, sys: &mut ZynqPdrSystem, rp: usize) -> &[OperatingPoint] {
+        let bs = sys.make_partial_bitstream(rp, 1);
+        self.points.clear();
+        let mut mhz = self.config.probe_floor_mhz;
+        while mhz <= self.config.probe_ceil_mhz {
+            let r = sys.reconfigure(rp, &bs, Frequency::from_mhz(mhz));
+            let usable = r.crc == CrcStatus::Valid && r.interrupt_seen;
+            self.points.push(OperatingPoint {
+                freq_mhz: mhz,
+                throughput_mb_s: r.throughput_mb_s(),
+                latency_us: r.latency.map(|l| l.as_micros_f64()),
+                p_pdr_w: r.p_pdr_w,
+                ppw_mb_j: r.ppw_mb_j(),
+                usable,
+            });
+            // A corrupted probe means we are already past the data-path
+            // envelope; probing even faster only stresses the part.
+            if r.crc == CrcStatus::Invalid {
+                break;
+            }
+            mhz += self.config.probe_step_mhz;
+        }
+        // Leave the fabric in a verified state after probing.
+        let r = sys.reconfigure(rp, &bs, Frequency::from_mhz(self.config.probe_floor_mhz));
+        debug_assert!(r.crc_ok());
+        &self.points
+    }
+
+    /// The characterised points.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The highest usable probe frequency, if any point worked.
+    pub fn max_usable_mhz(&self) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.usable)
+            .map(|p| p.freq_mhz)
+            .max()
+    }
+
+    /// Selects the operating point for `objective`, honouring the guard
+    /// band. Returns the chosen point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Governor::characterise`] or if no usable
+    /// point exists.
+    pub fn select(&mut self, objective: Objective) -> &OperatingPoint {
+        let ceiling = self
+            .max_usable_mhz()
+            .expect("characterise() found no usable operating point")
+            .saturating_sub(self.config.guard_band_mhz);
+        let candidates: Vec<usize> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.usable && p.freq_mhz <= ceiling)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "guard band of {} MHz leaves no usable point",
+            self.config.guard_band_mhz
+        );
+        let best = match objective {
+            Objective::MaxThroughput => candidates
+                .into_iter()
+                .max_by(|&a, &b| {
+                    let ta = self.points[a].throughput_mb_s.unwrap_or(0.0);
+                    let tb = self.points[b].throughput_mb_s.unwrap_or(0.0);
+                    // Ties (on the plateau) go to the *lower* frequency:
+                    // same speed, less power.
+                    ta.partial_cmp(&tb)
+                        .expect("finite")
+                        .then(self.points[b].freq_mhz.cmp(&self.points[a].freq_mhz))
+                })
+                .expect("non-empty"),
+            Objective::MaxEfficiency => candidates
+                .into_iter()
+                .max_by(|&a, &b| {
+                    let ea = self.points[a].ppw_mb_j.unwrap_or(0.0);
+                    let eb = self.points[b].ppw_mb_j.unwrap_or(0.0);
+                    ea.partial_cmp(&eb).expect("finite")
+                })
+                .expect("non-empty"),
+            Objective::LatencyBudget(budget) => candidates
+                .into_iter()
+                .filter(|&i| match self.points[i].latency_us {
+                    Some(us) => us <= budget.as_micros_f64(),
+                    None => false,
+                })
+                .min_by(|&a, &b| {
+                    self.points[a]
+                        .p_pdr_w
+                        .partial_cmp(&self.points[b].p_pdr_w)
+                        .expect("finite")
+                })
+                .expect("no usable point meets the latency budget"),
+        };
+        self.current = Some(best);
+        &self.points[best]
+    }
+
+    /// Selects the *highest* usable frequency within the guard band — the
+    /// edge-riding policy a latency-obsessed deployment might use, and the
+    /// one most likely to need [`Governor::on_failure`] when conditions
+    /// shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no usable point exists.
+    pub fn select_highest(&mut self) -> &OperatingPoint {
+        let ceiling = self
+            .max_usable_mhz()
+            .expect("characterise() found no usable operating point")
+            .saturating_sub(self.config.guard_band_mhz);
+        let best = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.usable && p.freq_mhz <= ceiling)
+            .max_by_key(|(_, p)| p.freq_mhz)
+            .map(|(i, _)| i)
+            .expect("guard band leaves no usable point");
+        self.current = Some(best);
+        &self.points[best]
+    }
+
+    /// The currently selected point.
+    pub fn current(&self) -> Option<&OperatingPoint> {
+        self.current.map(|i| &self.points[i])
+    }
+
+    /// Field feedback: a reconfiguration at the selected point failed
+    /// (CRC error or lost interrupt — e.g. the die heated past the
+    /// characterised envelope). The governor marks the point unusable and
+    /// steps down to the next-slower usable frequency, returning it, or
+    /// `None` when no slower point remains.
+    pub fn on_failure(&mut self) -> Option<&OperatingPoint> {
+        let i = self.current.take()?;
+        self.points[i].usable = false;
+        let fallback = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.usable && p.freq_mhz < self.points[i].freq_mhz)
+            .max_by_key(|(_, p)| p.freq_mhz)
+            .map(|(j, _)| j)?;
+        self.current = Some(fallback);
+        Some(&self.points[fallback])
+    }
+}
+
+/// HP-2011-style **active feedback**: instead of characterising offline, the
+/// controller reads the die-temperature sensor before every transfer and
+/// clamps the requested over-clock to the model-predicted safe envelope
+/// minus a guard band.
+///
+/// The paper contrasts its open-loop over-clocking (characterise once,
+/// verify with CRC) against HP-2011's closed loop (monitor, stay nominal).
+/// This type implements the closed loop on top of the same timing model, so
+/// the two philosophies can be compared on equal substrate: feedback never
+/// fails but sacrifices the top of the envelope when hot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveFeedback {
+    model: pdr_timing::OverclockModel,
+    guard_mhz: u64,
+}
+
+impl ActiveFeedback {
+    /// Creates a feedback controller around a timing model.
+    pub fn new(model: pdr_timing::OverclockModel, guard_mhz: u64) -> Self {
+        ActiveFeedback { model, guard_mhz }
+    }
+
+    /// The paper-calibrated model with a 5 MHz guard.
+    pub fn paper_calibration() -> Self {
+        ActiveFeedback::new(pdr_timing::OverclockModel::paper_calibration(), 5)
+    }
+
+    /// Clamps a requested frequency to the safe envelope at the sensed die
+    /// temperature.
+    pub fn clamp(&self, requested: Frequency, sensed_temp_c: f64) -> Frequency {
+        let limit = self
+            .model
+            .max_safe_mhz(sensed_temp_c)
+            .saturating_sub(self.guard_mhz);
+        let req_mhz = requested.as_hz() / 1_000_000;
+        Frequency::from_mhz(req_mhz.min(limit.max(1)))
+    }
+
+    /// Performs a feedback-clamped reconfiguration: sense, clamp, transfer.
+    pub fn reconfigure(
+        &self,
+        sys: &mut ZynqPdrSystem,
+        rp: usize,
+        bitstream: &pdr_bitstream::Bitstream,
+        requested: Frequency,
+    ) -> crate::report::ReconfigReport {
+        let sensed = sys.read_die_temp_c();
+        let clamped = self.clamp(requested, sensed);
+        sys.reconfigure(rp, bitstream, clamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use pdr_sim_core::SimDuration;
+
+    fn governed_system() -> (ZynqPdrSystem, Governor) {
+        let sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let gov = Governor::new(GovernorConfig::default());
+        (sys, gov)
+    }
+
+    #[test]
+    fn characterisation_finds_the_envelope() {
+        let (mut sys, mut gov) = governed_system();
+        gov.characterise(&mut sys, 0);
+        // Highest usable probe ≤ 300 MHz (interrupt path dies at ~305).
+        let max = gov.max_usable_mhz().expect("some point works");
+        assert_eq!(max, 300);
+        // Probing stopped shortly after the first corrupt point.
+        let last = gov.points().last().expect("non-empty");
+        assert!(last.freq_mhz <= 340);
+    }
+
+    #[test]
+    fn max_throughput_prefers_plateau_start_under_ties() {
+        let (mut sys, mut gov) = governed_system();
+        gov.characterise(&mut sys, 0);
+        let p = gov.select(Objective::MaxThroughput).clone();
+        assert!(p.usable);
+        // Guard band keeps it at least 20 MHz under the 300 MHz ceiling.
+        assert!(p.freq_mhz <= 280);
+        // And it must sit on the plateau.
+        let plateau = gov
+            .points()
+            .iter()
+            .filter_map(|p| p.throughput_mb_s)
+            .fold(0.0f64, f64::max);
+        assert!(p.throughput_mb_s.unwrap() > 0.98 * plateau);
+    }
+
+    #[test]
+    fn max_efficiency_selects_the_knee() {
+        let (mut sys, mut gov) = governed_system();
+        gov.characterise(&mut sys, 0);
+        let p = gov.select(Objective::MaxEfficiency).clone();
+        assert_eq!(p.freq_mhz, 200, "points: {:?}", gov.points());
+    }
+
+    #[test]
+    fn latency_budget_picks_lowest_power_that_fits() {
+        let mut cfg = SystemConfig::fast_test();
+        cfg.floorplan = crate::system::SystemConfig::default().floorplan;
+        cfg.ideal_instruments = true;
+        let mut sys = ZynqPdrSystem::new(cfg);
+        let mut gov = Governor::new(GovernorConfig::default());
+        gov.characterise(&mut sys, 0);
+        // 1 ms budget: 528 kB needs ≥ ~529 MB/s → 140 MHz (558 MB/s) is the
+        // slowest (= lowest power) point that fits.
+        let p = gov
+            .select(Objective::LatencyBudget(SimDuration::from_millis(1)))
+            .clone();
+        assert_eq!(p.freq_mhz, 140, "points: {:?}", gov.points());
+        // A generous budget falls back to the cheapest point overall.
+        let p = gov
+            .select(Objective::LatencyBudget(SimDuration::from_millis(100)))
+            .clone();
+        assert_eq!(p.freq_mhz, 100);
+    }
+
+    #[test]
+    fn select_highest_rides_the_edge() {
+        let (mut sys, _) = governed_system();
+        let mut gov = Governor::new(GovernorConfig {
+            guard_band_mhz: 0,
+            ..GovernorConfig::default()
+        });
+        gov.characterise(&mut sys, 0);
+        let p = gov.select_highest().clone();
+        assert_eq!(p.freq_mhz, 300);
+        // With the default guard band the same policy stays 20 MHz lower.
+        let mut careful = Governor::new(GovernorConfig::default());
+        careful.characterise(&mut sys, 0);
+        assert_eq!(careful.select_highest().freq_mhz, 280);
+    }
+
+    #[test]
+    fn failure_feedback_steps_down() {
+        let (mut sys, mut gov) = governed_system();
+        gov.characterise(&mut sys, 0);
+        let before = gov.select(Objective::MaxThroughput).freq_mhz;
+        let after = gov.on_failure().expect("slower point exists").freq_mhz;
+        assert!(after < before);
+        assert_eq!(gov.current().unwrap().freq_mhz, after);
+    }
+
+    #[test]
+    fn active_feedback_clamps_hot_requests() {
+        let fb = ActiveFeedback::paper_calibration();
+        // Cool die: a 310 MHz request is clamped just under the envelope.
+        let cool = fb.clamp(Frequency::from_mhz(310), 40.0);
+        assert_eq!(cool, Frequency::from_mhz(300)); // 305 − 5 guard
+                                                    // Hot die: clamped harder.
+        let hot = fb.clamp(Frequency::from_mhz(310), 100.0);
+        assert!(
+            hot < cool,
+            "hot clamp {hot} must be below cool clamp {cool}"
+        );
+        // Requests inside the envelope pass through.
+        assert_eq!(
+            fb.clamp(Frequency::from_mhz(200), 100.0),
+            Frequency::from_mhz(200)
+        );
+    }
+
+    #[test]
+    fn active_feedback_never_fails_end_to_end() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let fb = ActiveFeedback::paper_calibration();
+        let bs = sys.make_partial_bitstream(0, 1);
+        for temp in [40.0, 70.0, 100.0] {
+            sys.set_die_temp_c(temp);
+            // The user greedily asks for 340 MHz at every temperature.
+            let r = fb.reconfigure(&mut sys, 0, &bs, Frequency::from_mhz(340));
+            assert!(r.crc_ok(), "feedback must keep {temp} °C safe: {r:?}");
+            assert!(r.interrupt_seen);
+            assert!(r.frequency().expect("PL-clocked").as_mhz_f64() <= 300.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no usable operating point")]
+    fn select_without_characterise_panics() {
+        let (_, mut gov) = governed_system();
+        let _ = gov.select(Objective::MaxThroughput);
+    }
+}

@@ -1,0 +1,58 @@
+//! # pdr-core
+//!
+//! The paper's contribution: a dynamic-partial-reconfiguration framework
+//! that boosts bitstream-transfer throughput by **over-clocking the standard
+//! AXI DMA and ICAP blocks**, verifies every reconfiguration with a CRC
+//! read-back block, and characterises the robustness (temperature) and
+//! power-efficiency of the resulting operating points.
+//!
+//! The crate assembles the full Fig. 2 system on the cycle-level substrate
+//! crates and exposes:
+//!
+//! * [`ZynqPdrSystem`] — the system model: PS software driver, DRAM, AXI
+//!   interconnect, over-clocked DMA + width converter + ICAP, CRC read-back,
+//!   clock wizard, interrupts, power/thermal instrumentation;
+//! * [`experiments`] — one typed runner per table/figure of the paper
+//!   (Table I, Fig. 5, the Sec. IV-A stress matrix, Fig. 6, Table II,
+//!   Table III, and the abstract's headline numbers);
+//! * [`baselines`] — models of the comparison systems (VF-2012, HP-2011,
+//!   HKT-2011, and the Zynq's stock PCAP);
+//! * [`proposed`] — the Sec. VI next-generation design: QDR-SRAM staging,
+//!   PR controller, bitstream decompressor, PS scheduler.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdr_core::{SystemConfig, ZynqPdrSystem};
+//! use pdr_sim_core::Frequency;
+//!
+//! let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+//! let bs = sys.make_partial_bitstream(0, 1);
+//! let report = sys.reconfigure(0, &bs, Frequency::from_mhz(200));
+//! assert!(report.crc_ok());
+//! assert!(report.interrupt_seen);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod campaign;
+pub mod clockwizard;
+pub mod crc_readback;
+pub mod experiments;
+pub mod frontpanel;
+pub mod governor;
+pub mod proposed;
+pub mod report;
+pub mod sdcard;
+pub mod system;
+
+pub use campaign::{run_seu_campaign, CampaignResult, SeuCampaign};
+pub use clockwizard::ClockWizard;
+pub use crc_readback::CrcReadback;
+pub use frontpanel::{switch_frequency, FrontPanel};
+pub use governor::{ActiveFeedback, Governor, GovernorConfig, Objective, OperatingPoint};
+pub use report::{CrcStatus, ReconfigReport};
+pub use sdcard::{BootReport, SdCard};
+pub use system::{SystemConfig, ZynqPdrSystem};

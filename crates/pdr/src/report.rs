@@ -1,0 +1,159 @@
+//! Reconfiguration reports: what one `reconfigure` call observed.
+
+use pdr_sim_core::{Frequency, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the CRC read-back verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrcStatus {
+    /// The configured region matches the intended bitstream.
+    Valid,
+    /// The configured region is corrupt (the paper's "not valid").
+    Invalid,
+    /// Verification was not performed (read-back disabled).
+    NotChecked,
+}
+
+/// Everything observed during one partial reconfiguration — the raw material
+/// for every row of Table I/II and every cell of the stress matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// The over-clock frequency used, in Hz.
+    pub frequency_hz: u64,
+    /// Die temperature during the transfer, in °C (sensor reading).
+    pub die_temp_c: f64,
+    /// Bitstream size in bytes.
+    pub bitstream_bytes: u64,
+    /// Configuration latency measured by the software timer, from driver
+    /// start to the completion interrupt. `None` when the interrupt never
+    /// arrived (the paper's "N/A no interrupt" rows).
+    pub latency: Option<SimDuration>,
+    /// Whether the end-of-configuration interrupt was observed.
+    pub interrupt_seen: bool,
+    /// CRC read-back verdict.
+    pub crc: CrcStatus,
+    /// Whether the in-stream CRC check word matched (`None` if the parser
+    /// never reached it).
+    pub stream_crc_ok: Option<bool>,
+    /// Frames committed to configuration memory.
+    pub frames_written: u64,
+    /// Words corrupted by timing violations (0 on a healthy data path).
+    pub corrupted_words: u64,
+    /// P_PDR measured during the transfer (board reading minus P0), in W.
+    pub p_pdr_w: f64,
+    /// Energy attributed to the transfer (P_PDR × latency), in J; `None`
+    /// without a latency measurement.
+    pub energy_j: Option<f64>,
+}
+
+impl ReconfigReport {
+    /// True when the read-back verified the configuration.
+    pub fn crc_ok(&self) -> bool {
+        self.crc == CrcStatus::Valid
+    }
+
+    /// Transfer throughput in MB/s (10⁶ bytes per second, the paper's
+    /// unit), `None` without a latency measurement.
+    pub fn throughput_mb_s(&self) -> Option<f64> {
+        self.latency
+            .map(|l| self.bitstream_bytes as f64 / l.as_secs_f64() / 1e6)
+    }
+
+    /// Performance-per-watt in MB/J, `None` without a latency measurement.
+    pub fn ppw_mb_j(&self) -> Option<f64> {
+        self.throughput_mb_s()
+            .map(|t| pdr_power::performance_per_watt(t, self.p_pdr_w))
+    }
+
+    /// The over-clock frequency, or `None` for transports without a PL
+    /// clock (the PCAP path reports `frequency_hz == 0`).
+    pub fn frequency(&self) -> Option<Frequency> {
+        (self.frequency_hz > 0).then(|| Frequency::from_hz(self.frequency_hz))
+    }
+
+    /// A compact one-line summary (the OLED display's content).
+    pub fn summary(&self) -> String {
+        let lat = match self.latency {
+            Some(l) => format!("{:.2} us", l.as_micros_f64()),
+            None => "N/A no interrupt".to_string(),
+        };
+        let thpt = match self.throughput_mb_s() {
+            Some(t) => format!("{t:.2} MB/s"),
+            None => "N/A".to_string(),
+        };
+        let crc = match self.crc {
+            CrcStatus::Valid => "valid",
+            CrcStatus::Invalid => "not valid",
+            CrcStatus::NotChecked => "unchecked",
+        };
+        format!(
+            "{} MHz {:.0} C | {} | {} | CRC {}",
+            self.frequency_hz / 1_000_000,
+            self.die_temp_c,
+            lat,
+            thpt,
+            crc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latency_us: Option<u64>) -> ReconfigReport {
+        ReconfigReport {
+            frequency_hz: 200_000_000,
+            die_temp_c: 40.0,
+            bitstream_bytes: 528_568,
+            latency: latency_us.map(SimDuration::from_micros),
+            interrupt_seen: latency_us.is_some(),
+            crc: CrcStatus::Valid,
+            stream_crc_ok: Some(true),
+            frames_written: 1308,
+            corrupted_words: 0,
+            p_pdr_w: 1.30,
+            energy_j: latency_us.map(|u| 1.30 * u as f64 * 1e-6),
+        }
+    }
+
+    #[test]
+    fn throughput_uses_paper_units() {
+        let r = report(Some(676));
+        let t = r.throughput_mb_s().unwrap();
+        assert!((t - 781.9).abs() < 1.0, "t={t}");
+    }
+
+    #[test]
+    fn ppw_matches_definition() {
+        let r = report(Some(676));
+        let ppw = r.ppw_mb_j().unwrap();
+        assert!((ppw - 781.9 / 1.30).abs() < 1.0, "ppw={ppw}");
+    }
+
+    #[test]
+    fn missing_interrupt_yields_no_throughput() {
+        let r = report(None);
+        assert_eq!(r.throughput_mb_s(), None);
+        assert_eq!(r.ppw_mb_j(), None);
+        assert!(r.summary().contains("N/A no interrupt"));
+    }
+
+    #[test]
+    fn pcap_report_has_no_frequency() {
+        let mut r = report(Some(100));
+        assert!(r.frequency().is_some());
+        r.frequency_hz = 0; // PCAP
+        assert_eq!(r.frequency(), None);
+        // The summary still renders without panicking.
+        assert!(r.summary().contains("0 MHz"));
+    }
+
+    #[test]
+    fn summary_mentions_crc_state() {
+        let mut r = report(Some(676));
+        assert!(r.summary().contains("CRC valid"));
+        r.crc = CrcStatus::Invalid;
+        assert!(r.summary().contains("not valid"));
+    }
+}

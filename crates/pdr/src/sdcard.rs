@@ -1,0 +1,158 @@
+//! The SD-card boot flow of the paper's test setup (Fig. 4).
+//!
+//! "The application software used to test the system is loaded on an SD
+//! memory card. The ZedBoard is booted from the SD card. The memory card
+//! also contains two bitstreams, about 1.2 MB in size, to partially
+//! reconfigure a selected area of the FPGA."
+//!
+//! [`SdCard`] holds named bitstream files with a realistic sustained read
+//! bandwidth; [`ZynqPdrSystem::boot_from_sd`](crate::ZynqPdrSystem::boot_from_sd)
+//! stages them into DRAM, charging simulated time per file — which is why
+//! bitstreams are staged *once at boot* and reconfiguration then runs at
+//! DRAM speed, not SD speed.
+//!
+//! ```
+//! use pdr_core::{SdCard, SystemConfig, ZynqPdrSystem};
+//! use pdr_fabric::AspKind;
+//!
+//! let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+//! let mut card = SdCard::class10();
+//! card.store("rp1.bit", sys.make_asp_bitstream(0, AspKind::Fir16, 1));
+//! let boot = sys.boot_from_sd(&card);
+//! assert_eq!(boot.files.len(), 1);
+//! assert!(boot.total.as_secs_f64() > 0.002); // ≥ the per-file overhead
+//! ```
+
+use std::collections::BTreeMap;
+
+use pdr_bitstream::Bitstream;
+use pdr_sim_core::SimDuration;
+
+/// A bootable SD card image: named partial bitstreams.
+#[derive(Debug, Clone)]
+pub struct SdCard {
+    /// Sustained sequential read bandwidth in bytes/second.
+    read_bw_bytes_per_s: u64,
+    /// Fixed per-file access overhead (FAT lookup, first-cluster seek).
+    per_file_overhead: SimDuration,
+    files: BTreeMap<String, Bitstream>,
+}
+
+impl SdCard {
+    /// A class-10-like card: 19 MB/s sustained, 2 ms per-file overhead.
+    pub fn class10() -> Self {
+        SdCard {
+            read_bw_bytes_per_s: 19_000_000,
+            per_file_overhead: SimDuration::from_millis(2),
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a card with explicit performance characteristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn with_performance(read_bw_bytes_per_s: u64, per_file_overhead: SimDuration) -> Self {
+        assert!(read_bw_bytes_per_s > 0, "SD bandwidth must be non-zero");
+        SdCard {
+            read_bw_bytes_per_s,
+            per_file_overhead,
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Stores a bitstream under `name` (replacing any previous file).
+    pub fn store(&mut self, name: &str, bitstream: Bitstream) -> &mut Self {
+        self.files.insert(name.to_string(), bitstream);
+        self
+    }
+
+    /// Reads a file by name.
+    pub fn file(&self, name: &str) -> Option<&Bitstream> {
+        self.files.get(name)
+    }
+
+    /// File names in stable (sorted) order.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Time to read a file of `bytes` from this card.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        self.per_file_overhead
+            + SimDuration::from_secs_f64(bytes as f64 / self.read_bw_bytes_per_s as f64)
+    }
+
+    /// Iterates over `(name, bitstream)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Bitstream)> {
+        self.files.iter().map(|(n, b)| (n.as_str(), b))
+    }
+}
+
+/// What one boot staged, and how long it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootReport {
+    /// Per-file `(name, bytes, load time)`.
+    pub files: Vec<(String, u64, SimDuration)>,
+    /// Total boot-staging time.
+    pub total: SimDuration,
+}
+
+impl BootReport {
+    /// Total bytes staged.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|(_, b, _)| *b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_bitstream::{Builder, Frame, FrameAddress};
+
+    fn small_bitstream(tag: u32) -> Bitstream {
+        let mut b = Builder::new(0x1);
+        b.add_frames(FrameAddress::new(0, 0, 0, 0), vec![Frame::filled(tag); 2]);
+        b.build()
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let mut card = SdCard::class10();
+        card.store("rp1_fir.bit", small_bitstream(1));
+        card.store("rp1_aes.bit", small_bitstream(2));
+        assert_eq!(card.file_count(), 2);
+        assert!(card.file("rp1_fir.bit").is_some());
+        assert!(card.file("missing.bit").is_none());
+        assert_eq!(card.file_names(), vec!["rp1_aes.bit", "rp1_fir.bit"]);
+    }
+
+    #[test]
+    fn read_time_scales_with_size() {
+        let card = SdCard::class10();
+        let small = card.read_time(19_000); // 1 ms of payload
+        let large = card.read_time(19_000_000); // 1 s of payload
+        assert!((small.as_secs_f64() - 0.003).abs() < 1e-6); // 2 ms + 1 ms
+        assert!((large.as_secs_f64() - 1.002).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replacing_a_file_keeps_count() {
+        let mut card = SdCard::class10();
+        card.store("a.bit", small_bitstream(1));
+        card.store("a.bit", small_bitstream(2));
+        assert_eq!(card.file_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bandwidth_panics() {
+        let _ = SdCard::with_performance(0, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,85 @@
+//! Power-efficiency metrics: performance-per-watt and knee finding.
+
+/// Performance-per-watt as the paper defines it:
+///
+/// ```text
+/// PpW = throughput / P_PDR     [MB/s / W = MB/J]
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p_pdr_w` is not strictly positive.
+pub fn performance_per_watt(throughput_mb_s: f64, p_pdr_w: f64) -> f64 {
+    assert!(p_pdr_w > 0.0, "power must be positive");
+    throughput_mb_s / p_pdr_w
+}
+
+/// Finds the knee of a throughput-vs-frequency curve: the lowest frequency
+/// after which the *marginal* throughput gain per MHz drops below
+/// `min_gain_mb_per_mhz`. The paper identifies this knee at ~200 MHz, where
+/// the DMA saturates and further over-clocking only burns power.
+///
+/// `points` must be sorted by frequency. Returns the knee frequency in MHz,
+/// or the last point's frequency if the curve never flattens.
+///
+/// # Panics
+///
+/// Panics on fewer than two points.
+pub fn knee_frequency_mhz(points: &[(f64, f64)], min_gain_mb_per_mhz: f64) -> f64 {
+    assert!(points.len() >= 2, "need at least two curve points");
+    for w in points.windows(2) {
+        let (f0, t0) = w[0];
+        let (f1, t1) = w[1];
+        assert!(f1 > f0, "points must be sorted by frequency");
+        let gain = (t1 - t0) / (f1 - f0);
+        if gain < min_gain_mb_per_mhz {
+            return f0;
+        }
+    }
+    points.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppw_matches_table2_best_point() {
+        // Paper: 781.84 MB/s at 1.30 W → 599 MB/J (the table's best row).
+        let ppw = performance_per_watt(781.84, 1.30);
+        assert!((ppw - 601.4).abs() < 1.0, "ppw={ppw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_power_panics() {
+        let _ = performance_per_watt(100.0, 0.0);
+    }
+
+    #[test]
+    fn knee_found_on_paper_shaped_curve() {
+        // Table I shape: linear to 200 MHz, then flat.
+        let pts = [
+            (100.0, 399.06),
+            (140.0, 558.12),
+            (180.0, 716.96),
+            (200.0, 781.84),
+            (240.0, 786.96),
+            (280.0, 790.14),
+        ];
+        let knee = knee_frequency_mhz(&pts, 1.0);
+        assert_eq!(knee, 200.0);
+    }
+
+    #[test]
+    fn monotone_curve_returns_last_point() {
+        let pts = [(100.0, 400.0), (200.0, 800.0), (300.0, 1200.0)];
+        assert_eq!(knee_frequency_mhz(&pts, 1.0), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by frequency")]
+    fn unsorted_points_panic() {
+        let _ = knee_frequency_mhz(&[(200.0, 1.0), (100.0, 2.0)], 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pdr-power
+//!
+//! Power and energy models for the over-clocked PDR system, reproducing the
+//! paper's Sec. IV-B measurements (Fig. 6 and Table II).
+//!
+//! The paper measures whole-board power through the ZedBoard's current-sense
+//! pin headers, subtracts the idle baseline `P0 = 2.2 W` (taken at 40 °C)
+//! and reports the remainder as the PDR subsystem's dissipation:
+//!
+//! ```text
+//! P_PDR(f, T) = P_static(T) + α · f
+//! ```
+//!
+//! Its two empirical findings — dynamic power linear in frequency and
+//! *independent* of temperature, static power super-linear in temperature —
+//! are the structure of [`PowerModel`]; the constants are calibrated by
+//! least-squares against Table II (α ≈ 1.575 mW/MHz, P_static(40 °C) ≈
+//! 0.992 W).
+//!
+//! ```
+//! use pdr_power::PowerModel;
+//!
+//! let m = PowerModel::paper_calibration();
+//! let p200 = m.p_pdr_w(200e6, 40.0);
+//! assert!((p200 - 1.30).abs() < 0.02); // Table II row: 1.30 W at 200 MHz
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod efficiency;
+pub mod meter;
+pub mod model;
+
+pub use efficiency::{knee_frequency_mhz, performance_per_watt};
+pub use meter::{CurrentSenseMeter, EnergyMeter};
+pub use model::PowerModel;

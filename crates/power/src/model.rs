@@ -1,0 +1,139 @@
+//! The analytic power model.
+
+/// Power model of the PDR subsystem (and the board hosting it).
+///
+/// * dynamic power: `α · f`, linear in clock frequency, temperature
+///   independent (the paper's Fig. 6 finding: constant slope across
+///   temperatures);
+/// * static power: `P_st(40) · (1 + a·ΔT + b·ΔT²)`, super-linear in die
+///   temperature (leakage), with `ΔT = T − 40 °C`;
+/// * the board adds a fixed baseline `P0` (PS idle + peripherals), which the
+///   paper measures as 2.2 W at 40 °C and subtracts from every reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Dynamic slope in W/Hz.
+    alpha_w_per_hz: f64,
+    /// Static power at 40 °C in W.
+    p_static_40c_w: f64,
+    /// Linear leakage coefficient per °C.
+    leak_lin_per_c: f64,
+    /// Quadratic leakage coefficient per °C².
+    leak_quad_per_c2: f64,
+    /// Board idle baseline in W (the paper's P0).
+    p0_board_w: f64,
+}
+
+impl PowerModel {
+    /// Builds a model from explicit constants.
+    pub fn new(
+        alpha_w_per_hz: f64,
+        p_static_40c_w: f64,
+        leak_lin_per_c: f64,
+        leak_quad_per_c2: f64,
+        p0_board_w: f64,
+    ) -> Self {
+        PowerModel {
+            alpha_w_per_hz,
+            p_static_40c_w,
+            leak_lin_per_c,
+            leak_quad_per_c2,
+            p0_board_w,
+        }
+    }
+
+    /// The calibration used throughout the reproduction: least-squares fit
+    /// of `P_PDR = P_st + α·f` to Table II (α = 1.5748 mW/MHz,
+    /// P_st(40 °C) = 0.9925 W), leakage coefficients chosen to place the
+    /// Fig. 6 temperature fan inside its published 1–2 W window, and the
+    /// measured board baseline P0 = 2.2 W.
+    pub fn paper_calibration() -> Self {
+        PowerModel::new(1.5748e-9, 0.9925, 0.004, 4.0e-5, 2.2)
+    }
+
+    /// The board idle baseline P0 in W.
+    pub fn p0_board_w(&self) -> f64 {
+        self.p0_board_w
+    }
+
+    /// Dynamic power at clock `freq_hz`, in W.
+    pub fn p_dynamic_w(&self, freq_hz: f64) -> f64 {
+        self.alpha_w_per_hz * freq_hz
+    }
+
+    /// Static power at die temperature `temp_c`, in W.
+    pub fn p_static_w(&self, temp_c: f64) -> f64 {
+        let dt = temp_c - 40.0;
+        self.p_static_40c_w * (1.0 + self.leak_lin_per_c * dt + self.leak_quad_per_c2 * dt * dt)
+    }
+
+    /// The PDR subsystem's dissipation `P_PDR(f, T)` in W — what the paper
+    /// plots in Fig. 6 and tabulates in Table II.
+    pub fn p_pdr_w(&self, freq_hz: f64, temp_c: f64) -> f64 {
+        self.p_static_w(temp_c) + self.p_dynamic_w(freq_hz)
+    }
+
+    /// The whole-board power the current-sense headers would read, in W.
+    pub fn p_board_w(&self, freq_hz: f64, temp_c: f64) -> f64 {
+        self.p0_board_w + self.p_pdr_w(freq_hz, temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II of the paper (40 °C).
+    const TABLE2: [(f64, f64); 6] = [
+        (100e6, 1.14),
+        (140e6, 1.23),
+        (180e6, 1.28),
+        (200e6, 1.30),
+        (240e6, 1.36),
+        (280e6, 1.44),
+    ];
+
+    #[test]
+    fn matches_table2_within_two_percent() {
+        let m = PowerModel::paper_calibration();
+        for (f, p) in TABLE2 {
+            let got = m.p_pdr_w(f, 40.0);
+            let rel = (got - p).abs() / p;
+            assert!(rel < 0.02, "at {} MHz: got {got:.3}, paper {p}", f / 1e6);
+        }
+    }
+
+    #[test]
+    fn dynamic_power_is_temperature_independent() {
+        let m = PowerModel::paper_calibration();
+        let slope_40 = m.p_pdr_w(200e6, 40.0) - m.p_pdr_w(100e6, 40.0);
+        let slope_100 = m.p_pdr_w(200e6, 100.0) - m.p_pdr_w(100e6, 100.0);
+        assert!((slope_40 - slope_100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_power_is_superlinear_in_temperature() {
+        let m = PowerModel::paper_calibration();
+        let d1 = m.p_static_w(70.0) - m.p_static_w(40.0);
+        let d2 = m.p_static_w(100.0) - m.p_static_w(70.0);
+        assert!(d2 > d1, "leakage growth must accelerate: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn fig6_fan_stays_in_published_window() {
+        // Fig. 6 plots P_PDR between ~1 W and ~2 W for 100–310 MHz and
+        // 40–100 °C.
+        let m = PowerModel::paper_calibration();
+        for t in [40.0, 60.0, 80.0, 100.0] {
+            for f in [100e6, 200e6, 310e6] {
+                let p = m.p_pdr_w(f, t);
+                assert!((1.0..2.0).contains(&p), "P({}MHz,{t}C)={p}", f / 1e6);
+            }
+        }
+    }
+
+    #[test]
+    fn board_power_adds_baseline() {
+        let m = PowerModel::paper_calibration();
+        assert!((m.p_board_w(100e6, 40.0) - m.p_pdr_w(100e6, 40.0) - 2.2).abs() < 1e-12);
+    }
+}

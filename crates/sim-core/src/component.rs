@@ -1,0 +1,119 @@
+//! The [`Component`] trait and component addressing.
+
+use core::any::Any;
+use core::fmt;
+
+use crate::engine::EdgeCtx;
+
+/// Identifies a component registered with an [`Engine`](crate::Engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The raw index of this component inside its engine.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component#{}", self.0)
+    }
+}
+
+/// Discriminates event meanings within a component.
+///
+/// Keys are plain integers; each component defines its own local constants
+/// (e.g. `const EV_DESCRIPTOR_DONE: EventKey = 1`). Richer payloads travel
+/// through [`fifo`](crate::fifo) channels, not events.
+pub type EventKey = u64;
+
+/// A discrete event delivered to a component at a scheduled instant.
+///
+/// Events carry a [`EventKey`] and two untyped word arguments — enough to
+/// convey "which timer fired" or "burst 17 completed with status 0" without
+/// heap allocation in the hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Event {
+    /// Component-local event discriminator.
+    pub key: EventKey,
+    /// First argument word.
+    pub a: u64,
+    /// Second argument word.
+    pub b: u64,
+}
+
+impl Event {
+    /// Creates an event with both argument words zero.
+    pub const fn new(key: EventKey) -> Self {
+        Event { key, a: 0, b: 0 }
+    }
+
+    /// Creates an event with one argument word.
+    pub const fn with_arg(key: EventKey, a: u64) -> Self {
+        Event { key, a, b: 0 }
+    }
+
+    /// Creates an event with two argument words.
+    pub const fn with_args(key: EventKey, a: u64, b: u64) -> Self {
+        Event { key, a, b }
+    }
+}
+
+/// A simulated hardware block (or software agent) driven by the engine.
+///
+/// Components are registered with
+/// [`Engine::add_component`](crate::Engine::add_component) and optionally
+/// bound to a clock domain;
+/// bound components receive [`Component::on_clock_edge`] on every rising edge.
+/// Any component can receive discrete [`Event`]s scheduled via
+/// [`EdgeCtx::schedule`](crate::EdgeCtx::schedule).
+///
+/// The supertrait bound on [`Any`] enables typed access to registered
+/// components through [`Engine::component`](crate::Engine::component).
+pub trait Component: Any {
+    /// A short, stable, human-readable name used in traces and panics.
+    fn name(&self) -> &str;
+
+    /// Called on every rising edge of the bound clock domain.
+    ///
+    /// The default implementation does nothing, which suits purely
+    /// event-driven components.
+    fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a scheduled [`Event`] addressed to this component fires.
+    ///
+    /// The default implementation panics: receiving an event you never
+    /// scheduled indicates a wiring bug, and silently dropping it would turn
+    /// that bug into a hang.
+    fn on_event(&mut self, ctx: &mut EdgeCtx<'_>, event: Event) {
+        let _ = ctx;
+        panic!(
+            "component {:?} received unexpected event {:?}",
+            self.name(),
+            event
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_constructors() {
+        assert_eq!(Event::new(3), Event { key: 3, a: 0, b: 0 });
+        assert_eq!(Event::with_arg(3, 9), Event { key: 3, a: 9, b: 0 });
+        assert_eq!(Event::with_args(3, 9, 8), Event { key: 3, a: 9, b: 8 });
+    }
+
+    #[test]
+    fn component_id_display_and_index() {
+        let id = ComponentId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "component#7");
+    }
+}

@@ -1,0 +1,822 @@
+//! The deterministic event-driven simulation engine.
+//!
+//! # Determinism
+//!
+//! The engine is totally ordered: every queued action carries `(time, seq)`
+//! where `seq` is a monotone schedule counter, so two actions scheduled for
+//! the same instant always fire in the order they were scheduled, on every
+//! run, on every platform. Clock-domain members are called in registration
+//! order. Given the same component set and seeds, two runs produce identical
+//! traces (this is asserted by property tests).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::{ClockDomain, ClockDomainId, ClockDomainInfo};
+use crate::component::{Component, ComponentId, Event};
+use crate::time::{Frequency, SimDuration, SimTime};
+use crate::trace::{Trace, TraceRecord};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// A rising edge of `domain`; ignored if the domain's generation moved on
+    /// (frequency re-programmed or clock gated since this edge was queued).
+    Edge {
+        domain: ClockDomainId,
+        generation: u64,
+    },
+    /// Deliver `event` to `target`.
+    Deliver { target: ComponentId, event: Event },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueueEntry {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The requested deadline was reached.
+    DeadlineReached,
+    /// A component requested a stop with the given code.
+    Stopped(u64),
+    /// The event queue drained completely (possible only when no clock
+    /// domain is running).
+    Idle,
+}
+
+/// Outcome of a `run_*` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why the run returned.
+    pub reason: StopReason,
+    /// Simulated time when the run returned.
+    pub now: SimTime,
+    /// Actions dispatched during this call.
+    pub actions: u64,
+}
+
+/// Scheduler state shared with components during dispatch.
+#[derive(Debug)]
+struct Kernel {
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+    now: SimTime,
+    seq: u64,
+    domains: Vec<ClockDomain>,
+    trace: Trace,
+    stop_request: Option<u64>,
+    actions_dispatched: u64,
+}
+
+impl Kernel {
+    fn push(&mut self, time: SimTime, action: Action) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry { time, seq, action }));
+    }
+
+    fn schedule_edge(&mut self, id: ClockDomainId) {
+        let d = &self.domains[id.index()];
+        if d.gated {
+            return;
+        }
+        let t = d.next_edge_time();
+        let generation = d.generation;
+        self.push(
+            t,
+            Action::Edge {
+                domain: id,
+                generation,
+            },
+        );
+    }
+
+    fn set_frequency(&mut self, id: ClockDomainId, frequency: Frequency) {
+        let now = self.now;
+        self.domains[id.index()].set_frequency(now, frequency);
+        self.schedule_edge(id);
+    }
+
+    fn set_gated(&mut self, id: ClockDomainId, gated: bool) {
+        let now = self.now;
+        let was = self.domains[id.index()].gated;
+        self.domains[id.index()].set_gated(now, gated);
+        if was && !gated {
+            self.schedule_edge(id);
+        }
+    }
+}
+
+/// The execution context handed to components during dispatch.
+///
+/// Through the context a component can read time, schedule events, re-program
+/// or gate clock domains (the Clock Wizard's lever), record trace events and
+/// request a simulation stop.
+pub struct EdgeCtx<'a> {
+    kernel: &'a mut Kernel,
+    self_id: ComponentId,
+    domain: Option<ClockDomainId>,
+}
+
+impl<'a> EdgeCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The id of the component being dispatched.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// The clock domain this component is bound to, if any.
+    pub fn domain(&self) -> Option<ClockDomainId> {
+        self.domain
+    }
+
+    /// Lifetime rising-edge count of this component's clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is not bound to a clock domain.
+    pub fn cycle(&self) -> u64 {
+        let d = self.domain.expect("component has no clock domain");
+        self.kernel.domains[d.index()].total_edges
+    }
+
+    /// Schedules `event` for `target`, `after` from now.
+    pub fn schedule(&mut self, after: SimDuration, target: ComponentId, event: Event) {
+        let t = self.kernel.now + after;
+        self.kernel.push(t, Action::Deliver { target, event });
+    }
+
+    /// Schedules `event` for the current component, `after` from now.
+    pub fn schedule_self(&mut self, after: SimDuration, event: Event) {
+        self.schedule(after, self.self_id, event);
+    }
+
+    /// Current frequency of a clock domain.
+    pub fn clock_frequency(&self, domain: ClockDomainId) -> Frequency {
+        self.kernel.domains[domain.index()].frequency
+    }
+
+    /// Re-programs a clock domain; the next edge fires one new-period later.
+    pub fn set_clock_frequency(&mut self, domain: ClockDomainId, frequency: Frequency) {
+        self.kernel.set_frequency(domain, frequency);
+    }
+
+    /// Gates (`true`) or un-gates (`false`) a clock domain.
+    pub fn gate_clock(&mut self, domain: ClockDomainId, gated: bool) {
+        self.kernel.set_gated(domain, gated);
+    }
+
+    /// Requests that the surrounding `run_*` call return with
+    /// [`StopReason::Stopped`]`(code)` after this dispatch completes.
+    pub fn request_stop(&mut self, code: u64) {
+        self.kernel.stop_request = Some(code);
+    }
+
+    /// Records a trace event attributed to the current component.
+    pub fn trace(&mut self, kind: &'static str, a: u64, b: u64) {
+        let now = self.kernel.now;
+        self.kernel.trace.record(TraceRecord {
+            time: now,
+            component: self.self_id.index() as u32,
+            kind,
+            a,
+            b,
+        });
+    }
+}
+
+struct Slot {
+    component: Option<Box<dyn Component>>,
+    name: String,
+    domain: Option<ClockDomainId>,
+}
+
+/// The simulation engine: owns components, clock domains and the event queue.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Engine {
+    kernel: Kernel,
+    slots: Vec<Slot>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine at t = 0 with tracing disabled.
+    pub fn new() -> Self {
+        Engine {
+            kernel: Kernel {
+                queue: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+                domains: Vec::new(),
+                trace: Trace::disabled(),
+                stop_request: None,
+                actions_dispatched: 0,
+            },
+            slots: Vec::new(),
+        }
+    }
+
+    /// Enables the bounded in-memory trace with the given capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.kernel.trace = Trace::with_capacity(capacity);
+    }
+
+    /// Read access to the trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.kernel.trace
+    }
+
+    /// The registered names of all components, indexed by component id.
+    pub fn component_names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Renders the trace buffer as a VCD waveform document (see
+    /// [`crate::vcd`]).
+    pub fn trace_vcd(&self) -> String {
+        crate::vcd::trace_to_vcd(&self.kernel.trace, &self.component_names())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Total actions (edges + events) dispatched since construction.
+    pub fn actions_dispatched(&self) -> u64 {
+        self.kernel.actions_dispatched
+    }
+
+    /// Registers a clock domain running at `frequency`; its first edge fires
+    /// one period after the current instant.
+    pub fn add_clock_domain(&mut self, name: &str, frequency: Frequency) -> ClockDomainId {
+        let id = ClockDomainId(self.kernel.domains.len() as u32);
+        let mut domain = ClockDomain::new(name.to_string(), frequency);
+        domain.phase_origin = self.kernel.now;
+        self.kernel.domains.push(domain);
+        self.kernel.schedule_edge(id);
+        id
+    }
+
+    /// Registers a component, optionally binding it to a clock domain.
+    ///
+    /// Bound components receive [`Component::on_clock_edge`] on every rising
+    /// edge of that domain, in registration order.
+    pub fn add_component<C: Component>(
+        &mut self,
+        component: C,
+        domain: Option<ClockDomainId>,
+    ) -> ComponentId {
+        let id = ComponentId(self.slots.len() as u32);
+        let name = component.name().to_string();
+        self.slots.push(Slot {
+            component: Some(Box::new(component)),
+            name,
+            domain,
+        });
+        if let Some(d) = domain {
+            self.kernel.domains[d.index()].members.push(id);
+        }
+        id
+    }
+
+    /// The registered name of a component.
+    pub fn component_name(&self, id: ComponentId) -> &str {
+        &self.slots[id.index()].name
+    }
+
+    /// Typed shared access to a registered component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a component of type `T`.
+    pub fn component<T: Component>(&self, id: ComponentId) -> &T {
+        let slot = &self.slots[id.index()];
+        let c = slot
+            .component
+            .as_ref()
+            .expect("component is currently being dispatched");
+        let any: &dyn Any = c.as_ref();
+        any.downcast_ref::<T>().unwrap_or_else(|| {
+            panic!(
+                "component {} ({}) is not a {}",
+                id,
+                slot.name,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Typed exclusive access to a registered component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a component of type `T`.
+    pub fn component_mut<T: Component>(&mut self, id: ComponentId) -> &mut T {
+        let slot = &mut self.slots[id.index()];
+        let name = slot.name.clone();
+        let c = slot
+            .component
+            .as_mut()
+            .expect("component is currently being dispatched");
+        let any: &mut dyn Any = c.as_mut();
+        any.downcast_mut::<T>().unwrap_or_else(|| {
+            panic!(
+                "component {} ({}) is not a {}",
+                id,
+                name,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Information about a clock domain.
+    pub fn clock_info(&self, id: ClockDomainId) -> ClockDomainInfo {
+        self.kernel.domains[id.index()].info()
+    }
+
+    /// Re-programs a clock domain from outside the simulation (test benches,
+    /// experiment harnesses).
+    pub fn set_clock_frequency(&mut self, id: ClockDomainId, frequency: Frequency) {
+        self.kernel.set_frequency(id, frequency);
+    }
+
+    /// Gates or un-gates a clock domain from outside the simulation.
+    pub fn gate_clock(&mut self, id: ClockDomainId, gated: bool) {
+        self.kernel.set_gated(id, gated);
+    }
+
+    /// Schedules an event from outside the simulation.
+    pub fn schedule(&mut self, after: SimDuration, target: ComponentId, event: Event) {
+        let t = self.kernel.now + after;
+        self.kernel.push(t, Action::Deliver { target, event });
+    }
+
+    /// Runs until `deadline` (inclusive of actions scheduled exactly at it),
+    /// a stop request, or queue exhaustion.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunResult {
+        let start_actions = self.kernel.actions_dispatched;
+        self.kernel.stop_request = None;
+        loop {
+            let head_time = match self.kernel.queue.peek() {
+                Some(Reverse(e)) => e.time,
+                None => {
+                    return RunResult {
+                        reason: StopReason::Idle,
+                        now: self.kernel.now,
+                        actions: self.kernel.actions_dispatched - start_actions,
+                    };
+                }
+            };
+            if head_time > deadline {
+                self.kernel.now = deadline;
+                return RunResult {
+                    reason: StopReason::DeadlineReached,
+                    now: deadline,
+                    actions: self.kernel.actions_dispatched - start_actions,
+                };
+            }
+            let Reverse(entry) = self.kernel.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.time >= self.kernel.now, "time ran backwards");
+            self.kernel.now = entry.time;
+            self.dispatch(entry.action);
+            if let Some(code) = self.kernel.stop_request.take() {
+                return RunResult {
+                    reason: StopReason::Stopped(code),
+                    now: self.kernel.now,
+                    actions: self.kernel.actions_dispatched - start_actions,
+                };
+            }
+        }
+    }
+
+    /// Runs for `duration` of simulated time from now.
+    pub fn run_for(&mut self, duration: SimDuration) -> RunResult {
+        let deadline = self.kernel.now + duration;
+        self.run_until(deadline)
+    }
+
+    /// Runs until `predicate` returns true (checked after every dispatched
+    /// action) or `deadline` passes. Returns the final result plus whether
+    /// the predicate was satisfied.
+    pub fn run_until_condition(
+        &mut self,
+        deadline: SimTime,
+        mut predicate: impl FnMut(&Engine) -> bool,
+    ) -> (RunResult, bool) {
+        let start_actions = self.kernel.actions_dispatched;
+        self.kernel.stop_request = None;
+        loop {
+            if predicate(self) {
+                return (
+                    RunResult {
+                        reason: StopReason::Stopped(0),
+                        now: self.kernel.now,
+                        actions: self.kernel.actions_dispatched - start_actions,
+                    },
+                    true,
+                );
+            }
+            let head_time = match self.kernel.queue.peek() {
+                Some(Reverse(e)) => e.time,
+                None => {
+                    return (
+                        RunResult {
+                            reason: StopReason::Idle,
+                            now: self.kernel.now,
+                            actions: self.kernel.actions_dispatched - start_actions,
+                        },
+                        false,
+                    );
+                }
+            };
+            if head_time > deadline {
+                self.kernel.now = deadline;
+                return (
+                    RunResult {
+                        reason: StopReason::DeadlineReached,
+                        now: deadline,
+                        actions: self.kernel.actions_dispatched - start_actions,
+                    },
+                    false,
+                );
+            }
+            let Reverse(entry) = self.kernel.queue.pop().expect("peeked entry vanished");
+            self.kernel.now = entry.time;
+            self.dispatch(entry.action);
+            if let Some(code) = self.kernel.stop_request.take() {
+                return (
+                    RunResult {
+                        reason: StopReason::Stopped(code),
+                        now: self.kernel.now,
+                        actions: self.kernel.actions_dispatched - start_actions,
+                    },
+                    false,
+                );
+            }
+        }
+    }
+
+    fn dispatch(&mut self, action: Action) {
+        self.kernel.actions_dispatched += 1;
+        match action {
+            Action::Edge { domain, generation } => {
+                {
+                    let d = &self.kernel.domains[domain.index()];
+                    if d.gated || d.generation != generation {
+                        return; // stale edge from before a re-program/gate
+                    }
+                }
+                // Advance the edge counters before member dispatch so that
+                // ctx.cycle() observes the edge being processed.
+                let members = {
+                    let d = &mut self.kernel.domains[domain.index()];
+                    d.edges_since_origin = d.next_edge;
+                    d.next_edge += 1;
+                    d.total_edges += 1;
+                    std::mem::take(&mut d.members)
+                };
+                for &id in &members {
+                    self.call(id, Some(domain), None);
+                }
+                {
+                    let d = &mut self.kernel.domains[domain.index()];
+                    debug_assert!(d.members.is_empty(), "members registered mid-edge");
+                    d.members = members;
+                }
+                // Re-schedule unless a member re-programmed the domain (in
+                // which case set_frequency already queued the new edge).
+                let d = &self.kernel.domains[domain.index()];
+                if d.generation == generation && !d.gated {
+                    self.kernel.schedule_edge(domain);
+                }
+            }
+            Action::Deliver { target, event } => {
+                let domain = self.slots[target.index()].domain;
+                self.call(target, domain, Some(event));
+            }
+        }
+    }
+
+    fn call(&mut self, id: ComponentId, domain: Option<ClockDomainId>, event: Option<Event>) {
+        let mut component = self.slots[id.index()]
+            .component
+            .take()
+            .expect("re-entrant component dispatch");
+        {
+            let mut ctx = EdgeCtx {
+                kernel: &mut self.kernel,
+                self_id: id,
+                domain,
+            };
+            match event {
+                Some(ev) => component.on_event(&mut ctx, ev),
+                None => component.on_clock_edge(&mut ctx),
+            }
+        }
+        self.slots[id.index()].component = Some(component);
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.kernel.now)
+            .field("components", &self.slots.len())
+            .field("clock_domains", &self.kernel.domains.len())
+            .field("queued", &self.kernel.queue.len())
+            .field("actions_dispatched", &self.kernel.actions_dispatched)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EdgeCounter {
+        edges: u64,
+        last_cycle: u64,
+    }
+    impl Component for EdgeCounter {
+        fn name(&self) -> &str {
+            "edge-counter"
+        }
+        fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+            self.edges += 1;
+            self.last_cycle = ctx.cycle();
+        }
+    }
+
+    struct Echo {
+        got: Vec<(u64, u64)>,
+    }
+    impl Component for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn on_event(&mut self, ctx: &mut EdgeCtx<'_>, event: Event) {
+            self.got.push((ctx.now().as_ps(), event.a));
+            if event.key == 1 {
+                // re-schedule once
+                ctx.schedule_self(SimDuration::from_nanos(3), Event::with_arg(2, event.a + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn clock_edges_fire_at_exact_period() {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(
+            EdgeCounter {
+                edges: 0,
+                last_cycle: 0,
+            },
+            Some(clk),
+        );
+        e.run_for(SimDuration::from_nanos(95));
+        // Edges at 10,20,...,90 ns => 9 edges.
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 9);
+        assert_eq!(e.component::<EdgeCounter>(id).last_cycle, 9);
+        assert_eq!(e.clock_info(clk).total_edges, 9);
+    }
+
+    #[test]
+    fn events_deliver_in_schedule_order_at_same_time() {
+        let mut e = Engine::new();
+        let id = e.add_component(Echo { got: vec![] }, None);
+        e.schedule(SimDuration::from_nanos(5), id, Event::with_arg(0, 10));
+        e.schedule(SimDuration::from_nanos(5), id, Event::with_arg(0, 20));
+        e.schedule(SimDuration::from_nanos(1), id, Event::with_arg(0, 30));
+        e.run_for(SimDuration::from_nanos(10));
+        let got = &e.component::<Echo>(id).got;
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (1_000, 30));
+        assert_eq!(got[1], (5_000, 10));
+        assert_eq!(got[2], (5_000, 20));
+    }
+
+    #[test]
+    fn components_can_reschedule_themselves() {
+        let mut e = Engine::new();
+        let id = e.add_component(Echo { got: vec![] }, None);
+        e.schedule(SimDuration::from_nanos(2), id, Event::with_arg(1, 0));
+        e.run_for(SimDuration::from_nanos(20));
+        let got = &e.component::<Echo>(id).got;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1], (5_000, 1));
+    }
+
+    #[test]
+    fn frequency_reprogram_takes_effect() {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(
+            EdgeCounter {
+                edges: 0,
+                last_cycle: 0,
+            },
+            Some(clk),
+        );
+        e.run_for(SimDuration::from_nanos(100)); // 10 edges at 100 MHz
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 10);
+        e.set_clock_frequency(clk, Frequency::from_mhz(200));
+        e.run_for(SimDuration::from_nanos(100)); // 20 edges at 200 MHz
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 30);
+        assert_eq!(e.clock_info(clk).frequency, Frequency::from_mhz(200));
+    }
+
+    #[test]
+    fn gating_pauses_edges() {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(
+            EdgeCounter {
+                edges: 0,
+                last_cycle: 0,
+            },
+            Some(clk),
+        );
+        e.run_for(SimDuration::from_nanos(50));
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 5);
+        e.gate_clock(clk, true);
+        e.run_for(SimDuration::from_nanos(100));
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 5);
+        e.gate_clock(clk, false);
+        e.run_for(SimDuration::from_nanos(50));
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 10);
+    }
+
+    #[test]
+    fn run_until_idle_without_clocks() {
+        let mut e = Engine::new();
+        let id = e.add_component(Echo { got: vec![] }, None);
+        e.schedule(SimDuration::from_nanos(4), id, Event::with_arg(0, 1));
+        let r = e.run_until(SimTime::from_ps(u64::MAX / 2));
+        assert_eq!(r.reason, StopReason::Idle);
+        assert_eq!(e.component::<Echo>(id).got.len(), 1);
+    }
+
+    struct Stopper;
+    impl Component for Stopper {
+        fn name(&self) -> &str {
+            "stopper"
+        }
+        fn on_event(&mut self, ctx: &mut EdgeCtx<'_>, event: Event) {
+            ctx.request_stop(event.a);
+        }
+    }
+
+    #[test]
+    fn stop_request_is_honoured() {
+        let mut e = Engine::new();
+        let _clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(Stopper, None);
+        e.schedule(SimDuration::from_nanos(7), id, Event::with_arg(0, 99));
+        let r = e.run_for(SimDuration::from_micros(1));
+        assert_eq!(r.reason, StopReason::Stopped(99));
+        assert_eq!(r.now, SimTime::from_ps(7_000));
+    }
+
+    #[test]
+    fn run_until_condition_stops_early() {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(
+            EdgeCounter {
+                edges: 0,
+                last_cycle: 0,
+            },
+            Some(clk),
+        );
+        let (r, hit) = e.run_until_condition(SimTime::from_ps(u64::MAX / 2), |e| {
+            e.component::<EdgeCounter>(id).edges >= 7
+        });
+        assert!(hit);
+        assert_eq!(r.now, SimTime::from_ps(70_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn typed_access_panics_on_wrong_type() {
+        let mut e = Engine::new();
+        let id = e.add_component(Stopper, None);
+        let _ = e.component::<Echo>(id);
+    }
+
+    #[test]
+    fn run_until_condition_times_out_cleanly() {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(
+            EdgeCounter {
+                edges: 0,
+                last_cycle: 0,
+            },
+            Some(clk),
+        );
+        let deadline = SimTime::from_ps(50_000); // 5 edges
+        let (r, hit) =
+            e.run_until_condition(deadline, |e| e.component::<EdgeCounter>(id).edges >= 100);
+        assert!(!hit);
+        assert_eq!(r.reason, StopReason::DeadlineReached);
+        assert_eq!(e.now(), deadline);
+        assert_eq!(e.component::<EdgeCounter>(id).edges, 5);
+    }
+
+    #[test]
+    fn events_reach_clocked_components() {
+        struct Both {
+            edges: u64,
+            events: Vec<u64>,
+        }
+        impl Component for Both {
+            fn name(&self) -> &str {
+                "both"
+            }
+            fn on_clock_edge(&mut self, _ctx: &mut EdgeCtx<'_>) {
+                self.edges += 1;
+            }
+            fn on_event(&mut self, ctx: &mut EdgeCtx<'_>, event: Event) {
+                // Clocked components see their domain's cycle count in events.
+                self.events.push(ctx.cycle() * 1000 + event.a);
+            }
+        }
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+        let id = e.add_component(
+            Both {
+                edges: 0,
+                events: vec![],
+            },
+            Some(clk),
+        );
+        e.schedule(SimDuration::from_nanos(25), id, Event::with_arg(0, 7));
+        e.run_for(SimDuration::from_nanos(100));
+        let b = e.component::<Both>(id);
+        assert_eq!(b.edges, 10);
+        assert_eq!(b.events, vec![2 * 1000 + 7]); // after edge 2 (20 ns)
+    }
+
+    #[test]
+    fn component_names_are_indexed_by_id() {
+        let mut e = Engine::new();
+        let a = e.add_component(Stopper, None);
+        let b = e.add_component(
+            EdgeCounter {
+                edges: 0,
+                last_cycle: 0,
+            },
+            None,
+        );
+        let names = e.component_names();
+        assert_eq!(names[a.index()], "stopper");
+        assert_eq!(names[b.index()], "edge-counter");
+        assert_eq!(e.component_name(a), "stopper");
+    }
+
+    #[test]
+    fn determinism_same_setup_same_action_count() {
+        let build = || {
+            let mut e = Engine::new();
+            let clk = e.add_clock_domain("clk", Frequency::from_mhz(310));
+            let id = e.add_component(
+                EdgeCounter {
+                    edges: 0,
+                    last_cycle: 0,
+                },
+                Some(clk),
+            );
+            e.run_for(SimDuration::from_micros(50));
+            (e.actions_dispatched(), e.component::<EdgeCounter>(id).edges)
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,338 @@
+//! Measurement helpers: online statistics, histograms and time-weighted
+//! averages.
+//!
+//! Experiment harnesses use these to summarise latencies, throughputs, FIFO
+//! occupancies and power samples without retaining full sample vectors in the
+//! hot loop.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// Power-of-two bucketed histogram for non-negative integer samples
+/// (latencies in cycles, burst sizes, queue depths).
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)`, with bucket 0 counting the
+/// value 0 and 1 exactly… more precisely: bucket index is
+/// `64 - (x.leading_zeros())` for `x > 0`, and 0 for `x == 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: u64) {
+        let idx = if x == 0 {
+            0
+        } else {
+            64 - x.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += x as u128;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 ..= 1.0`) from bucket edges.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive_log2, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. FIFO occupancy
+/// or instantaneous power): the integral of value·dt divided by elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64, // value * picoseconds
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_time: start,
+            last_value: value,
+            integral: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        let dt = now.duration_since(self.last_time);
+        self.integral += self.last_value * dt.as_ps() as f64;
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// The time-weighted mean over `[start, now]`.
+    pub fn mean_at(&self, now: SimTime) -> f64 {
+        let total = now.duration_since(self.start).as_ps() as f64;
+        if total == 0.0 {
+            return self.last_value;
+        }
+        let tail = now.duration_since(self.last_time).as_ps() as f64;
+        (self.integral + self.last_value * tail) / total
+    }
+
+    /// The current signal value.
+    pub fn value(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Integral of the signal in value·seconds over `[start, now]` — with the
+    /// signal in watts this is energy in joules.
+    pub fn integral_at(&self, now: SimTime) -> f64 {
+        let tail = now.duration_since(self.last_time).as_ps() as f64;
+        (self.integral + self.last_value * tail) / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty_is_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_and_quantiles() {
+        let mut h = Log2Histogram::new();
+        for x in [0u64, 1, 1, 2, 3, 4, 100, 1000] {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 8);
+        assert!((h.mean() - 1111.0 / 8.0).abs() < 1e-12);
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+        assert!(h.quantile_upper_bound(1.0) >= 1000);
+        // Median should be bounded by a small power of two.
+        assert!(h.quantile_upper_bound(0.5) <= 3);
+    }
+
+    #[test]
+    fn time_weighted_mean_and_integral() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 1.0);
+        let t1 = t0 + SimDuration::from_secs(1);
+        tw.update(t1, 3.0);
+        let t2 = t1 + SimDuration::from_secs(1);
+        // 1 W for 1 s then 3 W for 1 s => mean 2 W, energy 4 J.
+        assert!((tw.mean_at(t2) - 2.0).abs() < 1e-12);
+        assert!((tw.integral_at(t2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 5.0);
+        assert_eq!(tw.mean_at(SimTime::ZERO), 5.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! A bounded in-memory event trace.
+//!
+//! Tracing is opt-in (see [`Engine::enable_trace`](crate::Engine::enable_trace))
+//! and allocation-free per record: each record is a fixed-size tuple of time,
+//! component index, a `&'static str` kind tag and two argument words. The
+//! buffer is a ring — when full, the oldest records are overwritten.
+//!
+//! Traces also provide a [`fingerprint`](Trace::fingerprint), used by the
+//! determinism property tests: two runs of the same seeded simulation must
+//! produce identical fingerprints.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the record was emitted.
+    pub time: SimTime,
+    /// Index of the emitting component.
+    pub component: u32,
+    /// Static tag describing the event kind.
+    pub kind: &'static str,
+    /// First argument word.
+    pub a: u64,
+    /// Second argument word.
+    pub b: u64,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    /// Index of the logically-oldest record once the ring has wrapped.
+    head: usize,
+    /// Lifetime records emitted (including overwritten ones).
+    emitted: u64,
+}
+
+impl Trace {
+    /// A trace that records nothing (zero capacity).
+    pub fn disabled() -> Self {
+        Trace {
+            buf: Vec::new(),
+            capacity: 0,
+            head: 0,
+            emitted: 0,
+        }
+    }
+
+    /// A trace retaining the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            emitted: 0,
+        }
+    }
+
+    /// True when records are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record (drops it when disabled; overwrites the oldest when
+    /// full).
+    pub fn record(&mut self, rec: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.emitted += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime records emitted, including any overwritten by the ring.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Retained records in chronological order.
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// An FNV-1a fingerprint over all retained records, used to assert run
+    /// determinism.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        fn eat(h: u64, x: u64) -> u64 {
+            let mut h = h;
+            for i in 0..8 {
+                h ^= (x >> (i * 8)) & 0xff;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        for rec in self.to_vec() {
+            h = eat(h, rec.time.as_ps());
+            h = eat(h, rec.component as u64);
+            for &byte in rec.kind.as_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h = eat(h, rec.a);
+            h = eat(h, rec.b);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, a: u64) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_ps(t),
+            component: 0,
+            kind: "k",
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(rec(1, 1));
+        assert!(t.is_empty());
+        assert_eq!(t.emitted(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.record(rec(i, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.emitted(), 5);
+        let v = t.to_vec();
+        assert_eq!(v.iter().map(|r| r.a).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut t1 = Trace::with_capacity(8);
+        let mut t2 = Trace::with_capacity(8);
+        t1.record(rec(1, 1));
+        t1.record(rec(2, 2));
+        t2.record(rec(2, 2));
+        t2.record(rec(1, 1));
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+        let mut t3 = Trace::with_capacity(8);
+        t3.record(rec(1, 1));
+        t3.record(rec(2, 2));
+        assert_eq!(t1.fingerprint(), t3.fingerprint());
+    }
+}

@@ -1,0 +1,43 @@
+//! # pdr-timing
+//!
+//! The over-clocking timing model: why the paper's system works at 280 MHz,
+//! loses its completion interrupt at 310 MHz, corrupts data at 320 MHz, and
+//! fails at 310 MHz when the die is heated to 100 °C.
+//!
+//! Over-clocking a synchronous block beyond its specification eats into the
+//! timing slack of its critical paths. Slack shrinks further as temperature
+//! rises (carrier mobility degrades, so logic slows down). This crate models
+//! each relevant path as a maximum safe frequency that decreases with die
+//! temperature ([`CriticalPath`]), groups the paths of the paper's
+//! DMA+ICAP+interrupt pipeline into an [`OverclockModel`] that assesses a
+//! `(frequency, temperature)` operating point, and provides the die
+//! [`thermal`] state machine plus an XADC-like sensor.
+//!
+//! ## Calibration (reproduces the paper's observations)
+//!
+//! | Observation (paper) | Model consequence |
+//! |---|---|
+//! | Works to 280 MHz at 40–100 °C | both paths safe at ≤ 280 MHz up to 100 °C |
+//! | 310 MHz: "no interrupt", CRC valid (40–90 °C) | interrupt path f_max ≈ 305 MHz; data path f_max(40 °C) ≈ 318 MHz |
+//! | 310 MHz fails at 100 °C | data path f_max(100 °C) < 310 MHz (quadratic derating) |
+//! | ≥ 320 MHz: CRC not valid | data path violated at 40 °C |
+//!
+//! ```
+//! use pdr_timing::{OverclockModel, Assessment};
+//! use pdr_sim_core::Frequency;
+//!
+//! let model = OverclockModel::paper_calibration();
+//! let a = model.assess(Frequency::from_mhz(310), 40.0);
+//! assert!(a.data_ok && !a.interrupt_ok); // "no interrupt", CRC valid
+//! let hot = model.assess(Frequency::from_mhz(310), 100.0);
+//! assert!(!hot.data_ok); // the one failing cell of the stress matrix
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod path;
+pub mod thermal;
+
+pub use path::{Assessment, CriticalPath, OverclockModel};
+pub use thermal::{DieThermal, XadcSensor};

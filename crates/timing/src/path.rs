@@ -1,0 +1,254 @@
+//! Critical paths and the over-clock assessment model.
+
+use pdr_sim_core::Frequency;
+
+/// A critical timing path characterised by its maximum safe clock frequency
+/// as a function of die temperature:
+///
+/// ```text
+/// f_max(T) = f_max(40 °C) − lin·(T − 40) − quad·(T − 40)²   [MHz]
+/// ```
+///
+/// The quadratic term captures the super-linear slow-down of deeply
+/// over-driven paths at high temperature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    name: &'static str,
+    fmax_40c_mhz: f64,
+    lin_mhz_per_c: f64,
+    quad_mhz_per_c2: f64,
+}
+
+impl CriticalPath {
+    /// Defines a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fmax_40c_mhz` is not strictly positive.
+    pub fn new(
+        name: &'static str,
+        fmax_40c_mhz: f64,
+        lin_mhz_per_c: f64,
+        quad_mhz_per_c2: f64,
+    ) -> Self {
+        assert!(fmax_40c_mhz > 0.0, "f_max must be positive");
+        CriticalPath {
+            name,
+            fmax_40c_mhz,
+            lin_mhz_per_c,
+            quad_mhz_per_c2,
+        }
+    }
+
+    /// The path's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Maximum safe frequency at die temperature `temp_c`, in MHz.
+    pub fn fmax_mhz(&self, temp_c: f64) -> f64 {
+        let dt = temp_c - 40.0;
+        (self.fmax_40c_mhz - self.lin_mhz_per_c * dt - self.quad_mhz_per_c2 * dt * dt).max(0.0)
+    }
+
+    /// True when running the path at `freq` and `temp_c` violates timing.
+    pub fn violated(&self, freq: Frequency, temp_c: f64) -> bool {
+        freq.as_mhz_f64() > self.fmax_mhz(temp_c)
+    }
+
+    /// Positive slack in MHz (how much faster the clock could go), negative
+    /// when already violated.
+    pub fn slack_mhz(&self, freq: Frequency, temp_c: f64) -> f64 {
+        self.fmax_mhz(temp_c) - freq.as_mhz_f64()
+    }
+}
+
+/// The outcome of assessing an operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assessment {
+    /// The data path (DMA → width converter → ICAP write) meets timing; when
+    /// false, transferred words are corrupted with probability
+    /// [`Assessment::word_error_rate`].
+    pub data_ok: bool,
+    /// The completion-interrupt path meets timing; when false the done
+    /// interrupt is never delivered (the paper's "no interrupt" rows).
+    pub interrupt_ok: bool,
+    /// Per-word corruption probability when `data_ok` is false (0 otherwise).
+    pub word_error_rate: f64,
+}
+
+impl Assessment {
+    /// True when the operating point is fully safe.
+    pub fn all_ok(&self) -> bool {
+        self.data_ok && self.interrupt_ok
+    }
+}
+
+/// The set of critical paths in the paper's over-clocked reconfiguration
+/// pipeline, with a calibration reproducing Table I and the Sec. IV-A
+/// temperature-stress matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverclockModel {
+    data_path: CriticalPath,
+    interrupt_path: CriticalPath,
+    /// Word-error-rate growth per MHz of overdrive beyond f_max.
+    ber_per_mhz: f64,
+    /// Floor word-error rate at the onset of violation.
+    ber_floor: f64,
+}
+
+impl OverclockModel {
+    /// Builds a model from explicit paths.
+    pub fn new(data_path: CriticalPath, interrupt_path: CriticalPath) -> Self {
+        OverclockModel {
+            data_path,
+            interrupt_path,
+            ber_per_mhz: 2e-3,
+            ber_floor: 1e-3,
+        }
+    }
+
+    /// The calibration used throughout the reproduction (see crate docs):
+    ///
+    /// * data path: `f_max(T) = 318 − 0.0023·(T−40)²` MHz
+    ///   → 318 at 40 °C, 312.25 at 90 °C, 309.7 at 100 °C;
+    /// * interrupt path: `f_max(T) = 305 − 0.10·(T−40)` MHz
+    ///   → 305 at 40 °C, 299 at 100 °C.
+    pub fn paper_calibration() -> Self {
+        OverclockModel::new(
+            CriticalPath::new("dma-icap-data", 318.0, 0.0, 0.0023),
+            CriticalPath::new("done-interrupt", 305.0, 0.10, 0.0),
+        )
+    }
+
+    /// The data path.
+    pub fn data_path(&self) -> &CriticalPath {
+        &self.data_path
+    }
+
+    /// The interrupt path.
+    pub fn interrupt_path(&self) -> &CriticalPath {
+        &self.interrupt_path
+    }
+
+    /// Assesses an operating point.
+    pub fn assess(&self, freq: Frequency, temp_c: f64) -> Assessment {
+        let data_ok = !self.data_path.violated(freq, temp_c);
+        let interrupt_ok = !self.interrupt_path.violated(freq, temp_c);
+        let word_error_rate = if data_ok {
+            0.0
+        } else {
+            let overdrive = -self.data_path.slack_mhz(freq, temp_c);
+            (self.ber_floor + self.ber_per_mhz * overdrive).min(0.5)
+        };
+        Assessment {
+            data_ok,
+            interrupt_ok,
+            word_error_rate,
+        }
+    }
+
+    /// The highest whole-MHz frequency at which everything meets timing at
+    /// `temp_c` (the usable over-clocking headroom).
+    pub fn max_safe_mhz(&self, temp_c: f64) -> u64 {
+        self.data_path
+            .fmax_mhz(temp_c)
+            .min(self.interrupt_path.fmax_mhz(temp_c))
+            .floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(m: u64) -> Frequency {
+        Frequency::from_mhz(m)
+    }
+
+    #[test]
+    fn table1_regimes_at_40c() {
+        let m = OverclockModel::paper_calibration();
+        // 100–280 MHz: fully operational.
+        for f in [100, 140, 180, 200, 240, 280] {
+            let a = m.assess(mhz(f), 40.0);
+            assert!(a.all_ok(), "{f} MHz should be safe");
+            assert_eq!(a.word_error_rate, 0.0);
+        }
+        // 310 MHz: interrupt lost, data still good (CRC valid).
+        let a310 = m.assess(mhz(310), 40.0);
+        assert!(a310.data_ok && !a310.interrupt_ok);
+        // 320/360 MHz: data corrupted (CRC not valid) and no interrupt.
+        for f in [320, 360] {
+            let a = m.assess(mhz(f), 40.0);
+            assert!(!a.data_ok && !a.interrupt_ok, "{f} MHz");
+            assert!(a.word_error_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn stress_matrix_single_failure_cell() {
+        let m = OverclockModel::paper_calibration();
+        // Sec. IV-A: every Table I point ≤ 310 MHz passes CRC at 40–90 °C;
+        // only (310 MHz, 100 °C) fails.
+        for t in [40.0, 50.0, 60.0, 70.0, 80.0, 90.0] {
+            assert!(
+                m.assess(mhz(310), t).data_ok,
+                "310 MHz at {t} °C must be CRC-valid"
+            );
+            for f in [100, 140, 180, 200, 240, 280] {
+                assert!(m.assess(mhz(f), t).all_ok(), "{f} MHz at {t} °C");
+            }
+        }
+        assert!(
+            !m.assess(mhz(310), 100.0).data_ok,
+            "310 MHz at 100 °C must fail"
+        );
+        // And the sub-310 rows still pass at 100 °C.
+        for f in [100, 140, 180, 200, 240, 280] {
+            assert!(m.assess(mhz(f), 100.0).all_ok(), "{f} MHz at 100 °C");
+        }
+    }
+
+    #[test]
+    fn fmax_decreases_with_temperature() {
+        let m = OverclockModel::paper_calibration();
+        let mut prev = f64::INFINITY;
+        for t in [40.0, 60.0, 80.0, 100.0, 120.0] {
+            let f = m.data_path().fmax_mhz(t);
+            assert!(f <= prev, "f_max must be non-increasing in T");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn word_error_rate_grows_with_overdrive() {
+        let m = OverclockModel::paper_calibration();
+        let a320 = m.assess(mhz(320), 40.0);
+        let a360 = m.assess(mhz(360), 40.0);
+        assert!(a360.word_error_rate > a320.word_error_rate);
+        assert!(a360.word_error_rate <= 0.5);
+    }
+
+    #[test]
+    fn max_safe_mhz_matches_weakest_path() {
+        let m = OverclockModel::paper_calibration();
+        assert_eq!(m.max_safe_mhz(40.0), 305);
+        assert!(m.max_safe_mhz(100.0) <= 299);
+    }
+
+    #[test]
+    fn slack_sign_convention() {
+        let p = CriticalPath::new("p", 200.0, 0.0, 0.0);
+        assert!(p.slack_mhz(mhz(150), 40.0) > 0.0);
+        assert!(p.slack_mhz(mhz(250), 40.0) < 0.0);
+        assert!(p.violated(mhz(250), 40.0));
+        assert!(!p.violated(mhz(200), 40.0)); // boundary is safe
+    }
+
+    #[test]
+    fn fmax_never_negative() {
+        let p = CriticalPath::new("p", 10.0, 1.0, 0.0);
+        assert_eq!(p.fmax_mhz(1000.0), 0.0);
+    }
+}

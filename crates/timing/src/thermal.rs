@@ -1,0 +1,171 @@
+//! Die thermal state and the XADC-like temperature sensor.
+//!
+//! The paper heats the Zynq with a heat gun aimed at its heat sink and reads
+//! the die temperature from the built-in sensor on the OLED panel. We model
+//! the die as a first-order thermal RC node:
+//!
+//! ```text
+//! dT/dt = (T_env + R_th · P − T) / τ
+//! ```
+//!
+//! where `T_env` is the effective environment temperature at the heat sink
+//! (room air, or the heat-gun plume), `R_th` the junction-to-ambient thermal
+//! resistance and `P` the dissipated power. Experiments that sweep
+//! temperature set points use [`DieThermal::force_die_temp`], exactly as the
+//! paper waits for the sensor to settle at each 10 °C step.
+
+use pdr_sim_core::{SimDuration, Xoshiro256StarStar};
+
+/// First-order thermal model of the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieThermal {
+    env_c: f64,
+    die_c: f64,
+    r_th_c_per_w: f64,
+    tau: SimDuration,
+}
+
+impl DieThermal {
+    /// ZedBoard-like defaults: 25 °C room, ~8 °C/W junction-to-ambient with
+    /// the stock heat sink, ~20 s thermal time constant.
+    pub fn zedboard(initial_die_c: f64) -> Self {
+        DieThermal {
+            env_c: 25.0,
+            die_c: initial_die_c,
+            r_th_c_per_w: 8.0,
+            tau: SimDuration::from_secs(20),
+        }
+    }
+
+    /// Current die temperature in °C.
+    pub fn die_temp_c(&self) -> f64 {
+        self.die_c
+    }
+
+    /// Current environment (heat-sink air) temperature in °C.
+    pub fn env_temp_c(&self) -> f64 {
+        self.env_c
+    }
+
+    /// Points a heat gun at the heat sink: sets the effective environment
+    /// temperature (use ~25 °C to remove it).
+    pub fn set_env_temp(&mut self, env_c: f64) {
+        self.env_c = env_c;
+    }
+
+    /// Forces the die to a temperature (the "wait until the sensor reads X"
+    /// step of the paper's protocol).
+    pub fn force_die_temp(&mut self, die_c: f64) {
+        self.die_c = die_c;
+    }
+
+    /// Advances the thermal state by `dt` while dissipating `power_w`.
+    pub fn step(&mut self, dt: SimDuration, power_w: f64) {
+        let target = self.env_c + self.r_th_c_per_w * power_w;
+        let alpha = 1.0 - (-dt.as_secs_f64() / self.tau.as_secs_f64()).exp();
+        self.die_c += (target - self.die_c) * alpha;
+    }
+
+    /// The temperature the die would settle at while dissipating `power_w`.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.env_c + self.r_th_c_per_w * power_w
+    }
+}
+
+/// An XADC-like on-die temperature sensor: quantised read-out with a small
+/// Gaussian noise term (deterministic via the caller's seeded RNG).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XadcSensor {
+    quantisation_c: f64,
+    noise_sigma_c: f64,
+}
+
+impl Default for XadcSensor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XadcSensor {
+    /// XADC-like defaults: 0.25 °C quantisation, 0.2 °C rms noise.
+    pub fn new() -> Self {
+        XadcSensor {
+            quantisation_c: 0.25,
+            noise_sigma_c: 0.2,
+        }
+    }
+
+    /// A noiseless, quantisation-only sensor (for deterministic tests).
+    pub fn ideal() -> Self {
+        XadcSensor {
+            quantisation_c: 0.25,
+            noise_sigma_c: 0.0,
+        }
+    }
+
+    /// One sensor conversion of the true temperature `die_c`.
+    pub fn read(&self, die_c: f64, rng: &mut Xoshiro256StarStar) -> f64 {
+        let noisy = die_c + self.noise_sigma_c * rng.next_gaussian();
+        (noisy / self.quantisation_c).round() * self.quantisation_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_towards_steady_state() {
+        let mut t = DieThermal::zedboard(25.0);
+        // 2.2 W board idle → steady state 25 + 8·2.2 = 42.6 °C.
+        assert!((t.steady_state_c(2.2) - 42.6).abs() < 1e-9);
+        for _ in 0..20 {
+            t.step(SimDuration::from_secs(20), 2.2);
+        }
+        assert!(
+            (t.die_temp_c() - 42.6).abs() < 0.1,
+            "die={}",
+            t.die_temp_c()
+        );
+    }
+
+    #[test]
+    fn heat_gun_raises_die_temperature() {
+        let mut t = DieThermal::zedboard(40.0);
+        t.set_env_temp(90.0);
+        for _ in 0..30 {
+            t.step(SimDuration::from_secs(10), 2.2);
+        }
+        assert!(t.die_temp_c() > 95.0, "die={}", t.die_temp_c());
+    }
+
+    #[test]
+    fn force_die_temp_is_immediate() {
+        let mut t = DieThermal::zedboard(40.0);
+        t.force_die_temp(100.0);
+        assert_eq!(t.die_temp_c(), 100.0);
+    }
+
+    #[test]
+    fn zero_dt_step_is_identity() {
+        let mut t = DieThermal::zedboard(55.0);
+        t.step(SimDuration::ZERO, 3.0);
+        assert_eq!(t.die_temp_c(), 55.0);
+    }
+
+    #[test]
+    fn ideal_sensor_quantises_only() {
+        let s = XadcSensor::ideal();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        assert_eq!(s.read(40.10, &mut rng), 40.0);
+        assert_eq!(s.read(40.13, &mut rng), 40.25);
+    }
+
+    #[test]
+    fn noisy_sensor_stays_close_to_truth() {
+        let s = XadcSensor::new();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let mean: f64 = (0..1000).map(|_| s.read(60.0, &mut rng)).sum::<f64>() / 1000.0;
+        assert!((mean - 60.0).abs() < 0.1, "mean={mean}");
+    }
+}

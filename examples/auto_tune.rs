@@ -1,0 +1,123 @@
+//! The paper's closing methodology, automated: characterise the over-clock
+//! envelope on the live system, pick an operating point for an objective,
+//! and adapt when the field disagrees.
+//!
+//! "The power dissipation and temperature analysis … can be extended to any
+//! IP block implemented in the FPGA to determine its best trade-off
+//! throughput vs. energy, and design the most power efficient accelerator
+//! for the specific application and platform."
+//!
+//! ```text
+//! cargo run --release --example auto_tune
+//! ```
+
+use pdr_lab::pdr::{Governor, GovernorConfig, Objective, SystemConfig, ZynqPdrSystem};
+use pdr_lab::sim::{Frequency, SimDuration};
+
+fn main() {
+    let mut sys = ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    });
+    let mut gov = Governor::new(GovernorConfig::default());
+
+    println!("== characterising the over-clock envelope at 40 °C ==\n");
+    gov.characterise(&mut sys, 0);
+    println!(
+        "{:>5} | {:>12} | {:>9} | {:>11} | status",
+        "MHz", "thpt [MB/s]", "P_PDR [W]", "PpW [MB/J]"
+    );
+    for p in gov.points() {
+        println!(
+            "{:>5} | {:>12} | {:>9.2} | {:>11} | {}",
+            p.freq_mhz,
+            p.throughput_mb_s
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            p.p_pdr_w,
+            p.ppw_mb_j
+                .map(|e| format!("{e:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            if p.usable { "ok" } else { "UNUSABLE" }
+        );
+    }
+    println!(
+        "\nhighest usable probe: {} MHz (guard band 20 MHz)\n",
+        gov.max_usable_mhz().expect("envelope found")
+    );
+
+    for (label, objective) in [
+        ("maximum throughput", Objective::MaxThroughput),
+        ("maximum efficiency", Objective::MaxEfficiency),
+        (
+            "latency budget 1 ms",
+            Objective::LatencyBudget(SimDuration::from_millis(1)),
+        ),
+    ] {
+        let p = gov.select(objective).clone();
+        println!(
+            "objective {label:<22} -> {} MHz ({} MB/s, {:.2} W, {} MB/J)",
+            p.freq_mhz,
+            p.throughput_mb_s
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_default(),
+            p.p_pdr_w,
+            p.ppw_mb_j.map(|e| format!("{e:.0}")).unwrap_or_default(),
+        );
+    }
+
+    // Field adaptation, part 1: the default guard band survives a heat-gun
+    // excursion to 100 °C.
+    println!("\n== field adaptation ==");
+    let chosen = gov.select(Objective::MaxThroughput).clone();
+    println!(
+        "selected {} MHz; heat gun raises the die to 100 °C…",
+        chosen.freq_mhz
+    );
+    sys.set_die_temp_c(100.0);
+    let bs = sys.make_partial_bitstream(0, 1);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(chosen.freq_mhz));
+    println!(
+        "transfer at {} MHz / 100 °C: CRC {}, interrupt {} — guard band did its job",
+        chosen.freq_mhz,
+        if r.crc_ok() { "valid" } else { "NOT valid" },
+        if r.interrupt_seen { "seen" } else { "lost" }
+    );
+    assert!(r.crc_ok() && r.interrupt_seen);
+
+    // Part 2: an aggressive governor with *no* guard band rides the edge —
+    // and has to back off when the hot die kills the completion interrupt.
+    sys.set_die_temp_c(40.0);
+    let mut aggressive = Governor::new(GovernorConfig {
+        guard_band_mhz: 0,
+        ..GovernorConfig::default()
+    });
+    aggressive.characterise(&mut sys, 0);
+    let edge = aggressive.select_highest().clone();
+    println!(
+        "\nedge-riding governor (no guard band) pins the clock at {} MHz; die heats to 100 °C…",
+        edge.freq_mhz
+    );
+    sys.set_die_temp_c(100.0);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(edge.freq_mhz));
+    println!(
+        "transfer at {} MHz / 100 °C: CRC {}, interrupt {}",
+        edge.freq_mhz,
+        if r.crc_ok() { "valid" } else { "NOT valid" },
+        if r.interrupt_seen { "seen" } else { "lost" }
+    );
+    if !r.crc_ok() || !r.interrupt_seen {
+        let fallback = aggressive
+            .on_failure()
+            .expect("slower point available")
+            .clone();
+        let r2 = sys.reconfigure(0, &bs, Frequency::from_mhz(fallback.freq_mhz));
+        println!(
+            "governor backed off to {} MHz -> CRC {}, {:.1} us",
+            fallback.freq_mhz,
+            if r2.crc_ok() { "valid" } else { "NOT valid" },
+            r2.latency.expect("fallback interrupts").as_micros_f64()
+        );
+        assert!(r2.crc_ok() && r2.interrupt_seen);
+    }
+}

@@ -1,0 +1,337 @@
+//! `pdrlab` — command-line front end for the reproduction.
+//!
+//! ```text
+//! pdrlab table1 [--small] [--csv]  regenerate Table I (--csv on most sweeps)
+//! pdrlab fig5 [--small]           regenerate the Fig. 5 curve
+//! pdrlab stress [--small]         regenerate the Sec. IV-A stress matrix
+//! pdrlab fig6 [--small]           regenerate the Fig. 6 power fan
+//! pdrlab table2 [--small]         regenerate Table II
+//! pdrlab table3 [--small]         regenerate Table III
+//! pdrlab proposed [--small]       run the Sec. VI proposed system
+//! pdrlab headline                 abstract/conclusion headline numbers
+//! pdrlab reconfigure [--rp N] [--mhz F] [--temp T] [--switches 0bXXXXXXXX]
+//!                                 one reconfiguration with an OLED-style report
+//! pdrlab info                     device/floorplan summary
+//! ```
+
+use std::process::ExitCode;
+
+use pdr_core::experiments::{self as exp, ExperimentConfig, TABLE1_PAPER, TABLE2_PAPER};
+use pdr_core::{switch_frequency, FrontPanel, SystemConfig, ZynqPdrSystem};
+use pdr_sim_core::Frequency;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pdrlab <table1|fig5|stress|fig6|table2|table3|proposed|headline|reconfigure|info> [options]\n\
+         options:\n  --small              miniature device (fast)\n  --csv                machine-readable output (table1/fig5/stress/fig6/table2)\n  --rp N               partition index (reconfigure)\n  --mhz F              over-clock frequency in MHz (reconfigure)\n  --temp T             die temperature in °C (reconfigure)\n  --switches BITS      frequency from the 8 slide switches, e.g. 0b00010000"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    small: bool,
+    csv: bool,
+    rp: usize,
+    mhz: u64,
+    temp: f64,
+    switches: Option<u8>,
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        small: false,
+        csv: false,
+        rp: 0,
+        mhz: 200,
+        temp: 40.0,
+        switches: None,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--small" => args.small = true,
+            "--csv" => args.csv = true,
+            "--rp" => args.rp = next("--rp")?.parse().map_err(|e| format!("--rp: {e}"))?,
+            "--mhz" => args.mhz = next("--mhz")?.parse().map_err(|e| format!("--mhz: {e}"))?,
+            "--temp" => {
+                args.temp = next("--temp")?
+                    .parse()
+                    .map_err(|e| format!("--temp: {e}"))?
+            }
+            "--switches" => {
+                let raw = next("--switches")?;
+                let raw = raw.trim_start_matches("0b");
+                let v = u8::from_str_radix(raw, 2).map_err(|e| format!("--switches: {e}"))?;
+                args.switches = Some(v);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn cfg(small: bool) -> ExperimentConfig {
+    if small {
+        ExperimentConfig::small()
+    } else {
+        ExperimentConfig::default()
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into())
+}
+
+fn cmd_table1(a: &Args) {
+    let rows = exp::table1(&cfg(a.small));
+    if a.csv {
+        print!("{}", exp::table1_csv(&rows));
+        return;
+    }
+    println!("Table I — throughput vs frequency (paper values in parentheses)");
+    for (row, (_, paper, _)) in rows.iter().zip(TABLE1_PAPER.iter()) {
+        let (pl, pt) = paper
+            .map(|(l, t)| (format!("{l:.2}"), format!("{t:.2}")))
+            .unwrap_or_else(|| ("N/A".into(), "N/A".into()));
+        println!(
+            "{:>4} MHz | {:>10} us ({:>8}) | {:>8} MB/s ({:>7}) | CRC {}",
+            row.freq_mhz,
+            opt(row.latency_us),
+            pl,
+            opt(row.throughput_mb_s),
+            pt,
+            if row.crc_valid { "valid" } else { "NOT VALID" },
+        );
+    }
+}
+
+fn cmd_fig5(a: &Args) {
+    let pts = exp::fig5(&cfg(a.small));
+    if a.csv {
+        print!("{}", exp::fig5_csv(&pts));
+        return;
+    }
+    println!("Fig. 5 — throughput vs frequency");
+    let max = pts
+        .iter()
+        .filter_map(|p| p.throughput_mb_s)
+        .fold(0.0f64, f64::max);
+    for p in pts {
+        match p.throughput_mb_s {
+            Some(t) => println!(
+                "{:>4} MHz | {t:>8.2} MB/s | {}",
+                p.freq_mhz,
+                "#".repeat((t / max * 60.0) as usize)
+            ),
+            None => println!("{:>4} MHz |      N/A (no interrupt)", p.freq_mhz),
+        }
+    }
+}
+
+fn cmd_stress(a: &Args) {
+    let cells = exp::stress(&cfg(a.small));
+    if a.csv {
+        print!("{}", exp::stress_csv(&cells));
+        return;
+    }
+    println!("Sec. IV-A — temperature stress (ok / -v = no interrupt / %% = corrupt)");
+    let mut freqs: Vec<u64> = cells.iter().map(|c| c.freq_mhz).collect();
+    freqs.sort_unstable();
+    freqs.dedup();
+    print!("{:>7} |", "T\\f");
+    for f in &freqs {
+        print!(" {f:>4}");
+    }
+    println!();
+    for &t in &exp::STRESS_TEMPS_C {
+        print!("{t:>5} C |");
+        for &f in &freqs {
+            let c = cells
+                .iter()
+                .find(|c| c.freq_mhz == f && c.temp_c == t)
+                .expect("cell");
+            print!(
+                " {:>4}",
+                match (c.crc_valid, c.interrupt_seen) {
+                    (true, true) => "ok",
+                    (true, false) => "-v",
+                    (false, _) => "%%",
+                }
+            );
+        }
+        println!();
+    }
+    println!("failures: {:?}", exp::stress_failures(&cells));
+}
+
+fn cmd_fig6(a: &Args) {
+    let pts = exp::fig6(&cfg(a.small));
+    if a.csv {
+        print!("{}", exp::fig6_csv(&pts));
+        return;
+    }
+    println!("Fig. 6 — P_PDR [W] vs frequency and temperature");
+    let mut freqs: Vec<u64> = pts.iter().map(|p| p.freq_mhz).collect();
+    freqs.sort_unstable();
+    freqs.dedup();
+    print!("{:>8} |", "f\\T");
+    for t in exp::FIG6_TEMPS_C {
+        print!(" {t:>6.0}C");
+    }
+    println!();
+    for f in freqs {
+        print!("{f:>4} MHz |");
+        for t in exp::FIG6_TEMPS_C {
+            let p = pts
+                .iter()
+                .find(|p| p.freq_mhz == f && p.temp_c == t)
+                .expect("point");
+            print!(" {:>7.3}", p.p_pdr_w);
+        }
+        println!();
+    }
+}
+
+fn cmd_table2(a: &Args) {
+    let rows = exp::table2(&cfg(a.small));
+    if a.csv {
+        print!("{}", exp::table2_csv(&rows));
+        return;
+    }
+    println!("Table II — power efficiency at 40 °C (paper values in parentheses)");
+    for (row, (_, pw, pt, pp)) in rows.iter().zip(TABLE2_PAPER.iter()) {
+        println!(
+            "{:>4} MHz | {:>5.2} W ({pw:>5.2}) | {:>8.2} MB/s ({pt:>7.2}) | {:>4.0} MB/J ({pp:>4.0})",
+            row.freq_mhz, row.p_pdr_w, row.throughput_mb_s, row.ppw_mb_j
+        );
+    }
+    let best = exp::best_ppw(&rows);
+    println!("best: {} MHz at {:.0} MB/J", best.freq_mhz, best.ppw_mb_j);
+}
+
+fn cmd_table3(a: &Args) {
+    println!("Table III — comparison with related work");
+    for r in exp::table3(&cfg(a.small)) {
+        println!(
+            "{:<10} | {:<16} | {:>4.0} MHz | {:>7.1} MB/s",
+            r.design, r.platform, r.freq_mhz, r.throughput_mb_s
+        );
+    }
+}
+
+fn cmd_proposed(a: &Args) {
+    println!("Sec. VI — proposed SRAM-based PR environment");
+    for r in exp::proposed(&cfg(a.small)) {
+        println!(
+            "{:<24} | {:>8} raw B | {:>8.1} us | {:>7.1} MB/s | ratio {:>4.2} | CRC {}",
+            r.scenario,
+            r.raw_bytes,
+            r.latency_us,
+            r.throughput_mb_s,
+            r.compression_ratio,
+            if r.crc_ok { "ok" } else { "FAIL" }
+        );
+    }
+}
+
+fn cmd_headline() {
+    let h = exp::headline(&ExperimentConfig::default());
+    println!("knee:            {:.0} MHz (paper ~200)", h.knee_mhz);
+    println!(
+        "thpt at knee:    {:.1} MB/s (paper 781.84)",
+        h.knee_throughput_mb_s
+    );
+    println!(
+        "max thpt:        {:.1} MB/s (paper 790.14)",
+        h.max_throughput_mb_s
+    );
+    println!("best PpW:        {:.0} MB/J (paper 599)", h.best_ppw_mb_j);
+    println!(
+        "1.2 MB latency:  {:.1} us for {} bytes at the knee",
+        h.latency_1p2mb_us, h.big_bitstream_bytes
+    );
+}
+
+fn cmd_reconfigure(a: &Args) -> Result<(), String> {
+    let mut sys = if a.small {
+        ZynqPdrSystem::new(SystemConfig::fast_test())
+    } else {
+        ZynqPdrSystem::new(SystemConfig::default())
+    };
+    if a.rp >= sys.floorplan().partitions().len() {
+        return Err(format!("--rp {} out of range", a.rp));
+    }
+    sys.set_die_temp_c(a.temp);
+    let freq = match a.switches {
+        Some(s) => switch_frequency(s),
+        None => Frequency::from_mhz(a.mhz),
+    };
+    let bs = sys.make_partial_bitstream(a.rp, 1);
+    let report = sys.reconfigure(a.rp, &bs, freq);
+    let mut panel = FrontPanel::new();
+    panel.show(&report);
+    println!("{}", panel.render());
+    Ok(())
+}
+
+fn cmd_info(a: &Args) {
+    let sys = if a.small {
+        ZynqPdrSystem::new(SystemConfig::fast_test())
+    } else {
+        ZynqPdrSystem::new(SystemConfig::default())
+    };
+    let g = sys.floorplan().geometry();
+    println!(
+        "device: {} rows x {} columns, {} frames, {} configuration bytes",
+        g.rows(),
+        g.columns().len(),
+        g.total_frames(),
+        g.total_config_bytes()
+    );
+    for p in sys.floorplan().partitions() {
+        println!(
+            "  {}: row {}, columns {:?}, {} frames ({} payload bytes)",
+            p.name(),
+            p.row(),
+            p.columns(),
+            p.frame_count(g),
+            p.payload_bytes(g)
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = match parse_args(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match cmd.as_str() {
+        "table1" => cmd_table1(&args),
+        "fig5" => cmd_fig5(&args),
+        "stress" => cmd_stress(&args),
+        "fig6" => cmd_fig6(&args),
+        "table2" => cmd_table2(&args),
+        "table3" => cmd_table3(&args),
+        "proposed" => cmd_proposed(&args),
+        "headline" => cmd_headline(),
+        "reconfigure" => {
+            if let Err(e) = cmd_reconfigure(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "info" => cmd_info(&args),
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! # pdr-lab
+//!
+//! Umbrella crate for the reproduction of *"Robust Throughput Boosting for Low
+//! Latency Dynamic Partial Reconfiguration"* (Nannarelli et al., SOCC 2017).
+//!
+//! This crate re-exports the whole workspace under one namespace so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel.
+//! * [`axi`] — AXI4-Stream / AXI4-Lite / AXI-MM bus models.
+//! * [`mem`] — DRAM and QDR-II+ SRAM models.
+//! * [`bitstream`] — configuration bitstream toolchain.
+//! * [`fabric`] — FPGA configuration memory and reconfigurable partitions.
+//! * [`timing`] — over-clocking and temperature failure models.
+//! * [`power`] — power/energy models.
+//! * [`dma`] — AXI DMA engine.
+//! * [`icap`] — ICAP primitive and controller.
+//! * [`pdr`] — the paper's contribution: the over-clocked PDR framework,
+//!   experiment harness, baselines, and the proposed SRAM-based design.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdr_lab::pdr::{SystemConfig, ZynqPdrSystem};
+//! use pdr_lab::sim::Frequency;
+//!
+//! // Build the paper's Fig. 2 system and reconfigure partition 0 at the
+//! // nominal 100 MHz.
+//! let mut sys = ZynqPdrSystem::new(SystemConfig::default());
+//! let bitstream = sys.make_partial_bitstream(0, 0xA5);
+//! let report = sys.reconfigure(0, &bitstream, Frequency::from_mhz(100));
+//! assert!(report.crc_ok());
+//! ```
+
+pub use pdr_axi as axi;
+pub use pdr_bitstream as bitstream;
+pub use pdr_core as pdr;
+pub use pdr_dma as dma;
+pub use pdr_fabric as fabric;
+pub use pdr_icap as icap;
+pub use pdr_mem as mem;
+pub use pdr_power as power;
+pub use pdr_sim_core as sim;
+pub use pdr_timing as timing;

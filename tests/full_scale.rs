@@ -1,0 +1,89 @@
+//! Full-scale (ZedBoard-size) end-to-end checks. One representative row of
+//! Table I runs in the normal test suite; the complete sweeps live in the
+//! bench targets (`cargo bench`) and in the `#[ignore]`d tests below
+//! (`cargo test -- --ignored`).
+
+use pdr_lab::fabric::AspKind;
+use pdr_lab::pdr::experiments::{headline, table1, ExperimentConfig, TABLE1_PAPER};
+use pdr_lab::pdr::{SystemConfig, ZynqPdrSystem};
+use pdr_lab::sim::Frequency;
+
+fn full_system() -> ZynqPdrSystem {
+    ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    })
+}
+
+#[test]
+fn full_scale_nominal_row_matches_paper() {
+    // The 100 MHz row of Table I: 1325.60 µs / 399.06 MB/s in the paper.
+    let mut sys = full_system();
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    assert_eq!(
+        bs.len(),
+        528_568,
+        "bitstream size must match the ~529 kB of Table I"
+    );
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(100));
+    assert!(r.crc_ok() && r.interrupt_seen);
+    let lat = r
+        .latency
+        .expect("nominal frequency interrupts")
+        .as_micros_f64();
+    let thpt = r.throughput_mb_s().expect("nominal frequency interrupts");
+    assert!((lat - 1325.60).abs() / 1325.60 < 0.01, "latency {lat} µs");
+    assert!(
+        (thpt - 399.06).abs() / 399.06 < 0.01,
+        "throughput {thpt} MB/s"
+    );
+}
+
+#[test]
+fn full_scale_plateau_row_matches_paper() {
+    // The 240 MHz row: 671.90 µs / 786.96 MB/s in the paper.
+    let mut sys = full_system();
+    let bs = sys.make_asp_bitstream(0, AspKind::AesMix, 2);
+    let r = sys.reconfigure(0, &bs, Frequency::from_mhz(240));
+    let thpt = r.throughput_mb_s().expect("240 MHz interrupts");
+    assert!(
+        (thpt - 786.96).abs() / 786.96 < 0.01,
+        "throughput {thpt} MB/s"
+    );
+}
+
+#[test]
+fn full_scale_pcap_is_5x_slower() {
+    let mut sys = full_system();
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 3);
+    let pcap = sys.reconfigure_pcap(0, &bs);
+    let icap = sys.reconfigure(0, &bs, Frequency::from_mhz(200));
+    let ratio = icap.throughput_mb_s().expect("ICAP interrupts")
+        / pcap.throughput_mb_s().expect("PCAP completes");
+    assert!(ratio > 5.0, "ICAP/PCAP ratio {ratio}");
+}
+
+#[test]
+#[ignore = "full Table I sweep (~10 s in dev profile); run with --ignored"]
+fn full_scale_table1_sweep() {
+    let rows = table1(&ExperimentConfig::default());
+    for (row, (mhz, paper, crc)) in rows.iter().zip(TABLE1_PAPER.iter()) {
+        assert_eq!(row.crc_valid, *crc, "{mhz} MHz CRC regime");
+        match (row.throughput_mb_s, paper) {
+            (Some(m), Some((_, p))) => {
+                assert!((m - p).abs() / p < 0.01, "{mhz} MHz: {m} vs paper {p}")
+            }
+            (None, None) => {}
+            other => panic!("{mhz} MHz interrupt regime diverges: {other:?}"),
+        }
+    }
+}
+
+#[test]
+#[ignore = "headline metrics (~20 s in dev profile); run with --ignored"]
+fn full_scale_headline() {
+    let h = headline(&ExperimentConfig::default());
+    assert!((190.0..=210.0).contains(&h.knee_mhz));
+    assert!((560.0..=640.0).contains(&h.best_ppw_mb_j));
+    assert!(h.big_bitstream_bytes > 1_150_000 && h.big_bitstream_bytes < 1_300_000);
+}

@@ -1,0 +1,141 @@
+//! Property tests of the AXI substrate: data integrity through the width
+//! converter and the multi-master interconnect under arbitrary traffic.
+
+use proptest::prelude::*;
+
+use pdr_lab::axi::interconnect::{ReadInterconnect, SlaveEndpoints};
+use pdr_lab::axi::mm::{ReadBeat, ReadReq};
+use pdr_lab::axi::width::{Width64To32, Word32};
+use pdr_lab::axi::StreamBeat;
+use pdr_lab::sim::{fifo_channel, Component, EdgeCtx, Engine, Frequency, SimDuration};
+
+/// Memory stub: data word = address-derived tag so routing errors are
+/// detectable by value.
+struct TagMem {
+    ep: SlaveEndpoints,
+    current: Option<(ReadReq, u16)>,
+}
+impl Component for TagMem {
+    fn name(&self) -> &str {
+        "tag-mem"
+    }
+    fn on_clock_edge(&mut self, _ctx: &mut EdgeCtx<'_>) {
+        if self.current.is_none() {
+            self.current = self.ep.req.pop().map(|r| (r, 0));
+        }
+        if let Some((req, sent)) = self.current {
+            if self.ep.beats.can_push() {
+                let last = sent + 1 == req.beats;
+                let addr = req.addr + sent as u64 * 8;
+                self.ep
+                    .beats
+                    .try_push(ReadBeat {
+                        id: req.id,
+                        data: addr ^ ((req.id as u64) << 56),
+                        last,
+                    })
+                    .expect("space checked");
+                self.current = if last { None } else { Some((req, sent + 1)) };
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The width converter emits exactly the low/high halves of every beat,
+    /// in order, with `last` only on the final word — for arbitrary beat
+    /// streams and drain schedules.
+    #[test]
+    fn width_converter_preserves_data(
+        beats in proptest::collection::vec(any::<u64>(), 1..64),
+        drain_every in 1u64..8,
+    ) {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("oc", Frequency::from_mhz(200));
+        let (btx, brx) = fifo_channel::<StreamBeat>("in", 256);
+        let (wtx, wrx) = fifo_channel::<Word32>("out", 8); // small: backpressure
+        e.add_component(Width64To32::new("wc", brx, wtx), Some(clk));
+        for (i, &d) in beats.iter().enumerate() {
+            btx.try_push(StreamBeat::full(d, i == beats.len() - 1)).unwrap();
+        }
+        let mut words = Vec::new();
+        let mut guard = 0;
+        while words.len() < beats.len() * 2 {
+            e.run_for(SimDuration::from_nanos(5 * drain_every));
+            while let Some(w) = wrx.pop() {
+                words.push(w);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "converter hung");
+        }
+        let expect: Vec<u32> = beats
+            .iter()
+            .flat_map(|&d| [d as u32, (d >> 32) as u32])
+            .collect();
+        prop_assert_eq!(words.iter().map(|w| w.data).collect::<Vec<_>>(), expect);
+        let lasts: Vec<bool> = words.iter().map(|w| w.last).collect();
+        prop_assert!(lasts[..lasts.len() - 1].iter().all(|&l| !l));
+        prop_assert!(lasts[lasts.len() - 1]);
+    }
+
+    /// Every master of the interconnect receives exactly its own bursts,
+    /// complete and in issue order, for arbitrary request interleavings.
+    #[test]
+    fn interconnect_routes_every_beat_to_its_owner(
+        script in proptest::collection::vec((0usize..3, 1u16..32), 1..24),
+    ) {
+        let mut e = Engine::new();
+        let clk = e.add_clock_domain("axi", Frequency::from_mhz(100));
+        let (mut ic, slave) = ReadInterconnect::new("ic", 4, 8);
+        let masters: Vec<_> = (0..3).map(|_| ic.add_master(512)).collect();
+        e.add_component(TagMem { ep: slave, current: None }, Some(clk));
+        e.add_component(ic, Some(clk));
+
+        // Issue the script: per master, bursts tagged by unique addresses.
+        let mut expected: Vec<Vec<(u64, u16)>> = vec![Vec::new(); 3];
+        let mut next_addr = 0u64;
+        for &(m, beats) in &script {
+            let (id, ep) = &masters[m];
+            // Queue may be shallow; run the engine until there is room.
+            let mut guard = 0;
+            while ep.req.try_push(ReadReq::new(*id, next_addr, beats)).is_err() {
+                e.run_for(SimDuration::from_micros(1));
+                guard += 1;
+                prop_assert!(guard < 1000, "request queue never drained");
+            }
+            expected[m].push((next_addr, beats));
+            next_addr += 0x10_000;
+        }
+        let total_beats: usize = script.iter().map(|&(_, b)| b as usize).sum();
+        let mut got: Vec<Vec<ReadBeat>> = vec![Vec::new(); 3];
+        let mut guard = 0;
+        while got.iter().map(Vec::len).sum::<usize>() < total_beats {
+            e.run_for(SimDuration::from_micros(1));
+            for (m, (_, ep)) in masters.iter().enumerate() {
+                while let Some(b) = ep.beats.pop() {
+                    got[m].push(b);
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "interconnect hung");
+        }
+        // Validate per master: bursts arrive whole, in order, with the
+        // owner's tag in every beat.
+        for (m, bursts) in expected.iter().enumerate() {
+            let mut cursor = 0usize;
+            for &(addr, beats) in bursts {
+                for k in 0..beats {
+                    let beat = got[m][cursor];
+                    prop_assert_eq!(beat.id as usize, m);
+                    let want = (addr + k as u64 * 8) ^ ((m as u64) << 56);
+                    prop_assert_eq!(beat.data, want, "master {} beat {}", m, cursor);
+                    prop_assert_eq!(beat.last, k + 1 == beats);
+                    cursor += 1;
+                }
+            }
+            prop_assert_eq!(cursor, got[m].len(), "master {} got extra beats", m);
+        }
+    }
+}

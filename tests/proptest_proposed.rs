@@ -1,0 +1,89 @@
+//! Property tests of the Sec. VI proposed pipeline: for arbitrary image
+//! compressibility, the staged transfer is lossless and its rate stays
+//! inside the physical bounds.
+
+use proptest::prelude::*;
+
+use pdr_lab::bitstream::{Builder, Frame};
+use pdr_lab::fabric::{ColumnKind, Floorplan, Geometry, Partition};
+use pdr_lab::pdr::proposed::{ProposedConfig, ProposedSystem};
+use pdr_lab::pdr::system::IDCODE;
+use pdr_lab::sim::Xoshiro256StarStar;
+
+fn small_system(compress: bool) -> ProposedSystem {
+    let geometry = Geometry::new(1, vec![ColumnKind::Clb; 6]);
+    let partitions = vec![Partition::new("RP1", 0, 0..4)];
+    ProposedSystem::new(ProposedConfig {
+        floorplan: Floorplan::new(geometry, partitions),
+        compress,
+        ..ProposedConfig::default()
+    })
+}
+
+fn image(template_pct: u64, frames: u32, seed: u64) -> Vec<Frame> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..frames)
+        .map(|_| {
+            if rng.next_bounded(100) < template_pct {
+                Frame::zeroed()
+            } else {
+                let mut f = Frame::zeroed();
+                for w in f.words_mut() {
+                    *w = rng.next_u64() as u32;
+                }
+                f
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Compressed staging is lossless and rate-bounded for any template
+    /// fraction.
+    #[test]
+    fn compressed_staging_is_lossless_and_bounded(
+        template_pct in 0u64..=100,
+        seed in 0u64..1000,
+    ) {
+        let mut sys = small_system(true);
+        let p = sys.config().floorplan.partition(0).clone();
+        let frames = p.frame_count(sys.config().floorplan.geometry());
+        let mut b = Builder::new(IDCODE);
+        b.add_frames(p.start_far(), image(template_pct, frames, seed));
+        let bs = b.build();
+        let r = sys.reconfigure(&bs);
+        prop_assert!(r.crc_ok, "{r:?}");
+        // Physical bounds: never below the SRAM port (minus pipeline slop),
+        // never above the 550 MHz ICAP macro.
+        let sram_bound = sys.theoretical_bound_mb_s();
+        prop_assert!(r.throughput_mb_s >= 0.90 * sram_bound, "{r:?}");
+        prop_assert!(r.throughput_mb_s <= 2200.0 + 1.0, "{r:?}");
+        // Stored ratio behaves: ≤ ~1 plus token overhead, and shrinks with
+        // template content.
+        prop_assert!(r.compression_ratio <= 1.02, "{r:?}");
+        if template_pct >= 90 {
+            prop_assert!(r.compression_ratio < 0.2, "{r:?}");
+            prop_assert!(r.throughput_mb_s > 1.4 * sram_bound, "{r:?}");
+        }
+    }
+
+    /// Raw staging always lands at the SRAM bound, independent of content.
+    #[test]
+    fn raw_staging_is_content_independent(
+        template_pct in 0u64..=100,
+        seed in 0u64..1000,
+    ) {
+        let mut sys = small_system(false);
+        let p = sys.config().floorplan.partition(0).clone();
+        let frames = p.frame_count(sys.config().floorplan.geometry());
+        let mut b = Builder::new(IDCODE);
+        b.add_frames(p.start_far(), image(template_pct, frames, seed));
+        let r = sys.reconfigure(&b.build());
+        prop_assert!(r.crc_ok);
+        prop_assert_eq!(r.compression_ratio, 1.0);
+        let bound = sys.theoretical_bound_mb_s();
+        prop_assert!((r.throughput_mb_s / bound - 1.0).abs() < 0.05, "{r:?}");
+    }
+}

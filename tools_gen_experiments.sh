@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerates EXPERIMENTS.md from the per-experiment reports produced by
+# `cargo bench` (each bench target writes target/experiments/<name>.md).
+set -e
+cd "$(dirname "$0")"
+out=EXPERIMENTS.md
+cat > "$out" <<'HDR'
+# EXPERIMENTS — paper vs. measured (simulation)
+
+Every table and figure of *"Robust Throughput Boosting for Low Latency
+Dynamic Partial Reconfiguration"* (Nannarelli et al., SOCC 2017), regenerated
+on the cycle-level simulation in this repository. Each section below is
+written by its bench target (`cargo bench -p pdr-bench --bench <name>`); run
+`./tools_gen_experiments.sh` after `cargo bench` to refresh this file.
+
+Absolute numbers are produced by a calibrated simulator, not the authors'
+ZedBoard; the calibration constants and their provenance are listed in
+DESIGN.md. The *shape* claims (who wins, knee position, failure regimes,
+single stress-failure cell) are asserted programmatically inside the bench
+targets and integration tests — a regression that changes any qualitative
+result fails the build.
+
+HDR
+for f in table1 fig5 temp_stress fig6 table2 table3 proposed headline \
+         ablation_fifo ablation_burst ablation_crc ablation_compress ablation_interconnect ablation_size ablation_guardband ablation_contention seu_campaign; do
+  if [ -f "target/experiments/$f.md" ]; then
+    cat "target/experiments/$f.md" >> "$out"
+    echo >> "$out"
+  else
+    echo "missing report: target/experiments/$f.md (run cargo bench first)" >&2
+  fi
+done
+echo "wrote $out"
