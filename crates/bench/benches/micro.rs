@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the substrate hot paths: how fast the
-//! simulator itself runs (useful when sizing sweeps) and the throughput of
-//! the bitstream toolchain.
+//! Micro-benchmarks of the substrate hot paths: how fast the simulator
+//! itself runs (useful when sizing sweeps) and the throughput of the
+//! bitstream toolchain. Runs on the in-repo [`pdr_bench::harness`]
+//! (criterion-compatible surface, no external crates).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pdr_bench::harness::{BatchSize, Criterion, Throughput};
+use pdr_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use pdr_bitstream::{compress_frames, decompress, Builder, Crc32, Frame, FrameAddress, Parser};

@@ -2,7 +2,7 @@
 //! Table I frequency up to 310 MHz at die temperatures 40–100 °C.
 //!
 //! Every cell is an independent simulation (its own `Engine`), so the sweep
-//! fans out across threads with crossbeam's scoped threads.
+//! fans out across `std::thread::scope` workers.
 
 use pdr_bench::{publish, Table};
 use pdr_core::experiments::{StressCell, STRESS_TEMPS_C, TABLE1_FREQS_MHZ};
@@ -47,17 +47,16 @@ fn main() {
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut cells: Vec<Option<StressCell>> = vec![None; points.len()];
     let cells_mutex = std::sync::Mutex::new(&mut cells);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(f, t)) = points.get(i) else { break };
                 let cell = run_cell(f, t);
                 cells_mutex.lock().expect("poisoned")[i] = Some(cell);
             });
         }
-    })
-    .expect("stress workers");
+    });
     let cells: Vec<StressCell> = cells
         .into_iter()
         .map(|c| c.expect("every cell computed"))

@@ -8,6 +8,8 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+pub mod harness;
+
 /// Where experiment reports land.
 pub fn report_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = <workspace>/crates/bench

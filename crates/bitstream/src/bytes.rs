@@ -1,0 +1,117 @@
+//! A minimal immutable byte container backed by `Arc<[u8]>`.
+//!
+//! This is the in-repo stand-in for the `bytes` crate's `Bytes`: cloning is a
+//! reference-count bump, the contents never change after construction, and
+//! [`Deref`] to `[u8]` gives indexing and the whole slice API. The workspace
+//! builds hermetically, so the handful of operations the bitstream container
+//! needs live here instead of in an external crate.
+
+use core::fmt;
+use core::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable bytes.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty byte string.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the container holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&a)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn slice_api_via_deref() {
+        let b = Bytes::from(vec![10u8, 20, 30, 40]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[2], 30);
+        assert_eq!(&b[1..3], &[20, 30]);
+        assert_eq!(b.iter().copied().sum::<u8>(), 100);
+        assert_eq!(b.to_vec(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn empty_and_conversions() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from([5u8, 6]).as_slice(), &[5, 6]);
+        assert_eq!(Bytes::copy_from_slice(&[7]).len(), 1);
+    }
+}

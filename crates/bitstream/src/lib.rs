@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod bytes;
 pub mod compress;
 pub mod crc;
 pub mod frame;
@@ -55,6 +56,7 @@ pub mod packet;
 pub mod parser;
 
 pub use builder::Builder;
+pub use bytes::Bytes;
 pub use compress::{compress_frames, decompress, StreamingDecompressor};
 pub use crc::{ConfigCrc, Crc32};
 pub use frame::{BlockType, Frame, FrameAddress, FRAME_WORDS};

@@ -1,6 +1,6 @@
 //! Configuration packets, registers and the [`Bitstream`] container.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use core::fmt;
 
 /// The synchronisation word that starts configuration.

@@ -22,15 +22,14 @@
 //! * **PCAP**: the Zynq processor configuration access port, ~145 MB/s —
 //!   the no-PL-logic fallback.
 
-use pdr_sim_core::Frequency;
+use pdr_sim_core::{impl_json_struct, Frequency};
 use pdr_timing::{CriticalPath, OverclockModel};
-use serde::{Deserialize, Serialize};
 
 use crate::report::CrcStatus;
 use crate::system::{SystemConfig, ZynqPdrSystem};
 
 /// Outcome of running a baseline at an operating point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineOutcome {
     /// Delivered throughput, `None` if the transfer failed.
     pub throughput_mb_s: Option<f64>,
@@ -40,6 +39,12 @@ pub struct BaselineOutcome {
     /// The whole FPGA froze (VF-2012 above 300 MHz).
     pub froze: bool,
 }
+
+impl_json_struct!(BaselineOutcome {
+    throughput_mb_s,
+    undetected_failure,
+    froze,
+});
 
 impl BaselineOutcome {
     fn ok(t: f64) -> Self {

@@ -15,8 +15,7 @@
 //! measured distribution against that bound.
 
 use pdr_sim_core::stats::OnlineStats;
-use pdr_sim_core::{SimDuration, Xoshiro256StarStar};
-use serde::{Deserialize, Serialize};
+use pdr_sim_core::{impl_json_struct, SimDuration, Xoshiro256StarStar};
 
 use crate::system::ZynqPdrSystem;
 
@@ -46,7 +45,7 @@ impl Default for SeuCampaign {
 }
 
 /// Campaign outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// Upsets detected by the monitor.
     pub detected: u32,
@@ -61,8 +60,16 @@ pub struct CampaignResult {
     pub scan_period_us: f64,
 }
 
+impl_json_struct!(CampaignResult {
+    detected,
+    missed,
+    false_alarms,
+    latency_us,
+    scan_period_us,
+});
+
 /// A serialisable summary of an [`OnlineStats`] accumulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsSummary {
     /// Sample count.
     pub count: u64,
@@ -75,6 +82,14 @@ pub struct StatsSummary {
     /// Maximum.
     pub max: f64,
 }
+
+impl_json_struct!(StatsSummary {
+    count,
+    mean,
+    std_dev,
+    min,
+    max
+});
 
 impl From<&OnlineStats> for StatsSummary {
     fn from(s: &OnlineStats) -> Self {

@@ -8,8 +8,7 @@
 use pdr_bitstream::{Bitstream, Builder};
 use pdr_fabric::{AspImage, AspKind, Geometry};
 use pdr_power::knee_frequency_mhz;
-use pdr_sim_core::Frequency;
-use serde::{Deserialize, Serialize};
+use pdr_sim_core::{impl_json_struct, Frequency};
 
 use crate::baselines::{Hkt2011, Hp2011, Vf2012};
 use crate::proposed::{ProposedConfig, ProposedSystem};
@@ -85,7 +84,7 @@ pub const TABLE1_PAPER: [PaperTable1Row; 9] = [
 ];
 
 /// One measured row of Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// ICAP/DMA over-clock frequency in MHz.
     pub freq_mhz: u64,
@@ -98,6 +97,14 @@ pub struct Table1Row {
     /// Whether the completion interrupt arrived.
     pub interrupt_seen: bool,
 }
+
+impl_json_struct!(Table1Row {
+    freq_mhz,
+    latency_us,
+    throughput_mb_s,
+    crc_valid,
+    interrupt_seen,
+});
 
 /// Runs Table I: one reconfiguration per tested frequency at 40 °C.
 pub fn table1(cfg: &ExperimentConfig) -> Vec<Table1Row> {
@@ -123,13 +130,18 @@ pub fn table1(cfg: &ExperimentConfig) -> Vec<Table1Row> {
 // ---------------------------------------------------------------------------
 
 /// One point of the Fig. 5 curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig5Point {
     /// Frequency in MHz.
     pub freq_mhz: u64,
     /// Throughput in MB/s (`None` where the interrupt is lost).
     pub throughput_mb_s: Option<f64>,
 }
+
+impl_json_struct!(Fig5Point {
+    freq_mhz,
+    throughput_mb_s,
+});
 
 /// Runs Fig. 5: 100–310 MHz in 10 MHz steps at 40 °C.
 pub fn fig5(cfg: &ExperimentConfig) -> Vec<Fig5Point> {
@@ -152,7 +164,7 @@ pub fn fig5(cfg: &ExperimentConfig) -> Vec<Fig5Point> {
 // ---------------------------------------------------------------------------
 
 /// One cell of the stress matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StressCell {
     /// Frequency in MHz.
     pub freq_mhz: u64,
@@ -163,6 +175,13 @@ pub struct StressCell {
     /// Whether the completion interrupt arrived.
     pub interrupt_seen: bool,
 }
+
+impl_json_struct!(StressCell {
+    freq_mhz,
+    temp_c,
+    crc_valid,
+    interrupt_seen,
+});
 
 /// The temperatures of the stress protocol.
 pub const STRESS_TEMPS_C: [f64; 7] = [40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
@@ -207,7 +226,7 @@ pub fn stress_failures(cells: &[StressCell]) -> Vec<(u64, f64)> {
 // ---------------------------------------------------------------------------
 
 /// One point of the Fig. 6 fan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig6Point {
     /// Die temperature in °C.
     pub temp_c: f64,
@@ -216,6 +235,12 @@ pub struct Fig6Point {
     /// P_PDR in W (board reading minus P0).
     pub p_pdr_w: f64,
 }
+
+impl_json_struct!(Fig6Point {
+    temp_c,
+    freq_mhz,
+    p_pdr_w,
+});
 
 /// The temperatures plotted in Fig. 6.
 pub const FIG6_TEMPS_C: [f64; 4] = [40.0, 60.0, 80.0, 100.0];
@@ -253,7 +278,7 @@ pub const TABLE2_PAPER: [(u64, f64, f64, f64); 6] = [
 ];
 
 /// One measured row of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2Row {
     /// Frequency in MHz.
     pub freq_mhz: u64,
@@ -267,6 +292,14 @@ pub struct Table2Row {
     /// of PpW: minimal exactly where PpW peaks.
     pub energy_mj: f64,
 }
+
+impl_json_struct!(Table2Row {
+    freq_mhz,
+    p_pdr_w,
+    throughput_mb_s,
+    ppw_mb_j,
+    energy_mj,
+});
 
 /// Runs Table II at 40 °C.
 pub fn table2(cfg: &ExperimentConfig) -> Vec<Table2Row> {
@@ -300,7 +333,7 @@ pub fn best_ppw(rows: &[Table2Row]) -> Table2Row {
 // ---------------------------------------------------------------------------
 
 /// One row of Table III.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Design label.
     pub design: String,
@@ -311,6 +344,13 @@ pub struct Table3Row {
     /// Throughput in MB/s.
     pub throughput_mb_s: f64,
 }
+
+impl_json_struct!(Table3Row {
+    design,
+    platform,
+    freq_mhz,
+    throughput_mb_s,
+});
 
 /// Paper values of Table III.
 pub const TABLE3_PAPER: [(&str, &str, f64, f64); 4] = [
@@ -362,7 +402,7 @@ pub fn table3(cfg: &ExperimentConfig) -> Vec<Table3Row> {
 // ---------------------------------------------------------------------------
 
 /// Results of the proposed-system experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProposedRow {
     /// Scenario label.
     pub scenario: String,
@@ -377,6 +417,15 @@ pub struct ProposedRow {
     /// Whether the configuration verified.
     pub crc_ok: bool,
 }
+
+impl_json_struct!(ProposedRow {
+    scenario,
+    raw_bytes,
+    latency_us,
+    throughput_mb_s,
+    compression_ratio,
+    crc_ok,
+});
 
 /// Runs the Sec. VI experiment: the measured system's best point vs the
 /// proposed system raw and compressed.
@@ -423,7 +472,7 @@ pub fn proposed(cfg: &ExperimentConfig) -> Vec<ProposedRow> {
 // ---------------------------------------------------------------------------
 
 /// The headline metrics the abstract/conclusion quote.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Headline {
     /// Knee of the throughput curve in MHz (paper: ~200).
     pub knee_mhz: f64,
@@ -440,6 +489,15 @@ pub struct Headline {
     /// Size of the "1.2 MB" bitstream actually used, bytes.
     pub big_bitstream_bytes: u64,
 }
+
+impl_json_struct!(Headline {
+    knee_mhz,
+    knee_throughput_mb_s,
+    max_throughput_mb_s,
+    best_ppw_mb_j,
+    latency_1p2mb_us,
+    big_bitstream_bytes,
+});
 
 /// Builds a ~1.2 MB partial bitstream spanning row 0 entirely plus the start
 /// of row 1 (2996 frames) on the full-scale geometry.
@@ -503,7 +561,7 @@ pub fn headline(cfg: &ExperimentConfig) -> Headline {
 // ---------------------------------------------------------------------------
 
 /// One point of the bitstream-size sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizeSweepRow {
     /// Bitstream size in bytes.
     pub bytes: u64,
@@ -512,6 +570,12 @@ pub struct SizeSweepRow {
     /// Throughput in MB/s.
     pub throughput_mb_s: f64,
 }
+
+impl_json_struct!(SizeSweepRow {
+    bytes,
+    latency_us,
+    throughput_mb_s,
+});
 
 /// Sweeps bitstream size at the knee frequency (200 MHz): reconfiguration
 /// latency is linear in size while throughput stays at the plateau — the

@@ -38,13 +38,12 @@
 //! ```
 
 use pdr_sim_core::Frequency;
-use serde::{Deserialize, Serialize};
 
 use crate::report::CrcStatus;
 use crate::system::ZynqPdrSystem;
 
 /// One characterised operating point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatingPoint {
     /// Over-clock frequency in MHz.
     pub freq_mhz: u64,
@@ -60,6 +59,15 @@ pub struct OperatingPoint {
     /// The point completed with a verified CRC and a completion interrupt.
     pub usable: bool,
 }
+
+pdr_sim_core::impl_json_struct!(OperatingPoint {
+    freq_mhz,
+    throughput_mb_s,
+    latency_us,
+    p_pdr_w,
+    ppw_mb_j,
+    usable,
+});
 
 /// What the governor optimises for.
 #[derive(Debug, Clone, Copy, PartialEq)]

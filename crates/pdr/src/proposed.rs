@@ -27,7 +27,6 @@ use pdr_sim_core::{
     Component, ComponentId, Consumer, EdgeCtx, Engine, Frequency, IrqBus, IrqLine, Producer,
     SimDuration, SimTime,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::system::{bitstream_payload, frames_crc, IDCODE};
 
@@ -81,7 +80,7 @@ struct StagedJob {
 }
 
 /// Outcome of one proposed-system reconfiguration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProposedReport {
     /// Raw bitstream size in bytes.
     pub raw_bytes: u64,
@@ -99,6 +98,16 @@ pub struct ProposedReport {
     /// Compression ratio (sram/raw payload), 1.0 when disabled.
     pub compression_ratio: f64,
 }
+
+pdr_sim_core::impl_json_struct!(ProposedReport {
+    raw_bytes,
+    sram_bytes,
+    latency,
+    throughput_mb_s,
+    crc_ok,
+    preload_time,
+    compression_ratio,
+});
 
 /// Feeds the ICAP from the SRAM stream, decompressing the frame payload —
 /// the PR Controller's datapath half plus the Bitstream Decompressor of

@@ -1,10 +1,9 @@
 //! Reconfiguration reports: what one `reconfigure` call observed.
 
-use pdr_sim_core::{Frequency, SimDuration};
-use serde::{Deserialize, Serialize};
+use pdr_sim_core::{impl_json_enum, impl_json_struct, Frequency, SimDuration};
 
 /// Outcome of the CRC read-back verification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrcStatus {
     /// The configured region matches the intended bitstream.
     Valid,
@@ -14,9 +13,15 @@ pub enum CrcStatus {
     NotChecked,
 }
 
+impl_json_enum!(CrcStatus {
+    Valid,
+    Invalid,
+    NotChecked
+});
+
 /// Everything observed during one partial reconfiguration — the raw material
 /// for every row of Table I/II and every cell of the stress matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigReport {
     /// The over-clock frequency used, in Hz.
     pub frequency_hz: u64,
@@ -45,6 +50,20 @@ pub struct ReconfigReport {
     /// without a latency measurement.
     pub energy_j: Option<f64>,
 }
+
+impl_json_struct!(ReconfigReport {
+    frequency_hz,
+    die_temp_c,
+    bitstream_bytes,
+    latency,
+    interrupt_seen,
+    crc,
+    stream_crc_ok,
+    frames_written,
+    corrupted_words,
+    p_pdr_w,
+    energy_j,
+});
 
 impl ReconfigReport {
     /// True when the read-back verified the configuration.
@@ -155,5 +174,38 @@ mod tests {
         assert!(r.summary().contains("CRC valid"));
         r.crc = CrcStatus::Invalid;
         assert!(r.summary().contains("not valid"));
+    }
+
+    #[test]
+    fn report_json_round_trips_with_latency() {
+        use pdr_sim_core::json::{FromJson, ToJson};
+        let r = report(Some(676));
+        let text = r.to_json_string();
+        assert!(text.contains("\"crc\":\"Valid\""), "{text}");
+        let back = ReconfigReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_json_round_trips_without_latency() {
+        use pdr_sim_core::json::{FromJson, ToJson};
+        let r = report(None);
+        let text = r.to_json_string();
+        // Absent optionals render as null and come back as None.
+        assert!(text.contains("\"latency\":null"), "{text}");
+        let back = ReconfigReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, r);
+        assert_eq!(back.latency, None);
+        assert_eq!(back.energy_j, None);
+    }
+
+    #[test]
+    fn crc_status_json_round_trips_every_variant() {
+        use pdr_sim_core::json::{FromJson, ToJson};
+        for status in [CrcStatus::Valid, CrcStatus::Invalid, CrcStatus::NotChecked] {
+            let j = status.to_json();
+            assert_eq!(CrcStatus::from_json(&j).expect("decodes"), status);
+        }
+        assert!(CrcStatus::from_json_str("\"Bogus\"").is_err());
     }
 }

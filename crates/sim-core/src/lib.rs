@@ -25,6 +25,9 @@
 //!   trace as a waveform file for GTKWave-style inspection.
 //! * [`rng`] — a locally implemented SplitMix64 / xoshiro256\*\* PRNG so that
 //!   simulation streams are bit-stable regardless of external crate versions.
+//! * [`json`] — a dependency-free JSON encoder/decoder (the workspace builds
+//!   hermetically, with no external crates) used by reports and experiment
+//!   harnesses.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod component;
 pub mod engine;
 pub mod fifo;
 pub mod irq;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -20,10 +20,7 @@ pub const PS_PER_NS: u64 = 1_000;
 /// An instant in simulated time, measured in picoseconds from simulation start.
 ///
 /// `SimTime` is a monotone clock: the engine only ever moves it forward.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -105,10 +102,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulated time in picoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -239,6 +233,52 @@ impl fmt::Display for SimDuration {
     }
 }
 
+// Time types serialise transparently as their raw integer (picoseconds for
+// instants/durations, hertz for frequencies), matching the former
+// `#[serde(transparent)]` wire format.
+
+impl crate::json::ToJson for SimTime {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.0)
+    }
+}
+
+impl crate::json::FromJson for SimTime {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        u64::from_json(v).map(SimTime)
+    }
+}
+
+impl crate::json::ToJson for SimDuration {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.0)
+    }
+}
+
+impl crate::json::FromJson for SimDuration {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        u64::from_json(v).map(SimDuration)
+    }
+}
+
+impl crate::json::ToJson for Frequency {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.0)
+    }
+}
+
+impl crate::json::FromJson for Frequency {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let hz = u64::from_json(v)?;
+        if hz == 0 {
+            return Err(crate::json::JsonError {
+                msg: "frequency must be non-zero".into(),
+            });
+        }
+        Ok(Frequency(hz))
+    }
+}
+
 fn format_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     if ps >= PS_PER_SEC {
         write!(f, "{:.6} s", ps as f64 / PS_PER_SEC as f64)
@@ -259,10 +299,7 @@ fn format_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 /// after a phase origin is computed as `n * 10^12 / hz` in 128-bit integers,
 /// so long runs at frequencies whose period is not an integer number of
 /// picoseconds (e.g. 280 MHz → 3571.428… ps) accumulate no drift.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Frequency(u64);
 
 impl Frequency {

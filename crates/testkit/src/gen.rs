@@ -1,0 +1,315 @@
+//! Value generators: pure functions from a [`Choices`] tape to a value.
+//!
+//! Every generator maps *smaller draws to simpler values* (ranges start at
+//! their lower bound, `one_of` prefers its first alternative, vectors get
+//! shorter), so that tape-level shrinking produces minimal counterexamples.
+
+use std::fmt::Debug;
+use std::ops::{Bound, RangeBounds};
+use std::rc::Rc;
+
+use crate::choices::Choices;
+use crate::runner::discard;
+
+/// A generator of `T` values.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Choices) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a drawing function.
+    pub fn from_fn(f: impl Fn(&mut Choices) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Produces a value from the tape.
+    pub fn generate(&self, src: &mut Choices) -> T {
+        (self.f)(src)
+    }
+
+    /// Applies `f` to every generated value.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::from_fn(move |src| f(self.generate(src)))
+    }
+
+    /// Keeps only values satisfying `pred`; after 100 consecutive rejections
+    /// the whole test case is discarded (like `prop_assume!`).
+    pub fn filter(self, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        Gen::from_fn(move |src| {
+            for _ in 0..100 {
+                let v = self.generate(src);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            discard()
+        })
+    }
+}
+
+fn bounds_u64(r: impl RangeBounds<u64>) -> (u64, u64) {
+    let lo = match r.start_bound() {
+        Bound::Included(&x) => x,
+        Bound::Excluded(&x) => x + 1,
+        Bound::Unbounded => 0,
+    };
+    let hi = match r.end_bound() {
+        Bound::Included(&x) => x,
+        Bound::Excluded(&x) => x.checked_sub(1).expect("empty range"),
+        Bound::Unbounded => u64::MAX,
+    };
+    assert!(lo <= hi, "empty range {lo}..={hi}");
+    (lo, hi)
+}
+
+fn draw_u64_in(src: &mut Choices, lo: u64, hi: u64) -> u64 {
+    if lo == 0 && hi == u64::MAX {
+        return src.draw();
+    }
+    // Modulo mapping keeps the draw→value map monotone near zero, which is
+    // what makes tape shrinking converge to the range's lower bound. The
+    // modulo bias is irrelevant for test-case generation.
+    lo + src.draw() % (hi - lo + 1)
+}
+
+/// Uniform `u64` in the given range.
+pub fn u64s(r: impl RangeBounds<u64> + 'static) -> Gen<u64> {
+    let (lo, hi) = bounds_u64(r);
+    Gen::from_fn(move |src| draw_u64_in(src, lo, hi))
+}
+
+/// Uniform `u32` in the given range.
+pub fn u32s(r: impl RangeBounds<u32> + 'static) -> Gen<u32> {
+    let (lo, hi) = bounds_u64((
+        map_bound_u64(r.start_bound(), |x| x as u64),
+        map_bound_u64(r.end_bound(), |x| x as u64),
+    ));
+    Gen::from_fn(move |src| draw_u64_in(src, lo, hi) as u32)
+}
+
+/// Uniform `u16` in the given range.
+pub fn u16s(r: impl RangeBounds<u16> + 'static) -> Gen<u16> {
+    let (lo, hi) = bounds_u64((
+        map_bound_u64(r.start_bound(), |x| x as u64),
+        map_bound_u64(r.end_bound(), |x| x as u64),
+    ));
+    Gen::from_fn(move |src| draw_u64_in(src, lo, hi) as u16)
+}
+
+/// Uniform `usize` in the given range.
+pub fn usizes(r: impl RangeBounds<usize> + 'static) -> Gen<usize> {
+    let (lo, hi) = bounds_u64((
+        map_bound_u64(r.start_bound(), |x| x as u64),
+        map_bound_u64(r.end_bound(), |x| x as u64),
+    ));
+    Gen::from_fn(move |src| draw_u64_in(src, lo, hi) as usize)
+}
+
+fn map_bound_u64<T: Copy>(b: Bound<&T>, to: impl Fn(T) -> u64) -> Bound<u64> {
+    match b {
+        Bound::Included(&x) => Bound::Included(to(x)),
+        Bound::Excluded(&x) => Bound::Excluded(to(x)),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`; draws of zero shrink to exactly `lo`.
+pub fn f64s(r: std::ops::Range<f64>) -> Gen<f64> {
+    let (lo, hi) = (r.start, r.end);
+    assert!(lo < hi, "empty f64 range {lo}..{hi}");
+    Gen::from_fn(move |src| {
+        let unit = (src.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    })
+}
+
+/// An arbitrary `u64` (full domain).
+pub fn any_u64() -> Gen<u64> {
+    Gen::from_fn(|src| src.draw())
+}
+
+/// An arbitrary `u32` (full domain; truncated draw so it shrinks toward 0).
+pub fn any_u32() -> Gen<u32> {
+    Gen::from_fn(|src| src.draw() as u32)
+}
+
+/// An arbitrary `bool`; shrinks toward `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::from_fn(|src| src.draw() & 1 == 1)
+}
+
+/// Always produces a clone of `value`.
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::from_fn(move |_| value.clone())
+}
+
+/// Picks one of `items` uniformly; shrinks toward the first item.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "select from an empty list");
+    Gen::from_fn(move |src| items[(src.draw() % items.len() as u64) as usize].clone())
+}
+
+/// Runs one of `gens` uniformly; shrinks toward the first generator.
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of from an empty list");
+    Gen::from_fn(move |src| {
+        let i = (src.draw() % gens.len() as u64) as usize;
+        gens[i].generate(src)
+    })
+}
+
+/// Runs one of `gens` with the given relative weights; shrinks toward the
+/// first generator (put the simplest alternative first).
+pub fn weighted<T: 'static>(gens: Vec<(u32, Gen<T>)>) -> Gen<T> {
+    let total: u64 = gens.iter().map(|&(w, _)| w as u64).sum();
+    assert!(total > 0, "weighted needs a positive total weight");
+    Gen::from_fn(move |src| {
+        let mut ticket = src.draw() % total;
+        for (w, g) in &gens {
+            if ticket < *w as u64 {
+                return g.generate(src);
+            }
+            ticket -= *w as u64;
+        }
+        unreachable!("ticket within total weight")
+    })
+}
+
+/// A vector whose length is drawn from `len` and whose elements come from
+/// `elem`. Shrinks toward shorter vectors of simpler elements.
+pub fn vec_of<T: 'static>(elem: Gen<T>, len: impl RangeBounds<usize> + 'static) -> Gen<Vec<T>> {
+    let (lo, hi) = bounds_u64((
+        map_bound_u64(len.start_bound(), |x| x as u64),
+        map_bound_u64(len.end_bound(), |x| x as u64),
+    ));
+    Gen::from_fn(move |src| {
+        let n = draw_u64_in(src, lo, hi) as usize;
+        (0..n).map(|_| elem.generate(src)).collect()
+    })
+}
+
+/// Joins two generators into a tuple generator.
+pub fn tuple2<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::from_fn(move |src| (a.generate(src), b.generate(src)))
+}
+
+/// Joins three generators into a tuple generator.
+pub fn tuple3<A: 'static, B: 'static, C: 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    Gen::from_fn(move |src| (a.generate(src), b.generate(src), c.generate(src)))
+}
+
+/// Joins four generators into a tuple generator.
+pub fn tuple4<A: 'static, B: 'static, C: 'static, D: 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    Gen::from_fn(move |src| {
+        (
+            a.generate(src),
+            b.generate(src),
+            c.generate(src),
+            d.generate(src),
+        )
+    })
+}
+
+/// A deferred index into a collection whose length is only known inside the
+/// property body (the analogue of `proptest::sample::Index`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves the index against a concrete collection length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Index({})", self.0)
+    }
+}
+
+/// Generates a deferred collection index; shrinks toward index 0.
+pub fn indices() -> Gen<Index> {
+    Gen::from_fn(|src| Index(src.draw()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample<T: 'static>(g: &Gen<T>, seed: u64, n: usize) -> Vec<T> {
+        let mut src = Choices::random(seed);
+        (0..n).map(|_| g.generate(&mut src)).collect()
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        for v in sample(&u64s(10..=20), 1, 500) {
+            assert!((10..=20).contains(&v));
+        }
+        for v in sample(&u32s(0..32), 2, 500) {
+            assert!(v < 32);
+        }
+        for v in sample(&f64s(-2.0..3.0), 3, 500) {
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_tape_yields_lower_bounds() {
+        let mut src = Choices::replay(vec![]);
+        assert_eq!(u64s(5..100).generate(&mut src), 5);
+        assert_eq!(f64s(1.5..9.0).generate(&mut src), 1.5);
+        assert_eq!(vec_of(any_u32(), 2..10).generate(&mut src), vec![0, 0]);
+        assert!(!bools().generate(&mut src));
+    }
+
+    #[test]
+    fn weighted_prefers_first_on_zero_tape() {
+        let g = weighted(vec![(3, constant(1u8)), (1, constant(2u8))]);
+        let mut src = Choices::replay(vec![]);
+        assert_eq!(g.generate(&mut src), 1);
+    }
+
+    #[test]
+    fn map_and_select_compose() {
+        let g = select(vec![1u64, 2, 3]).map(|x| x * 10);
+        for v in sample(&g, 9, 100) {
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_span_the_range() {
+        let g = vec_of(any_u32(), 1..5);
+        let lens: Vec<usize> = sample(&g, 7, 200).into_iter().map(|v| v.len()).collect();
+        for l in &lens {
+            assert!((1..5).contains(l));
+        }
+        for want in 1..5 {
+            assert!(lens.contains(&want), "length {want} never drawn");
+        }
+    }
+}

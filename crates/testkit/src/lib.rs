@@ -1,0 +1,60 @@
+//! # pdr-testkit
+//!
+//! A minimal, deterministic property-based testing harness with automatic
+//! input shrinking — the workspace's hermetic replacement for `proptest`,
+//! built on the in-repo xoshiro256\*\* PRNG (`pdr_sim_core::rng`) so the
+//! whole test suite compiles and runs with **zero external crates**.
+//!
+//! ## Model
+//!
+//! Generators draw 64-bit *choices* from a recorded tape ([`Choices`]).
+//! Random testing records the tape; when a property fails, the tape — not
+//! the generated value — is shrunk (block deletion, zeroing, per-choice
+//! binary search) and replayed, which shrinks the generated inputs through
+//! arbitrary `map`/`filter`/composition for free.
+//!
+//! ## Reproducibility
+//!
+//! * Every failure report prints a **case seed**; setting
+//!   `PDR_TESTKIT_SEED=<seed>` replays exactly that case.
+//! * Seeds can be checked into a regression file (`cc <property> <seed>`
+//!   lines) that the runner replays before generating novel cases — see
+//!   [`load_regression_seeds`].
+//! * With no seed override, runs use a fixed default seed: the suite is
+//!   bit-reproducible across machines and CI runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use pdr_testkit::{property, vec_of, any_u32, Config};
+//!
+//! property! {
+//!     config = Config::with_cases(32);
+//!
+//!     fn reverse_is_involutive(xs in vec_of(any_u32(), 0..32)) {
+//!         let mut ys = xs.clone();
+//!         ys.reverse();
+//!         ys.reverse();
+//!         assert_eq!(xs, ys);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod choices;
+pub mod gen;
+pub mod runner;
+pub mod shrink;
+
+pub use choices::Choices;
+pub use gen::{
+    any_u32, any_u64, bools, constant, f64s, indices, one_of, select, tuple2, tuple3, tuple4, u16s,
+    u32s, u64s, usizes, vec_of, weighted, Gen, Index,
+};
+pub use runner::{
+    check, check_quietly, discard, load_regression_seeds, parse_seed, Config, Failure,
+    DEFAULT_CASES, DEFAULT_SEED, SEED_ENV,
+};
+pub use shrink::Verdict;

@@ -1,0 +1,192 @@
+//! Tape-level shrinking: given a failing choice tape, search for a
+//! shortlex-smaller tape that still fails.
+//!
+//! Three candidate moves, applied to a fixed point (or until the iteration
+//! budget runs out):
+//!
+//! 1. **Delete** a block of choices — shortens generated vectors and drops
+//!    whole generated arguments.
+//! 2. **Zero** a block — resets scalars to their range's lower bound.
+//! 3. **Binary-search** each choice toward zero — minimises individual
+//!    scalars (e.g. converging on the exact threshold of a failing
+//!    predicate).
+//!
+//! A candidate is accepted only if it is shortlex-smaller (shorter, or equal
+//! length and lexicographically smaller) *and* the property still fails on
+//! it, so the result is always a genuine counterexample no bigger than the
+//! original.
+
+/// The verdict of running the property on one candidate tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property passed (candidate rejected).
+    Pass,
+    /// The case was discarded by a filter/assume (candidate rejected).
+    Discard,
+    /// The property still fails (candidate is a counterexample).
+    Fail,
+}
+
+fn shortlex_less(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+/// Shrinks `tape`, calling `eval` on candidates, until no move improves the
+/// counterexample or `max_evals` property executions have been spent.
+/// Returns the smallest failing tape found (possibly the input itself).
+pub fn shrink(tape: Vec<u64>, mut eval: impl FnMut(&[u64]) -> Verdict, max_evals: u32) -> Vec<u64> {
+    let mut best = tape;
+    let mut evals = 0u32;
+
+    let mut try_accept = |cand: &[u64], best: &mut Vec<u64>, evals: &mut u32| -> bool {
+        if *evals >= max_evals || !shortlex_less(cand, best) {
+            return false;
+        }
+        *evals += 1;
+        if eval(cand) == Verdict::Fail {
+            *best = cand.to_vec();
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete blocks, largest first.
+        let mut block = best.len().max(1) / 2;
+        while block >= 1 {
+            let mut i = 0;
+            while i + block <= best.len() {
+                let mut cand = best.clone();
+                cand.drain(i..i + block);
+                if try_accept(&cand, &mut best, &mut evals) {
+                    improved = true;
+                    // Same position now holds fresh content; retry it.
+                } else {
+                    i += 1;
+                }
+            }
+            block /= 2;
+        }
+
+        // Pass 2: zero blocks, largest first.
+        let mut block = best.len().max(1);
+        while block >= 1 {
+            let mut i = 0;
+            while i + block <= best.len() {
+                if best[i..i + block].iter().any(|&v| v != 0) {
+                    let mut cand = best.clone();
+                    cand[i..i + block].fill(0);
+                    if try_accept(&cand, &mut best, &mut evals) {
+                        improved = true;
+                    }
+                }
+                i += block;
+            }
+            block /= 2;
+        }
+
+        // Pass 3: minimise each element toward zero.
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            // First try a handful of tiny constants outright: binary search
+            // assumes monotonicity and gets stuck on predicates like "odd",
+            // where jumping straight to 1 succeeds.
+            for small in 1..=2u64 {
+                if small < best[i] {
+                    let mut cand = best.clone();
+                    cand[i] = small;
+                    if try_accept(&cand, &mut best, &mut evals) {
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            // Invariant: `best[i] = hi` fails; search the least failing value.
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand[i] = mid;
+                if try_accept(&cand, &mut best, &mut evals) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+                if evals >= max_evals {
+                    break;
+                }
+            }
+            if hi < best[i] {
+                improved = true;
+            }
+        }
+
+        if !improved || evals >= max_evals {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_the_exact_threshold() {
+        // Fails iff tape[0] >= 500. The minimal counterexample is the single
+        // choice 500, which binary search finds exactly.
+        let eval = |t: &[u64]| {
+            if t.first().copied().unwrap_or(0) >= 500 {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            }
+        };
+        let out = shrink(vec![987_654, 42, 7], eval, 10_000);
+        assert_eq!(out, vec![500]);
+    }
+
+    #[test]
+    fn deletes_unneeded_suffix() {
+        // Fails iff the tape contains at least one non-zero entry.
+        let eval = |t: &[u64]| {
+            if t.iter().any(|&v| v != 0) {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            }
+        };
+        let out = shrink(vec![9, 9, 9, 9, 9, 9], eval, 10_000);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn respects_the_eval_budget() {
+        let mut calls = 0u32;
+        let eval = |_: &[u64]| {
+            calls += 1;
+            Verdict::Fail
+        };
+        let _ = shrink(vec![u64::MAX; 8], eval, 16);
+        assert!(calls <= 16, "calls={calls}");
+    }
+
+    #[test]
+    fn never_returns_a_passing_tape() {
+        // Fails only for tapes of length >= 2 whose first entry is odd.
+        let eval = |t: &[u64]| {
+            if t.len() >= 2 && t.first().is_some_and(|v| v % 2 == 1) {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            }
+        };
+        let out = shrink(vec![13, 5, 6, 7], eval, 10_000);
+        assert_eq!(out, vec![1, 0]);
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_burst-5080616419374c59.d: crates/bench/benches/ablation_burst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_burst-5080616419374c59.rmeta: crates/bench/benches/ablation_burst.rs Cargo.toml
+
+crates/bench/benches/ablation_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_burst-70e94055a942306c.d: crates/bench/benches/ablation_burst.rs
+
+/root/repo/target/debug/deps/ablation_burst-70e94055a942306c: crates/bench/benches/ablation_burst.rs
+
+crates/bench/benches/ablation_burst.rs:

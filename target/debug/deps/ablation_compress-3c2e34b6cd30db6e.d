@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_compress-3c2e34b6cd30db6e.d: crates/bench/benches/ablation_compress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_compress-3c2e34b6cd30db6e.rmeta: crates/bench/benches/ablation_compress.rs Cargo.toml
+
+crates/bench/benches/ablation_compress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

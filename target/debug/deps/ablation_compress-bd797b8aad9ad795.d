@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compress-bd797b8aad9ad795.d: crates/bench/benches/ablation_compress.rs
+
+/root/repo/target/debug/deps/ablation_compress-bd797b8aad9ad795: crates/bench/benches/ablation_compress.rs
+
+crates/bench/benches/ablation_compress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-6c6bdcc5b7cc0174.d: crates/bench/benches/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-6c6bdcc5b7cc0174: crates/bench/benches/ablation_contention.rs
+
+crates/bench/benches/ablation_contention.rs:

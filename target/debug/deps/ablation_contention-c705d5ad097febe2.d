@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_contention-c705d5ad097febe2.d: crates/bench/benches/ablation_contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_contention-c705d5ad097febe2.rmeta: crates/bench/benches/ablation_contention.rs Cargo.toml
+
+crates/bench/benches/ablation_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_crc-4acc639babf6211c.d: crates/bench/benches/ablation_crc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_crc-4acc639babf6211c.rmeta: crates/bench/benches/ablation_crc.rs Cargo.toml
+
+crates/bench/benches/ablation_crc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

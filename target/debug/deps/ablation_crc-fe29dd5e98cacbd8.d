@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_crc-fe29dd5e98cacbd8.d: crates/bench/benches/ablation_crc.rs
+
+/root/repo/target/debug/deps/ablation_crc-fe29dd5e98cacbd8: crates/bench/benches/ablation_crc.rs
+
+crates/bench/benches/ablation_crc.rs:

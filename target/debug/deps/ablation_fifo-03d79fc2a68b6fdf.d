@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fifo-03d79fc2a68b6fdf.d: crates/bench/benches/ablation_fifo.rs
+
+/root/repo/target/debug/deps/ablation_fifo-03d79fc2a68b6fdf: crates/bench/benches/ablation_fifo.rs
+
+crates/bench/benches/ablation_fifo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fifo-8ca40ff732fe8143.d: crates/bench/benches/ablation_fifo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fifo-8ca40ff732fe8143.rmeta: crates/bench/benches/ablation_fifo.rs Cargo.toml
+
+crates/bench/benches/ablation_fifo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_guardband-7483db41cfe61e67.d: crates/bench/benches/ablation_guardband.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_guardband-7483db41cfe61e67.rmeta: crates/bench/benches/ablation_guardband.rs Cargo.toml
+
+crates/bench/benches/ablation_guardband.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

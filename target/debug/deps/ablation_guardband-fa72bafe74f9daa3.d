@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_guardband-fa72bafe74f9daa3.d: crates/bench/benches/ablation_guardband.rs
+
+/root/repo/target/debug/deps/ablation_guardband-fa72bafe74f9daa3: crates/bench/benches/ablation_guardband.rs
+
+crates/bench/benches/ablation_guardband.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_interconnect-40ff45e0b7c3a203.d: crates/bench/benches/ablation_interconnect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_interconnect-40ff45e0b7c3a203.rmeta: crates/bench/benches/ablation_interconnect.rs Cargo.toml
+
+crates/bench/benches/ablation_interconnect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interconnect-7d0913a0b12d9f0d.d: crates/bench/benches/ablation_interconnect.rs
+
+/root/repo/target/debug/deps/ablation_interconnect-7d0913a0b12d9f0d: crates/bench/benches/ablation_interconnect.rs
+
+crates/bench/benches/ablation_interconnect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_size-0ad9760b60db6656.d: crates/bench/benches/ablation_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_size-0ad9760b60db6656.rmeta: crates/bench/benches/ablation_size.rs Cargo.toml
+
+crates/bench/benches/ablation_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

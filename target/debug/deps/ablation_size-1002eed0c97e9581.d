@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_size-1002eed0c97e9581.d: crates/bench/benches/ablation_size.rs
+
+/root/repo/target/debug/deps/ablation_size-1002eed0c97e9581: crates/bench/benches/ablation_size.rs
+
+crates/bench/benches/ablation_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-9dadb9c60a076bdb.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-9dadb9c60a076bdb.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

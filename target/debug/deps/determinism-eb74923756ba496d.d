@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-eb74923756ba496d.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-eb74923756ba496d: tests/determinism.rs
+
+tests/determinism.rs:

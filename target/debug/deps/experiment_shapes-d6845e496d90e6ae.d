@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-d6845e496d90e6ae.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-d6845e496d90e6ae: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_shapes-e6cdad385e34d8d6.d: tests/experiment_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_shapes-e6cdad385e34d8d6.rmeta: tests/experiment_shapes.rs Cargo.toml
+
+tests/experiment_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-016215459f7300a4.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/debug/deps/fig5-016215459f7300a4: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-0e8fc1a83e8d2f11.d: crates/bench/benches/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-0e8fc1a83e8d2f11.rmeta: crates/bench/benches/fig5.rs Cargo.toml
+
+crates/bench/benches/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

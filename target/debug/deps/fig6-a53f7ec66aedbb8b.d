@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-a53f7ec66aedbb8b.d: crates/bench/benches/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-a53f7ec66aedbb8b.rmeta: crates/bench/benches/fig6.rs Cargo.toml
+
+crates/bench/benches/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c725b1adffb43732.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c725b1adffb43732: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

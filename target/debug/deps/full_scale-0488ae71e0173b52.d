@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_scale-0488ae71e0173b52.d: tests/full_scale.rs
+
+/root/repo/target/debug/deps/full_scale-0488ae71e0173b52: tests/full_scale.rs
+
+tests/full_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_scale-9700e8f62f16c88f.d: tests/full_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_scale-9700e8f62f16c88f.rmeta: tests/full_scale.rs Cargo.toml
+
+tests/full_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline-79b43522fb710c6f.d: crates/bench/benches/headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline-79b43522fb710c6f.rmeta: crates/bench/benches/headline.rs Cargo.toml
+
+crates/bench/benches/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-9c4ea573da8f3609.d: crates/bench/benches/headline.rs
+
+/root/repo/target/debug/deps/headline-9c4ea573da8f3609: crates/bench/benches/headline.rs
+
+crates/bench/benches/headline.rs:

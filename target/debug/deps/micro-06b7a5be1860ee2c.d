@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micro-06b7a5be1860ee2c.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-06b7a5be1860ee2c.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CARGO_CRATE_NAME=micro
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

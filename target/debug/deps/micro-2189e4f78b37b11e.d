@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micro-2189e4f78b37b11e.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-2189e4f78b37b11e: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:
+
+# env-dep:CARGO_CRATE_NAME=micro

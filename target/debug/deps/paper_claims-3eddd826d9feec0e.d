@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-3eddd826d9feec0e.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-3eddd826d9feec0e.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-844e65ff4e09b6d4.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-844e65ff4e09b6d4: tests/paper_claims.rs
+
+tests/paper_claims.rs:

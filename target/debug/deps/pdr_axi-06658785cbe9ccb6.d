@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdr_axi-06658785cbe9ccb6.d: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_axi-06658785cbe9ccb6.rmeta: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs Cargo.toml
+
+crates/axi/src/lib.rs:
+crates/axi/src/cdc.rs:
+crates/axi/src/interconnect.rs:
+crates/axi/src/lite.rs:
+crates/axi/src/mm.rs:
+crates/axi/src/stream.rs:
+crates/axi/src/width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

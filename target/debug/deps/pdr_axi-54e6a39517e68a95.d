@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdr_axi-54e6a39517e68a95.d: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+/root/repo/target/debug/deps/libpdr_axi-54e6a39517e68a95.rlib: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+/root/repo/target/debug/deps/libpdr_axi-54e6a39517e68a95.rmeta: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+crates/axi/src/lib.rs:
+crates/axi/src/cdc.rs:
+crates/axi/src/interconnect.rs:
+crates/axi/src/lite.rs:
+crates/axi/src/mm.rs:
+crates/axi/src/stream.rs:
+crates/axi/src/width.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdr_axi-e960c3921d10ea81.d: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+/root/repo/target/debug/deps/libpdr_axi-e960c3921d10ea81.rmeta: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+crates/axi/src/lib.rs:
+crates/axi/src/cdc.rs:
+crates/axi/src/interconnect.rs:
+crates/axi/src/lite.rs:
+crates/axi/src/mm.rs:
+crates/axi/src/stream.rs:
+crates/axi/src/width.rs:

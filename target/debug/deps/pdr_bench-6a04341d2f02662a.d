@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdr_bench-6a04341d2f02662a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_bench-6a04341d2f02662a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

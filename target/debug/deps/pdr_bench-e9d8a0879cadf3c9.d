@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdr_bench-e9d8a0879cadf3c9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/pdr_bench-e9d8a0879cadf3c9: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

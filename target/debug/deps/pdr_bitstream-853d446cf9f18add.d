@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pdr_bitstream-853d446cf9f18add.d: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_bitstream-853d446cf9f18add.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs Cargo.toml
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/builder.rs:
+crates/bitstream/src/bytes.rs:
+crates/bitstream/src/compress.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/packet.rs:
+crates/bitstream/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pdr_bitstream-d0d6c745084ce35d.d: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs
+
+/root/repo/target/debug/deps/libpdr_bitstream-d0d6c745084ce35d.rlib: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs
+
+/root/repo/target/debug/deps/libpdr_bitstream-d0d6c745084ce35d.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/builder.rs:
+crates/bitstream/src/bytes.rs:
+crates/bitstream/src/compress.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/packet.rs:
+crates/bitstream/src/parser.rs:

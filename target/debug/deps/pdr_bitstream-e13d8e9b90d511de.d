@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pdr_bitstream-e13d8e9b90d511de.d: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_bitstream-e13d8e9b90d511de.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs Cargo.toml
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/builder.rs:
+crates/bitstream/src/bytes.rs:
+crates/bitstream/src/compress.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/packet.rs:
+crates/bitstream/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

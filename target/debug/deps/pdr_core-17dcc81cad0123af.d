@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pdr_core-17dcc81cad0123af.d: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs
+
+/root/repo/target/debug/deps/pdr_core-17dcc81cad0123af: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs
+
+crates/pdr/src/lib.rs:
+crates/pdr/src/baselines.rs:
+crates/pdr/src/campaign.rs:
+crates/pdr/src/clockwizard.rs:
+crates/pdr/src/crc_readback.rs:
+crates/pdr/src/experiments.rs:
+crates/pdr/src/frontpanel.rs:
+crates/pdr/src/governor.rs:
+crates/pdr/src/proposed.rs:
+crates/pdr/src/report.rs:
+crates/pdr/src/sdcard.rs:
+crates/pdr/src/system.rs:

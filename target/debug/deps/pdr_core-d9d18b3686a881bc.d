@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pdr_core-d9d18b3686a881bc.d: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_core-d9d18b3686a881bc.rmeta: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs Cargo.toml
+
+crates/pdr/src/lib.rs:
+crates/pdr/src/baselines.rs:
+crates/pdr/src/campaign.rs:
+crates/pdr/src/clockwizard.rs:
+crates/pdr/src/crc_readback.rs:
+crates/pdr/src/experiments.rs:
+crates/pdr/src/frontpanel.rs:
+crates/pdr/src/governor.rs:
+crates/pdr/src/proposed.rs:
+crates/pdr/src/report.rs:
+crates/pdr/src/sdcard.rs:
+crates/pdr/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_dma-0b79d7803cc1488f.d: crates/dma/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_dma-0b79d7803cc1488f.rmeta: crates/dma/src/lib.rs Cargo.toml
+
+crates/dma/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdr_dma-138c80cf00247a8f.d: crates/dma/src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_dma-138c80cf00247a8f.rlib: crates/dma/src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_dma-138c80cf00247a8f.rmeta: crates/dma/src/lib.rs
+
+crates/dma/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_dma-7ff43c986e0e6a77.d: crates/dma/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_dma-7ff43c986e0e6a77.rmeta: crates/dma/src/lib.rs Cargo.toml
+
+crates/dma/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_dma-820633f500c82514.d: crates/dma/src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_dma-820633f500c82514.rmeta: crates/dma/src/lib.rs
+
+crates/dma/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_dma-99ec1edfb8b1fe68.d: crates/dma/src/lib.rs
+
+/root/repo/target/debug/deps/pdr_dma-99ec1edfb8b1fe68: crates/dma/src/lib.rs
+
+crates/dma/src/lib.rs:

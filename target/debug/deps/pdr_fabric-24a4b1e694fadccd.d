@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdr_fabric-24a4b1e694fadccd.d: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_fabric-24a4b1e694fadccd.rmeta: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/asp.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/memory.rs:
+crates/fabric/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

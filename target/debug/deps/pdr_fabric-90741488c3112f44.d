@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdr_fabric-90741488c3112f44.d: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_fabric-90741488c3112f44.rmeta: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/asp.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/memory.rs:
+crates/fabric/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

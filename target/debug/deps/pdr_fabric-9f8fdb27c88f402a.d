@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdr_fabric-9f8fdb27c88f402a.d: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+/root/repo/target/debug/deps/libpdr_fabric-9f8fdb27c88f402a.rlib: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+/root/repo/target/debug/deps/libpdr_fabric-9f8fdb27c88f402a.rmeta: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/asp.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/memory.rs:
+crates/fabric/src/partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_fabric-ce74cacbe4594502.d: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+/root/repo/target/debug/deps/pdr_fabric-ce74cacbe4594502: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/asp.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/memory.rs:
+crates/fabric/src/partition.rs:

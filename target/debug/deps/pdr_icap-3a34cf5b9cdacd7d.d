@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_icap-3a34cf5b9cdacd7d.d: crates/icap/src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_icap-3a34cf5b9cdacd7d.rmeta: crates/icap/src/lib.rs
+
+crates/icap/src/lib.rs:

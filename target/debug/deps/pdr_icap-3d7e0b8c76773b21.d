@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdr_icap-3d7e0b8c76773b21.d: crates/icap/src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_icap-3d7e0b8c76773b21.rlib: crates/icap/src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_icap-3d7e0b8c76773b21.rmeta: crates/icap/src/lib.rs
+
+crates/icap/src/lib.rs:

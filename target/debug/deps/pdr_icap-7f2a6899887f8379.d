@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_icap-7f2a6899887f8379.d: crates/icap/src/lib.rs
+
+/root/repo/target/debug/deps/pdr_icap-7f2a6899887f8379: crates/icap/src/lib.rs
+
+crates/icap/src/lib.rs:

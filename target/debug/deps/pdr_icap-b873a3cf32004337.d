@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_icap-b873a3cf32004337.d: crates/icap/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_icap-b873a3cf32004337.rmeta: crates/icap/src/lib.rs Cargo.toml
+
+crates/icap/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_icap-e4907b96cac0bc6b.d: crates/icap/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_icap-e4907b96cac0bc6b.rmeta: crates/icap/src/lib.rs Cargo.toml
+
+crates/icap/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_lab-9e957fa3e00bf231.d: src/lib.rs
+
+/root/repo/target/debug/deps/pdr_lab-9e957fa3e00bf231: src/lib.rs
+
+src/lib.rs:

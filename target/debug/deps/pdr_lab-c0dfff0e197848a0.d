@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_lab-c0dfff0e197848a0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_lab-c0dfff0e197848a0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

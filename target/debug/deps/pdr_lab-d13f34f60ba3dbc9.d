@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_lab-d13f34f60ba3dbc9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_lab-d13f34f60ba3dbc9.rmeta: src/lib.rs
+
+src/lib.rs:

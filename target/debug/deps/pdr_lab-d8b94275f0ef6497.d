@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdr_lab-d8b94275f0ef6497.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_lab-d8b94275f0ef6497.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpdr_lab-d8b94275f0ef6497.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdr_mem-037dca7fd83ae4af.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_mem-037dca7fd83ae4af.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/sram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdr_mem-3e2aaf7615c3127b.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+/root/repo/target/debug/deps/libpdr_mem-3e2aaf7615c3127b.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/sram.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdr_mem-4f35dfc86c88204f.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+/root/repo/target/debug/deps/libpdr_mem-4f35dfc86c88204f.rlib: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+/root/repo/target/debug/deps/libpdr_mem-4f35dfc86c88204f.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/sram.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdr_mem-8d2fe5607f5c94a7.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_mem-8d2fe5607f5c94a7.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/sram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdr_mem-e1106329228eddaf.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+/root/repo/target/debug/deps/pdr_mem-e1106329228eddaf: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/sram.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdr_power-129c6c2253a10344.d: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libpdr_power-129c6c2253a10344.rmeta: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/efficiency.rs:
+crates/power/src/meter.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdr_power-6aa1e9cdd93c60e8.d: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_power-6aa1e9cdd93c60e8.rmeta: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/efficiency.rs:
+crates/power/src/meter.rs:
+crates/power/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdr_power-779225ede539216f.d: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_power-779225ede539216f.rmeta: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/efficiency.rs:
+crates/power/src/meter.rs:
+crates/power/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

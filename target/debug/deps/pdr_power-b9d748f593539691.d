@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdr_power-b9d748f593539691.d: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/pdr_power-b9d748f593539691: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/efficiency.rs:
+crates/power/src/meter.rs:
+crates/power/src/model.rs:

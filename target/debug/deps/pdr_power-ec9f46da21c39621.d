@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdr_power-ec9f46da21c39621.d: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libpdr_power-ec9f46da21c39621.rlib: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libpdr_power-ec9f46da21c39621.rmeta: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/efficiency.rs:
+crates/power/src/meter.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pdr_sim_core-86d2178cf073eada.d: crates/sim-core/src/lib.rs crates/sim-core/src/blocks.rs crates/sim-core/src/clock.rs crates/sim-core/src/component.rs crates/sim-core/src/engine.rs crates/sim-core/src/fifo.rs crates/sim-core/src/irq.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs crates/sim-core/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_sim_core-86d2178cf073eada.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/blocks.rs crates/sim-core/src/clock.rs crates/sim-core/src/component.rs crates/sim-core/src/engine.rs crates/sim-core/src/fifo.rs crates/sim-core/src/irq.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs crates/sim-core/src/vcd.rs Cargo.toml
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/blocks.rs:
+crates/sim-core/src/clock.rs:
+crates/sim-core/src/component.rs:
+crates/sim-core/src/engine.rs:
+crates/sim-core/src/fifo.rs:
+crates/sim-core/src/irq.rs:
+crates/sim-core/src/json.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/trace.rs:
+crates/sim-core/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

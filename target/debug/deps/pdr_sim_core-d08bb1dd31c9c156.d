@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pdr_sim_core-d08bb1dd31c9c156.d: crates/sim-core/src/lib.rs crates/sim-core/src/blocks.rs crates/sim-core/src/clock.rs crates/sim-core/src/component.rs crates/sim-core/src/engine.rs crates/sim-core/src/fifo.rs crates/sim-core/src/irq.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs crates/sim-core/src/vcd.rs
+
+/root/repo/target/debug/deps/libpdr_sim_core-d08bb1dd31c9c156.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/blocks.rs crates/sim-core/src/clock.rs crates/sim-core/src/component.rs crates/sim-core/src/engine.rs crates/sim-core/src/fifo.rs crates/sim-core/src/irq.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs crates/sim-core/src/vcd.rs
+
+/root/repo/target/debug/deps/libpdr_sim_core-d08bb1dd31c9c156.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/blocks.rs crates/sim-core/src/clock.rs crates/sim-core/src/component.rs crates/sim-core/src/engine.rs crates/sim-core/src/fifo.rs crates/sim-core/src/irq.rs crates/sim-core/src/json.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs crates/sim-core/src/vcd.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/blocks.rs:
+crates/sim-core/src/clock.rs:
+crates/sim-core/src/component.rs:
+crates/sim-core/src/engine.rs:
+crates/sim-core/src/fifo.rs:
+crates/sim-core/src/irq.rs:
+crates/sim-core/src/json.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/trace.rs:
+crates/sim-core/src/vcd.rs:

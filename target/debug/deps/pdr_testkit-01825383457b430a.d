@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdr_testkit-01825383457b430a.d: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/debug/deps/libpdr_testkit-01825383457b430a.rlib: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/debug/deps/libpdr_testkit-01825383457b430a.rmeta: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/choices.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

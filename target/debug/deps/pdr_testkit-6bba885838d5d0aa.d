@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_testkit-6bba885838d5d0aa.d: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/debug/deps/pdr_testkit-6bba885838d5d0aa: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/choices.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

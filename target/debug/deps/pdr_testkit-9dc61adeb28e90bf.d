@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdr_testkit-9dc61adeb28e90bf.d: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_testkit-9dc61adeb28e90bf.rmeta: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/choices.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdr_timing-5e42f26b90ff9f25.d: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+/root/repo/target/debug/deps/pdr_timing-5e42f26b90ff9f25: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/path.rs:
+crates/timing/src/thermal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_timing-74fca6ecd808ada5.d: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+/root/repo/target/debug/deps/libpdr_timing-74fca6ecd808ada5.rlib: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+/root/repo/target/debug/deps/libpdr_timing-74fca6ecd808ada5.rmeta: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/path.rs:
+crates/timing/src/thermal.rs:

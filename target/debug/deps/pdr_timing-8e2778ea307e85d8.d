@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdr_timing-8e2778ea307e85d8.d: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_timing-8e2778ea307e85d8.rmeta: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/path.rs:
+crates/timing/src/thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

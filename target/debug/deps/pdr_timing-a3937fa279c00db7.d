@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pdr_timing-a3937fa279c00db7.d: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+/root/repo/target/debug/deps/libpdr_timing-a3937fa279c00db7.rmeta: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/path.rs:
+crates/timing/src/thermal.rs:

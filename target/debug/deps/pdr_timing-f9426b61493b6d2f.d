@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdr_timing-f9426b61493b6d2f.d: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_timing-f9426b61493b6d2f.rmeta: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/path.rs:
+crates/timing/src/thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdrlab-02a42029e5a9b857.d: src/bin/pdrlab.rs
+
+/root/repo/target/debug/deps/pdrlab-02a42029e5a9b857: src/bin/pdrlab.rs
+
+src/bin/pdrlab.rs:

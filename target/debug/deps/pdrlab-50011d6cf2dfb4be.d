@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdrlab-50011d6cf2dfb4be.d: src/bin/pdrlab.rs
+
+/root/repo/target/debug/deps/pdrlab-50011d6cf2dfb4be: src/bin/pdrlab.rs
+
+src/bin/pdrlab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdrlab-59c07e483f2bf183.d: src/bin/pdrlab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdrlab-59c07e483f2bf183.rmeta: src/bin/pdrlab.rs Cargo.toml
+
+src/bin/pdrlab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

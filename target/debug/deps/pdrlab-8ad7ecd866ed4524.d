@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdrlab-8ad7ecd866ed4524.d: src/bin/pdrlab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdrlab-8ad7ecd866ed4524.rmeta: src/bin/pdrlab.rs Cargo.toml
+
+src/bin/pdrlab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

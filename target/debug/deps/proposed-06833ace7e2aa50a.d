@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proposed-06833ace7e2aa50a.d: crates/bench/benches/proposed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproposed-06833ace7e2aa50a.rmeta: crates/bench/benches/proposed.rs Cargo.toml
+
+crates/bench/benches/proposed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

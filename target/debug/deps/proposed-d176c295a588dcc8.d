@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proposed-d176c295a588dcc8.d: crates/bench/benches/proposed.rs
+
+/root/repo/target/debug/deps/proposed-d176c295a588dcc8: crates/bench/benches/proposed.rs
+
+crates/bench/benches/proposed.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_axi-70d66e7ca69918c7.d: tests/proptest_axi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_axi-70d66e7ca69918c7.rmeta: tests/proptest_axi.rs Cargo.toml
+
+tests/proptest_axi.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_axi-f4f92a558cbb1a94.d: tests/proptest_axi.rs
+
+/root/repo/target/debug/deps/proptest_axi-f4f92a558cbb1a94: tests/proptest_axi.rs
+
+tests/proptest_axi.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

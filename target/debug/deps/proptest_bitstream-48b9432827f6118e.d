@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_bitstream-48b9432827f6118e.d: tests/proptest_bitstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_bitstream-48b9432827f6118e.rmeta: tests/proptest_bitstream.rs Cargo.toml
+
+tests/proptest_bitstream.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_bitstream-5a425cbe56db8811.d: tests/proptest_bitstream.rs
+
+/root/repo/target/debug/deps/proptest_bitstream-5a425cbe56db8811: tests/proptest_bitstream.rs
+
+tests/proptest_bitstream.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

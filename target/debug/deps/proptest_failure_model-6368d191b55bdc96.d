@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_failure_model-6368d191b55bdc96.d: tests/proptest_failure_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_failure_model-6368d191b55bdc96.rmeta: tests/proptest_failure_model.rs Cargo.toml
+
+tests/proptest_failure_model.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

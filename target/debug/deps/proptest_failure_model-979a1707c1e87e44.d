@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_failure_model-979a1707c1e87e44.d: tests/proptest_failure_model.rs
+
+/root/repo/target/debug/deps/proptest_failure_model-979a1707c1e87e44: tests/proptest_failure_model.rs
+
+tests/proptest_failure_model.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_governor-471ec7430d979606.d: tests/proptest_governor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_governor-471ec7430d979606.rmeta: tests/proptest_governor.rs Cargo.toml
+
+tests/proptest_governor.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

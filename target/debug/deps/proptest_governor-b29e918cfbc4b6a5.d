@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_governor-b29e918cfbc4b6a5.d: tests/proptest_governor.rs
+
+/root/repo/target/debug/deps/proptest_governor-b29e918cfbc4b6a5: tests/proptest_governor.rs
+
+tests/proptest_governor.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_kernel-2b1e218a284144f0.d: tests/proptest_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_kernel-2b1e218a284144f0.rmeta: tests/proptest_kernel.rs Cargo.toml
+
+tests/proptest_kernel.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_kernel-86fe06d518b8ee8a.d: tests/proptest_kernel.rs
+
+/root/repo/target/debug/deps/proptest_kernel-86fe06d518b8ee8a: tests/proptest_kernel.rs
+
+tests/proptest_kernel.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

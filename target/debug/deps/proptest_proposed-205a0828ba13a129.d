@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_proposed-205a0828ba13a129.d: tests/proptest_proposed.rs
+
+/root/repo/target/debug/deps/proptest_proposed-205a0828ba13a129: tests/proptest_proposed.rs
+
+tests/proptest_proposed.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

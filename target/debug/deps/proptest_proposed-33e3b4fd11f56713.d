@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_proposed-33e3b4fd11f56713.d: tests/proptest_proposed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_proposed-33e3b4fd11f56713.rmeta: tests/proptest_proposed.rs Cargo.toml
+
+tests/proptest_proposed.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

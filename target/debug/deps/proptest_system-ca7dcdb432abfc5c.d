@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_system-ca7dcdb432abfc5c.d: tests/proptest_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_system-ca7dcdb432abfc5c.rmeta: tests/proptest_system.rs Cargo.toml
+
+tests/proptest_system.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest_system-ccddd4dce6ddec77.d: tests/proptest_system.rs
+
+/root/repo/target/debug/deps/proptest_system-ccddd4dce6ddec77: tests/proptest_system.rs
+
+tests/proptest_system.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

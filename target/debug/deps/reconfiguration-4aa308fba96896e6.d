@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfiguration-4aa308fba96896e6.d: tests/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfiguration-4aa308fba96896e6.rmeta: tests/reconfiguration.rs Cargo.toml
+
+tests/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfiguration-92c562582561f44d.d: tests/reconfiguration.rs
+
+/root/repo/target/debug/deps/reconfiguration-92c562582561f44d: tests/reconfiguration.rs
+
+tests/reconfiguration.rs:

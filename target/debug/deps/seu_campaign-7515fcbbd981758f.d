@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seu_campaign-7515fcbbd981758f.d: crates/bench/benches/seu_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseu_campaign-7515fcbbd981758f.rmeta: crates/bench/benches/seu_campaign.rs Cargo.toml
+
+crates/bench/benches/seu_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seu_campaign-768efb4ae4467c87.d: crates/bench/benches/seu_campaign.rs
+
+/root/repo/target/debug/deps/seu_campaign-768efb4ae4467c87: crates/bench/benches/seu_campaign.rs
+
+crates/bench/benches/seu_campaign.rs:

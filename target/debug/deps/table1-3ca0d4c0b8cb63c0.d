@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3ca0d4c0b8cb63c0.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-3ca0d4c0b8cb63c0: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

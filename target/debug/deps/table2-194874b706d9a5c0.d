@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-194874b706d9a5c0.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-194874b706d9a5c0: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-c157d8f80a9a32d6.d: crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-c157d8f80a9a32d6.rmeta: crates/bench/benches/table2.rs Cargo.toml
+
+crates/bench/benches/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

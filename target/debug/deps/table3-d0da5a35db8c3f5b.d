@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d0da5a35db8c3f5b.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-d0da5a35db8c3f5b: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

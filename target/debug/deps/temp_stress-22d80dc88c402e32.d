@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/temp_stress-22d80dc88c402e32.d: crates/bench/benches/temp_stress.rs
+
+/root/repo/target/debug/deps/temp_stress-22d80dc88c402e32: crates/bench/benches/temp_stress.rs
+
+crates/bench/benches/temp_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/temp_stress-94f3d1c5b74d4766.d: crates/bench/benches/temp_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtemp_stress-94f3d1c5b74d4766.rmeta: crates/bench/benches/temp_stress.rs Cargo.toml
+
+crates/bench/benches/temp_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_forced_fail-b7803ea46de4f858.d: tests/zz_forced_fail.rs
+
+/root/repo/target/debug/deps/zz_forced_fail-b7803ea46de4f858: tests/zz_forced_fail.rs
+
+tests/zz_forced_fail.rs:

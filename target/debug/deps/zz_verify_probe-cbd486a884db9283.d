@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zz_verify_probe-cbd486a884db9283.d: tests/zz_verify_probe.rs
+
+/root/repo/target/debug/deps/zz_verify_probe-cbd486a884db9283: tests/zz_verify_probe.rs
+
+tests/zz_verify_probe.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

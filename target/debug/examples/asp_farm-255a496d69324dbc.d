@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asp_farm-255a496d69324dbc.d: examples/asp_farm.rs
+
+/root/repo/target/debug/examples/asp_farm-255a496d69324dbc: examples/asp_farm.rs
+
+examples/asp_farm.rs:

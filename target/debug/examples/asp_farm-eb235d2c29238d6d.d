@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/asp_farm-eb235d2c29238d6d.d: examples/asp_farm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasp_farm-eb235d2c29238d6d.rmeta: examples/asp_farm.rs Cargo.toml
+
+examples/asp_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/auto_tune-4789dfd96ad3b46c.d: examples/auto_tune.rs Cargo.toml
+
+/root/repo/target/debug/examples/libauto_tune-4789dfd96ad3b46c.rmeta: examples/auto_tune.rs Cargo.toml
+
+examples/auto_tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auto_tune-bb98f7337dd48ca7.d: examples/auto_tune.rs
+
+/root/repo/target/debug/examples/auto_tune-bb98f7337dd48ca7: examples/auto_tune.rs
+
+examples/auto_tune.rs:

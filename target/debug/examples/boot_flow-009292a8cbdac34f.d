@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/boot_flow-009292a8cbdac34f.d: examples/boot_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libboot_flow-009292a8cbdac34f.rmeta: examples/boot_flow.rs Cargo.toml
+
+examples/boot_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/boot_flow-35c31a66307f9452.d: examples/boot_flow.rs
+
+/root/repo/target/debug/examples/boot_flow-35c31a66307f9452: examples/boot_flow.rs
+
+examples/boot_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/frequency_sweep-4400e9343e713db0.d: examples/frequency_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfrequency_sweep-4400e9343e713db0.rmeta: examples/frequency_sweep.rs Cargo.toml
+
+examples/frequency_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

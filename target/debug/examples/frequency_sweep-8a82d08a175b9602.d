@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frequency_sweep-8a82d08a175b9602.d: examples/frequency_sweep.rs
+
+/root/repo/target/debug/examples/frequency_sweep-8a82d08a175b9602: examples/frequency_sweep.rs
+
+examples/frequency_sweep.rs:

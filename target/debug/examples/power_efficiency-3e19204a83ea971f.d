@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_efficiency-3e19204a83ea971f.d: examples/power_efficiency.rs
+
+/root/repo/target/debug/examples/power_efficiency-3e19204a83ea971f: examples/power_efficiency.rs
+
+examples/power_efficiency.rs:

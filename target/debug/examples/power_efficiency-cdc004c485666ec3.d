@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_efficiency-cdc004c485666ec3.d: examples/power_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_efficiency-cdc004c485666ec3.rmeta: examples/power_efficiency.rs Cargo.toml
+
+examples/power_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

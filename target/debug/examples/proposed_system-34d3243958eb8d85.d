@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/proposed_system-34d3243958eb8d85.d: examples/proposed_system.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproposed_system-34d3243958eb8d85.rmeta: examples/proposed_system.rs Cargo.toml
+
+examples/proposed_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

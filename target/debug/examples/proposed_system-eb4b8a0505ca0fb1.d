@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proposed_system-eb4b8a0505ca0fb1.d: examples/proposed_system.rs
+
+/root/repo/target/debug/examples/proposed_system-eb4b8a0505ca0fb1: examples/proposed_system.rs
+
+examples/proposed_system.rs:

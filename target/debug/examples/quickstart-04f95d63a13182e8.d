@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-04f95d63a13182e8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-04f95d63a13182e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seu_monitor-387863a5d6f75198.d: examples/seu_monitor.rs
+
+/root/repo/target/debug/examples/seu_monitor-387863a5d6f75198: examples/seu_monitor.rs
+
+examples/seu_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seu_monitor-f14aeff9a4aacd07.d: examples/seu_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseu_monitor-f14aeff9a4aacd07.rmeta: examples/seu_monitor.rs Cargo.toml
+
+examples/seu_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

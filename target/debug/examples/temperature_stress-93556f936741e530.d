@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/temperature_stress-93556f936741e530.d: examples/temperature_stress.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtemperature_stress-93556f936741e530.rmeta: examples/temperature_stress.rs Cargo.toml
+
+examples/temperature_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/temperature_stress-ae17da83af4666a9.d: examples/temperature_stress.rs
+
+/root/repo/target/debug/examples/temperature_stress-ae17da83af4666a9: examples/temperature_stress.rs
+
+examples/temperature_stress.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["pdr_bitstream",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"pdr_bitstream/compress/enum.DecompressError.html\" title=\"enum pdr_bitstream::compress::DecompressError\">DecompressError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"pdr_bitstream/parser/enum.ParseError.html\" title=\"enum pdr_bitstream::parser::ParseError\">ParseError</a>",0]]],["pdr_sim_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"pdr_sim_core/json/struct.JsonError.html\" title=\"struct pdr_sim_core::json::JsonError\">JsonError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[602,298]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/micro-2a04a7cd837e5d9b.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-2a04a7cd837e5d9b: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:
+
+# env-dep:CARGO_CRATE_NAME=micro

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pdr_axi-f4a8c977699a4f5e.d: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+/root/repo/target/release/deps/libpdr_axi-f4a8c977699a4f5e.rlib: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+/root/repo/target/release/deps/libpdr_axi-f4a8c977699a4f5e.rmeta: crates/axi/src/lib.rs crates/axi/src/cdc.rs crates/axi/src/interconnect.rs crates/axi/src/lite.rs crates/axi/src/mm.rs crates/axi/src/stream.rs crates/axi/src/width.rs
+
+crates/axi/src/lib.rs:
+crates/axi/src/cdc.rs:
+crates/axi/src/interconnect.rs:
+crates/axi/src/lite.rs:
+crates/axi/src/mm.rs:
+crates/axi/src/stream.rs:
+crates/axi/src/width.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdr_bench-e7227abb4117fe39.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libpdr_bench-e7227abb4117fe39.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libpdr_bench-e7227abb4117fe39.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

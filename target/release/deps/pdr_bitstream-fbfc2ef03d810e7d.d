@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pdr_bitstream-fbfc2ef03d810e7d.d: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs
+
+/root/repo/target/release/deps/libpdr_bitstream-fbfc2ef03d810e7d.rlib: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs
+
+/root/repo/target/release/deps/libpdr_bitstream-fbfc2ef03d810e7d.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/builder.rs crates/bitstream/src/bytes.rs crates/bitstream/src/compress.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/packet.rs crates/bitstream/src/parser.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/builder.rs:
+crates/bitstream/src/bytes.rs:
+crates/bitstream/src/compress.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/packet.rs:
+crates/bitstream/src/parser.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pdr_core-5e93c84ac5e75e51.d: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs
+
+/root/repo/target/release/deps/libpdr_core-5e93c84ac5e75e51.rlib: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs
+
+/root/repo/target/release/deps/libpdr_core-5e93c84ac5e75e51.rmeta: crates/pdr/src/lib.rs crates/pdr/src/baselines.rs crates/pdr/src/campaign.rs crates/pdr/src/clockwizard.rs crates/pdr/src/crc_readback.rs crates/pdr/src/experiments.rs crates/pdr/src/frontpanel.rs crates/pdr/src/governor.rs crates/pdr/src/proposed.rs crates/pdr/src/report.rs crates/pdr/src/sdcard.rs crates/pdr/src/system.rs
+
+crates/pdr/src/lib.rs:
+crates/pdr/src/baselines.rs:
+crates/pdr/src/campaign.rs:
+crates/pdr/src/clockwizard.rs:
+crates/pdr/src/crc_readback.rs:
+crates/pdr/src/experiments.rs:
+crates/pdr/src/frontpanel.rs:
+crates/pdr/src/governor.rs:
+crates/pdr/src/proposed.rs:
+crates/pdr/src/report.rs:
+crates/pdr/src/sdcard.rs:
+crates/pdr/src/system.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pdr_dma-4e67f5220313cbae.d: crates/dma/src/lib.rs
+
+/root/repo/target/release/deps/libpdr_dma-4e67f5220313cbae.rlib: crates/dma/src/lib.rs
+
+/root/repo/target/release/deps/libpdr_dma-4e67f5220313cbae.rmeta: crates/dma/src/lib.rs
+
+crates/dma/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pdr_fabric-62a47f8a7af812d7.d: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+/root/repo/target/release/deps/libpdr_fabric-62a47f8a7af812d7.rlib: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+/root/repo/target/release/deps/libpdr_fabric-62a47f8a7af812d7.rmeta: crates/fabric/src/lib.rs crates/fabric/src/asp.rs crates/fabric/src/geometry.rs crates/fabric/src/memory.rs crates/fabric/src/partition.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/asp.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/memory.rs:
+crates/fabric/src/partition.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pdr_icap-25b371d201a48997.d: crates/icap/src/lib.rs
+
+/root/repo/target/release/deps/libpdr_icap-25b371d201a48997.rlib: crates/icap/src/lib.rs
+
+/root/repo/target/release/deps/libpdr_icap-25b371d201a48997.rmeta: crates/icap/src/lib.rs
+
+crates/icap/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pdr_lab-81696cf8f46856b5.d: src/lib.rs
+
+/root/repo/target/release/deps/libpdr_lab-81696cf8f46856b5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpdr_lab-81696cf8f46856b5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdr_mem-77e8aebf92d4d0e6.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+/root/repo/target/release/deps/libpdr_mem-77e8aebf92d4d0e6.rlib: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+/root/repo/target/release/deps/libpdr_mem-77e8aebf92d4d0e6.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/dram.rs crates/mem/src/sram.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/sram.rs:

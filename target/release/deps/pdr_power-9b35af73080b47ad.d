@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdr_power-9b35af73080b47ad.d: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libpdr_power-9b35af73080b47ad.rlib: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libpdr_power-9b35af73080b47ad.rmeta: crates/power/src/lib.rs crates/power/src/efficiency.rs crates/power/src/meter.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/efficiency.rs:
+crates/power/src/meter.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pdr_testkit-9ba800c3437b19d8.d: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/release/deps/libpdr_testkit-9ba800c3437b19d8.rlib: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/release/deps/libpdr_testkit-9ba800c3437b19d8.rmeta: crates/testkit/src/lib.rs crates/testkit/src/choices.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/choices.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

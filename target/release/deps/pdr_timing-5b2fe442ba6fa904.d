@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pdr_timing-5b2fe442ba6fa904.d: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+/root/repo/target/release/deps/libpdr_timing-5b2fe442ba6fa904.rlib: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+/root/repo/target/release/deps/libpdr_timing-5b2fe442ba6fa904.rmeta: crates/timing/src/lib.rs crates/timing/src/path.rs crates/timing/src/thermal.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/path.rs:
+crates/timing/src/thermal.rs:

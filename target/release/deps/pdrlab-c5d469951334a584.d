@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pdrlab-c5d469951334a584.d: src/bin/pdrlab.rs
+
+/root/repo/target/release/deps/pdrlab-c5d469951334a584: src/bin/pdrlab.rs
+
+src/bin/pdrlab.rs:

@@ -1,13 +1,20 @@
 //! Property tests of the AXI substrate: data integrity through the width
 //! converter and the multi-master interconnect under arbitrary traffic.
 
-use proptest::prelude::*;
+use pdr_testkit::{any_u64, property, tuple2, u16s, u64s, usizes, vec_of, Config};
 
 use pdr_lab::axi::interconnect::{ReadInterconnect, SlaveEndpoints};
 use pdr_lab::axi::mm::{ReadBeat, ReadReq};
 use pdr_lab::axi::width::{Width64To32, Word32};
 use pdr_lab::axi::StreamBeat;
 use pdr_lab::sim::{fifo_channel, Component, EdgeCtx, Engine, Frequency, SimDuration};
+
+fn cfg() -> Config {
+    Config::with_cases(16).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
 
 /// Memory stub: data word = address-derived tag so routing errors are
 /// detectable by value.
@@ -41,16 +48,15 @@ impl Component for TagMem {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+property! {
+    config = cfg();
 
     /// The width converter emits exactly the low/high halves of every beat,
     /// in order, with `last` only on the final word — for arbitrary beat
     /// streams and drain schedules.
-    #[test]
     fn width_converter_preserves_data(
-        beats in proptest::collection::vec(any::<u64>(), 1..64),
-        drain_every in 1u64..8,
+        beats in vec_of(any_u64(), 1..64),
+        drain_every in u64s(1..8),
     ) {
         let mut e = Engine::new();
         let clk = e.add_clock_domain("oc", Frequency::from_mhz(200));
@@ -68,23 +74,22 @@ proptest! {
                 words.push(w);
             }
             guard += 1;
-            prop_assert!(guard < 10_000, "converter hung");
+            assert!(guard < 10_000, "converter hung");
         }
         let expect: Vec<u32> = beats
             .iter()
             .flat_map(|&d| [d as u32, (d >> 32) as u32])
             .collect();
-        prop_assert_eq!(words.iter().map(|w| w.data).collect::<Vec<_>>(), expect);
+        assert_eq!(words.iter().map(|w| w.data).collect::<Vec<_>>(), expect);
         let lasts: Vec<bool> = words.iter().map(|w| w.last).collect();
-        prop_assert!(lasts[..lasts.len() - 1].iter().all(|&l| !l));
-        prop_assert!(lasts[lasts.len() - 1]);
+        assert!(lasts[..lasts.len() - 1].iter().all(|&l| !l));
+        assert!(lasts[lasts.len() - 1]);
     }
 
     /// Every master of the interconnect receives exactly its own bursts,
     /// complete and in issue order, for arbitrary request interleavings.
-    #[test]
     fn interconnect_routes_every_beat_to_its_owner(
-        script in proptest::collection::vec((0usize..3, 1u16..32), 1..24),
+        script in vec_of(tuple2(usizes(0..3), u16s(1..32)), 1..24),
     ) {
         let mut e = Engine::new();
         let clk = e.add_clock_domain("axi", Frequency::from_mhz(100));
@@ -103,7 +108,7 @@ proptest! {
             while ep.req.try_push(ReadReq::new(*id, next_addr, beats)).is_err() {
                 e.run_for(SimDuration::from_micros(1));
                 guard += 1;
-                prop_assert!(guard < 1000, "request queue never drained");
+                assert!(guard < 1000, "request queue never drained");
             }
             expected[m].push((next_addr, beats));
             next_addr += 0x10_000;
@@ -119,7 +124,7 @@ proptest! {
                 }
             }
             guard += 1;
-            prop_assert!(guard < 10_000, "interconnect hung");
+            assert!(guard < 10_000, "interconnect hung");
         }
         // Validate per master: bursts arrive whole, in order, with the
         // owner's tag in every beat.
@@ -128,14 +133,14 @@ proptest! {
             for &(addr, beats) in bursts {
                 for k in 0..beats {
                     let beat = got[m][cursor];
-                    prop_assert_eq!(beat.id as usize, m);
+                    assert_eq!(beat.id as usize, m);
                     let want = (addr + k as u64 * 8) ^ ((m as u64) << 56);
-                    prop_assert_eq!(beat.data, want, "master {} beat {}", m, cursor);
-                    prop_assert_eq!(beat.last, k + 1 == beats);
+                    assert_eq!(beat.data, want, "master {m} beat {cursor}");
+                    assert_eq!(beat.last, k + 1 == beats);
                     cursor += 1;
                 }
             }
-            prop_assert_eq!(cursor, got[m].len(), "master {} got extra beats", m);
+            assert_eq!(cursor, got[m].len(), "master {m} got extra beats");
         }
     }
 }

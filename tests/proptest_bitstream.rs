@@ -1,42 +1,53 @@
-//! Property-based tests of the bitstream toolchain.
+//! Property-based tests of the bitstream toolchain (pdr-testkit).
 
-use proptest::prelude::*;
+use pdr_testkit::{
+    any_u32, assume, indices, property, tuple2, tuple4, u32s, usizes, vec_of, weighted, Config, Gen,
+};
 
 use pdr_lab::bitstream::{
     compress_frames, decompress, Action, Bitstream, Builder, Frame, FrameAddress, Parser,
     FRAME_WORDS,
 };
 
-/// Strategy: an arbitrary frame (mixing dense, sparse and zero content).
-fn frame_strategy() -> impl Strategy<Value = Frame> {
-    prop_oneof![
-        3 => proptest::collection::vec(any::<u32>(), FRAME_WORDS).prop_map(Frame::from_words),
-        1 => Just(Frame::zeroed()),
-        1 => any::<u32>().prop_map(Frame::filled),
-    ]
+fn cfg() -> Config {
+    Config::with_cases(64).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
 }
 
-/// Strategy: a short frame sequence with realistic run structure.
-fn frames_strategy(max: usize) -> impl Strategy<Value = Vec<Frame>> {
-    proptest::collection::vec((frame_strategy(), 1usize..4), 1..max).prop_map(|runs| {
+/// Generator: an arbitrary frame (mixing dense, sparse and zero content).
+fn frames() -> Gen<Frame> {
+    weighted(vec![
+        (
+            3,
+            vec_of(any_u32(), FRAME_WORDS..=FRAME_WORDS).map(Frame::from_words),
+        ),
+        (1, pdr_testkit::constant(Frame::zeroed())),
+        (1, any_u32().map(Frame::filled)),
+    ])
+}
+
+/// Generator: a short frame sequence with realistic run structure.
+fn frame_runs(max: usize) -> Gen<Vec<Frame>> {
+    vec_of(tuple2(frames(), usizes(1..4)), 1..max).map(|runs| {
         runs.into_iter()
             .flat_map(|(f, n)| std::iter::repeat_n(f, n))
             .collect()
     })
 }
 
-fn far_strategy() -> impl Strategy<Value = FrameAddress> {
-    (0u32..2, 0u32..4, 0u32..64, 0u32..8)
-        .prop_map(|(top, row, col, minor)| FrameAddress::new(top, row, col, minor))
+fn fars() -> Gen<FrameAddress> {
+    tuple4(u32s(0..2), u32s(0..4), u32s(0..64), u32s(0..8))
+        .map(|(top, row, col, minor)| FrameAddress::new(top, row, col, minor))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+property! {
+    config = cfg();
 
     /// Whatever we build, the parser reconstructs exactly — with a passing
     /// CRC and a clean desync.
-    #[test]
-    fn build_parse_roundtrip(far in far_strategy(), frames in frames_strategy(12)) {
+    fn build_parse_roundtrip(far in fars(), frames in frame_runs(12)) {
         let mut b = Builder::new(0x1234_5678);
         b.add_frames(far, frames.clone());
         let bs = b.build();
@@ -45,13 +56,10 @@ proptest! {
             Action::WriteFrame { data, .. } => Some(data.clone()),
             _ => None,
         }).collect();
-        prop_assert_eq!(got, frames);
-        // Bound to locals: struct literals inside `prop_assert!` break its
-        // stringified format message.
-        let crc_ok = actions.contains(&Action::CrcCheck { ok: true });
-        prop_assert!(crc_ok);
-        prop_assert!(actions.contains(&Action::Desync));
-        prop_assert!(actions.contains(&Action::SetFar(far)));
+        assert_eq!(got, frames);
+        assert!(actions.contains(&Action::CrcCheck { ok: true }));
+        assert!(actions.contains(&Action::Desync));
+        assert!(actions.contains(&Action::SetFar(far)));
     }
 
     /// Any single bit flip in the transfer is *detected or harmless*: the
@@ -59,11 +67,10 @@ proptest! {
     /// actions (flips in pre-sync pad words change nothing), or the failure
     /// is observable — a parse error, a failing CRC check, a missing
     /// desync, or frame/address content that the read-back CRC would catch.
-    #[test]
     fn single_bit_flip_never_verifies_silently(
-        frames in frames_strategy(6),
-        word_sel in any::<proptest::sample::Index>(),
-        bit in 0u32..32,
+        frames in frame_runs(6),
+        word_sel in indices(),
+        bit in u32s(0..32),
     ) {
         let mut b = Builder::new(0x1234_5678);
         let far = FrameAddress::new(0, 0, 1, 0);
@@ -89,44 +96,40 @@ proptest! {
                 crc_fail || !desynced || got != frames || !same_far
             }
         };
-        prop_assert!(acceptable, "flip of word {idx} bit {bit} went unnoticed");
+        assert!(acceptable, "flip of word {idx} bit {bit} went unnoticed");
     }
 
     /// Frame compression is lossless for arbitrary content.
-    #[test]
-    fn compression_roundtrip(frames in frames_strategy(16)) {
+    fn compression_roundtrip(frames in frame_runs(16)) {
         let packed = compress_frames(&frames);
         let out = decompress(&packed).expect("own output must decode");
-        prop_assert_eq!(out, frames);
+        assert_eq!(out, frames);
     }
 
     /// Compression never inflates by more than the token overhead.
-    #[test]
-    fn compression_overhead_is_bounded(frames in frames_strategy(16)) {
+    fn compression_overhead_is_bounded(frames in frame_runs(16)) {
         let packed = compress_frames(&frames);
         let raw = frames.len() * FRAME_WORDS * 4;
         // Worst case: every frame is a separate literal run: 3 bytes per run.
-        prop_assert!(packed.len() <= raw + 3 * frames.len());
+        assert!(packed.len() <= raw + 3 * frames.len());
     }
 
     /// Word-level serialisation round-trips through both byte orders.
-    #[test]
-    fn bitstream_word_views_consistent(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+    fn bitstream_word_views_consistent(words in vec_of(any_u32(), 1..64)) {
         let bs = Bitstream::from_words(&words);
-        prop_assert_eq!(bs.words().collect::<Vec<_>>(), words.clone());
+        assert_eq!(bs.words().collect::<Vec<_>>(), words.clone());
         let le = bs.to_le_bytes();
-        prop_assert_eq!(le.len(), bs.len());
+        assert_eq!(le.len(), bs.len());
         for (i, w) in words.iter().enumerate() {
             let chunk: [u8; 4] = le[i * 4..i * 4 + 4].try_into().unwrap();
-            prop_assert_eq!(u32::from_le_bytes(chunk), *w);
+            assert_eq!(u32::from_le_bytes(chunk), *w);
         }
     }
 
     /// The config CRC is order-sensitive: swapping two different adjacent
     /// frame writes changes the check value.
-    #[test]
-    fn config_crc_is_order_sensitive(a in any::<u32>(), b in any::<u32>()) {
-        prop_assume!(a != b);
+    fn config_crc_is_order_sensitive(a in any_u32(), b in any_u32()) {
+        assume!(a != b);
         use pdr_lab::bitstream::ConfigCrc;
         let mut x = ConfigCrc::new();
         x.absorb(2, a);
@@ -134,6 +137,46 @@ proptest! {
         let mut y = ConfigCrc::new();
         y.absorb(2, b);
         y.absorb(2, a);
-        prop_assert_ne!(x.value(), y.value());
+        assert_ne!(x.value(), y.value());
+    }
+}
+
+/// The counterexample recorded by the retired proptest regression file
+/// (`tests/proptest_bitstream.proptest-regressions`): three identical
+/// mostly-sparse frames with bit 7 of some word flipped. Replayed here as a
+/// directed sweep over *every* word, which subsumes the recorded index.
+#[test]
+fn legacy_regression_three_identical_frames_bit7_flip() {
+    let frame = {
+        let mut words = vec![0u32; FRAME_WORDS];
+        *words.last_mut().expect("non-empty") = 0xCDF6_81B8;
+        Frame::from_words(words)
+    };
+    let frames = vec![frame; 3];
+    let far = FrameAddress::new(0, 0, 1, 0);
+    let mut b = Builder::new(0x1234_5678);
+    b.add_frames(far, frames.clone());
+    let bs = b.build();
+    let original = Parser::parse_all(bs.words()).expect("pristine stream");
+    for idx in 0..bs.word_count() {
+        let corrupt = bs.with_flipped_bit(idx, 7);
+        let acceptable = match Parser::parse_all(corrupt.words()) {
+            Err(_) => true,
+            Ok(actions) if actions == original => true,
+            Ok(actions) => {
+                let crc_fail = actions.contains(&Action::CrcCheck { ok: false });
+                let got: Vec<Frame> = actions
+                    .iter()
+                    .filter_map(|a| match a {
+                        Action::WriteFrame { data, .. } => Some(data.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let desynced = actions.contains(&Action::Desync);
+                let same_far = actions.contains(&Action::SetFar(far));
+                crc_fail || !desynced || got != frames || !same_far
+            }
+        };
+        assert!(acceptable, "flip of word {idx} bit 7 went unnoticed");
     }
 }

@@ -2,23 +2,29 @@
 //! must be monotone — running hotter or faster is never safer, and never
 //! cheaper in power.
 
-use proptest::prelude::*;
+use pdr_testkit::{f64s, property, u64s, Config};
 
 use pdr_lab::power::PowerModel;
 use pdr_lab::sim::Frequency;
 use pdr_lab::timing::OverclockModel;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn cfg() -> Config {
+    Config::with_cases(256).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
+property! {
+    config = cfg();
 
     /// Safety is monotone: if an operating point is safe, every slower and
     /// cooler point is safe too.
-    #[test]
     fn safety_is_monotone(
-        f1 in 50u64..400,
-        f2 in 50u64..400,
-        t1 in 20.0f64..120.0,
-        t2 in 20.0f64..120.0,
+        f1 in u64s(50..400),
+        f2 in u64s(50..400),
+        t1 in f64s(20.0..120.0),
+        t2 in f64s(20.0..120.0),
     ) {
         let (f_lo, f_hi) = (f1.min(f2), f1.max(f2));
         let (t_lo, t_hi) = (t1.min(t2), t1.max(t2));
@@ -26,65 +32,61 @@ proptest! {
         let harsh = m.assess(Frequency::from_mhz(f_hi), t_hi);
         let mild = m.assess(Frequency::from_mhz(f_lo), t_lo);
         if harsh.data_ok {
-            prop_assert!(mild.data_ok);
+            assert!(mild.data_ok);
         }
         if harsh.interrupt_ok {
-            prop_assert!(mild.interrupt_ok);
+            assert!(mild.interrupt_ok);
         }
     }
 
     /// The word-error rate is non-decreasing in both frequency and
     /// temperature.
-    #[test]
     fn error_rate_is_monotone(
-        f in 300u64..400,
-        t in 40.0f64..110.0,
-        df in 0u64..50,
-        dt in 0.0f64..20.0,
+        f in u64s(300..400),
+        t in f64s(40.0..110.0),
+        df in u64s(0..50),
+        dt in f64s(0.0..20.0),
     ) {
         let m = OverclockModel::paper_calibration();
         let a = m.assess(Frequency::from_mhz(f), t);
         let b = m.assess(Frequency::from_mhz(f + df), t + dt);
-        prop_assert!(b.word_error_rate >= a.word_error_rate);
-        prop_assert!(a.word_error_rate <= 0.5 && b.word_error_rate <= 0.5);
+        assert!(b.word_error_rate >= a.word_error_rate);
+        assert!(a.word_error_rate <= 0.5 && b.word_error_rate <= 0.5);
     }
 
     /// `max_safe_mhz` is consistent with `assess`.
-    #[test]
-    fn max_safe_is_consistent(t in 20.0f64..110.0) {
+    fn max_safe_is_consistent(t in f64s(20.0..110.0)) {
         let m = OverclockModel::paper_calibration();
         let f = m.max_safe_mhz(t);
-        prop_assert!(m.assess(Frequency::from_mhz(f), t).all_ok());
-        prop_assert!(!m.assess(Frequency::from_mhz(f + 2), t).all_ok());
+        assert!(m.assess(Frequency::from_mhz(f), t).all_ok());
+        assert!(!m.assess(Frequency::from_mhz(f + 2), t).all_ok());
     }
 
     /// Power is non-decreasing in frequency and temperature, and the board
     /// reading always exceeds the subsystem's share.
-    #[test]
     fn power_is_monotone(
-        f in 50.0f64..400.0,
-        t in 20.0f64..110.0,
-        df in 0.0f64..100.0,
-        dt in 0.0f64..30.0,
+        f in f64s(50.0..400.0),
+        t in f64s(20.0..110.0),
+        df in f64s(0.0..100.0),
+        dt in f64s(0.0..30.0),
     ) {
         let m = PowerModel::paper_calibration();
         let p = m.p_pdr_w(f * 1e6, t);
-        prop_assert!(m.p_pdr_w((f + df) * 1e6, t) >= p);
-        prop_assert!(m.p_pdr_w(f * 1e6, t + dt) >= p);
-        prop_assert!(m.p_board_w(f * 1e6, t) > p);
-        prop_assert!(p > 0.0);
+        assert!(m.p_pdr_w((f + df) * 1e6, t) >= p);
+        assert!(m.p_pdr_w(f * 1e6, t + dt) >= p);
+        assert!(m.p_board_w(f * 1e6, t) > p);
+        assert!(p > 0.0);
     }
 
     /// Performance-per-watt is maximised on the plateau's left edge: for a
     /// saturating throughput curve, PpW at the knee beats PpW anywhere
     /// further right.
-    #[test]
-    fn ppw_prefers_the_knee(over in 1.0f64..120.0) {
+    fn ppw_prefers_the_knee(over in f64s(1.0..120.0)) {
         let m = PowerModel::paper_calibration();
         let knee = 200.0;
         let plateau = 786.9;
         let ppw_knee = plateau / m.p_pdr_w(knee * 1e6, 40.0);
         let ppw_over = plateau / m.p_pdr_w((knee + over) * 1e6, 40.0);
-        prop_assert!(ppw_knee > ppw_over);
+        assert!(ppw_knee > ppw_over);
     }
 }

@@ -1,9 +1,16 @@
 //! Property tests of the over-clocking governor (miniature device).
 
-use proptest::prelude::*;
+use pdr_testkit::{assume, property, select, u64s, Config};
 
 use pdr_lab::pdr::governor::{Governor, GovernorConfig, Objective};
 use pdr_lab::pdr::{SystemConfig, ZynqPdrSystem};
+
+fn cfg() -> Config {
+    Config::with_cases(6).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
 
 fn characterised(guard_band_mhz: u64, probe_step_mhz: u64) -> Governor {
     let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
@@ -16,56 +23,53 @@ fn characterised(guard_band_mhz: u64, probe_step_mhz: u64) -> Governor {
     gov
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+property! {
+    config = cfg();
 
     /// Whatever the objective, the selected point is usable and respects
     /// the guard band.
-    #[test]
     fn selection_respects_guard_band(
-        guard in 0u64..60,
-        step in prop::sample::select(vec![20u64, 40]),
-        objective in prop::sample::select(vec![0usize, 1, 2]),
+        guard in u64s(0..60),
+        step in select(vec![20u64, 40]),
+        objective in select(vec![0usize, 1, 2]),
     ) {
         let mut gov = characterised(guard, step);
         let ceiling = gov.max_usable_mhz().expect("envelope found") - guard;
-        prop_assume!(gov.points().iter().any(|p| p.usable && p.freq_mhz <= ceiling));
+        assume!(gov.points().iter().any(|p| p.usable && p.freq_mhz <= ceiling));
         let p = match objective {
             0 => gov.select(Objective::MaxThroughput).clone(),
             1 => gov.select(Objective::MaxEfficiency).clone(),
             _ => gov.select_highest().clone(),
         };
-        prop_assert!(p.usable);
-        prop_assert!(p.freq_mhz <= ceiling, "{} > ceiling {ceiling}", p.freq_mhz);
+        assert!(p.usable);
+        assert!(p.freq_mhz <= ceiling, "{} > ceiling {ceiling}", p.freq_mhz);
     }
 
     /// Repeated failure feedback walks monotonically down the frequency
     /// ladder and eventually gives up rather than looping.
-    #[test]
-    fn failure_feedback_descends_monotonically(step in prop::sample::select(vec![20u64, 40])) {
+    fn failure_feedback_descends_monotonically(step in select(vec![20u64, 40])) {
         let mut gov = characterised(0, step);
         let mut last = gov.select_highest().freq_mhz;
         let mut hops = 0;
         while let Some(p) = gov.on_failure() {
-            prop_assert!(p.freq_mhz < last, "{} !< {last}", p.freq_mhz);
+            assert!(p.freq_mhz < last, "{} !< {last}", p.freq_mhz);
             last = p.freq_mhz;
             hops += 1;
-            prop_assert!(hops < 64, "must terminate");
+            assert!(hops < 64, "must terminate");
         }
         // All points are now exhausted.
-        prop_assert!(gov.current().is_none());
+        assert!(gov.current().is_none());
     }
 
     /// Efficiency selection never picks a point with lower PpW than some
     /// other candidate within the guard band.
-    #[test]
-    fn efficiency_selection_is_optimal(guard in 0u64..40) {
+    fn efficiency_selection_is_optimal(guard in u64s(0..40)) {
         let mut gov = characterised(guard, 20);
         let chosen = gov.select(Objective::MaxEfficiency).clone();
         let ceiling = gov.max_usable_mhz().expect("envelope") - guard;
         for p in gov.points() {
             if p.usable && p.freq_mhz <= ceiling {
-                prop_assert!(
+                assert!(
                     p.ppw_mb_j.unwrap_or(0.0) <= chosen.ppw_mb_j.unwrap_or(0.0) + 1e-9,
                     "{p:?} beats {chosen:?}"
                 );

@@ -1,62 +1,68 @@
 //! Property-based tests of the simulation kernel and fabric invariants.
 
-use proptest::prelude::*;
+use pdr_testkit::{
+    any_u64, bools, f64s, indices, property, select, u32s, u64s, usizes, vec_of, Config, Gen,
+};
 
 use pdr_lab::fabric::{ColumnKind, Geometry};
 use pdr_lab::sim::stats::{Log2Histogram, OnlineStats};
 use pdr_lab::sim::{fifo_channel, Frequency, SimDuration};
 
-fn column_kind() -> impl Strategy<Value = ColumnKind> {
-    prop_oneof![
-        Just(ColumnKind::Clb),
-        Just(ColumnKind::Dsp),
-        Just(ColumnKind::Bram),
-        Just(ColumnKind::Clk),
-        Just(ColumnKind::Io),
-    ]
+fn cfg() -> Config {
+    Config::with_cases(128).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn column_kinds() -> Gen<ColumnKind> {
+    select(vec![
+        ColumnKind::Clb,
+        ColumnKind::Dsp,
+        ColumnKind::Bram,
+        ColumnKind::Clk,
+        ColumnKind::Io,
+    ])
+}
+
+property! {
+    config = cfg();
 
     /// FAR ↔ linear index is a bijection for arbitrary geometries.
-    #[test]
     fn far_mapping_is_bijective(
-        rows in 1u32..5,
-        cols in proptest::collection::vec(column_kind(), 1..24),
+        rows in u32s(1..5),
+        cols in vec_of(column_kinds(), 1..24),
     ) {
         let g = Geometry::new(rows, cols);
         for idx in 0..g.total_frames() {
             let far = g.far_at(idx);
-            prop_assert_eq!(g.frame_index(far), Some(idx));
+            assert_eq!(g.frame_index(far), Some(idx));
         }
     }
 
     /// `advance` equals index arithmetic for arbitrary geometries.
-    #[test]
     fn advance_matches_linear_arithmetic(
-        rows in 1u32..4,
-        cols in proptest::collection::vec(column_kind(), 1..12),
-        start in any::<proptest::sample::Index>(),
-        n in 0u32..64,
+        rows in u32s(1..4),
+        cols in vec_of(column_kinds(), 1..12),
+        start in indices(),
+        n in u32s(0..64),
     ) {
         let g = Geometry::new(rows, cols);
         let start_idx = start.index(g.total_frames() as usize) as u32;
         let far = g.far_at(start_idx);
         match g.advance(far, n) {
             Some(next) => {
-                prop_assert_eq!(g.frame_index(next), Some(start_idx + n));
+                assert_eq!(g.frame_index(next), Some(start_idx + n));
             }
-            None => prop_assert!(start_idx + n >= g.total_frames()),
+            None => assert!(start_idx + n >= g.total_frames()),
         }
     }
 
     /// FIFOs preserve order and never lose or duplicate elements under an
     /// arbitrary interleaving of pushes and pops.
-    #[test]
     fn fifo_preserves_order_and_count(
-        capacity in 1usize..16,
-        ops in proptest::collection::vec(any::<bool>(), 1..256),
+        capacity in usizes(1..16),
+        ops in vec_of(bools(), 1..256),
     ) {
         let (tx, rx) = fifo_channel::<u64>("prop", capacity);
         let mut next_in = 0u64;
@@ -67,41 +73,39 @@ proptest! {
                     next_in += 1;
                 }
             } else if let Some(v) = rx.pop() {
-                prop_assert_eq!(v, next_out);
+                assert_eq!(v, next_out);
                 next_out += 1;
             }
         }
         while let Some(v) = rx.pop() {
-            prop_assert_eq!(v, next_out);
+            assert_eq!(v, next_out);
             next_out += 1;
         }
-        prop_assert_eq!(next_out, next_in);
+        assert_eq!(next_out, next_in);
         let s = tx.stats();
-        prop_assert_eq!(s.pushed, next_in);
-        prop_assert_eq!(s.popped, next_in);
+        assert_eq!(s.pushed, next_in);
+        assert_eq!(s.popped, next_in);
     }
 
     /// Exact clock arithmetic: cycles in a window never drift by more than
     /// one edge from the real-valued expectation, for arbitrary frequencies
     /// and windows.
-    #[test]
     fn clock_edges_do_not_drift(
-        mhz in 1u64..1000,
-        micros in 1u64..100_000,
+        mhz in u64s(1..1000),
+        micros in u64s(1..100_000),
     ) {
         let f = Frequency::from_mhz(mhz);
         let d = SimDuration::from_micros(micros);
         let cycles = f.cycles_in(d);
         let exact = mhz as f64 * micros as f64; // f[MHz] × t[µs] = cycles
-        prop_assert!((cycles as f64 - exact).abs() <= 1.0,
+        assert!((cycles as f64 - exact).abs() <= 1.0,
             "{mhz} MHz over {micros} us: {cycles} vs {exact}");
     }
 
     /// Welford merge equals sequential accumulation on arbitrary data.
-    #[test]
     fn online_stats_merge_is_sequential(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
-        split in any::<proptest::sample::Index>(),
+        xs in vec_of(f64s(-1e6..1e6), 1..200),
+        split in indices(),
     ) {
         let k = split.index(xs.len());
         let mut whole = OnlineStats::new();
@@ -111,55 +115,52 @@ proptest! {
         for &x in &xs[..k] { a.push(x); }
         for &x in &xs[k..] { b.push(x); }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-6);
         let tol = (whole.variance() * 1e-9).max(1e-3);
-        prop_assert!((a.variance() - whole.variance()).abs() < tol);
+        assert!((a.variance() - whole.variance()).abs() < tol);
     }
 
     /// Histogram quantile upper bounds actually bound the requested mass.
-    #[test]
     fn histogram_quantile_bounds_hold(
-        xs in proptest::collection::vec(0u64..1_000_000, 1..200),
-        q in 0.0f64..1.0,
+        xs in vec_of(u64s(0..1_000_000), 1..200),
+        q in f64s(0.0..1.0),
     ) {
         let mut h = Log2Histogram::new();
         for &x in &xs { h.push(x); }
         let bound = h.quantile_upper_bound(q);
         let at_or_below = xs.iter().filter(|&&x| x <= bound).count() as f64;
-        prop_assert!(at_or_below / xs.len() as f64 >= q.min(1.0) - 1e-9,
+        assert!(at_or_below / xs.len() as f64 >= q.min(1.0) - 1e-9,
             "bound {bound} covers {at_or_below}/{} < q={q}", xs.len());
     }
 
     /// DRAM bank/row decode: addresses within one row map to the same
     /// (bank, row); crossing a row boundary changes one of them; the map
     /// covers all banks.
-    #[test]
-    fn dram_decode_is_consistent(addr in 0u64..(1 << 30), offset in 0u64..8192) {
+    fn dram_decode_is_consistent(addr in u64s(0..(1 << 30)), offset in u64s(0..8192)) {
         use pdr_lab::mem::DramConfig;
         let cfg = DramConfig::ddr3_533();
         let (bank, row) = cfg.decode(addr);
-        prop_assert!(bank < cfg.banks);
+        assert!(bank < cfg.banks);
         // Same row ↔ same decode.
         let row_base = addr - addr % cfg.row_bytes;
         let inside = row_base + offset % cfg.row_bytes;
-        prop_assert_eq!(cfg.decode(inside), (bank, row));
+        assert_eq!(cfg.decode(inside), (bank, row));
         // The next row lands on the next bank (row-granular interleaving).
         let (nb, nr) = cfg.decode(row_base + cfg.row_bytes);
-        prop_assert!(nb != bank || nr != row);
-        prop_assert_eq!(nb, (bank + 1) % cfg.banks);
+        assert!(nb != bank || nr != row);
+        assert_eq!(nb, (bank + 1) % cfg.banks);
     }
 
     /// The PRNG's bounded sampler is in range and seed-deterministic.
-    #[test]
-    fn rng_bounded_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+    fn rng_bounded_in_range(seed in any_u64(), bound in u64s(1..1_000_000)) {
         use pdr_lab::sim::Xoshiro256StarStar;
         let mut a = Xoshiro256StarStar::seed_from_u64(seed);
         let mut b = Xoshiro256StarStar::seed_from_u64(seed);
         for _ in 0..32 {
             let x = a.next_bounded(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_bounded(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_bounded(bound));
         }
     }
 }

@@ -2,13 +2,20 @@
 //! compressibility, the staged transfer is lossless and its rate stays
 //! inside the physical bounds.
 
-use proptest::prelude::*;
+use pdr_testkit::{property, u64s, Config};
 
 use pdr_lab::bitstream::{Builder, Frame};
 use pdr_lab::fabric::{ColumnKind, Floorplan, Geometry, Partition};
 use pdr_lab::pdr::proposed::{ProposedConfig, ProposedSystem};
 use pdr_lab::pdr::system::IDCODE;
 use pdr_lab::sim::Xoshiro256StarStar;
+
+fn cfg() -> Config {
+    Config::with_cases(8).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
 
 fn small_system(compress: bool) -> ProposedSystem {
     let geometry = Geometry::new(1, vec![ColumnKind::Clb; 6]);
@@ -37,15 +44,14 @@ fn image(template_pct: u64, frames: u32, seed: u64) -> Vec<Frame> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+property! {
+    config = cfg();
 
     /// Compressed staging is lossless and rate-bounded for any template
     /// fraction.
-    #[test]
     fn compressed_staging_is_lossless_and_bounded(
-        template_pct in 0u64..=100,
-        seed in 0u64..1000,
+        template_pct in u64s(0..=100),
+        seed in u64s(0..1000),
     ) {
         let mut sys = small_system(true);
         let p = sys.config().floorplan.partition(0).clone();
@@ -54,26 +60,25 @@ proptest! {
         b.add_frames(p.start_far(), image(template_pct, frames, seed));
         let bs = b.build();
         let r = sys.reconfigure(&bs);
-        prop_assert!(r.crc_ok, "{r:?}");
+        assert!(r.crc_ok, "{r:?}");
         // Physical bounds: never below the SRAM port (minus pipeline slop),
         // never above the 550 MHz ICAP macro.
         let sram_bound = sys.theoretical_bound_mb_s();
-        prop_assert!(r.throughput_mb_s >= 0.90 * sram_bound, "{r:?}");
-        prop_assert!(r.throughput_mb_s <= 2200.0 + 1.0, "{r:?}");
+        assert!(r.throughput_mb_s >= 0.90 * sram_bound, "{r:?}");
+        assert!(r.throughput_mb_s <= 2200.0 + 1.0, "{r:?}");
         // Stored ratio behaves: ≤ ~1 plus token overhead, and shrinks with
         // template content.
-        prop_assert!(r.compression_ratio <= 1.02, "{r:?}");
+        assert!(r.compression_ratio <= 1.02, "{r:?}");
         if template_pct >= 90 {
-            prop_assert!(r.compression_ratio < 0.2, "{r:?}");
-            prop_assert!(r.throughput_mb_s > 1.4 * sram_bound, "{r:?}");
+            assert!(r.compression_ratio < 0.2, "{r:?}");
+            assert!(r.throughput_mb_s > 1.4 * sram_bound, "{r:?}");
         }
     }
 
     /// Raw staging always lands at the SRAM bound, independent of content.
-    #[test]
     fn raw_staging_is_content_independent(
-        template_pct in 0u64..=100,
-        seed in 0u64..1000,
+        template_pct in u64s(0..=100),
+        seed in u64s(0..1000),
     ) {
         let mut sys = small_system(false);
         let p = sys.config().floorplan.partition(0).clone();
@@ -81,9 +86,9 @@ proptest! {
         let mut b = Builder::new(IDCODE);
         b.add_frames(p.start_far(), image(template_pct, frames, seed));
         let r = sys.reconfigure(&b.build());
-        prop_assert!(r.crc_ok);
-        prop_assert_eq!(r.compression_ratio, 1.0);
+        assert!(r.crc_ok);
+        assert_eq!(r.compression_ratio, 1.0);
         let bound = sys.theoretical_bound_mb_s();
-        prop_assert!((r.throughput_mb_s / bound - 1.0).abs() < 0.05, "{r:?}");
+        assert!((r.throughput_mb_s / bound - 1.0).abs() < 0.05, "{r:?}");
     }
 }

@@ -1,36 +1,42 @@
 //! System-level property tests: full-stack invariants over randomly drawn
 //! operating points (miniature device to keep the suite fast).
 
-use proptest::prelude::*;
+use pdr_testkit::{f64s, property, u32s, u64s, usizes, Config};
 
 use pdr_lab::fabric::AspKind;
 use pdr_lab::pdr::{CrcStatus, SystemConfig, ZynqPdrSystem};
 use pdr_lab::sim::Frequency;
 
+fn cfg() -> Config {
+    Config::with_cases(12).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
 fn sys() -> ZynqPdrSystem {
     ZynqPdrSystem::new(SystemConfig::fast_test())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+property! {
+    config = cfg();
 
     /// At any safe operating point, the transfer verifies, interrupts, and
     /// its latency matches the analytic stream model (word count / f plus
     /// bounded overhead).
-    #[test]
     fn safe_points_verify_and_match_the_stream_model(
-        mhz in 100u64..=295,
-        temp in 40.0f64..=100.0,
-        seed in 0u32..1000,
+        mhz in u64s(100..=295),
+        temp in f64s(40.0..100.0),
+        seed in u32s(0..1000),
     ) {
         let mut s = sys();
         s.set_die_temp_c(temp);
         let kind = AspKind::ALL[seed as usize % AspKind::ALL.len()];
         let bs = s.make_asp_bitstream(0, kind, seed);
         let r = s.reconfigure(0, &bs, Frequency::from_mhz(mhz));
-        prop_assert!(r.interrupt_seen, "{r:?}");
-        prop_assert_eq!(r.crc, CrcStatus::Valid);
-        prop_assert_eq!(r.corrupted_words, 0);
+        assert!(r.interrupt_seen, "{r:?}");
+        assert_eq!(r.crc, CrcStatus::Valid);
+        assert_eq!(r.corrupted_words, 0);
         let latency = r.latency.expect("interrupt seen").as_micros_f64();
         // Lower bound: the ICAP consumes one word per cycle, so the stream
         // alone needs words/f. Upper bound: stream + memory-path limit +
@@ -39,8 +45,8 @@ proptest! {
         let stream_us = words / mhz as f64;
         let mem_us = words * 4.0 / 800.0; // 800 MB/s path ceiling
         let floor = stream_us.max(mem_us);
-        prop_assert!(latency >= floor, "latency {latency} < floor {floor}");
-        prop_assert!(
+        assert!(latency >= floor, "latency {latency} < floor {floor}");
+        assert!(
             latency <= floor + 30.0,
             "latency {latency} too far above floor {floor}"
         );
@@ -48,34 +54,32 @@ proptest! {
 
     /// Past the data-path envelope the CRC verdict is Invalid — never
     /// NotChecked, never silently Valid.
-    #[test]
     fn corrupt_points_are_always_detected(
-        mhz in 320u64..=400,
-        temp in 40.0f64..=100.0,
-        seed in 0u32..1000,
+        mhz in u64s(320..=400),
+        temp in f64s(40.0..100.0),
+        seed in u32s(0..1000),
     ) {
         let mut s = sys();
         s.set_die_temp_c(temp);
         let bs = s.make_asp_bitstream(0, AspKind::ALL[seed as usize % AspKind::ALL.len()], seed);
         let r = s.reconfigure(0, &bs, Frequency::from_mhz(mhz));
-        prop_assert_eq!(r.crc, CrcStatus::Invalid, "{:?}", r);
-        prop_assert!(!r.interrupt_seen);
+        assert_eq!(r.crc, CrcStatus::Invalid, "{r:?}");
+        assert!(!r.interrupt_seen);
     }
 
     /// What lands in configuration memory after a clean transfer is exactly
     /// the generated image — for any partition and seed.
-    #[test]
     fn configured_asp_is_identifiable_and_runnable(
-        rp in 0usize..2,
-        seed in 0u32..1000,
+        rp in usizes(0..2),
+        seed in u32s(0..1000),
     ) {
         let mut s = sys();
         let kind = AspKind::ALL[(seed as usize + rp) % AspKind::ALL.len()];
         let bs = s.make_asp_bitstream(rp, kind, seed);
         let r = s.reconfigure(rp, &bs, Frequency::from_mhz(200));
-        prop_assert!(r.crc_ok());
-        prop_assert_eq!(s.identify_asp(rp), Some((kind, seed)));
+        assert!(r.crc_ok());
+        assert_eq!(s.identify_asp(rp), Some((kind, seed)));
         let out = s.execute_asp(rp, &[1, 2, 3]).expect("configured");
-        prop_assert_eq!(out, kind.execute(seed, &[1, 2, 3]));
+        assert_eq!(out, kind.execute(seed, &[1, 2, 3]));
     }
 }
