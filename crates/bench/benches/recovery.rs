@@ -1,0 +1,112 @@
+//! A10 — self-healing recovery: scrub latency on the full-scale device and
+//! MTTR under a mixed-fault campaign.
+//!
+//! Two measurements:
+//!
+//! 1. **Scrub latency** — SEU detected by the background CRC monitor, then
+//!    repaired by re-applying the golden bitstream ([`RecoveryManager::
+//!    on_crc_alarm`]) on the full ZedBoard floorplan.
+//! 2. **Campaign MTTR** — the deterministic mixed-fault campaign (SEUs,
+//!    timing bursts, DMA stalls, dropped interrupts) on the fast floorplan,
+//!    reporting detection latency, MTTR and availability.
+
+use pdr_bench::{publish, Table};
+use pdr_core::campaign::{run_fault_campaign, FaultCampaign};
+use pdr_core::recovery::{RecoveryConfig, RecoveryManager};
+use pdr_core::system::{SystemConfig, ZynqPdrSystem};
+use pdr_fabric::AspKind;
+use pdr_sim_core::stats::OnlineStats;
+use pdr_sim_core::Frequency;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let samples: u32 = std::env::var("PDR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    // -- scrub latency, full-scale device ---------------------------------
+    let mut sys = ZynqPdrSystem::new(SystemConfig {
+        ideal_instruments: true,
+        ..SystemConfig::default()
+    });
+    let mut mgr = RecoveryManager::for_system(&sys, RecoveryConfig::default());
+    for rp in 0..2 {
+        let bs = sys.make_asp_bitstream(rp, AspKind::AesMix, rp as u32 + 1);
+        assert!(mgr
+            .reconfigure(&mut sys, None, rp, &bs, Frequency::from_mhz(200))
+            .succeeded());
+    }
+    sys.start_background_monitor(&[0, 1]);
+    let scan = sys.monitor_scan_period();
+    let mut detect = OnlineStats::new();
+    let mut scrub = OnlineStats::new();
+    for i in 0..samples {
+        let rp = (i % 2) as usize;
+        sys.inject_seu(rp, 100 + 37 * i, (i as usize * 13) % 101, i % 32);
+        let latency = sys
+            .run_monitor_until_alarm(scan * 3)
+            .expect("monitor catches every upset");
+        mgr.record_detection(latency);
+        detect.push(latency.as_micros_f64());
+        let out = mgr.on_crc_alarm(&mut sys, rp);
+        assert!(out.succeeded(), "scrub must restore the golden image");
+        scrub.push(out.mttr.expect("recovered").as_micros_f64());
+        sys.start_background_monitor(&[0, 1]);
+    }
+
+    // -- mixed-fault campaign MTTR ----------------------------------------
+    let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+    let r = run_fault_campaign(&mut sys, &FaultCampaign::default());
+    assert_eq!(r.detected, r.events);
+    assert_eq!(r.recovered, r.detected);
+    assert_eq!(r.silent_corruptions, 0);
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["SEU samples (full-scale)".into(), samples.to_string()]);
+    t.row(&[
+        "detection latency mean/max [us]".into(),
+        format!("{:.0} / {:.0}", detect.mean(), detect.max().unwrap_or(0.0)),
+    ]);
+    t.row(&[
+        "scrub latency mean/max [us]".into(),
+        format!("{:.0} / {:.0}", scrub.mean(), scrub.max().unwrap_or(0.0)),
+    ]);
+    t.row(&[
+        "full monitor sweep [us]".into(),
+        format!("{:.0}", scan.as_micros_f64()),
+    ]);
+    t.row(&["campaign faults".into(), r.events.to_string()]);
+    t.row(&[
+        "campaign detected / recovered".into(),
+        format!("{} / {}", r.detected, r.recovered),
+    ]);
+    t.row(&[
+        "campaign MTTR mean/max [us]".into(),
+        format!(
+            "{:.0} / {:.0}",
+            r.recovery.mttr_us.mean, r.recovery.mttr_us.max
+        ),
+    ]);
+    t.row(&[
+        "campaign retries / scrubs".into(),
+        format!("{} / {}", r.recovery.retries, r.recovery.scrubs),
+    ]);
+    t.row(&[
+        "campaign availability".into(),
+        format!("{:.4}", r.availability),
+    ]);
+
+    let content = format!(
+        "## Recovery — scrub latency and MTTR under mixed faults\n\n{}\n\
+         Scrubbing an upset partition costs one golden-bitstream transfer at \
+         the safe frequency plus the read-back verification; under the mixed \
+         campaign every injected fault (SEU, timing burst, DMA stall, dropped \
+         interrupt) is detected and repaired by the retry/backoff/scrub \
+         ladder with zero silent corruptions.\n\n\
+         _regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("recovery", &content);
+}

@@ -111,6 +111,10 @@ pub struct AxiDma {
     /// When false, the completion interrupt is electrically dead (the
     /// over-clocked interrupt path has a timing violation).
     irq_functional: bool,
+    /// Remaining injected-stall cycles: while non-zero the engine freezes
+    /// completely (no requests, no streaming) — the fault model for a hung
+    /// memory port or a wedged datamover.
+    stall_cycles: u64,
     state: State,
     /// Next fetch address.
     fetch_addr: u64,
@@ -149,6 +153,7 @@ impl AxiDma {
             stream_out,
             irq,
             irq_functional: true,
+            stall_cycles: 0,
             state: State::Halted,
             fetch_addr: 0,
             bytes_to_request: 0,
@@ -162,6 +167,20 @@ impl AxiDma {
     /// injection; see `pdr-timing`).
     pub fn set_irq_functional(&mut self, functional: bool) {
         self.irq_functional = functional;
+    }
+
+    /// Freezes the engine for `cycles` clock edges (fault injection: a hung
+    /// HP port or wedged datamover). The stall begins on the next edge and
+    /// holds every engine activity — burst requests, stream output,
+    /// completion — so a transfer in flight simply stops making progress
+    /// until the stall drains or [`AxiDma::abort`] clears it.
+    pub fn inject_stall(&mut self, cycles: u64) {
+        self.stall_cycles = self.stall_cycles.saturating_add(cycles);
+    }
+
+    /// Remaining injected-stall cycles.
+    pub fn stall_remaining(&self) -> u64 {
+        self.stall_cycles
     }
 
     /// Activity counters.
@@ -180,6 +199,7 @@ impl AxiDma {
     /// draining the response FIFO before reuse.
     pub fn abort(&mut self) {
         self.state = State::Halted;
+        self.stall_cycles = 0;
         self.bytes_to_request = 0;
         self.bytes_to_stream = 0;
         self.outstanding = 0;
@@ -270,6 +290,10 @@ impl Component for AxiDma {
     }
 
     fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        if self.stall_cycles > 0 {
+            self.stall_cycles -= 1;
+            return;
+        }
         match self.state {
             State::Halted => self.arm_if_requested(),
             State::Starting { remaining } => {
@@ -493,6 +517,56 @@ mod tests {
         }
         assert!(r.irq.is_raised());
         assert!(drained >= 64, "fresh transfer must stream: {drained}");
+    }
+
+    #[test]
+    fn injected_stall_freezes_then_resumes() {
+        let mut r = rig(100);
+        start_transfer(&r, 0, 4096);
+        r.engine.run_for(SimDuration::from_micros(1)); // engine arms
+                                                       // Freeze for 500 cycles (5 µs at 100 MHz) mid-transfer.
+        r.engine.component_mut::<AxiDma>(r.dma_id).inject_stall(500);
+        let beats_before = r.engine.component::<AxiDma>(r.dma_id).stats().beats_out;
+        r.engine.run_for(SimDuration::from_micros(4));
+        while r.stream.pop().is_some() {}
+        let beats_mid = r.engine.component::<AxiDma>(r.dma_id).stats().beats_out;
+        assert_eq!(beats_mid, beats_before, "stalled engine must not stream");
+        assert!(r.engine.component::<AxiDma>(r.dma_id).stall_remaining() > 0);
+        // After the stall drains the transfer completes normally.
+        for _ in 0..100 {
+            r.engine.run_for(SimDuration::from_micros(1));
+            while r.stream.pop().is_some() {}
+            if r.irq.is_raised() {
+                break;
+            }
+        }
+        assert!(r.irq.is_raised(), "transfer must finish after the stall");
+        assert_eq!(r.engine.component::<AxiDma>(r.dma_id).stall_remaining(), 0);
+    }
+
+    #[test]
+    fn abort_clears_an_injected_stall() {
+        let mut r = rig(100);
+        start_transfer(&r, 0, 4096);
+        r.engine.run_for(SimDuration::from_micros(1));
+        r.engine
+            .component_mut::<AxiDma>(r.dma_id)
+            .inject_stall(1_000_000);
+        r.engine.component_mut::<AxiDma>(r.dma_id).abort();
+        assert_eq!(r.engine.component::<AxiDma>(r.dma_id).stall_remaining(), 0);
+        // The engine is reusable immediately.
+        r.engine.run_for(SimDuration::from_micros(10));
+        while r.stream.pop().is_some() {}
+        r.irq.clear();
+        start_transfer(&r, 0x1000, 512);
+        for _ in 0..50 {
+            r.engine.run_for(SimDuration::from_micros(1));
+            while r.stream.pop().is_some() {}
+            if r.irq.is_raised() {
+                break;
+            }
+        }
+        assert!(r.irq.is_raised());
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct IcapController {
     mem: SharedConfigMemory,
     done_irq: IrqLine,
     irq_functional: bool,
+    /// One-shot fault injection: swallow the next done interrupt (a lost
+    /// IRQ edge, distinct from a dead path). Survives [`IcapController::reset`]
+    /// so it can be armed before the driver's pre-transfer quiesce.
+    drop_next_done: bool,
     parser: Parser,
     status: IcapStatus,
     word_error_rate: f64,
@@ -106,6 +110,7 @@ impl IcapController {
             mem,
             done_irq,
             irq_functional: true,
+            drop_next_done: false,
             parser: Parser::new(),
             status: IcapStatus::default(),
             word_error_rate: 0.0,
@@ -131,6 +136,20 @@ impl IcapController {
     /// Enables or disables the physical done-interrupt path.
     pub fn set_irq_functional(&mut self, functional: bool) {
         self.irq_functional = functional;
+    }
+
+    /// Arms a one-shot fault: the next completion interrupt is silently
+    /// swallowed (the edge is lost between controller and interrupt
+    /// controller) even though the transfer itself completes. The flag
+    /// survives [`IcapController::reset`] and is consumed when the drop
+    /// happens.
+    pub fn drop_next_done_irq(&mut self) {
+        self.drop_next_done = true;
+    }
+
+    /// True while a one-shot interrupt drop is armed.
+    pub fn done_irq_drop_armed(&self) -> bool {
+        self.drop_next_done
     }
 
     /// Current transfer status.
@@ -208,8 +227,12 @@ impl Component for IcapController {
             return;
         }
         if self.status.done && self.status.done_time == Some(now) {
-            // Completed this cycle: fire the interrupt if its path works.
-            if self.irq_functional {
+            // Completed this cycle: fire the interrupt if its path works and
+            // no one-shot drop is armed.
+            if self.drop_next_done {
+                self.drop_next_done = false;
+                ctx.trace("icap-done-irq-dropped", self.status.frames_written, 0);
+            } else if self.irq_functional {
                 self.done_irq.raise(now);
             }
             ctx.trace("icap-done", self.status.frames_written, 0);
@@ -324,6 +347,37 @@ mod tests {
             .clone();
         assert!(st.corrupted_words > 0, "corruption must trigger at 0.5 %");
         assert!(!st.succeeded(), "corrupted stream must not verify: {st:?}");
+    }
+
+    #[test]
+    fn armed_drop_swallows_exactly_one_done_irq() {
+        let mut r = rig(100);
+        {
+            let icap = r.engine.component_mut::<IcapController>(r.icap_id);
+            icap.drop_next_done_irq();
+            // The drop must survive the driver's pre-transfer reset.
+            icap.reset();
+            assert!(icap.done_irq_drop_armed());
+        }
+        let bs = sample_bitstream(4);
+        feed(&r, &bs);
+        r.engine.run_for(SimDuration::from_micros(50));
+        let st = r
+            .engine
+            .component::<IcapController>(r.icap_id)
+            .status()
+            .clone();
+        assert!(st.succeeded(), "transfer itself completes: {st:?}");
+        assert!(!r.irq.is_raised(), "armed drop must swallow the interrupt");
+        assert!(!r
+            .engine
+            .component::<IcapController>(r.icap_id)
+            .done_irq_drop_armed());
+        // The next transfer interrupts normally (one-shot consumed).
+        r.engine.component_mut::<IcapController>(r.icap_id).reset();
+        feed(&r, &bs);
+        r.engine.run_for(SimDuration::from_micros(50));
+        assert!(r.irq.is_raised(), "drop is one-shot");
     }
 
     #[test]

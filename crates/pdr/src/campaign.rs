@@ -15,9 +15,11 @@
 //! measured distribution against that bound.
 
 use pdr_sim_core::stats::OnlineStats;
-use pdr_sim_core::{impl_json_struct, SimDuration, Xoshiro256StarStar};
+use pdr_sim_core::{impl_json_struct, Frequency, SimDuration, SimTime, Xoshiro256StarStar};
 
-use crate::system::ZynqPdrSystem;
+use crate::faults::{FaultKind, FaultPlan, FaultPlanConfig};
+use crate::recovery::{PartitionHealth, RecoveryConfig, RecoveryManager, RecoveryStats};
+use crate::system::{SystemConfig, ZynqPdrSystem};
 
 /// Campaign parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,12 +201,334 @@ fn static_region_far(
     None
 }
 
+/// Mixed-fault campaign parameters: a replayable [`FaultPlanConfig`]
+/// schedule plus the recovery policy that must absorb it.
+///
+/// The defaults are tuned so that, on [`FaultCampaign::fast_system`],
+/// *every* scheduled fault manifests as an observable failure: timing
+/// bursts derate past the 280 MHz interrupt slack (25 MHz at 40 °C), DMA
+/// stalls outlast the watchdog timeout, and SEUs land in monitored
+/// partitions. A fault that cannot manifest would count as `benign`, and
+/// the acceptance tests pin `benign == 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaign {
+    /// The fault schedule (see [`FaultPlan::generate`]).
+    pub plan: FaultPlanConfig,
+    /// Partitions in service, monitored and used as reconfiguration
+    /// vehicles. Must cover every partition the plan's SEUs target.
+    pub rps: Vec<usize>,
+    /// Requested over-clock for vehicle reconfigurations, MHz.
+    pub operating_mhz: u64,
+    /// The recovery ladder under test.
+    pub recovery: RecoveryConfig,
+}
+
+impl Default for FaultCampaign {
+    fn default() -> Self {
+        FaultCampaign {
+            plan: FaultPlanConfig {
+                seed: 2017,
+                duration: SimDuration::from_millis(6),
+                mean_interarrival: SimDuration::from_micros(50),
+                burst_probability: 0.1,
+                burst_length: 3,
+                burst_spacing: SimDuration::from_micros(20),
+                weights: [6, 2, 1, 2],
+                // 280 MHz has 25 MHz of interrupt slack and 38 MHz of data
+                // slack at 40 °C: every derate in range kills at least the
+                // interrupt path, derates past 38 corrupt data too.
+                derate_mhz: (30.0, 60.0),
+                timing_burst_duration: SimDuration::from_micros(400),
+                // The watchdog fires at 250 µs = 70 k cycles at 280 MHz;
+                // every stall in range outlasts it.
+                stall_cycles: (80_000, 150_000),
+            },
+            rps: vec![0, 1],
+            operating_mhz: 280,
+            recovery: RecoveryConfig {
+                scrub_mhz: 200,
+                ..RecoveryConfig::default()
+            },
+        }
+    }
+}
+
+impl FaultCampaign {
+    /// A system configuration tuned for campaign runs: the fast-test
+    /// floorplan with a watchdog timeout short enough that the plan's DMA
+    /// stalls manifest within simulated microseconds instead of the
+    /// production 40 ms.
+    pub fn fast_system() -> SystemConfig {
+        let mut cfg = SystemConfig::fast_test();
+        cfg.transfer_timeout = SimDuration::from_micros(250);
+        cfg
+    }
+}
+
+/// Aggregate outcome of [`run_fault_campaign`]. Serialisable; two runs from
+/// the same seed produce byte-identical JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaignResult {
+    /// The plan seed (replay provenance).
+    pub seed: u64,
+    /// Total scheduled fault events.
+    pub events: u64,
+    /// SEU bit-flips injected.
+    pub injected_seu: u64,
+    /// Timing bursts injected.
+    pub injected_timing_bursts: u64,
+    /// DMA stalls injected.
+    pub injected_dma_stalls: u64,
+    /// Completion interrupts dropped.
+    pub injected_dropped_irqs: u64,
+    /// Faults observed by the monitor or the watchdog.
+    pub detected: u64,
+    /// SEUs the monitor missed within its deadline (must be 0; a miss also
+    /// surfaces in the final golden sweep).
+    pub undetected: u64,
+    /// Faults that produced no observable failure (must be 0 under the
+    /// default tuning).
+    pub benign: u64,
+    /// Faults skipped because every candidate partition was quarantined.
+    pub skipped: u64,
+    /// Detected faults repaired by the recovery ladder.
+    pub recovered: u64,
+    /// Detected faults the ladder could not repair.
+    pub unrecovered: u64,
+    /// Partitions whose post-campaign fabric content silently diverged
+    /// from their golden image (must be 0).
+    pub silent_corruptions: u64,
+    /// Partitions taken out of service.
+    pub quarantined_partitions: u64,
+    /// In-service fraction of partition-time: 1 minus accumulated
+    /// detection + repair + quarantine downtime over the campaign span.
+    pub availability: f64,
+    /// Campaign wall time, µs (simulated).
+    pub campaign_us: f64,
+    /// The recovery manager's own telemetry.
+    pub recovery: RecoveryStats,
+}
+
+impl_json_struct!(FaultCampaignResult {
+    seed,
+    events,
+    injected_seu,
+    injected_timing_bursts,
+    injected_dma_stalls,
+    injected_dropped_irqs,
+    detected,
+    undetected,
+    benign,
+    skipped,
+    recovered,
+    unrecovered,
+    silent_corruptions,
+    quarantined_partitions,
+    availability,
+    campaign_us,
+    recovery,
+});
+
+/// Runs a mixed-fault campaign: generates the plan, brings every partition
+/// into service (initial content becomes the golden reference), then walks
+/// the schedule. SEUs are detected by the background CRC monitor and
+/// scrubbed; timing bursts, DMA stalls and dropped interrupts are exercised
+/// through a managed reconfiguration on a round-robin vehicle partition, so
+/// the watchdog + retry/backoff ladder absorbs them. A final golden sweep
+/// counts silent corruptions.
+///
+/// Deterministic: the result (including its JSON) is a pure function of
+/// the campaign, the system configuration and their seeds.
+///
+/// # Panics
+///
+/// Panics if the campaign monitors no partitions, the plan targets a
+/// partition outside the monitored set, or initial configuration fails.
+pub fn run_fault_campaign(
+    sys: &mut ZynqPdrSystem,
+    campaign: &FaultCampaign,
+) -> FaultCampaignResult {
+    assert!(
+        !campaign.rps.is_empty(),
+        "campaign needs monitored partitions"
+    );
+    let plan = FaultPlan::generate(&campaign.plan, sys.floorplan());
+    for e in plan.events.iter().filter(|e| e.kind == FaultKind::Seu) {
+        assert!(
+            campaign.rps.contains(&e.rp),
+            "plan targets partition {} outside the monitored set",
+            e.rp
+        );
+    }
+    let operating = Frequency::from_mhz(campaign.operating_mhz);
+    let scrub = Frequency::from_mhz(campaign.recovery.scrub_mhz);
+    let mut mgr = RecoveryManager::for_system(sys, campaign.recovery);
+
+    for (i, &rp) in campaign.rps.iter().enumerate() {
+        let bs = sys.make_partial_bitstream(rp, i as u32 + 1);
+        let out = mgr.reconfigure(sys, None, rp, &bs, scrub);
+        assert!(out.succeeded(), "initial configuration of rp{rp} failed");
+    }
+    sys.start_background_monitor(&campaign.rps);
+    let scan = sys.monitor_scan_period();
+    let t0 = sys.now();
+
+    let mut detected = 0u64;
+    let mut undetected = 0u64;
+    let mut benign = 0u64;
+    let mut skipped = 0u64;
+    let mut recovered = 0u64;
+    let mut unrecovered = 0u64;
+    let mut downtime_ps = 0u64;
+    let mut quarantined_at: Vec<Option<SimTime>> = vec![None; sys.floorplan().partitions().len()];
+    let mut rr = 0usize;
+
+    for e in &plan.events {
+        // Advance to the scheduled instant; events that fall behind the
+        // handling of their predecessors run back-to-back.
+        let elapsed = sys.now().duration_since(t0).as_ps();
+        if e.at_ps > elapsed {
+            sys.run_monitor_for(SimDuration::from_ps(e.at_ps - elapsed));
+        }
+        match e.kind {
+            FaultKind::Seu => {
+                if mgr.health(e.rp) == PartitionHealth::Quarantined {
+                    skipped += 1;
+                    continue;
+                }
+                sys.inject_seu(e.rp, e.frame, e.word, e.bit);
+                match sys.run_monitor_until_alarm(scan * 3) {
+                    Some(lat) => {
+                        detected += 1;
+                        downtime_ps += lat.as_ps();
+                        mgr.record_detection(lat);
+                        let out = mgr.on_crc_alarm(sys, e.rp);
+                        if out.succeeded() {
+                            recovered += 1;
+                            downtime_ps += out.mttr.expect("recovered").as_ps();
+                        } else {
+                            unrecovered += 1;
+                            note_quarantines(&mgr, &mut quarantined_at, sys.now());
+                        }
+                        restart_monitor(sys, &mgr, &campaign.rps);
+                    }
+                    None => undetected += 1,
+                }
+            }
+            kind => {
+                match kind {
+                    FaultKind::TimingBurst => {
+                        sys.inject_timing_burst(e.derate_mhz, SimDuration::from_ps(e.duration_ps))
+                    }
+                    FaultKind::DmaStall => sys.inject_dma_stall(e.stall_cycles),
+                    FaultKind::DroppedIrq => sys.drop_next_completion_irq(),
+                    FaultKind::Seu => unreachable!("handled above"),
+                }
+                let n = campaign.rps.len();
+                let mut vehicle = None;
+                for k in 0..n {
+                    let rp = campaign.rps[(rr + k) % n];
+                    if mgr.health(rp) != PartitionHealth::Quarantined {
+                        vehicle = Some(rp);
+                        rr += k + 1;
+                        break;
+                    }
+                }
+                let Some(rp) = vehicle else {
+                    skipped += 1;
+                    continue;
+                };
+                let bs = mgr.golden(rp).expect("configured at start").clone();
+                let out = mgr.reconfigure(sys, None, rp, &bs, operating);
+                if out.recovered_after_failure || !out.succeeded() {
+                    detected += 1;
+                } else {
+                    benign += 1;
+                }
+                if out.succeeded() {
+                    if out.recovered_after_failure {
+                        recovered += 1;
+                        downtime_ps += out.mttr.expect("recovered").as_ps();
+                    }
+                } else {
+                    unrecovered += 1;
+                    note_quarantines(&mgr, &mut quarantined_at, sys.now());
+                }
+                restart_monitor(sys, &mgr, &campaign.rps);
+            }
+        }
+    }
+
+    let end = sys.now();
+    let duration = end.duration_since(t0);
+    let mut silent_corruptions = 0u64;
+    for &rp in &campaign.rps {
+        if mgr.health(rp) == PartitionHealth::Quarantined {
+            continue;
+        }
+        let golden = mgr.golden(rp).expect("configured at start");
+        if !sys.fabric_matches(golden) {
+            silent_corruptions += 1;
+        }
+    }
+    for q in quarantined_at.iter().flatten() {
+        downtime_ps += end.duration_since(*q).as_ps();
+    }
+    let span_ps = duration
+        .as_ps()
+        .max(1)
+        .saturating_mul(campaign.rps.len() as u64);
+    let availability = (1.0 - downtime_ps as f64 / span_ps as f64).clamp(0.0, 1.0);
+
+    FaultCampaignResult {
+        seed: plan.seed,
+        events: plan.events.len() as u64,
+        injected_seu: plan.count(FaultKind::Seu) as u64,
+        injected_timing_bursts: plan.count(FaultKind::TimingBurst) as u64,
+        injected_dma_stalls: plan.count(FaultKind::DmaStall) as u64,
+        injected_dropped_irqs: plan.count(FaultKind::DroppedIrq) as u64,
+        detected,
+        undetected,
+        benign,
+        skipped,
+        recovered,
+        unrecovered,
+        silent_corruptions,
+        quarantined_partitions: mgr.stats().quarantines,
+        availability,
+        campaign_us: duration.as_micros_f64(),
+        recovery: mgr.stats(),
+    }
+}
+
+/// Re-arms the background monitor over the partitions still in service
+/// (reconfiguration pauses it; quarantined partitions leave the scan).
+fn restart_monitor(sys: &mut ZynqPdrSystem, mgr: &RecoveryManager, rps: &[usize]) {
+    let active: Vec<usize> = rps
+        .iter()
+        .copied()
+        .filter(|&rp| mgr.health(rp) != PartitionHealth::Quarantined)
+        .collect();
+    if !active.is_empty() {
+        sys.start_background_monitor(&active);
+    }
+}
+
+/// Stamps the quarantine instant of any newly quarantined partition, for
+/// availability accounting.
+fn note_quarantines(mgr: &RecoveryManager, at: &mut [Option<SimTime>], now: SimTime) {
+    for (rp, h) in mgr.health_all().iter().enumerate() {
+        if *h == PartitionHealth::Quarantined && at[rp].is_none() {
+            at[rp] = Some(now);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::SystemConfig;
     use pdr_fabric::AspKind;
-    use pdr_sim_core::Frequency;
+    use pdr_sim_core::json::ToJson;
 
     fn configured_system() -> ZynqPdrSystem {
         let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
@@ -255,6 +579,47 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1).latency_us.mean, run(2).latency_us.mean);
+    }
+
+    fn small_fault_campaign() -> FaultCampaign {
+        let mut c = FaultCampaign::default();
+        c.plan.duration = SimDuration::from_millis(1);
+        c.plan.mean_interarrival = SimDuration::from_micros(100);
+        c
+    }
+
+    #[test]
+    fn fault_campaign_detects_and_recovers_everything() {
+        let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+        let c = small_fault_campaign();
+        let r = run_fault_campaign(&mut sys, &c);
+        assert!(r.events >= 5, "{r:?}");
+        assert_eq!(r.detected, r.events, "{r:?}");
+        assert_eq!(
+            (r.undetected, r.benign, r.skipped, r.unrecovered),
+            (0, 0, 0, 0),
+            "{r:?}"
+        );
+        assert_eq!(r.recovered, r.detected, "{r:?}");
+        assert_eq!(r.silent_corruptions, 0, "{r:?}");
+        assert_eq!(r.quarantined_partitions, 0, "{r:?}");
+        assert!(r.availability > 0.0 && r.availability < 1.0, "{r:?}");
+        assert_eq!(r.recovery.faults_detected, r.detected, "{r:?}");
+        assert_eq!(r.recovery.faults_recovered, r.recovered, "{r:?}");
+    }
+
+    #[test]
+    fn fault_campaign_is_replay_identical() {
+        let run = |seed| {
+            let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+            let mut c = small_fault_campaign();
+            c.plan.seed = seed;
+            run_fault_campaign(&mut sys, &c)
+        };
+        let (a, b) = (run(5), run(5));
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        assert_ne!(run(5).to_json_string(), run(6).to_json_string());
     }
 
     #[test]

@@ -114,6 +114,7 @@ mod tests {
             corrupted_words: 0,
             p_pdr_w: 1.3,
             energy_j: None,
+            error: None,
         };
         let mut panel = FrontPanel::new();
         panel.show(&report);

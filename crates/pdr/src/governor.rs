@@ -281,6 +281,26 @@ impl Governor {
         self.current = Some(fallback);
         Some(&self.points[fallback])
     }
+
+    /// The lowest characterised frequency, usable or not — the hard floor
+    /// no amount of backoff may cross.
+    pub fn floor_mhz(&self) -> Option<u64> {
+        self.points.iter().map(|p| p.freq_mhz).min()
+    }
+
+    /// Re-marks the point at `freq_mhz` usable — the recovery path for
+    /// *transient* failures (a timing burst that has passed), where
+    /// permanently burning the operating point would ratchet the system to
+    /// its floor over a long campaign. Returns true when the point exists.
+    pub fn reinstate(&mut self, freq_mhz: u64) -> bool {
+        match self.points.iter_mut().find(|p| p.freq_mhz == freq_mhz) {
+            Some(p) => {
+                p.usable = true;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// HP-2011-style **active feedback**: instead of characterising offline, the
@@ -429,6 +449,21 @@ mod tests {
         let after = gov.on_failure().expect("slower point exists").freq_mhz;
         assert!(after < before);
         assert_eq!(gov.current().unwrap().freq_mhz, after);
+    }
+
+    #[test]
+    fn reinstate_undoes_a_transient_failure() {
+        let (mut sys, mut gov) = governed_system();
+        gov.characterise(&mut sys, 0);
+        assert_eq!(gov.floor_mhz(), Some(100));
+        let before = gov.select_highest().freq_mhz;
+        let after = gov.on_failure().expect("slower point exists").freq_mhz;
+        assert!(after < before);
+        // The burst passes; the burned point comes back.
+        assert!(gov.reinstate(before));
+        assert_eq!(gov.select_highest().freq_mhz, before);
+        // Unknown frequencies are reported, not invented.
+        assert!(!gov.reinstate(999));
     }
 
     #[test]

@@ -41,18 +41,25 @@ pub mod campaign;
 pub mod clockwizard;
 pub mod crc_readback;
 pub mod experiments;
+pub mod faults;
 pub mod frontpanel;
 pub mod governor;
 pub mod proposed;
+pub mod recovery;
 pub mod report;
 pub mod sdcard;
 pub mod system;
 
-pub use campaign::{run_seu_campaign, CampaignResult, SeuCampaign};
+pub use campaign::{
+    run_fault_campaign, run_seu_campaign, CampaignResult, FaultCampaign, FaultCampaignResult,
+    SeuCampaign, StatsSummary,
+};
 pub use clockwizard::ClockWizard;
 pub use crc_readback::CrcReadback;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use frontpanel::{switch_frequency, FrontPanel};
 pub use governor::{ActiveFeedback, Governor, GovernorConfig, Objective, OperatingPoint};
-pub use report::{CrcStatus, ReconfigReport};
+pub use recovery::{PartitionHealth, RecoveryConfig, RecoveryManager, RecoveryStats};
+pub use report::{CrcStatus, ReconfigError, ReconfigReport, TimeoutCause};
 pub use sdcard::{BootReport, SdCard};
 pub use system::{SystemConfig, ZynqPdrSystem};

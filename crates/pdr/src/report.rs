@@ -1,5 +1,6 @@
 //! Reconfiguration reports: what one `reconfigure` call observed.
 
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::{impl_json_enum, impl_json_struct, Frequency, SimDuration};
 
 /// Outcome of the CRC read-back verification.
@@ -18,6 +19,96 @@ impl_json_enum!(CrcStatus {
     Invalid,
     NotChecked
 });
+
+/// Why a reconfiguration attempt hit the watchdog deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutCause {
+    /// The transfer finished (all bytes streamed, frames committed) but the
+    /// completion interrupt never arrived — the paper's 310 MHz failure
+    /// mode, where only the interrupt path violates timing.
+    InterruptLost,
+    /// The transfer itself never finished before the deadline (stalled DMA,
+    /// starved interconnect): data may be partially written.
+    StillInFlight,
+}
+
+impl_json_enum!(TimeoutCause {
+    InterruptLost,
+    StillInFlight
+});
+
+/// Classified failure of one reconfiguration attempt. `None` on a report
+/// means the attempt succeeded end-to-end (interrupt seen, CRC valid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The watchdog deadline expired without a completion interrupt.
+    Timeout(TimeoutCause),
+    /// The transfer completed but read-back found the partition corrupt.
+    CrcMismatch,
+    /// The configuration logic refused the bitstream (bad sync word, wrong
+    /// IDCODE, malformed packet): nothing was written.
+    Refused,
+    /// The recovery ladder exhausted its options and the partition was
+    /// taken out of service.
+    Quarantined,
+}
+
+// `impl_json_enum!` handles unit variants only; `Timeout` carries a cause,
+// so the encoding is written out: flat "Timeout:<cause>" strings keep the
+// report JSON greppable.
+impl ToJson for ReconfigError {
+    fn to_json(&self) -> Json {
+        let text = match self {
+            ReconfigError::Timeout(cause) => {
+                return Json::Str(format!(
+                    "Timeout:{}",
+                    cause.to_json_string().trim_matches('"')
+                ))
+            }
+            ReconfigError::CrcMismatch => "CrcMismatch",
+            ReconfigError::Refused => "Refused",
+            ReconfigError::Quarantined => "Quarantined",
+        };
+        Json::Str(text.to_string())
+    }
+}
+
+impl FromJson for ReconfigError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str().ok_or_else(|| JsonError {
+            msg: "expected ReconfigError variant string".to_string(),
+        })?;
+        match s {
+            "CrcMismatch" => Ok(ReconfigError::CrcMismatch),
+            "Refused" => Ok(ReconfigError::Refused),
+            "Quarantined" => Ok(ReconfigError::Quarantined),
+            _ => match s.strip_prefix("Timeout:") {
+                Some(cause) => Ok(ReconfigError::Timeout(TimeoutCause::from_json(
+                    &Json::Str(cause.to_string()),
+                )?)),
+                None => Err(JsonError {
+                    msg: format!("unknown ReconfigError variant '{s}'"),
+                }),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::Timeout(TimeoutCause::InterruptLost) => {
+                write!(f, "timeout: completion interrupt lost")
+            }
+            ReconfigError::Timeout(TimeoutCause::StillInFlight) => {
+                write!(f, "timeout: transfer still in flight")
+            }
+            ReconfigError::CrcMismatch => write!(f, "CRC read-back mismatch"),
+            ReconfigError::Refused => write!(f, "bitstream refused"),
+            ReconfigError::Quarantined => write!(f, "partition quarantined"),
+        }
+    }
+}
 
 /// Everything observed during one partial reconfiguration — the raw material
 /// for every row of Table I/II and every cell of the stress matrix.
@@ -49,6 +140,8 @@ pub struct ReconfigReport {
     /// Energy attributed to the transfer (P_PDR × latency), in J; `None`
     /// without a latency measurement.
     pub energy_j: Option<f64>,
+    /// Classified failure, `None` when the attempt succeeded end-to-end.
+    pub error: Option<ReconfigError>,
 }
 
 impl_json_struct!(ReconfigReport {
@@ -63,12 +156,18 @@ impl_json_struct!(ReconfigReport {
     corrupted_words,
     p_pdr_w,
     energy_j,
+    error,
 });
 
 impl ReconfigReport {
     /// True when the read-back verified the configuration.
     pub fn crc_ok(&self) -> bool {
         self.crc == CrcStatus::Valid
+    }
+
+    /// True when the attempt succeeded end-to-end (no classified error).
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
     }
 
     /// Transfer throughput in MB/s (10⁶ bytes per second, the paper's
@@ -133,6 +232,9 @@ mod tests {
             corrupted_words: 0,
             p_pdr_w: 1.30,
             energy_j: latency_us.map(|u| 1.30 * u as f64 * 1e-6),
+            error: latency_us
+                .is_none()
+                .then_some(ReconfigError::Timeout(TimeoutCause::InterruptLost)),
         }
     }
 
@@ -197,6 +299,44 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.latency, None);
         assert_eq!(back.energy_j, None);
+    }
+
+    #[test]
+    fn reconfig_error_json_round_trips_every_variant() {
+        use pdr_sim_core::json::{FromJson, ToJson};
+        for e in [
+            ReconfigError::Timeout(TimeoutCause::InterruptLost),
+            ReconfigError::Timeout(TimeoutCause::StillInFlight),
+            ReconfigError::CrcMismatch,
+            ReconfigError::Refused,
+            ReconfigError::Quarantined,
+        ] {
+            let j = e.to_json_string();
+            assert_eq!(ReconfigError::from_json_str(&j).expect("decodes"), e, "{j}");
+        }
+        assert_eq!(
+            ReconfigError::Timeout(TimeoutCause::InterruptLost).to_json_string(),
+            "\"Timeout:InterruptLost\""
+        );
+        assert!(ReconfigError::from_json_str("\"Timeout:Nonsense\"").is_err());
+        assert!(ReconfigError::from_json_str("\"Bogus\"").is_err());
+        assert!(ReconfigError::from_json_str("17").is_err());
+    }
+
+    #[test]
+    fn error_field_round_trips_and_marks_failure() {
+        use pdr_sim_core::json::{FromJson, ToJson};
+        let ok = report(Some(676));
+        assert!(ok.succeeded());
+        let failed = report(None);
+        assert!(!failed.succeeded());
+        let text = failed.to_json_string();
+        assert!(
+            text.contains("\"error\":\"Timeout:InterruptLost\""),
+            "{text}"
+        );
+        let back = ReconfigReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, failed);
     }
 
     #[test]

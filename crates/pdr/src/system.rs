@@ -20,7 +20,7 @@ use pdr_timing::{DieThermal, OverclockModel, XadcSensor};
 
 use crate::clockwizard::ClockWizard;
 use crate::crc_readback::{CrcReadback, Region, CYCLES_PER_FRAME};
-use crate::report::{CrcStatus, ReconfigReport};
+use crate::report::{CrcStatus, ReconfigError, ReconfigReport, TimeoutCause};
 
 /// DRAM byte address where partial bitstreams are staged (the paper copies
 /// them from the SD card at boot).
@@ -136,6 +136,12 @@ pub struct ZynqPdrSystem {
     reconfigs: u64,
     /// Frames covered by the background monitor's registered regions.
     monitored_frames: u32,
+    /// Active timing-violation burst: extra MHz of derating applied to the
+    /// failure envelope until the given instant.
+    derate_until: Option<(f64, SimTime)>,
+    /// DMA stall cycles to arm on the next reconfiguration (applied after
+    /// the pre-flight quiesce, which would otherwise clear them).
+    pending_dma_stall: u64,
 }
 
 impl ZynqPdrSystem {
@@ -288,6 +294,8 @@ impl ZynqPdrSystem {
             rng,
             reconfigs: 0,
             monitored_frames: 0,
+            derate_until: None,
+            pending_dma_stall: 0,
         }
     }
 
@@ -443,7 +451,8 @@ impl ZynqPdrSystem {
         // the verified region is derived from the bitstream itself.
         let _partition = self.config.floorplan.partition(rp);
         let die_temp = self.thermal.die_temp_c();
-        let assessment = self.config.overclock.assess(freq, die_temp);
+        let derate = self.active_derate_mhz();
+        let assessment = self.config.overclock.assess_derated(freq, die_temp, derate);
 
         // ---- Pre-flight: quiesce the pipeline from any previous failure. --
         self.engine.component_mut::<AxiDma>(self.dma_id).abort();
@@ -481,6 +490,14 @@ impl ZynqPdrSystem {
             .frame_index(start_far)
             .expect("bitstream targets an address outside the device");
         let golden = frames_crc(&frames);
+
+        // ---- Arm injected faults that must survive the quiesce. ----------
+        if self.pending_dma_stall > 0 {
+            self.engine
+                .component_mut::<AxiDma>(self.dma_id)
+                .inject_stall(self.pending_dma_stall);
+            self.pending_dma_stall = 0;
+        }
 
         // ---- The measured section: driver + transfer + interrupt wait. ---
         let t_start = self.engine.now();
@@ -526,6 +543,13 @@ impl ZynqPdrSystem {
             None
         };
 
+        let transfer_finished = self
+            .engine
+            .component::<AxiDma>(self.dma_id)
+            .stats()
+            .transfers
+            >= expected_transfers;
+
         // ---- CRC read-back verification of the partition. ----------------
         let crc = self.verify_region(start_idx, frames.len() as u32, golden);
 
@@ -537,6 +561,22 @@ impl ZynqPdrSystem {
             .component::<IcapController>(self.icap_id)
             .status()
             .clone();
+
+        // ---- Failure classification (the watchdog verdict). --------------
+        let refused = (icap_status.parse_error.is_some() || icap_status.idcode_mismatch)
+            && icap_status.frames_written == 0
+            && icap_status.corrupted_words == 0;
+        let error = if refused {
+            Some(ReconfigError::Refused)
+        } else if !interrupt_seen && !transfer_finished && !icap_status.done {
+            Some(ReconfigError::Timeout(TimeoutCause::StillInFlight))
+        } else if crc == CrcStatus::Invalid {
+            Some(ReconfigError::CrcMismatch)
+        } else if !interrupt_seen {
+            Some(ReconfigError::Timeout(TimeoutCause::InterruptLost))
+        } else {
+            None
+        };
 
         ReconfigReport {
             frequency_hz: freq.as_hz(),
@@ -550,6 +590,7 @@ impl ZynqPdrSystem {
             corrupted_words: icap_status.corrupted_words,
             p_pdr_w: p_pdr,
             energy_j: latency.map(|l| p_pdr * l.as_secs_f64()),
+            error,
         }
     }
 
@@ -672,6 +713,7 @@ impl ZynqPdrSystem {
             corrupted_words: 0,
             p_pdr_w: p_pdr,
             energy_j: Some(p_pdr * latency.as_secs_f64()),
+            error: (crc == CrcStatus::Invalid).then_some(ReconfigError::CrcMismatch),
         }
     }
 
@@ -771,6 +813,71 @@ impl ZynqPdrSystem {
         let far = geometry.far_at(p.start_index(geometry) + frame_offset);
         let ok = self.mem.borrow_mut().inject_bit_flip(far, word, bit);
         assert!(ok, "SEU coordinates outside device");
+    }
+
+    /// Starts a transient timing-violation burst: for `duration` from now,
+    /// every over-clock assessment sees its failure envelope shrunk by
+    /// `derate_mhz` on both paths (a local die-temperature excursion or
+    /// voltage droop). A new burst replaces any active one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derate_mhz` is negative or non-finite.
+    pub fn inject_timing_burst(&mut self, derate_mhz: f64, duration: SimDuration) {
+        assert!(
+            derate_mhz >= 0.0 && derate_mhz.is_finite(),
+            "derate must be a finite non-negative MHz value: {derate_mhz}"
+        );
+        self.derate_until = Some((derate_mhz, self.engine.now() + duration));
+    }
+
+    /// The derating currently in force (0 when no burst is active). Expired
+    /// bursts are dropped lazily.
+    pub fn active_derate_mhz(&mut self) -> f64 {
+        match self.derate_until {
+            Some((mhz, until)) if self.engine.now() < until => mhz,
+            Some(_) => {
+                self.derate_until = None;
+                0.0
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Arms a configuration-DMA stall of `cycles` over-clock cycles for the
+    /// *next* reconfiguration attempt (injected after the driver's
+    /// pre-flight quiesce so the quiesce cannot clear it). Stalls
+    /// accumulate until consumed.
+    pub fn inject_dma_stall(&mut self, cycles: u64) {
+        self.pending_dma_stall = self.pending_dma_stall.saturating_add(cycles);
+    }
+
+    /// Arms a one-shot dropped completion interrupt: the next ICAP done
+    /// interrupt is swallowed even though the transfer itself completes
+    /// (an interrupt-controller glitch, distinct from the 310 MHz dead
+    /// interrupt path).
+    pub fn drop_next_completion_irq(&mut self) {
+        self.engine
+            .component_mut::<IcapController>(self.icap_id)
+            .drop_next_done_irq();
+    }
+
+    /// True when configuration memory holds exactly `bitstream`'s frames at
+    /// their target address (golden-CRC comparison) — the offline check a
+    /// campaign uses to prove no corruption slipped past the read-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstream is malformed or targets an address outside
+    /// the device.
+    pub fn fabric_matches(&self, bitstream: &Bitstream) -> bool {
+        let (start_far, frames) = bitstream_payload(bitstream);
+        let geometry = self.config.floorplan.geometry();
+        let start_idx = geometry
+            .frame_index(start_far)
+            .expect("bitstream targets an address outside the device");
+        let actual = self.mem.borrow().range_crc(start_idx, frames.len() as u32);
+        actual == frames_crc(&frames)
     }
 
     /// The DMA IOC interrupt line.
@@ -1056,6 +1163,94 @@ mod tests {
         let ms = boot.total.as_secs_f64() * 1e3;
         assert!((7.0..=11.0).contains(&ms), "boot took {ms} ms");
         assert_eq!(boot.total_bytes(), 2 * 43_768);
+    }
+
+    #[test]
+    fn lost_interrupt_is_classified_not_silent() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let bs = sys.make_asp_bitstream(0, AspKind::MatMul8, 2);
+        // The paper's 310 MHz row: transfer completes, interrupt path dead.
+        let r = sys.reconfigure(0, &bs, mhz(310));
+        assert!(!r.interrupt_seen);
+        assert_eq!(
+            r.error,
+            Some(ReconfigError::Timeout(TimeoutCause::InterruptLost)),
+            "lost interrupt must be classified, not a silent None latency: {r:?}"
+        );
+        // Distinct from a transfer that never finished: stall the DMA past
+        // a shortened watchdog deadline.
+        let mut cfg = SystemConfig::fast_test();
+        cfg.transfer_timeout = SimDuration::from_micros(200);
+        let mut sys = ZynqPdrSystem::new(cfg);
+        let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 3);
+        sys.inject_dma_stall(200_000); // 2 ms at 100 MHz >> 200 µs deadline
+        let r = sys.reconfigure(0, &bs, mhz(100));
+        assert_eq!(
+            r.error,
+            Some(ReconfigError::Timeout(TimeoutCause::StillInFlight)),
+            "{r:?}"
+        );
+        assert!(!r.interrupt_seen);
+    }
+
+    #[test]
+    fn classification_covers_the_failure_taxonomy() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 4);
+        assert_eq!(sys.reconfigure(0, &bs, mhz(200)).error, None);
+        assert_eq!(
+            sys.reconfigure(0, &bs, mhz(320)).error,
+            Some(ReconfigError::CrcMismatch)
+        );
+        // Wrong-device bitstream: refused outright.
+        let p = sys.floorplan().partition(0).clone();
+        let frames =
+            AspImage::generate(AspKind::Fir16, 1, p.frame_count(sys.floorplan().geometry()));
+        let mut b = Builder::new(IDCODE ^ 0xFFFF);
+        b.add_frames(p.start_far(), frames.into_frames());
+        let foreign = b.build();
+        assert_eq!(
+            sys.reconfigure(0, &foreign, mhz(100)).error,
+            Some(ReconfigError::Refused)
+        );
+    }
+
+    #[test]
+    fn dropped_completion_irq_times_out_with_data_intact() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let bs = sys.make_asp_bitstream(0, AspKind::AesMix, 5);
+        sys.drop_next_completion_irq();
+        let r = sys.reconfigure(0, &bs, mhz(140));
+        assert!(!r.interrupt_seen, "{r:?}");
+        assert_eq!(
+            r.error,
+            Some(ReconfigError::Timeout(TimeoutCause::InterruptLost))
+        );
+        assert!(r.crc_ok(), "the fabric content is fine: {r:?}");
+        // One-shot: the next attempt interrupts normally.
+        let r2 = sys.reconfigure(0, &bs, mhz(140));
+        assert!(r2.interrupt_seen && r2.error.is_none(), "{r2:?}");
+    }
+
+    #[test]
+    fn timing_burst_transiently_shrinks_the_envelope() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 6);
+        // 280 MHz is safe in steady state...
+        assert!(sys.reconfigure(0, &bs, mhz(280)).error.is_none());
+        // ...but a 30 MHz burst kills the interrupt path (25 MHz slack).
+        sys.inject_timing_burst(30.0, SimDuration::from_millis(500));
+        let r = sys.reconfigure(0, &bs, mhz(280));
+        assert_eq!(
+            r.error,
+            Some(ReconfigError::Timeout(TimeoutCause::InterruptLost)),
+            "{r:?}"
+        );
+        assert!(r.crc_ok(), "data path still holds under a 30 MHz burst");
+        // After the burst expires the same point is clean again.
+        sys.engine_mut().run_for(SimDuration::from_millis(600));
+        assert_eq!(sys.active_derate_mhz(), 0.0);
+        assert!(sys.reconfigure(0, &bs, mhz(280)).error.is_none());
     }
 
     #[test]

@@ -133,12 +133,28 @@ impl OverclockModel {
 
     /// Assesses an operating point.
     pub fn assess(&self, freq: Frequency, temp_c: f64) -> Assessment {
-        let data_ok = !self.data_path.violated(freq, temp_c);
-        let interrupt_ok = !self.interrupt_path.violated(freq, temp_c);
+        self.assess_derated(freq, temp_c, 0.0)
+    }
+
+    /// Assesses an operating point with the failure envelope transiently
+    /// degraded by `derate_mhz` on every path — the model for short-lived
+    /// excursions (local die-temperature spikes, voltage droop) that shrink
+    /// timing margins without moving the steady-state die temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derate_mhz` is negative or non-finite.
+    pub fn assess_derated(&self, freq: Frequency, temp_c: f64, derate_mhz: f64) -> Assessment {
+        assert!(
+            derate_mhz >= 0.0 && derate_mhz.is_finite(),
+            "derate must be a finite non-negative MHz value: {derate_mhz}"
+        );
+        let data_ok = self.data_path.slack_mhz(freq, temp_c) >= derate_mhz;
+        let interrupt_ok = self.interrupt_path.slack_mhz(freq, temp_c) >= derate_mhz;
         let word_error_rate = if data_ok {
             0.0
         } else {
-            let overdrive = -self.data_path.slack_mhz(freq, temp_c);
+            let overdrive = derate_mhz - self.data_path.slack_mhz(freq, temp_c);
             (self.ber_floor + self.ber_per_mhz * overdrive).min(0.5)
         };
         Assessment {
@@ -244,6 +260,45 @@ mod tests {
         assert!(p.slack_mhz(mhz(250), 40.0) < 0.0);
         assert!(p.violated(mhz(250), 40.0));
         assert!(!p.violated(mhz(200), 40.0)); // boundary is safe
+    }
+
+    #[test]
+    fn derating_shrinks_the_envelope() {
+        let m = OverclockModel::paper_calibration();
+        // 280 MHz at 40 °C is fully safe with 25 MHz of interrupt slack...
+        assert!(m.assess(mhz(280), 40.0).all_ok());
+        assert!(m.assess_derated(mhz(280), 40.0, 20.0).all_ok());
+        // ...but a 50 MHz excursion pushes it past both paths.
+        let hit = m.assess_derated(mhz(280), 40.0, 50.0);
+        assert!(!hit.data_ok && !hit.interrupt_ok);
+        assert!(hit.word_error_rate > 0.0);
+        // A moderate excursion kills the interrupt path (305 − 280 = 25 MHz
+        // slack) while the data path (318) still holds: the paper's lost
+        // interrupt failure mode, transiently.
+        let partial = m.assess_derated(mhz(280), 40.0, 30.0);
+        assert!(partial.data_ok && !partial.interrupt_ok);
+        assert_eq!(partial.word_error_rate, 0.0);
+        // A zero derate is exactly the plain assessment.
+        assert_eq!(
+            m.assess_derated(mhz(310), 40.0, 0.0),
+            m.assess(mhz(310), 40.0)
+        );
+    }
+
+    #[test]
+    fn derated_error_rate_grows_with_excursion_depth() {
+        let m = OverclockModel::paper_calibration();
+        let a = m.assess_derated(mhz(280), 40.0, 50.0);
+        let b = m.assess_derated(mhz(280), 40.0, 90.0);
+        assert!(b.word_error_rate > a.word_error_rate);
+        assert!(b.word_error_rate <= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_derate_is_rejected() {
+        let m = OverclockModel::paper_calibration();
+        let _ = m.assess_derated(mhz(200), 40.0, -1.0);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Mixed-fault injection campaign against the self-healing recovery stack.
+//!
+//! Generates a deterministic [`FaultPlan`] — SEU bit-flips, timing-violation
+//! bursts, DMA stalls, dropped completion interrupts — runs it against a
+//! monitored two-partition system, and prints the availability report:
+//! detection and recovery rates, MTTR, retries per success, scrubs. The
+//! full telemetry lands in `target/experiments/fault_campaign.json` for the
+//! CI smoke check and for byte-for-byte replay comparison.
+//!
+//! ```text
+//! cargo run --release --example fault_campaign [seed]
+//! ```
+//!
+//! [`FaultPlan`]: pdr_lab::pdr::FaultPlan
+
+use pdr_lab::pdr::{run_fault_campaign, FaultCampaign, ZynqPdrSystem};
+use pdr_lab::sim::json::ToJson;
+
+fn main() {
+    let mut campaign = FaultCampaign::default();
+    if let Some(seed) = std::env::args().nth(1) {
+        campaign.plan.seed = seed.parse().expect("seed must be an integer");
+    }
+
+    println!("== mixed-fault campaign, seed {} ==\n", campaign.plan.seed);
+    let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+    let r = run_fault_campaign(&mut sys, &campaign);
+
+    println!(
+        "injected {:>4} faults over {:.1} ms: {} SEU, {} timing burst, {} DMA stall, {} dropped IRQ",
+        r.events,
+        r.campaign_us / 1000.0,
+        r.injected_seu,
+        r.injected_timing_bursts,
+        r.injected_dma_stalls,
+        r.injected_dropped_irqs,
+    );
+    println!(
+        "detected {:>4} ({:.1} %)   undetected {}   benign {}   skipped {}",
+        r.detected,
+        100.0 * r.detected as f64 / r.events.max(1) as f64,
+        r.undetected,
+        r.benign,
+        r.skipped,
+    );
+    println!(
+        "recovered {:>3} ({:.1} %)   unrecovered {}   quarantined partitions {}",
+        r.recovered,
+        100.0 * r.recovered as f64 / r.detected.max(1) as f64,
+        r.unrecovered,
+        r.quarantined_partitions,
+    );
+    println!(
+        "ladder: {} retries, {} scrubs ({} failed) — {:.2} retries per recovery",
+        r.recovery.retries,
+        r.recovery.scrubs,
+        r.recovery.scrub_failures,
+        r.recovery.retries as f64 / r.recovered.max(1) as f64,
+    );
+    println!(
+        "detection latency: mean {:.1} us, worst {:.1} us (background CRC scan)",
+        r.recovery.detection_latency_us.mean, r.recovery.detection_latency_us.max,
+    );
+    println!(
+        "MTTR: mean {:.1} us, worst {:.1} us",
+        r.recovery.mttr_us.mean, r.recovery.mttr_us.max,
+    );
+    println!(
+        "silent corruptions: {}   availability: {:.4}",
+        r.silent_corruptions, r.availability,
+    );
+
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let path = dir.join("fault_campaign.json");
+    std::fs::write(&path, r.to_json_string()).expect("write campaign telemetry");
+    println!("\ntelemetry written to {}", path.display());
+
+    assert_eq!(r.detected, r.events, "every fault must be detected");
+    assert_eq!(r.silent_corruptions, 0, "no silent corruption may survive");
+    println!("campaign PASSED: 100% detection, zero silent corruptions");
+}

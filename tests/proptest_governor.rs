@@ -61,6 +61,45 @@ property! {
         assert!(gov.current().is_none());
     }
 
+    /// However failures and reinstatements interleave, the governor never
+    /// reports an operating point below its characterised floor, and
+    /// reinstatement only resurrects points that were actually probed.
+    fn failure_backoff_never_goes_below_floor(
+        step in select(vec![20u64, 40]),
+        ops in u64s(0..u64::MAX),
+    ) {
+        let mut gov = characterised(0, step);
+        let floor = gov.floor_mhz().expect("characterised");
+        let mut last = gov.select_highest().freq_mhz;
+        assert!(last >= floor);
+        let mut bits = ops;
+        for _ in 0..32 {
+            let reinstating = bits & 1 == 1;
+            bits >>= 1;
+            if reinstating {
+                // The transient fault that burned `last` has passed.
+                assert!(gov.reinstate(last), "{last} MHz was probed");
+                assert!(!gov.reinstate(last + 1), "never probed (off-grid)");
+                last = gov.select_highest().freq_mhz;
+            } else if let Some(p) = gov.on_failure() {
+                assert!(
+                    p.freq_mhz >= floor,
+                    "backoff to {} dips below floor {floor}",
+                    p.freq_mhz
+                );
+                assert!(p.freq_mhz < last, "backoff must descend");
+                last = p.freq_mhz;
+            } else {
+                // Ladder exhausted: the floor held throughout.
+                break;
+            }
+        }
+        assert!(
+            gov.points().iter().all(|p| p.freq_mhz >= floor),
+            "no point below the characterised floor"
+        );
+    }
+
     /// Efficiency selection never picks a point with lower PpW than some
     /// other candidate within the guard band.
     fn efficiency_selection_is_optimal(guard in u64s(0..40)) {
