@@ -1,0 +1,180 @@
+//! Scheduler saturation — multi-tenant throughput vs the single-request
+//! baseline, and the first point of the repo's perf trajectory.
+//!
+//! The scenario: four reconfigurable partitions, each cycling through its
+//! own bitstream, saturated with back-to-back request waves. Two runs on
+//! the **same workload**:
+//!
+//! * **baseline** — single-request-at-a-time semantics: no cache, no
+//!   prefetch, every dispatch serialises an SD-card-class fetch in front
+//!   of its transfer (the measured system's boot-staging economics applied
+//!   per request);
+//! * **scheduler** — warm bitstream cache plus QDR-style prefetch, so
+//!   transfers pipeline behind the independent write port.
+//!
+//! Asserted claims (a regression fails the build):
+//!
+//! * aggregate scheduler throughput ≥ 2× baseline on the same workload;
+//! * same seed → byte-identical telemetry JSON (deterministic);
+//! * p50/p99 queueing latency present and ordered.
+//!
+//! Besides the usual `target/experiments/scheduler.md` table, this bench
+//! writes `BENCH_scheduler.json` at the workspace root: a deterministic,
+//! simulated-time-only snapshot that is committed as the perf trajectory.
+
+use pdr_bench::{publish, Table};
+use pdr_core::scheduler::{ReconfigRequest, Scheduler, SchedulerConfig, SchedulerReport};
+use pdr_core::{RecoveryConfig, RecoveryManager, SystemConfig, ZynqPdrSystem};
+use pdr_fabric::AspKind;
+use pdr_sim_core::json::{Json, ToJson};
+use pdr_sim_core::SimDuration;
+
+const PARTITIONS: usize = 4;
+
+/// Runs `waves` submission waves over all partitions with `config` and
+/// returns the telemetry.
+fn run(config: SchedulerConfig, waves: u32, warm: bool) -> SchedulerReport {
+    let mut sys = ZynqPdrSystem::new(SystemConfig::fast_quad());
+    let mut mgr = RecoveryManager::for_system(&sys, RecoveryConfig::default());
+    let mut sched = Scheduler::new(config);
+    for rp in 0..PARTITIONS {
+        let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+        sched.register_bitstream(rp as u32, sys.make_asp_bitstream(rp, kind, rp as u32 + 1));
+        if warm {
+            sched.warm(rp as u32);
+        }
+    }
+    for wave in 0..waves {
+        for rp in 0..PARTITIONS {
+            let req = ReconfigRequest {
+                rp,
+                bitstream_id: rp as u32,
+                priority: (rp % 2) as u8,
+                deadline: SimDuration::from_millis(20 + wave as u64),
+            };
+            sched
+                .submit(&sys, &mgr, req)
+                .expect("saturation workload must admit");
+        }
+        sched.run_until_idle(&mut sys, &mut mgr);
+    }
+    sched.report()
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let waves: u32 = std::env::var("PDR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    let baseline = run(SchedulerConfig::default().baseline(), waves, false);
+    let scheduler = run(SchedulerConfig::default(), waves, true);
+
+    // -- asserted claims ---------------------------------------------------
+    let requests = (waves as u64) * PARTITIONS as u64;
+    assert_eq!(baseline.completed, requests, "{baseline:?}");
+    assert_eq!(scheduler.completed, requests, "{scheduler:?}");
+    let t_base = baseline.throughput_mb_s.expect("non-degenerate baseline");
+    let t_sched = scheduler.throughput_mb_s.expect("non-degenerate run");
+    let speedup = t_sched / t_base;
+    assert!(
+        speedup >= 2.0,
+        "warm-cache scheduler must be ≥2× the single-request baseline, got {speedup:.2}× \
+         ({t_sched:.1} vs {t_base:.1} MB/s)"
+    );
+    let p50 = scheduler.queueing_p50_us.expect("queueing percentiles");
+    let p99 = scheduler.queueing_p99_us.expect("queueing percentiles");
+    assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+    // Determinism: the whole scenario replays byte-for-byte.
+    let replay = run(SchedulerConfig::default(), waves, true);
+    assert_eq!(
+        scheduler.to_json_string(),
+        replay.to_json_string(),
+        "same seed must yield identical telemetry JSON"
+    );
+
+    // -- BENCH_scheduler.json — the committed perf-trajectory point --------
+    // Simulated-time metrics only: re-running at the same scale reproduces
+    // this file bit-for-bit.
+    let snapshot = Json::Obj(vec![
+        ("bench".into(), Json::Str("scheduler".into())),
+        ("partitions".into(), Json::U64(PARTITIONS as u64)),
+        ("waves".into(), Json::U64(waves as u64)),
+        ("requests".into(), Json::U64(requests)),
+        ("baseline".into(), baseline.to_json()),
+        ("scheduler".into(), scheduler.to_json()),
+        (
+            "speedup".into(),
+            Json::F64((speedup * 100.0).round() / 100.0),
+        ),
+    ]);
+    let mut root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    let path = root.join("BENCH_scheduler.json");
+    match std::fs::write(&path, snapshot.render() + "\n") {
+        Ok(()) => eprintln!("[perf trajectory written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    // -- markdown table ----------------------------------------------------
+    let mut t = Table::new(&["metric", "baseline", "scheduler"]);
+    t.row(&[
+        "requests completed".into(),
+        baseline.completed.to_string(),
+        scheduler.completed.to_string(),
+    ]);
+    t.row(&[
+        "throughput [MB/s]".into(),
+        format!("{t_base:.1}"),
+        format!("{t_sched:.1}"),
+    ]);
+    t.row(&[
+        "makespan [ms]".into(),
+        format!("{:.2}", baseline.makespan_us / 1e3),
+        format!("{:.2}", scheduler.makespan_us / 1e3),
+    ]);
+    t.row(&[
+        "queueing p50 / p99 [us]".into(),
+        format!(
+            "{:.0} / {:.0}",
+            baseline.queueing_p50_us.unwrap_or(0.0),
+            baseline.queueing_p99_us.unwrap_or(0.0)
+        ),
+        format!("{p50:.0} / {p99:.0}"),
+    ]);
+    t.row(&[
+        "service mean [us]".into(),
+        format!("{:.0}", baseline.service_latency_us.mean),
+        format!("{:.0}", scheduler.service_latency_us.mean),
+    ]);
+    t.row(&[
+        "cache hits / misses".into(),
+        format!("{} / {}", baseline.cache_hits, baseline.cache_misses),
+        format!("{} / {}", scheduler.cache_hits, scheduler.cache_misses),
+    ]);
+    t.row(&[
+        "deadlines met / missed".into(),
+        format!("{} / {}", baseline.deadlines_met, baseline.deadlines_missed),
+        format!(
+            "{} / {}",
+            scheduler.deadlines_met, scheduler.deadlines_missed
+        ),
+    ]);
+
+    let content = format!(
+        "## Scheduler — multi-tenant saturation vs single-request baseline\n\n{}\n\
+         Four partitions saturated with identical request waves. The baseline \
+         pays an SD-card-class fetch (19 MB/s + 2 ms) in front of every \
+         transfer; the scheduler starts from a warm bitstream cache and \
+         prefetches upcoming images on the QDR write port, so back-to-back \
+         transfers pipeline. Aggregate speedup: **{speedup:.1}×** (asserted \
+         ≥ 2×). Telemetry is deterministic: the same seed replays to \
+         byte-identical JSON (asserted).\n\n\
+         _regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("scheduler", &content);
+}

@@ -18,7 +18,10 @@
 //! * [`baselines`] — models of the comparison systems (VF-2012, HP-2011,
 //!   HKT-2011, and the Zynq's stock PCAP);
 //! * [`proposed`] — the Sec. VI next-generation design: QDR-SRAM staging,
-//!   PR controller, bitstream decompressor, PS scheduler.
+//!   PR controller, bitstream decompressor, PS scheduler;
+//! * [`scheduler`] — the multi-tenant request scheduler: admission against
+//!   recovery quarantine, EDF-within-priority queueing, and a bitstream
+//!   cache with QDR-style prefetch.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub mod governor;
 pub mod proposed;
 pub mod recovery;
 pub mod report;
+pub mod scheduler;
 pub mod sdcard;
 pub mod system;
 
@@ -61,5 +65,9 @@ pub use frontpanel::{switch_frequency, FrontPanel};
 pub use governor::{ActiveFeedback, Governor, GovernorConfig, Objective, OperatingPoint};
 pub use recovery::{PartitionHealth, RecoveryConfig, RecoveryManager, RecoveryStats};
 pub use report::{CrcStatus, ReconfigError, ReconfigReport, TimeoutCause};
+pub use scheduler::{
+    FetchModel, ReconfigRequest, RejectReason, RequestRecord, Scheduler, SchedulerConfig,
+    SchedulerReport,
+};
 pub use sdcard::{BootReport, SdCard};
 pub use system::{SystemConfig, ZynqPdrSystem};

@@ -459,6 +459,13 @@ impl ProposedSystem {
     pub fn theoretical_bound_mb_s(&self) -> f64 {
         self.config.sram.read_word_rate.as_hz() as f64 * 4.0 / 1e6
     }
+
+    /// The fetch model of this system's SRAM write port — what the
+    /// multi-tenant [`Scheduler`](crate::scheduler::Scheduler) uses to
+    /// price prefetches it hides behind running transfers.
+    pub fn prefetch_model(&self) -> crate::scheduler::FetchModel {
+        crate::scheduler::FetchModel::from_qdr_write_port(&self.config.sram)
+    }
 }
 
 impl std::fmt::Debug for ProposedSystem {

@@ -171,16 +171,20 @@ impl ReconfigReport {
     }
 
     /// Transfer throughput in MB/s (10⁶ bytes per second, the paper's
-    /// unit), `None` without a latency measurement.
+    /// unit). `None` without a latency measurement, and `None` for
+    /// degenerate reports (zero-duration latency) whose ratio would not be
+    /// finite — report JSON must never carry `inf`/`NaN`.
     pub fn throughput_mb_s(&self) -> Option<f64> {
         self.latency
             .map(|l| self.bitstream_bytes as f64 / l.as_secs_f64() / 1e6)
+            .filter(|t| t.is_finite())
     }
 
-    /// Performance-per-watt in MB/J, `None` without a latency measurement.
+    /// Performance-per-watt in MB/J. `None` without a latency measurement
+    /// or without a usable (strictly positive, finite) power reading.
     pub fn ppw_mb_j(&self) -> Option<f64> {
         self.throughput_mb_s()
-            .map(|t| pdr_power::performance_per_watt(t, self.p_pdr_w))
+            .and_then(|t| pdr_power::performance_per_watt(t, self.p_pdr_w))
     }
 
     /// The over-clock frequency, or `None` for transports without a PL
@@ -250,6 +254,45 @@ mod tests {
         let r = report(Some(676));
         let ppw = r.ppw_mb_j().unwrap();
         assert!((ppw - 781.9 / 1.30).abs() < 1.0, "ppw={ppw}");
+    }
+
+    #[test]
+    fn degenerate_report_yields_none_not_inf_and_round_trips() {
+        use pdr_sim_core::json::{FromJson, ToJson};
+        // Regression: a zero-latency report used to return `inf` MB/s
+        // (and 0/0 → NaN for a zero-byte transfer), which `ppw_mb_j`
+        // forwarded into report consumers. Both must degrade to `None`.
+        let mut r = report(Some(0));
+        assert_eq!(r.latency, Some(SimDuration::ZERO));
+        assert_eq!(r.throughput_mb_s(), None, "inf must not escape");
+        assert_eq!(r.ppw_mb_j(), None);
+        assert!(r.summary().contains("N/A"), "{}", r.summary());
+
+        r.bitstream_bytes = 0; // 0 bytes / 0 s → NaN
+        assert_eq!(r.throughput_mb_s(), None, "NaN must not escape");
+        assert_eq!(r.ppw_mb_j(), None);
+
+        // Zero power on an otherwise healthy report: throughput is fine,
+        // PpW is unmeasurable.
+        let mut r = report(Some(676));
+        r.p_pdr_w = 0.0;
+        assert!(r.throughput_mb_s().is_some());
+        assert_eq!(r.ppw_mb_j(), None);
+
+        // The degenerate report still JSON round-trips bit-exactly: the
+        // codec's promise that report JSON never holds non-finite floats
+        // relies on accessors filtering them out before serialization.
+        let degenerate = ReconfigReport {
+            bitstream_bytes: 0,
+            latency: Some(SimDuration::ZERO),
+            p_pdr_w: 0.0,
+            energy_j: Some(0.0),
+            ..report(Some(0))
+        };
+        let text = degenerate.to_json_string();
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+        let back = ReconfigReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, degenerate);
     }
 
     #[test]

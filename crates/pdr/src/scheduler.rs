@@ -1,0 +1,599 @@
+//! Multi-tenant reconfiguration scheduling: admission, EDF-within-priority
+//! queueing, and a bitstream cache with QDR-style prefetch.
+//!
+//! The measured system reconfigures **one partition at a time**, and every
+//! request pays the full bitstream *fetch* (SD card at boot, ~19 MB/s) in
+//! front of the *transfer* (over-clocked ICAP, ~790 MB/s). Sec. VI's
+//! redesign exists precisely to break that serialisation: the QDR-II+ SRAM
+//! has independent read and write ports, so the PS Scheduler refills the
+//! staging memory with the *next* bitstream while the current one streams
+//! into the ICAP. [`Scheduler`] is that control layer:
+//!
+//! * **Admission** — a request is rejected up front when it names an
+//!   unknown bitstream or partition, when its partition is quarantined by
+//!   the recovery ladder ([`RecoveryManager`]), or when the ready queue is
+//!   full. Rejection is cheap and synchronous; nothing touches hardware.
+//! * **Ready queue** — earliest-deadline-first within strictly higher
+//!   priority, with submission order as the final tie-break so identical
+//!   workloads replay identically.
+//! * **Bitstream cache + prefetch** — staged images are cached (LRU under
+//!   a byte budget). A miss charges the [`FetchModel`]'s fetch time on the
+//!   critical path; when prefetch is enabled the scheduler starts fetching
+//!   the *next* queued request's image on the independent write port as
+//!   soon as the current transfer begins, so back-to-back transfers on
+//!   different partitions pipeline instead of serialising behind fetches.
+//! * **Telemetry** — per-request queueing and service latency (exact
+//!   p50/p99 via [`SampleSeries`]), aggregate throughput, cache and
+//!   deadline counters, all serialisable as [`SchedulerReport`] with the
+//!   workspace-wide guarantee that no non-finite float reaches JSON.
+//!
+//! Transfers themselves are delegated to [`RecoveryManager::reconfigure`],
+//! so every request gets the full self-healing ladder (retry → backoff →
+//! scrub → quarantine) and quarantine feedback flows straight back into
+//! admission.
+
+use std::collections::BTreeMap;
+
+use pdr_bitstream::Bitstream;
+use pdr_mem::SramConfig;
+use pdr_sim_core::stats::SampleSeries;
+use pdr_sim_core::{impl_json_enum, impl_json_struct, Frequency, SimDuration, SimTime};
+
+use crate::campaign::StatsSummary;
+use crate::recovery::{PartitionHealth, RecoveryManager};
+use crate::report::ReconfigError;
+use crate::sdcard::SdCard;
+use crate::system::ZynqPdrSystem;
+
+/// One tenant's reconfiguration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigRequest {
+    /// Target reconfigurable partition.
+    pub rp: usize,
+    /// Catalog id of the bitstream to apply (see
+    /// [`Scheduler::register_bitstream`]).
+    pub bitstream_id: u32,
+    /// Scheduling priority; higher runs first.
+    pub priority: u8,
+    /// Relative deadline from submission. Requests finishing later still
+    /// complete, but are counted as deadline misses.
+    pub deadline: SimDuration,
+}
+
+/// Why admission refused a request. Rejection happens synchronously at
+/// submission; nothing is queued and no hardware is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// `bitstream_id` was never registered with the scheduler.
+    UnknownBitstream,
+    /// `rp` is outside the system's floorplan.
+    InvalidPartition,
+    /// The recovery ladder quarantined the target partition.
+    Quarantined,
+    /// The ready queue is at capacity.
+    QueueFull,
+}
+
+impl_json_enum!(RejectReason {
+    UnknownBitstream,
+    InvalidPartition,
+    Quarantined,
+    QueueFull
+});
+
+/// Analytic model of the path that brings a bitstream *into* the staging
+/// store: bandwidth plus a fixed per-fetch overhead (file-system lookup,
+/// command setup). The scheduler charges this on the critical path for
+/// cold misses, and hides it behind the running transfer when prefetch is
+/// enabled (the QDR write port is independent of the read port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchModel {
+    /// Sustained fetch bandwidth, bytes per second.
+    pub bandwidth_bytes_per_s: u64,
+    /// Fixed overhead per fetch.
+    pub per_fetch_overhead: SimDuration,
+}
+
+impl FetchModel {
+    /// Fetch model of `card` (a class-10 SD card sustains ~19 MB/s with
+    /// ~2 ms of file overhead — the paper's boot-time staging path).
+    pub fn from_sd_card(card: &SdCard) -> Self {
+        FetchModel {
+            bandwidth_bytes_per_s: card.bandwidth_bytes_per_s(),
+            per_fetch_overhead: card.per_file_overhead(),
+        }
+    }
+
+    /// Fetch model of a QDR SRAM's independent write port: the Sec. VI
+    /// prefetch path (1237.5 MB/s on the CY7C2263KV18, no per-file
+    /// overhead — the image is already in DRAM).
+    pub fn from_qdr_write_port(sram: &SramConfig) -> Self {
+        FetchModel {
+            bandwidth_bytes_per_s: sram.write_bw_bytes_per_s,
+            per_fetch_overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Time to fetch `bytes` through this path.
+    pub fn fetch_time(&self, bytes: u64) -> SimDuration {
+        assert!(
+            self.bandwidth_bytes_per_s > 0,
+            "fetch bandwidth must be > 0"
+        );
+        self.per_fetch_overhead
+            + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_s as f64)
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Transfer frequency handed to the recovery ladder, MHz.
+    pub freq_mhz: u64,
+    /// Bitstream-cache budget in bytes; 0 disables caching entirely.
+    pub cache_capacity_bytes: u64,
+    /// Ready-queue depth; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// The cold-fetch path (cache misses pay this).
+    pub fetch: FetchModel,
+    /// Overlap the next request's fetch with the running transfer.
+    pub prefetch: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            freq_mhz: 200,
+            cache_capacity_bytes: 8 << 20,
+            queue_capacity: 64,
+            fetch: FetchModel::from_sd_card(&SdCard::class10()),
+            prefetch: true,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The single-request-at-a-time strawman the saturation bench compares
+    /// against: no cache, no prefetch — every dispatch serialises the full
+    /// fetch in front of its transfer, exactly like re-reading the SD card
+    /// per request on the measured system.
+    pub fn baseline(self) -> Self {
+        SchedulerConfig {
+            cache_capacity_bytes: 0,
+            prefetch: false,
+            ..self
+        }
+    }
+}
+
+/// A queued (admitted, not yet dispatched) request.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    req: ReconfigRequest,
+    submitted: SimTime,
+    abs_deadline: SimTime,
+    seq: u64,
+}
+
+/// What one completed (dispatched) request observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// The request as submitted.
+    pub req: ReconfigRequest,
+    /// Submission → dispatch.
+    pub queueing: SimDuration,
+    /// Dispatch → completion (fetch stall + transfer + any recovery).
+    pub service: SimDuration,
+    /// Whether the image was resident when dispatched.
+    pub cache_hit: bool,
+    /// Completion at or before the absolute deadline.
+    pub deadline_met: bool,
+    /// Final classified error (`None` = verified success).
+    pub error: Option<ReconfigError>,
+}
+
+/// Aggregate scheduler telemetry, serialisable like every other report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerReport {
+    /// Requests submitted (admitted + rejected).
+    pub submitted: u64,
+    /// Requests admitted to the ready queue.
+    pub admitted: u64,
+    /// Rejections naming an unregistered bitstream.
+    pub rejected_unknown_bitstream: u64,
+    /// Rejections naming a partition outside the floorplan.
+    pub rejected_invalid_partition: u64,
+    /// Rejections against a quarantined partition.
+    pub rejected_quarantined: u64,
+    /// Rejections against a full ready queue.
+    pub rejected_queue_full: u64,
+    /// Dispatched requests that verified end-to-end.
+    pub completed: u64,
+    /// Dispatched requests whose recovery ladder still failed.
+    pub failed: u64,
+    /// Completions at or before their absolute deadline.
+    pub deadlines_met: u64,
+    /// Completions after their absolute deadline.
+    pub deadlines_missed: u64,
+    /// Dispatches served from the resident cache.
+    pub cache_hits: u64,
+    /// Dispatches that paid a fetch on the critical path.
+    pub cache_misses: u64,
+    /// Misses fully or partially hidden by prefetch overlap.
+    pub prefetch_hits: u64,
+    /// Payload bytes of verified transfers.
+    pub bytes_transferred: u64,
+    /// First submission to last completion, µs.
+    pub makespan_us: f64,
+    /// Aggregate goodput over the makespan in MB/s (10⁶ bytes/s), `None`
+    /// when the window is degenerate (no finite ratio).
+    pub throughput_mb_s: Option<f64>,
+    /// Submission → dispatch latency, µs.
+    pub queueing_latency_us: StatsSummary,
+    /// Dispatch → completion latency, µs.
+    pub service_latency_us: StatsSummary,
+    /// Exact median queueing latency, µs (`None` with no completions).
+    pub queueing_p50_us: Option<f64>,
+    /// Exact 99th-percentile queueing latency, µs.
+    pub queueing_p99_us: Option<f64>,
+    /// Exact median service latency, µs.
+    pub service_p50_us: Option<f64>,
+    /// Exact 99th-percentile service latency, µs.
+    pub service_p99_us: Option<f64>,
+}
+
+impl_json_struct!(SchedulerReport {
+    submitted,
+    admitted,
+    rejected_unknown_bitstream,
+    rejected_invalid_partition,
+    rejected_quarantined,
+    rejected_queue_full,
+    completed,
+    failed,
+    deadlines_met,
+    deadlines_missed,
+    cache_hits,
+    cache_misses,
+    prefetch_hits,
+    bytes_transferred,
+    makespan_us,
+    throughput_mb_s,
+    queueing_latency_us,
+    service_latency_us,
+    queueing_p50_us,
+    queueing_p99_us,
+    service_p50_us,
+    service_p99_us,
+});
+
+/// An in-flight prefetch on the staging store's write port.
+#[derive(Debug, Clone, Copy)]
+struct Prefetch {
+    bitstream_id: u32,
+    ready_at: SimTime,
+}
+
+/// The multi-tenant reconfiguration scheduler.
+///
+/// Owns the request queue, the bitstream catalog/cache and the telemetry;
+/// borrows the [`ZynqPdrSystem`] and [`RecoveryManager`] per call so they
+/// remain usable (and inspectable) between scheduling rounds.
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    /// Registered images by id (`BTreeMap` for deterministic iteration).
+    catalog: BTreeMap<u32, Bitstream>,
+    /// Resident ids, least-recently-used first.
+    cache: Vec<u32>,
+    cache_bytes: u64,
+    queue: Vec<Queued>,
+    prefetch: Option<Prefetch>,
+    seq: u64,
+    first_submit: Option<SimTime>,
+    last_complete: Option<SimTime>,
+    records: Vec<RequestRecord>,
+    queueing_us: SampleSeries,
+    service_us: SampleSeries,
+    submitted: u64,
+    rejections: [u64; 4],
+    completed: u64,
+    failed: u64,
+    deadlines_met: u64,
+    deadlines_missed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    prefetch_hits: u64,
+    bytes_transferred: u64,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler {
+            config,
+            catalog: BTreeMap::new(),
+            cache: Vec::new(),
+            cache_bytes: 0,
+            queue: Vec::new(),
+            prefetch: None,
+            seq: 0,
+            first_submit: None,
+            last_complete: None,
+            records: Vec::new(),
+            queueing_us: SampleSeries::new(),
+            service_us: SampleSeries::new(),
+            submitted: 0,
+            rejections: [0; 4],
+            completed: 0,
+            failed: 0,
+            deadlines_met: 0,
+            deadlines_missed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            prefetch_hits: 0,
+            bytes_transferred: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Registers `bitstream` in the catalog under `id` (replacing any
+    /// previous image with that id, which is also evicted from the cache).
+    pub fn register_bitstream(&mut self, id: u32, bitstream: Bitstream) {
+        self.evict(id);
+        self.catalog.insert(id, bitstream);
+    }
+
+    /// Marks `id` resident in the cache without charging fetch time — the
+    /// "warm cache" starting state (images staged at boot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the catalog.
+    pub fn warm(&mut self, id: u32) {
+        let bytes = self.catalog[&id].len() as u64;
+        self.insert_cached(id, bytes);
+    }
+
+    /// Number of requests waiting in the ready queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether `id` is currently resident in the cache.
+    pub fn is_cached(&self, id: u32) -> bool {
+        self.cache.contains(&id)
+    }
+
+    /// Per-request records of every dispatched request, completion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Submits one request at the system's current simulated time. On
+    /// success the request joins the ready queue; on rejection nothing is
+    /// queued and the reason is returned.
+    pub fn submit(
+        &mut self,
+        sys: &ZynqPdrSystem,
+        recovery: &RecoveryManager,
+        req: ReconfigRequest,
+    ) -> Result<(), RejectReason> {
+        self.submitted += 1;
+        let reason = if !self.catalog.contains_key(&req.bitstream_id) {
+            Some(RejectReason::UnknownBitstream)
+        } else if req.rp >= sys.floorplan().partitions().len() {
+            Some(RejectReason::InvalidPartition)
+        } else if recovery.health(req.rp) == PartitionHealth::Quarantined {
+            Some(RejectReason::Quarantined)
+        } else if self.queue.len() >= self.config.queue_capacity {
+            Some(RejectReason::QueueFull)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.rejections[reason as usize] += 1;
+            return Err(reason);
+        }
+        let now = sys.now();
+        self.first_submit.get_or_insert(now);
+        self.queue.push(Queued {
+            req,
+            submitted: now,
+            abs_deadline: now + req.deadline,
+            seq: self.seq,
+        });
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Dispatches the best ready request (EDF within priority): charges
+    /// any fetch stall, runs the transfer through the recovery ladder,
+    /// arms the next prefetch, and records telemetry. Returns the record,
+    /// or `None` when the queue is empty.
+    pub fn dispatch_one(
+        &mut self,
+        sys: &mut ZynqPdrSystem,
+        recovery: &mut RecoveryManager,
+    ) -> Option<RequestRecord> {
+        let idx = self.best_ready()?;
+        let q = self.queue.remove(idx);
+        let bytes = self.catalog[&q.req.bitstream_id].len() as u64;
+
+        // ---- Stage the image: cache hit, prefetch overlap, or cold miss.
+        let dispatch = sys.now();
+        let was_hit = self.is_cached(q.req.bitstream_id);
+        if was_hit {
+            self.cache_hits += 1;
+            self.touch(q.req.bitstream_id);
+        } else {
+            self.cache_misses += 1;
+            let stall = match self.prefetch {
+                // An earlier dispatch already started this fetch on the
+                // independent write port: only the uncovered tail stalls.
+                Some(p) if p.bitstream_id == q.req.bitstream_id => {
+                    self.prefetch_hits += 1;
+                    if p.ready_at > dispatch {
+                        p.ready_at.duration_since(dispatch)
+                    } else {
+                        SimDuration::ZERO
+                    }
+                }
+                _ => self.config.fetch.fetch_time(bytes),
+            };
+            self.insert_cached(q.req.bitstream_id, bytes);
+            if stall > SimDuration::ZERO {
+                sys.run_monitor_for(stall);
+            }
+        }
+        if self
+            .prefetch
+            .is_some_and(|p| p.bitstream_id == q.req.bitstream_id)
+        {
+            self.prefetch = None;
+        }
+
+        // ---- Arm the next prefetch before the transfer occupies the read
+        // port: the write port is independent, so the fetch runs behind it.
+        if self.config.prefetch && self.prefetch.is_none() {
+            if let Some(next) = self.next_uncached_id() {
+                let bytes = self.catalog[&next].len() as u64;
+                self.prefetch = Some(Prefetch {
+                    bitstream_id: next,
+                    ready_at: sys.now() + self.config.fetch.fetch_time(bytes),
+                });
+            }
+        }
+
+        // ---- Transfer through the full self-healing ladder.
+        let bs = self.catalog[&q.req.bitstream_id].clone();
+        let freq = Frequency::from_mhz(self.config.freq_mhz);
+        let out = recovery.reconfigure(sys, None, q.req.rp, &bs, freq);
+        let done = sys.now();
+
+        let record = RequestRecord {
+            req: q.req,
+            queueing: dispatch.duration_since(q.submitted),
+            service: done.duration_since(dispatch),
+            cache_hit: was_hit,
+            deadline_met: done <= q.abs_deadline,
+            error: out.error,
+        };
+        if out.error.is_none() {
+            self.completed += 1;
+            self.bytes_transferred += bytes;
+        } else {
+            self.failed += 1;
+        }
+        if record.deadline_met {
+            self.deadlines_met += 1;
+        } else {
+            self.deadlines_missed += 1;
+        }
+        self.queueing_us.push(record.queueing.as_micros_f64());
+        self.service_us.push(record.service.as_micros_f64());
+        self.last_complete = Some(done);
+        self.records.push(record);
+        Some(record)
+    }
+
+    /// Dispatches until the ready queue is empty, returning how many
+    /// requests ran.
+    pub fn run_until_idle(
+        &mut self,
+        sys: &mut ZynqPdrSystem,
+        recovery: &mut RecoveryManager,
+    ) -> usize {
+        let mut n = 0;
+        while self.dispatch_one(sys, recovery).is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Aggregate telemetry over everything scheduled so far.
+    pub fn report(&mut self) -> SchedulerReport {
+        let makespan = match (self.first_submit, self.last_complete) {
+            (Some(a), Some(b)) => b.duration_since(a),
+            _ => SimDuration::ZERO,
+        };
+        let throughput = Some(self.bytes_transferred as f64 / makespan.as_secs_f64() / 1e6)
+            .filter(|t| t.is_finite());
+        SchedulerReport {
+            submitted: self.submitted,
+            admitted: self.seq,
+            rejected_unknown_bitstream: self.rejections[RejectReason::UnknownBitstream as usize],
+            rejected_invalid_partition: self.rejections[RejectReason::InvalidPartition as usize],
+            rejected_quarantined: self.rejections[RejectReason::Quarantined as usize],
+            rejected_queue_full: self.rejections[RejectReason::QueueFull as usize],
+            completed: self.completed,
+            failed: self.failed,
+            deadlines_met: self.deadlines_met,
+            deadlines_missed: self.deadlines_missed,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            prefetch_hits: self.prefetch_hits,
+            bytes_transferred: self.bytes_transferred,
+            makespan_us: makespan.as_micros_f64(),
+            throughput_mb_s: throughput,
+            queueing_latency_us: StatsSummary::from(&self.queueing_us.online_stats()),
+            service_latency_us: StatsSummary::from(&self.service_us.online_stats()),
+            queueing_p50_us: self.queueing_us.quantile(0.5),
+            queueing_p99_us: self.queueing_us.quantile(0.99),
+            service_p50_us: self.service_us.quantile(0.5),
+            service_p99_us: self.service_us.quantile(0.99),
+        }
+    }
+
+    /// Index of the best ready request: highest priority, then earliest
+    /// absolute deadline, then submission order.
+    fn best_ready(&self) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (std::cmp::Reverse(q.req.priority), q.abs_deadline, q.seq))
+            .map(|(i, _)| i)
+    }
+
+    /// The next dispatch's bitstream id when it is not yet resident — the
+    /// prefetch target.
+    fn next_uncached_id(&self) -> Option<u32> {
+        let idx = self.best_ready()?;
+        let id = self.queue[idx].req.bitstream_id;
+        (!self.is_cached(id)).then_some(id)
+    }
+
+    fn touch(&mut self, id: u32) {
+        if let Some(pos) = self.cache.iter().position(|&c| c == id) {
+            let id = self.cache.remove(pos);
+            self.cache.push(id);
+        }
+    }
+
+    fn evict(&mut self, id: u32) {
+        if let Some(pos) = self.cache.iter().position(|&c| c == id) {
+            self.cache.remove(pos);
+            self.cache_bytes -= self.catalog[&id].len() as u64;
+        }
+    }
+
+    fn insert_cached(&mut self, id: u32, bytes: u64) {
+        if self.config.cache_capacity_bytes == 0 || bytes > self.config.cache_capacity_bytes {
+            return; // caching disabled or image larger than the budget
+        }
+        if self.is_cached(id) {
+            self.touch(id);
+            return;
+        }
+        while self.cache_bytes + bytes > self.config.cache_capacity_bytes {
+            let lru = self.cache[0];
+            self.evict(lru);
+        }
+        self.cache.push(id);
+        self.cache_bytes += bytes;
+    }
+}

@@ -83,6 +83,16 @@ impl SdCard {
         self.files.len()
     }
 
+    /// Sustained sequential read bandwidth, bytes per second.
+    pub fn bandwidth_bytes_per_s(&self) -> u64 {
+        self.read_bw_bytes_per_s
+    }
+
+    /// Fixed per-file access overhead.
+    pub fn per_file_overhead(&self) -> SimDuration {
+        self.per_file_overhead
+    }
+
     /// Time to read a file of `bytes` from this card.
     pub fn read_time(&self, bytes: u64) -> SimDuration {
         self.per_file_overhead

@@ -99,6 +99,21 @@ impl SystemConfig {
             ..SystemConfig::default()
         }
     }
+
+    /// A four-partition variant of [`Self::fast_test`] — the smallest
+    /// floorplan that exercises multi-tenant scheduling (one partition per
+    /// row, identical shapes so bitstream sizes match across tenants).
+    pub fn fast_quad() -> Self {
+        let geometry = Geometry::new(4, vec![ColumnKind::Clb; 6]);
+        let partitions = (0..4u32)
+            .map(|r| Partition::new(&format!("RP{}", r + 1), r, 0..3))
+            .collect();
+        SystemConfig {
+            floorplan: Floorplan::new(geometry, partitions),
+            ideal_instruments: true,
+            ..SystemConfig::default()
+        }
+    }
 }
 
 /// The assembled system. See the [crate documentation](crate) for a
@@ -436,6 +451,10 @@ impl ZynqPdrSystem {
     /// measurement protocol: arm the DMA, time to the completion interrupt
     /// (or record its absence), then verify the partition by CRC read-back.
     ///
+    /// An empty bitstream is refused (`ReconfigError::Refused`) before any
+    /// register writes — it would otherwise program a zero-length DMA
+    /// descriptor whose behavior the DMA leaves undefined.
+    ///
     /// # Panics
     ///
     /// Panics if `rp` is out of range or the bitstream is malformed (the
@@ -447,6 +466,13 @@ impl ZynqPdrSystem {
         freq: Frequency,
     ) -> ReconfigReport {
         self.reconfigs += 1;
+        // An empty bitstream used to fall through to the datapath and
+        // program a zero-length DMA descriptor (REG_LENGTH = 0), whose
+        // behavior the DMA leaves undefined. Refuse before any register
+        // writes: nothing is staged, armed, or timed.
+        if bitstream.is_empty() {
+            return self.refuse_before_transfer(rp, freq.as_hz());
+        }
         // The partition argument documents intent and validates the index;
         // the verified region is derived from the bitstream itself.
         let _partition = self.config.floorplan.partition(rp);
@@ -594,6 +620,33 @@ impl ZynqPdrSystem {
         }
     }
 
+    /// Builds the report for a request refused *before* the transfer was
+    /// armed: no registers written, no bytes staged, no latency measured.
+    /// The instruments are still sampled so the report carries a plausible
+    /// (finite) temperature and power reading.
+    fn refuse_before_transfer(&mut self, rp: usize, frequency_hz: u64) -> ReconfigReport {
+        let _partition = self.config.floorplan.partition(rp); // validate index
+        let die_temp = self.thermal.die_temp_c();
+        // No transfer ran, so the PL contribution is the idle share (as on
+        // the PCAP path, which also drives no over-clocked datapath).
+        let p_board = self.config.power.p_board_w(0.0, die_temp);
+        let p_pdr = self.meter.read_w(p_board, &mut self.rng) - self.config.power.p0_board_w();
+        ReconfigReport {
+            frequency_hz,
+            die_temp_c: self.sensor.read(die_temp, &mut self.rng),
+            bitstream_bytes: 0,
+            latency: None,
+            interrupt_seen: false,
+            crc: CrcStatus::NotChecked,
+            stream_crc_ok: None,
+            frames_written: 0,
+            corrupted_words: 0,
+            p_pdr_w: p_pdr,
+            energy_j: None,
+            error: Some(ReconfigError::Refused),
+        }
+    }
+
     /// Runs one CRC read-back scan of a frame region against `golden`.
     fn verify_region(&mut self, start_idx: u32, frame_count: u32, golden: u32) -> CrcStatus {
         if frame_count == 0 {
@@ -661,11 +714,19 @@ impl ZynqPdrSystem {
     /// sustains ~145 MB/s regardless of the PL over-clock, which is the
     /// baseline the paper's ICAP architecture beats by >5×.
     ///
+    /// An empty bitstream is refused before the PCAP is touched, matching
+    /// [`Self::reconfigure`].
+    ///
     /// # Panics
     ///
     /// Panics if `rp` is out of range or the bitstream is malformed.
     pub fn reconfigure_pcap(&mut self, rp: usize, bitstream: &Bitstream) -> ReconfigReport {
         self.reconfigs += 1;
+        // Same contract as `reconfigure`: an empty image is refused before
+        // the PCAP is touched (frequency 0 marks the PS-driven path).
+        if bitstream.is_empty() {
+            return self.refuse_before_transfer(rp, 0);
+        }
         let _partition = self.config.floorplan.partition(rp);
         let die_temp = self.thermal.die_temp_c();
         self.engine

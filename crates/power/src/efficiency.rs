@@ -6,12 +6,19 @@
 /// PpW = throughput / P_PDR     [MB/s / W = MB/J]
 /// ```
 ///
-/// # Panics
-///
-/// Panics if `p_pdr_w` is not strictly positive.
-pub fn performance_per_watt(throughput_mb_s: f64, p_pdr_w: f64) -> f64 {
-    assert!(p_pdr_w > 0.0, "power must be positive");
-    throughput_mb_s / p_pdr_w
+/// Returns `None` when the ratio is not a finite measurement: a power
+/// reading that is zero, negative, or NaN (an instrument that never
+/// sampled, or a P0 baseline subtraction that went below zero) would
+/// otherwise push `inf`/`NaN` into report JSON, which the hermetic codec
+/// refuses to round-trip.
+pub fn performance_per_watt(throughput_mb_s: f64, p_pdr_w: f64) -> Option<f64> {
+    // NaN power must fail this test too, so require the positive condition.
+    let power_ok = p_pdr_w.is_finite() && p_pdr_w > 0.0;
+    if !power_ok || !throughput_mb_s.is_finite() {
+        return None;
+    }
+    let ppw = throughput_mb_s / p_pdr_w;
+    ppw.is_finite().then_some(ppw)
 }
 
 /// Finds the knee of a throughput-vs-frequency curve: the lowest frequency
@@ -46,14 +53,23 @@ mod tests {
     #[test]
     fn ppw_matches_table2_best_point() {
         // Paper: 781.84 MB/s at 1.30 W → 599 MB/J (the table's best row).
-        let ppw = performance_per_watt(781.84, 1.30);
+        let ppw = performance_per_watt(781.84, 1.30).expect("finite");
         assert!((ppw - 601.4).abs() < 1.0, "ppw={ppw}");
     }
 
     #[test]
-    #[should_panic(expected = "power must be positive")]
-    fn zero_power_panics() {
-        let _ = performance_per_watt(100.0, 0.0);
+    fn degenerate_power_yields_none_not_inf() {
+        // Regression: dividing by zero power used to produce `inf` (and,
+        // after an interim hardening, a panic). A degenerate instrument
+        // reading must degrade to "no measurement", never a non-finite
+        // float or an abort.
+        assert_eq!(performance_per_watt(100.0, 0.0), None);
+        assert_eq!(performance_per_watt(100.0, -0.5), None);
+        assert_eq!(performance_per_watt(100.0, f64::NAN), None);
+        assert_eq!(performance_per_watt(f64::INFINITY, 1.3), None);
+        assert_eq!(performance_per_watt(f64::NAN, 1.3), None);
+        // Overflow to inf is also caught, not forwarded.
+        assert_eq!(performance_per_watt(f64::MAX, f64::MIN_POSITIVE), None);
     }
 
     #[test]

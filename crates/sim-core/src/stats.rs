@@ -201,6 +201,71 @@ impl Log2Histogram {
     }
 }
 
+/// Exact-quantile accumulator: retains every sample and sorts on demand.
+///
+/// [`OnlineStats`] gives streaming moments and [`Log2Histogram`] gives
+/// power-of-two quantile *bounds*; latency telemetry (p50/p99 of queueing
+/// delay) wants exact order statistics, which need the full sample vector.
+/// Workloads in this simulator are bounded (thousands of requests, not
+/// billions), so retention is cheap.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampleSeries {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        SampleSeries::default()
+    }
+
+    /// Adds one sample. Non-finite samples are ignored — the consumers of
+    /// this type serialise their quantiles into report JSON, which must
+    /// never carry `inf`/`NaN`.
+    pub fn push(&mut self, x: f64) {
+        if x.is_finite() {
+            self.samples.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of (finite) samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// The exact `q`-quantile (`0.0 ..= 1.0`) by nearest-rank on the sorted
+    /// samples, `None` when empty. `quantile(0.5)` is the median and
+    /// `quantile(0.99)` the p99.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0 ..= 1.0`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.total_cmp(b));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Streaming moments over the retained samples.
+    pub fn online_stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for &x in &self.samples {
+            s.push(x);
+        }
+        s
+    }
+}
+
 /// Time-weighted average of a piecewise-constant signal (e.g. FIFO occupancy
 /// or instantaneous power): the integral of value·dt divided by elapsed time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -316,6 +381,34 @@ mod tests {
         assert!(h.quantile_upper_bound(1.0) >= 1000);
         // Median should be bounded by a small power of two.
         assert!(h.quantile_upper_bound(0.5) <= 3);
+    }
+
+    #[test]
+    fn sample_series_exact_quantiles() {
+        let mut s = SampleSeries::new();
+        for x in (1..=100).rev() {
+            s.push(x as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.99), Some(99.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        // Pushing after a sort re-sorts lazily.
+        s.push(0.5);
+        assert_eq!(s.quantile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn sample_series_empty_and_non_finite() {
+        let mut s = SampleSeries::new();
+        assert_eq!(s.quantile(0.5), None);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        assert_eq!(s.count(), 0, "non-finite samples are dropped");
+        s.push(2.0);
+        assert_eq!(s.quantile(0.99), Some(2.0));
+        assert_eq!(s.online_stats().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Report serialisation properties: every report type in the workspace —
+//! [`ReconfigReport`], [`RecoveryStats`], [`StatsSummary`] and the
+//! scheduler's [`SchedulerReport`] — encodes→decodes **bit-exactly**,
+//! including the degenerate corners (zero latency, zero bytes, zero power,
+//! zero samples) that used to push `inf`/`NaN` towards the codec.
+
+use pdr_testkit::{bools, f64s, one_of, property, tuple2, tuple3, u64s, usizes, Config, Gen};
+
+use pdr_lab::pdr::{
+    CrcStatus, ReconfigError, ReconfigReport, RecoveryStats, SchedulerReport, StatsSummary,
+    TimeoutCause,
+};
+use pdr_lab::sim::json::{FromJson, ToJson};
+use pdr_lab::sim::SimDuration;
+
+fn cfg() -> Config {
+    Config::with_cases(24).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
+/// Finite floats biased towards the degenerate values the bugfixes target.
+fn field_f64s() -> Gen<f64> {
+    one_of(vec![
+        pdr_testkit::constant(0.0),
+        pdr_testkit::constant(-0.0),
+        pdr_testkit::constant(-1.5),
+        f64s(0.0..1e9),
+        f64s(1e-12..1.0),
+    ])
+}
+
+fn crc_statuses() -> Gen<CrcStatus> {
+    pdr_testkit::select(vec![
+        CrcStatus::Valid,
+        CrcStatus::Invalid,
+        CrcStatus::NotChecked,
+    ])
+}
+
+fn errors() -> Gen<Option<ReconfigError>> {
+    pdr_testkit::select(vec![
+        None,
+        Some(ReconfigError::Timeout(TimeoutCause::InterruptLost)),
+        Some(ReconfigError::Timeout(TimeoutCause::StillInFlight)),
+        Some(ReconfigError::CrcMismatch),
+        Some(ReconfigError::Refused),
+        Some(ReconfigError::Quarantined),
+    ])
+}
+
+/// Durations including the zero-latency corner.
+fn latencies() -> Gen<Option<SimDuration>> {
+    one_of(vec![
+        pdr_testkit::constant(None),
+        pdr_testkit::constant(Some(SimDuration::ZERO)),
+        u64s(0..10_000_000).map(|us| Some(SimDuration::from_micros(us))),
+    ])
+}
+
+fn summaries() -> Gen<StatsSummary> {
+    one_of(vec![
+        pdr_testkit::constant(StatsSummary::EMPTY),
+        tuple3(
+            u64s(1..1_000_000),
+            field_f64s(),
+            tuple2(field_f64s(), field_f64s()),
+        )
+        .map(|(count, mean, (lo, hi))| StatsSummary {
+            count,
+            mean,
+            std_dev: mean.abs().sqrt(),
+            min: lo.min(hi),
+            max: lo.max(hi),
+        }),
+    ])
+}
+
+property! {
+    config = cfg();
+
+    /// Arbitrary reconfiguration reports — degenerate corners included —
+    /// round-trip bit-exactly, and no accessor leaks a non-finite float.
+    fn reconfig_report_round_trips_bit_exactly(
+        freq_and_bytes in tuple2(u64s(0..=400_000_000), u64s(0..=64_000_000)),
+        temp_power in tuple2(field_f64s(), field_f64s()),
+        latency in latencies(),
+        crc_and_flags in tuple3(crc_statuses(), bools(), pdr_testkit::select(vec![None, Some(true), Some(false)])),
+        counters in tuple2(u64s(0..=100_000), u64s(0..=100_000)),
+        error in errors(),
+    ) {
+        let (frequency_hz, bitstream_bytes) = freq_and_bytes;
+        let (die_temp_c, p_pdr_w) = temp_power;
+        let (crc, interrupt_seen, stream_crc_ok) = crc_and_flags;
+        let (frames_written, corrupted_words) = counters;
+        let r = ReconfigReport {
+            frequency_hz,
+            die_temp_c,
+            bitstream_bytes,
+            latency,
+            interrupt_seen,
+            crc,
+            stream_crc_ok,
+            frames_written,
+            corrupted_words,
+            p_pdr_w,
+            energy_j: latency.map(|l| p_pdr_w * l.as_secs_f64()),
+            error,
+        };
+
+        // Accessors never produce non-finite values, whatever the corner.
+        if let Some(t) = r.throughput_mb_s() {
+            assert!(t.is_finite(), "throughput leaked non-finite: {t}");
+        }
+        if let Some(p) = r.ppw_mb_j() {
+            assert!(p.is_finite(), "PpW leaked non-finite: {p}");
+        }
+
+        let text = r.to_json_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let back = ReconfigReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, r, "first decode must be bit-exact");
+        // Idempotence: encoding the decoded value reproduces the bytes.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    /// Arbitrary recovery telemetry (zero-sample summaries included)
+    /// round-trips bit-exactly.
+    fn recovery_stats_round_trip_bit_exactly(
+        counters in tuple3(u64s(0..=1000), u64s(0..=1000), tuple4_counters()),
+        detection in summaries(),
+        mttr in summaries(),
+    ) {
+        let (faults_detected, faults_recovered, (retries, scrubs, scrub_failures, quarantines)) =
+            counters;
+        let s = RecoveryStats {
+            faults_detected,
+            faults_recovered,
+            retries,
+            scrubs,
+            scrub_failures,
+            quarantines,
+            detection_latency_us: detection,
+            mttr_us: mttr,
+        };
+        let text = s.to_json_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let back = RecoveryStats::from_json_str(&text).expect("decodes");
+        assert_eq!(back, s);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    /// Arbitrary scheduler telemetry round-trips bit-exactly, including
+    /// the empty run (no completions → `None` percentiles, no throughput).
+    fn scheduler_report_round_trips_bit_exactly(
+        counts in tuple3(u64s(0..=10_000), u64s(0..=10_000), u64s(0..=10_000)),
+        cache in tuple3(u64s(0..=10_000), u64s(0..=10_000), u64s(0..=10_000)),
+        traffic in tuple2(u64s(0..=1_000_000_000), field_f64s()),
+        latencies in tuple2(summaries(), summaries()),
+        quantiles in one_of(vec![
+            pdr_testkit::constant(None),
+            field_f64s().map(Some),
+        ]),
+        spread in usizes(0..64),
+    ) {
+        let (submitted, completed, failed) = counts;
+        let (cache_hits, cache_misses, prefetch_hits) = cache;
+        let (bytes_transferred, makespan_us) = traffic;
+        let (queueing_latency_us, service_latency_us) = latencies;
+        let makespan_us = makespan_us.abs();
+        let throughput = Some(bytes_transferred as f64 / (makespan_us / 1e6) / 1e6)
+            .filter(|t| t.is_finite());
+        let r = SchedulerReport {
+            submitted,
+            admitted: submitted.saturating_sub(spread as u64),
+            rejected_unknown_bitstream: spread as u64 % 7,
+            rejected_invalid_partition: spread as u64 % 5,
+            rejected_quarantined: spread as u64 % 3,
+            rejected_queue_full: spread as u64 % 2,
+            completed,
+            failed,
+            deadlines_met: completed / 2,
+            deadlines_missed: completed - completed / 2,
+            cache_hits,
+            cache_misses,
+            prefetch_hits,
+            bytes_transferred,
+            makespan_us,
+            throughput_mb_s: throughput,
+            queueing_latency_us,
+            service_latency_us,
+            queueing_p50_us: quantiles,
+            queueing_p99_us: quantiles.map(|q| q + 1.0),
+            service_p50_us: quantiles,
+            service_p99_us: quantiles.map(|q| q * 2.0),
+        };
+        let text = r.to_json_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let back = SchedulerReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, r);
+        assert_eq!(back.to_json_string(), text);
+    }
+}
+
+fn tuple4_counters() -> Gen<(u64, u64, u64, u64)> {
+    pdr_testkit::tuple4(
+        u64s(0..=1000),
+        u64s(0..=1000),
+        u64s(0..=1000),
+        u64s(0..=1000),
+    )
+}

@@ -1,7 +1,8 @@
 //! End-to-end reconfiguration scenarios across the whole stack.
 
+use pdr_lab::bitstream::Bitstream;
 use pdr_lab::fabric::AspKind;
-use pdr_lab::pdr::{CrcStatus, SystemConfig, ZynqPdrSystem};
+use pdr_lab::pdr::{CrcStatus, ReconfigError, SystemConfig, ZynqPdrSystem};
 use pdr_lab::sim::Frequency;
 
 fn mhz(m: u64) -> Frequency {
@@ -10,6 +11,37 @@ fn mhz(m: u64) -> Frequency {
 
 fn system() -> ZynqPdrSystem {
     ZynqPdrSystem::new(SystemConfig::fast_test())
+}
+
+#[test]
+fn empty_bitstream_is_refused_before_any_register_writes() {
+    // Regression: a zero-byte image used to reach the datapath and program
+    // a zero-length DMA descriptor (REG_LENGTH = 0). It must be refused
+    // up front, with nothing armed and nothing timed — on both transports.
+    let mut sys = system();
+    let empty = Bitstream::from_words(&[]);
+    let before = sys.now();
+    let r = sys.reconfigure(0, &empty, mhz(200));
+    assert_eq!(r.error, Some(ReconfigError::Refused));
+    assert_eq!(r.bitstream_bytes, 0);
+    assert_eq!(r.frames_written, 0);
+    assert_eq!(r.latency, None);
+    assert!(!r.interrupt_seen);
+    assert_eq!(r.crc, CrcStatus::NotChecked);
+    assert_eq!(sys.now(), before, "refusal must not consume simulated time");
+    // The refused report is JSON-safe (no non-finite throughput/PpW).
+    assert_eq!(r.throughput_mb_s(), None);
+    assert_eq!(r.ppw_mb_j(), None);
+
+    let p = sys.reconfigure_pcap(0, &empty);
+    assert_eq!(p.error, Some(ReconfigError::Refused));
+    assert_eq!(p.frequency_hz, 0);
+    assert_eq!(p.frames_written, 0);
+
+    // The system remains fully serviceable after a refusal.
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let ok = sys.reconfigure(0, &bs, mhz(200));
+    assert!(ok.succeeded(), "{ok:?}");
 }
 
 #[test]

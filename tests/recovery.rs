@@ -144,3 +144,42 @@ fn acceptance_soak_hundred_mixed_faults() {
     let b = run();
     assert_eq!(a.to_json_string(), b.to_json_string());
 }
+
+/// A zero-fault run (no retries, no scrubs, no monitor alarms) must still
+/// yield well-defined, JSON-round-trippable telemetry: the zero-sample
+/// `StatsSummary` is the canonical all-zero summary, never NaN placeholders.
+#[test]
+fn zero_sample_recovery_stats_are_well_defined_and_json_safe() {
+    use pdr_lab::pdr::{RecoveryStats, StatsSummary};
+    use pdr_lab::sim::json::FromJson;
+
+    let (mut sys, mut mgr) = configured();
+    // `configured()` ran only clean successes: nothing on the ladder fired.
+    let s = mgr.stats();
+    assert_eq!(s.faults_detected, 0);
+    assert_eq!(s.mttr_us, StatsSummary::EMPTY);
+    assert_eq!(s.detection_latency_us, StatsSummary::EMPTY);
+    for summary in [&s.mttr_us, &s.detection_latency_us] {
+        assert_eq!(summary.count, 0);
+        assert!(summary.is_json_safe(), "{summary:?}");
+        assert_eq!(
+            (summary.mean, summary.std_dev, summary.min, summary.max),
+            (0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    // Bit-exact JSON round-trip of the zero-sample report (a NaN would
+    // encode as `null` and fail to decode here).
+    let text = s.to_json_string();
+    assert!(!text.contains("null"), "{text}");
+    assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    let back = RecoveryStats::from_json_str(&text).expect("decodes");
+    assert_eq!(back, s);
+
+    // Still true after more clean traffic.
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 9);
+    assert!(mgr
+        .reconfigure(&mut sys, None, 0, &bs, mhz(200))
+        .succeeded());
+    assert_eq!(mgr.stats().mttr_us, StatsSummary::EMPTY);
+}

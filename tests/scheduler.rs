@@ -1,0 +1,265 @@
+//! The multi-tenant reconfiguration scheduler, end to end: admission
+//! against quarantine, EDF-within-priority ordering, cache/prefetch
+//! pipelining, deadline accounting, and deterministic telemetry.
+
+use pdr_lab::fabric::AspKind;
+use pdr_lab::pdr::{
+    FetchModel, ReconfigRequest, RecoveryConfig, RecoveryManager, RejectReason, Scheduler,
+    SchedulerConfig, SchedulerReport, SystemConfig, ZynqPdrSystem,
+};
+use pdr_lab::sim::json::{FromJson, ToJson};
+use pdr_lab::sim::SimDuration;
+
+/// A four-partition system with one registered bitstream per partition.
+fn quad() -> (ZynqPdrSystem, RecoveryManager, Scheduler) {
+    let sys = ZynqPdrSystem::new(SystemConfig::fast_quad());
+    let mgr = RecoveryManager::for_system(&sys, RecoveryConfig::default());
+    let mut sched = Scheduler::new(SchedulerConfig::default());
+    for rp in 0..4 {
+        let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+        sched.register_bitstream(rp as u32, sys.make_asp_bitstream(rp, kind, rp as u32 + 1));
+    }
+    (sys, mgr, sched)
+}
+
+fn req(rp: usize, id: u32, priority: u8, deadline_ms: u64) -> ReconfigRequest {
+    ReconfigRequest {
+        rp,
+        bitstream_id: id,
+        priority,
+        deadline: SimDuration::from_millis(deadline_ms),
+    }
+}
+
+#[test]
+fn admission_rejects_without_touching_hardware() {
+    let (mut sys, mut mgr, mut sched) = quad();
+    let n = sys.reconfig_count();
+
+    // Unknown bitstream id.
+    assert_eq!(
+        sched.submit(&sys, &mgr, req(0, 99, 0, 100)),
+        Err(RejectReason::UnknownBitstream)
+    );
+    // Partition outside the floorplan.
+    assert_eq!(
+        sched.submit(&sys, &mgr, req(7, 0, 0, 100)),
+        Err(RejectReason::InvalidPartition)
+    );
+    assert_eq!(sys.reconfig_count(), n, "rejection must not touch hardware");
+    assert_eq!(sched.queue_len(), 0);
+
+    // Queue capacity.
+    let mut small = Scheduler::new(SchedulerConfig {
+        queue_capacity: 2,
+        ..SchedulerConfig::default()
+    });
+    small.register_bitstream(0, sys.make_asp_bitstream(0, AspKind::Fir16, 1));
+    assert!(small.submit(&sys, &mgr, req(0, 0, 0, 100)).is_ok());
+    assert!(small.submit(&sys, &mgr, req(1, 0, 0, 100)).is_ok());
+    assert_eq!(
+        small.submit(&sys, &mgr, req(2, 0, 0, 100)),
+        Err(RejectReason::QueueFull)
+    );
+
+    let r = sched.report();
+    assert_eq!(r.submitted, 2);
+    assert_eq!(r.rejected_unknown_bitstream, 1);
+    assert_eq!(r.rejected_invalid_partition, 1);
+
+    // Rejections leave the scheduler fully serviceable.
+    assert!(sched.submit(&sys, &mgr, req(0, 0, 0, 100)).is_ok());
+    assert_eq!(sched.run_until_idle(&mut sys, &mut mgr), 1);
+    assert_eq!(sched.report().completed, 1);
+}
+
+#[test]
+fn quarantined_partitions_are_rejected_at_admission() {
+    let (mut sys, mut mgr, mut sched) = quad();
+    // Collapse the timing envelope so partition 0's ladder exhausts and
+    // quarantines (same recipe as the recovery acceptance tests).
+    let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    sys.inject_timing_burst(280.0, SimDuration::from_secs_f64(1.0));
+    let out = mgr.reconfigure(
+        &mut sys,
+        None,
+        0,
+        &bs,
+        pdr_lab::sim::Frequency::from_mhz(280),
+    );
+    assert!(!out.succeeded());
+    assert_eq!(
+        sched.submit(&sys, &mgr, req(0, 0, 0, 100)),
+        Err(RejectReason::Quarantined)
+    );
+    // Healthy partitions still admit.
+    assert!(sched.submit(&sys, &mgr, req(1, 1, 0, 100)).is_ok());
+    assert_eq!(sched.report().rejected_quarantined, 1);
+}
+
+#[test]
+fn dispatch_order_is_edf_within_priority() {
+    let (mut sys, mut mgr, mut sched) = quad();
+    for id in 0..4u32 {
+        sched.warm(id);
+    }
+    // Submitted in "wrong" order on purpose:
+    //  - rp3: low priority, earliest deadline  → must still run last-ish
+    //  - rp0/rp1: high priority, rp1's deadline earlier than rp0's
+    //  - rp2: high priority, latest deadline, submitted first
+    assert!(sched.submit(&sys, &mgr, req(2, 2, 5, 900)).is_ok());
+    assert!(sched.submit(&sys, &mgr, req(3, 3, 1, 10)).is_ok());
+    assert!(sched.submit(&sys, &mgr, req(0, 0, 5, 500)).is_ok());
+    assert!(sched.submit(&sys, &mgr, req(1, 1, 5, 100)).is_ok());
+    assert_eq!(sched.run_until_idle(&mut sys, &mut mgr), 4);
+    let order: Vec<usize> = sched.records().iter().map(|r| r.req.rp).collect();
+    assert_eq!(
+        order,
+        vec![1, 0, 2, 3],
+        "EDF within priority 5, then the low-priority request"
+    );
+
+    // Ties (same priority, same deadline) resolve by submission order.
+    let (mut sys, mut mgr, mut sched) = quad();
+    for id in 0..4u32 {
+        sched.warm(id);
+    }
+    for rp in [2usize, 0, 3, 1] {
+        assert!(sched.submit(&sys, &mgr, req(rp, rp as u32, 3, 250)).is_ok());
+    }
+    sched.run_until_idle(&mut sys, &mut mgr);
+    let order: Vec<usize> = sched.records().iter().map(|r| r.req.rp).collect();
+    assert_eq!(order, vec![2, 0, 3, 1]);
+}
+
+#[test]
+fn warm_cache_skips_fetches_and_prefetch_pipelines_cold_misses() {
+    // Warm path: every dispatch is a cache hit, zero fetch stalls.
+    let (mut sys, mut mgr, mut sched) = quad();
+    for id in 0..4u32 {
+        sched.warm(id);
+        assert!(sched.is_cached(id));
+    }
+    for rp in 0..4 {
+        assert!(sched.submit(&sys, &mgr, req(rp, rp as u32, 0, 500)).is_ok());
+    }
+    sched.run_until_idle(&mut sys, &mut mgr);
+    let warm = sched.report();
+    assert_eq!(warm.cache_hits, 4);
+    assert_eq!(warm.cache_misses, 0);
+    assert!(sched.records().iter().all(|r| r.cache_hit));
+
+    // Cold path without prefetch: every miss serialises the full fetch.
+    let (mut sys, mut mgr, _) = quad();
+    let base_cfg = SchedulerConfig {
+        fetch: FetchModel {
+            bandwidth_bytes_per_s: 19_000_000,
+            per_fetch_overhead: SimDuration::from_millis(2),
+        },
+        ..SchedulerConfig::default()
+    }
+    .baseline();
+    let mut base = Scheduler::new(base_cfg);
+    for rp in 0..4usize {
+        let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+        base.register_bitstream(rp as u32, sys.make_asp_bitstream(rp, kind, rp as u32 + 1));
+        assert!(base.submit(&sys, &mgr, req(rp, rp as u32, 0, 500)).is_ok());
+    }
+    base.run_until_idle(&mut sys, &mut mgr);
+    let cold = base.report();
+    assert_eq!(cold.cache_misses, 4);
+    assert_eq!(cold.prefetch_hits, 0);
+
+    // Cold path with prefetch: the first miss pays the fetch, subsequent
+    // ones are covered by write-port overlap — mean service latency drops.
+    let (mut sys2, mut mgr2, mut sched2) = quad();
+    for rp in 0..4 {
+        assert!(sched2
+            .submit(&sys2, &mgr2, req(rp, rp as u32, 0, 500))
+            .is_ok());
+    }
+    sched2.run_until_idle(&mut sys2, &mut mgr2);
+    let pipelined = sched2.report();
+    assert_eq!(pipelined.cache_misses, 4);
+    assert_eq!(
+        pipelined.prefetch_hits, 3,
+        "all but the first miss must be prefetched: {pipelined:?}"
+    );
+    assert!(
+        pipelined.service_latency_us.mean < cold.service_latency_us.mean,
+        "prefetch must shorten service: {} vs {}",
+        pipelined.service_latency_us.mean,
+        cold.service_latency_us.mean
+    );
+}
+
+#[test]
+fn deadlines_are_accounted_per_request() {
+    let (mut sys, mut mgr, mut sched) = quad();
+    for id in 0..4u32 {
+        sched.warm(id);
+    }
+    // Generous deadline for rp0, impossible (1 ns) deadlines for the rest:
+    // they complete but count as misses.
+    assert!(sched.submit(&sys, &mgr, req(0, 0, 0, 500)).is_ok());
+    for rp in 1..4 {
+        let r = ReconfigRequest {
+            deadline: SimDuration::from_nanos(1),
+            ..req(rp, rp as u32, 0, 0)
+        };
+        assert!(sched.submit(&sys, &mgr, r).is_ok());
+    }
+    sched.run_until_idle(&mut sys, &mut mgr);
+    let r = sched.report();
+    assert_eq!(r.completed, 4, "missed deadlines still complete");
+    assert_eq!(r.deadlines_met, 1);
+    assert_eq!(r.deadlines_missed, 3);
+}
+
+#[test]
+fn telemetry_is_deterministic_and_json_round_trips() {
+    let run = || {
+        let (mut sys, mut mgr, mut sched) = quad();
+        sched.warm(0);
+        sched.warm(1);
+        for wave in 0..3 {
+            for rp in 0..4 {
+                let r = req(rp, rp as u32, (rp % 2) as u8, 50 + wave * 10);
+                let _ = sched.submit(&sys, &mgr, r);
+            }
+            sched.run_until_idle(&mut sys, &mut mgr);
+        }
+        sched.report()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give identical telemetry");
+    let ja = a.to_json_string();
+    assert_eq!(ja, b.to_json_string(), "byte-identical telemetry JSON");
+
+    // Round-trip, and the non-finite-float contract.
+    let back = SchedulerReport::from_json_str(&ja).expect("decodes");
+    assert_eq!(back, a);
+    assert!(!ja.contains("NaN") && !ja.contains("inf"), "{ja}");
+
+    // p50/p99 are populated and ordered.
+    let p50 = a.queueing_p50_us.expect("completions recorded");
+    let p99 = a.queueing_p99_us.expect("completions recorded");
+    assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+    assert!(a.service_p50_us.unwrap() <= a.service_p99_us.unwrap());
+    assert_eq!(a.completed + a.failed, 12);
+    assert!(a.throughput_mb_s.expect("non-degenerate run") > 0.0);
+}
+
+#[test]
+fn empty_scheduler_report_is_json_safe() {
+    let mut sched = Scheduler::new(SchedulerConfig::default());
+    let r = sched.report();
+    assert_eq!(r.submitted, 0);
+    assert_eq!(r.throughput_mb_s, None, "0 bytes / 0 s must not be NaN");
+    assert_eq!(r.queueing_p50_us, None);
+    let text = r.to_json_string();
+    assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    let back = SchedulerReport::from_json_str(&text).expect("decodes");
+    assert_eq!(back, r);
+}
