@@ -1,0 +1,231 @@
+//! Codec end-to-end — effective reconfiguration throughput of the Sec. VI
+//! pipeline with the frame-aware compressor and streaming ICAP-side
+//! decompressor, against the same pipeline moving raw images.
+//!
+//! Three workload classes over the same partition-0 region:
+//!
+//! * **padded** — a sparse design: one routed frame in sixteen, the rest
+//!   zeroed (the mostly-empty partial bitstreams real RP flows produce);
+//! * **repetitive** — two dense frames alternating (replicated columns,
+//!   the codec's `COPY` back-reference case);
+//! * **asp** — the workspace's realistic ASP generator (~25 % zero frames,
+//!   ~15 % repeats, the rest dense routed logic).
+//!
+//! Asserted claims (a regression fails the build):
+//!
+//! * padded and repetitive workloads reconfigure ≥ 1.5× faster end-to-end
+//!   with compression on (the decompressor expands runs/back-references at
+//!   the 550 MHz ICAP clock without consuming SRAM read bandwidth);
+//! * the realistic ASP workload still speeds up (> 1×);
+//! * every run verifies by read-back CRC, compressed or not;
+//! * same seed → byte-identical telemetry JSON (deterministic).
+//!
+//! Besides the usual `target/experiments/codec.md` table, this bench
+//! writes `BENCH_codec.json` at the workspace root: a deterministic,
+//! simulated-time-only snapshot committed as the perf trajectory.
+
+use pdr_bench::{publish, Table};
+use pdr_bitstream::{Bitstream, Builder, Frame};
+use pdr_core::proposed::{ProposedConfig, ProposedReport, ProposedSystem};
+use pdr_core::system::IDCODE;
+use pdr_fabric::AspKind;
+use pdr_sim_core::json::{Json, ToJson};
+
+fn mix(a: u32, b: u32) -> u32 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(b.wrapping_mul(0x85EB_CA6B));
+    z ^= z >> 15;
+    z.wrapping_mul(0x846C_A68B)
+}
+
+fn dense_frame(tag: u32) -> Frame {
+    let mut f = Frame::zeroed();
+    for (wi, w) in f.words_mut().iter_mut().enumerate() {
+        *w = mix(tag, wi as u32) | 1;
+    }
+    f
+}
+
+/// Builds a partition-filling bitstream for `rp` from `frame_of`.
+fn region_bitstream(sys: &ProposedSystem, rp: usize, frame_of: impl Fn(u32) -> Frame) -> Bitstream {
+    let fp = &sys.config().floorplan;
+    let p = fp.partition(rp);
+    let n = p.frame_count(fp.geometry());
+    let frames = (0..n).map(frame_of).collect();
+    let mut b = Builder::new(IDCODE);
+    b.add_frames(p.start_far(), frames);
+    b.build()
+}
+
+/// One reconfiguration of `bitstream` with compression on or off.
+fn run(bitstream: &Bitstream, compress: bool) -> ProposedReport {
+    let mut sys = ProposedSystem::new(ProposedConfig {
+        compress,
+        ..ProposedConfig::default()
+    });
+    sys.reconfigure(bitstream)
+}
+
+struct Outcome {
+    name: &'static str,
+    raw: ProposedReport,
+    packed: ProposedReport,
+    speedup: f64,
+}
+
+fn bench_workload(name: &'static str, bitstream: &Bitstream) -> Outcome {
+    let raw = run(bitstream, false);
+    let packed = run(bitstream, true);
+    assert!(raw.crc_ok, "{name}: raw run must verify");
+    assert!(packed.crc_ok, "{name}: compressed run must verify");
+    let speedup = packed.throughput_mb_s / raw.throughput_mb_s;
+    Outcome {
+        name,
+        raw,
+        packed,
+        speedup,
+    }
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let replays: u32 = std::env::var("PDR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+
+    let probe = ProposedSystem::new(ProposedConfig::default());
+    let padded = region_bitstream(&probe, 0, |fi| {
+        if fi % 16 == 0 {
+            dense_frame(fi)
+        } else {
+            Frame::zeroed()
+        }
+    });
+    let repetitive = {
+        let a = dense_frame(0xAAAA);
+        let b = dense_frame(0x5555);
+        region_bitstream(
+            &probe,
+            0,
+            move |fi| {
+                if fi % 2 == 0 {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            },
+        )
+    };
+    let asp = probe.make_asp_bitstream(0, AspKind::Fir16, 7);
+
+    let outcomes = vec![
+        bench_workload("padded", &padded),
+        bench_workload("repetitive", &repetitive),
+        bench_workload("asp (realistic)", &asp),
+    ];
+
+    // -- asserted claims ---------------------------------------------------
+    for o in &outcomes[..2] {
+        assert!(
+            o.speedup >= 1.5,
+            "{}: compressed end-to-end reconfiguration must be ≥1.5× the raw \
+             pipeline, got {:.2}× ({:.1} vs {:.1} MB/s)",
+            o.name,
+            o.speedup,
+            o.packed.throughput_mb_s,
+            o.raw.throughput_mb_s
+        );
+    }
+    assert!(
+        outcomes[2].speedup > 1.0,
+        "realistic ASP workload must still gain, got {:.2}×",
+        outcomes[2].speedup
+    );
+    // Determinism: replaying any workload yields byte-identical telemetry.
+    for _ in 0..replays {
+        let again = run(&padded, true);
+        assert_eq!(
+            again.to_json_string(),
+            outcomes[0].packed.to_json_string(),
+            "same seed must yield identical telemetry JSON"
+        );
+    }
+
+    // -- BENCH_codec.json — the committed perf-trajectory point ------------
+    // Simulated-time metrics only: re-running at the same scale reproduces
+    // this file bit-for-bit.
+    let snapshot = Json::Obj(vec![
+        ("bench".into(), Json::Str("codec".into())),
+        (
+            "workloads".into(),
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(o.name.into())),
+                            ("raw".into(), o.raw.to_json()),
+                            ("compressed".into(), o.packed.to_json()),
+                            (
+                                "speedup".into(),
+                                Json::F64((o.speedup * 100.0).round() / 100.0),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    let path = root.join("BENCH_codec.json");
+    match std::fs::write(&path, snapshot.render() + "\n") {
+        Ok(()) => eprintln!("[perf trajectory written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    // -- markdown table ----------------------------------------------------
+    let mut t = Table::new(&[
+        "workload",
+        "raw [MB/s]",
+        "compressed [MB/s]",
+        "ratio",
+        "speedup",
+    ]);
+    for o in &outcomes {
+        let ratio = o
+            .packed
+            .codec
+            .as_ref()
+            .and_then(|c| c.ratio)
+            .map_or("-".into(), |r| format!("{r:.3}"));
+        t.row(&[
+            o.name.into(),
+            format!("{:.1}", o.raw.throughput_mb_s),
+            format!("{:.1}", o.packed.throughput_mb_s),
+            ratio,
+            format!("{:.2}x", o.speedup),
+        ]);
+    }
+
+    let content = format!(
+        "## Codec — compressed staging + streaming ICAP-side decompression\n\n{}\n\
+         One end-to-end reconfiguration of partition 0 per cell, Sec. VI \
+         pipeline (QDR SRAM read port 1237.5 MB/s, decompressor and ICAP at \
+         550 MHz). The raw pipeline is pinned at the SRAM read bound; with \
+         compression the SRAM moves the `PDRC` container and the \
+         decompressor expands runs and frame back-references at the ICAP \
+         clock, so padded/repetitive images reconfigure up to the 2200 MB/s \
+         ICAP bound. Asserted: ≥ 1.5× on padded and repetitive workloads, \
+         > 1× on the realistic ASP mix, read-back CRC verified everywhere, \
+         byte-identical telemetry on replay.\n\n\
+         _regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("codec", &content);
+}

@@ -1,0 +1,125 @@
+//! The `PDRC` container format.
+//!
+//! A compressed bitstream is a 16-byte container header followed by
+//! `block_count` blocks. Each block carries its own CRC-32 so the streaming
+//! decompressor can verify integrity incrementally — it never needs to
+//! buffer more than one op worth of payload, which is what keeps the input
+//! FIFO bounded (see `docs/CODEC.md` for the backpressure math).
+//!
+//! ```text
+//! Container      := ContainerHeader Block*
+//! ContainerHeader (16 bytes):
+//!     magic       [4]     = "PDRC"
+//!     version     u8      = 1
+//!     flags       u8      = 0        (reserved, must be zero)
+//!     reserved    u16 LE  = 0        (must be zero)
+//!     raw_words   u32 LE             total decoded 32-bit words
+//!     block_count u32 LE
+//! Block          := BlockHeader payload
+//! BlockHeader (12 bytes):
+//!     payload_len u32 LE             bytes of op payload that follow
+//!     raw_words   u32 LE             words this block decodes to (≤ 4096)
+//!     payload_crc u32 LE             CRC-32 (IEEE) of the payload bytes
+//! payload        := op*
+//!     0x00 LIT   n:u16 LE  w[n]:u32 LE   n literal words
+//!     0x01 NOP   n:u16 LE                n × NOP_WORD (0x2000_0000)
+//!     0x02 ZERO  n:u16 LE                n × 0x0000_0000
+//!     0x03 COPY  n:u16 LE  d:u16 LE      copy n words from d words back
+//! ```
+//!
+//! `COPY` references the *decoded output* stream (overlap allowed, so
+//! `d = 101` with `n = 101·k` replays a configuration frame `k` times);
+//! `d` never exceeds [`WINDOW_WORDS`]. Run lengths `n` are never zero.
+//! Every header field is load-bearing: the decoder rejects any magic,
+//! version, flags or reserved mismatch, checks each block's payload CRC,
+//! and finally checks the total word count, so a corrupted container
+//! cannot silently decode to the original image.
+
+/// Container magic, `b"PDRC"`.
+pub const MAGIC: [u8; 4] = *b"PDRC";
+/// Container format version this crate reads and writes.
+pub const VERSION: u8 = 1;
+/// Container header size in bytes.
+pub const CONTAINER_HEADER_BYTES: usize = 16;
+/// Block header size in bytes.
+pub const BLOCK_HEADER_BYTES: usize = 12;
+
+/// Back-reference window, in 32-bit words. `COPY` distances fit in a u16;
+/// 4096 words (two QDR burst pages, ~40 frames) is enough to catch the
+/// dominant repetition — identical or near-identical configuration frames
+/// 101 words apart — while keeping the decompressor's history RAM at
+/// 16 KiB, a pair of BRAM36s on a 7-series device.
+pub const WINDOW_WORDS: usize = 4096;
+
+/// Maximum decoded words per block. A block is the CRC-verification unit:
+/// bounding it bounds how much output can be in flight before an integrity
+/// failure is detected.
+pub const BLOCK_WORDS: usize = 4096;
+
+/// Longest single op run (`n` is a u16).
+pub const MAX_RUN: usize = u16::MAX as usize;
+
+/// Op byte: literal words follow.
+pub const OP_LIT: u8 = 0x00;
+/// Op byte: a run of NOP words.
+pub const OP_NOP: u8 = 0x01;
+/// Op byte: a run of zero words.
+pub const OP_ZERO: u8 = 0x02;
+/// Op byte: a back-reference copy.
+pub const OP_COPY: u8 = 0x03;
+
+/// Minimum zero/NOP run length worth an RLE op (3 bytes of op vs 4·n raw).
+pub const MIN_RUN: usize = 3;
+/// Minimum back-reference length worth a COPY op (5 bytes of op vs 4·n).
+pub const MIN_MATCH: usize = 6;
+
+/// Serialises the 16-byte container header.
+pub fn container_header(raw_words: u32, block_count: u32) -> [u8; CONTAINER_HEADER_BYTES] {
+    let mut h = [0u8; CONTAINER_HEADER_BYTES];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4] = VERSION;
+    // h[5] flags, h[6..8] reserved: zero.
+    h[8..12].copy_from_slice(&raw_words.to_le_bytes());
+    h[12..16].copy_from_slice(&block_count.to_le_bytes());
+    h
+}
+
+/// Serialises a 12-byte block header.
+pub fn block_header(
+    payload_len: u32,
+    raw_words: u32,
+    payload_crc: u32,
+) -> [u8; BLOCK_HEADER_BYTES] {
+    let mut h = [0u8; BLOCK_HEADER_BYTES];
+    h[0..4].copy_from_slice(&payload_len.to_le_bytes());
+    h[4..8].copy_from_slice(&raw_words.to_le_bytes());
+    h[8..12].copy_from_slice(&payload_crc.to_le_bytes());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layouts_are_stable() {
+        let h = container_header(0x0102_0304, 7);
+        assert_eq!(&h[0..4], b"PDRC");
+        assert_eq!(h[4], 1);
+        assert_eq!(&h[5..8], &[0, 0, 0]);
+        assert_eq!(&h[8..12], &0x0102_0304u32.to_le_bytes());
+        assert_eq!(&h[12..16], &7u32.to_le_bytes());
+
+        let b = block_header(100, 4096, 0xDEAD_BEEF);
+        assert_eq!(&b[0..4], &100u32.to_le_bytes());
+        assert_eq!(&b[4..8], &4096u32.to_le_bytes());
+        assert_eq!(&b[8..12], &0xDEAD_BEEFu32.to_le_bytes());
+    }
+
+    #[test]
+    fn window_distances_fit_in_u16() {
+        assert!(WINDOW_WORDS <= u16::MAX as usize);
+        assert!(BLOCK_WORDS <= u32::MAX as usize);
+        const { assert!(MIN_MATCH >= 2 && MIN_RUN >= 1) };
+    }
+}

@@ -1,0 +1,341 @@
+//! The frame-aware compressor.
+//!
+//! A greedy, word-oriented matcher shaped around what partial bitstreams
+//! actually contain (UG470 structure, see `crates/bitstream`):
+//!
+//! * the preamble up to and including the sync word is passed through as
+//!   literals — the ICAP needs it verbatim and it never repeats anyway;
+//! * runs of `NOP_WORD` (inter-packet padding) and zero words (unrouted
+//!   frame payload) become 3-byte RLE ops;
+//! * repeated configuration frames become `COPY` back-references: the
+//!   matcher always probes distance [`FRAME_WORDS`] (101 — the
+//!   frame-to-frame stride), distance 1 (arbitrary repeated words), and a
+//!   position hashed on the next four words, within a
+//!   [`WINDOW_WORDS`]-word window.
+//!
+//! The op stream is then packed into [`BLOCK_WORDS`]-word blocks, each
+//! closed with a CRC-32 over its payload, so the streaming decoder can
+//! verify integrity incrementally. Ops never straddle a block boundary —
+//! the packer splits runs, copies and literal batches as needed (a `COPY`
+//! split is safe because the decoder's history covers both halves).
+
+use pdr_bitstream::packet::NOP_WORD;
+use pdr_bitstream::{Crc32, FRAME_WORDS, SYNC_WORD};
+
+use crate::container::{
+    block_header, container_header, BLOCK_WORDS, MAX_RUN, MIN_MATCH, MIN_RUN, OP_COPY, OP_LIT,
+    OP_NOP, OP_ZERO, WINDOW_WORDS,
+};
+use crate::report::CodecReport;
+
+/// A compressed bitstream: the container bytes plus what the compressor
+/// did to produce them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compressed {
+    /// The serialised `PDRC` container.
+    pub bytes: Vec<u8>,
+    /// Telemetry (sizes, op mix, ratio).
+    pub report: CodecReport,
+}
+
+/// How deep into the stream the sync word is searched for. Real builder
+/// output syncs within ~13 words; anything beyond this is not a header.
+const SYNC_SEARCH_WORDS: usize = 64;
+
+/// Hash-chain table size (power of two).
+const HASH_BITS: u32 = 13;
+
+fn hash4(words: &[u32], i: usize) -> usize {
+    let key = (words[i] as u64)
+        .wrapping_mul(31)
+        .wrapping_add(words[i + 1] as u64)
+        .wrapping_mul(31)
+        .wrapping_add(words[i + 2] as u64)
+        .wrapping_mul(31)
+        .wrapping_add(words[i + 3] as u64);
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - HASH_BITS)) as usize
+}
+
+/// The intermediate op stream, lengths not yet clamped to u16 or block
+/// boundaries.
+#[derive(Debug)]
+enum Op {
+    Lit { start: usize, len: usize },
+    Nop(usize),
+    Zero(usize),
+    Copy { len: usize, dist: usize },
+}
+
+/// Compresses `words` into a `PDRC` container.
+pub fn compress(words: &[u32]) -> Compressed {
+    let ops = build_ops(words);
+    pack(words, &ops)
+}
+
+fn run_len(words: &[u32], i: usize, value: u32) -> usize {
+    words[i..].iter().take_while(|&&w| w == value).count()
+}
+
+/// Longest match of `words[i..]` against `words[i - dist..]` (overlap OK).
+fn match_len(words: &[u32], i: usize, dist: usize) -> usize {
+    let n = words.len() - i;
+    (0..n)
+        .take_while(|&k| words[i + k] == words[i - dist + k])
+        .count()
+}
+
+fn build_ops(words: &[u32]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+
+    // Sync/header passthrough: everything up to and including the sync
+    // word is forced literal.
+    let header_end = words
+        .iter()
+        .take(SYNC_SEARCH_WORDS)
+        .position(|&w| w == SYNC_WORD)
+        .map_or(0, |i| i + 1);
+
+    let mut lit_start = 0usize;
+    let mut i = header_end;
+    // Seed the hash table with the header positions so frame data can
+    // still reference preamble words if it happens to repeat them.
+    let mut hashed = 0usize;
+    let flush_lit = |ops: &mut Vec<Op>, lit_start: usize, i: usize| {
+        if i > lit_start {
+            ops.push(Op::Lit {
+                start: lit_start,
+                len: i - lit_start,
+            });
+        }
+    };
+
+    while i < words.len() {
+        // Keep the hash table current up to (excluding) position i.
+        while hashed < i && hashed + 4 <= words.len() {
+            table[hash4(words, hashed)] = hashed;
+            hashed += 1;
+        }
+
+        let zeros = run_len(words, i, 0);
+        if zeros >= MIN_RUN {
+            flush_lit(&mut ops, lit_start, i);
+            ops.push(Op::Zero(zeros));
+            i += zeros;
+            lit_start = i;
+            continue;
+        }
+        let nops = run_len(words, i, NOP_WORD);
+        if nops >= MIN_RUN {
+            flush_lit(&mut ops, lit_start, i);
+            ops.push(Op::Nop(nops));
+            i += nops;
+            lit_start = i;
+            continue;
+        }
+
+        // Back-reference candidates: frame stride, repeated word, hashed.
+        let mut best: Option<(usize, usize)> = None; // (len, dist)
+        let consider = |dist: usize, best: &mut Option<(usize, usize)>| {
+            if dist == 0 || dist > i || dist > WINDOW_WORDS {
+                return;
+            }
+            let len = match_len(words, i, dist);
+            if len >= MIN_MATCH && best.is_none_or(|(bl, _)| len > bl) {
+                *best = Some((len, dist));
+            }
+        };
+        consider(FRAME_WORDS, &mut best);
+        consider(1, &mut best);
+        if i + 4 <= words.len() {
+            let cand = table[hash4(words, i)];
+            if cand != usize::MAX && cand < i {
+                consider(i - cand, &mut best);
+            }
+        }
+
+        if let Some((len, dist)) = best {
+            flush_lit(&mut ops, lit_start, i);
+            ops.push(Op::Copy { len, dist });
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1; // extends the pending literal run
+        }
+    }
+    flush_lit(&mut ops, lit_start, words.len());
+    ops
+}
+
+/// Packs ops into CRC-protected blocks and serialises the container,
+/// splitting any op at the u16 run limit and at block boundaries.
+fn pack(words: &[u32], ops: &[Op]) -> Compressed {
+    let mut report = CodecReport::empty();
+    report.raw_words = words.len() as u64;
+    report.raw_bytes = 4 * words.len() as u64;
+    report.header_words = words
+        .iter()
+        .take(SYNC_SEARCH_WORDS)
+        .position(|&w| w == SYNC_WORD)
+        .map_or(0, |i| i as u64 + 1);
+
+    let mut blocks: Vec<(Vec<u8>, u32)> = Vec::new(); // (payload, raw words)
+    let mut payload = Vec::new();
+    let mut block_words = 0usize;
+
+    for op in ops {
+        let (code, total) = match *op {
+            Op::Lit { len, .. } => (OP_LIT, len),
+            Op::Nop(n) => (OP_NOP, n),
+            Op::Zero(n) => (OP_ZERO, n),
+            Op::Copy { len, .. } => (OP_COPY, len),
+        };
+        // Split at the u16 run limit and at block boundaries. A split COPY
+        // stays valid: the decoder's history already covers the first half
+        // when the second half runs.
+        let mut done = 0usize;
+        while done < total {
+            let space = BLOCK_WORDS - block_words;
+            let take = (total - done).min(MAX_RUN).min(space);
+            payload.push(code);
+            payload.extend_from_slice(&(take as u16).to_le_bytes());
+            match *op {
+                Op::Lit { start, .. } => {
+                    for w in &words[start + done..start + done + take] {
+                        payload.extend_from_slice(&w.to_le_bytes());
+                    }
+                    report.literal_ops += 1;
+                    report.literal_words += take as u64;
+                }
+                Op::Nop(_) => {
+                    report.nop_ops += 1;
+                    report.nop_words += take as u64;
+                }
+                Op::Zero(_) => {
+                    report.zero_ops += 1;
+                    report.zero_words += take as u64;
+                }
+                Op::Copy { dist, .. } => {
+                    payload.extend_from_slice(&(dist as u16).to_le_bytes());
+                    report.backref_ops += 1;
+                    report.backref_words += take as u64;
+                }
+            }
+            block_words += take;
+            done += take;
+            if block_words == BLOCK_WORDS {
+                blocks.push((std::mem::take(&mut payload), block_words as u32));
+                block_words = 0;
+            }
+        }
+    }
+    if block_words > 0 {
+        blocks.push((payload, block_words as u32));
+    }
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&container_header(words.len() as u32, blocks.len() as u32));
+    for (payload, raw) in &blocks {
+        let mut crc = Crc32::ieee();
+        crc.update(payload);
+        bytes.extend_from_slice(&block_header(payload.len() as u32, *raw, crc.value()));
+        bytes.extend_from_slice(payload);
+    }
+
+    report.blocks = blocks.len() as u64;
+    report.compressed_bytes = bytes.len() as u64;
+    report.finalise_ratios();
+    Compressed { bytes, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decompress;
+
+    #[test]
+    fn empty_input_is_a_bare_header() {
+        let c = compress(&[]);
+        assert_eq!(c.bytes.len(), 16);
+        assert_eq!(c.report.blocks, 0);
+        assert_eq!(c.report.ratio, None);
+        assert_eq!(decompress(&c.bytes).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn zero_padding_collapses() {
+        let mut words = vec![SYNC_WORD];
+        words.extend(std::iter::repeat_n(0u32, 10_000));
+        let c = compress(&words);
+        assert!(c.report.zero_words == 10_000);
+        assert!((c.bytes.len() as f64) < 0.05 * (4.0 * words.len() as f64));
+        assert_eq!(decompress(&c.bytes).unwrap(), words);
+    }
+
+    #[test]
+    fn nop_padding_collapses() {
+        let words = vec![NOP_WORD; 5000];
+        let c = compress(&words);
+        assert_eq!(c.report.nop_words, 5000);
+        assert_eq!(decompress(&c.bytes).unwrap(), words);
+    }
+
+    #[test]
+    fn repeated_frames_become_backrefs() {
+        // A pseudo-frame repeated 8 times at the frame stride.
+        let frame: Vec<u32> = (0..FRAME_WORDS as u32)
+            .map(|i| i.wrapping_mul(2654435761) % 97 + 1)
+            .collect();
+        let mut words = vec![SYNC_WORD];
+        for _ in 0..8 {
+            words.extend_from_slice(&frame);
+        }
+        let c = compress(&words);
+        assert!(
+            c.report.backref_words >= 7 * FRAME_WORDS as u64,
+            "{:?}",
+            c.report
+        );
+        assert_eq!(decompress(&c.bytes).unwrap(), words);
+        assert!(c.report.ratio.unwrap() < 0.25, "{:?}", c.report.ratio);
+    }
+
+    #[test]
+    fn incompressible_overhead_is_bounded() {
+        // Pseudo-random words: no runs, no matches. Overhead is op framing
+        // (3 bytes per ≤65535-word literal) + block/container headers.
+        let mut x = 0x1234_5678u32;
+        let words: Vec<u32> = (0..9000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x
+            })
+            .collect();
+        let c = compress(&words);
+        let raw = 4 * words.len();
+        assert!(c.bytes.len() < raw + 16 + 3 * (raw / (4 * BLOCK_WORDS) + 2) + 12 * 4);
+        assert_eq!(decompress(&c.bytes).unwrap(), words);
+    }
+
+    #[test]
+    fn header_is_passed_through_as_literals() {
+        let mut words = vec![0xFFFF_FFFFu32; 8];
+        words.push(SYNC_WORD);
+        words.extend(std::iter::repeat_n(0u32, 500));
+        let c = compress(&words);
+        assert_eq!(c.report.header_words, 9);
+        assert!(c.report.literal_words >= 9);
+        assert_eq!(decompress(&c.bytes).unwrap(), words);
+    }
+
+    #[test]
+    fn block_boundaries_split_ops_correctly() {
+        // A zero run far longer than one block.
+        let words = vec![0u32; 3 * BLOCK_WORDS + 17];
+        let c = compress(&words);
+        assert_eq!(c.report.blocks, 4);
+        assert_eq!(decompress(&c.bytes).unwrap(), words);
+    }
+}

@@ -1,0 +1,155 @@
+//! Codec telemetry.
+
+use pdr_sim_core::impl_json_struct;
+
+/// What the compressor did to one bitstream: sizes, op mix, and derived
+/// ratios. Serialisable like every other report in the workspace, with the
+/// PR 3 non-finite-float contract: ratio fields are `None` on zero-byte
+/// inputs and never reach JSON as `inf`/`NaN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecReport {
+    /// Uncompressed size in bytes (4 × `raw_words`).
+    pub raw_bytes: u64,
+    /// Container size in bytes (headers included).
+    pub compressed_bytes: u64,
+    /// Uncompressed size in 32-bit words.
+    pub raw_words: u64,
+    /// CRC-protected blocks in the container.
+    pub blocks: u64,
+    /// Words passed through verbatim as the sync/header preamble.
+    pub header_words: u64,
+    /// `LIT` ops emitted.
+    pub literal_ops: u64,
+    /// Words carried by `LIT` ops.
+    pub literal_words: u64,
+    /// `NOP` run ops emitted.
+    pub nop_ops: u64,
+    /// Words carried by `NOP` runs.
+    pub nop_words: u64,
+    /// `ZERO` run ops emitted.
+    pub zero_ops: u64,
+    /// Words carried by `ZERO` runs.
+    pub zero_words: u64,
+    /// `COPY` back-reference ops emitted.
+    pub backref_ops: u64,
+    /// Words carried by back-references.
+    pub backref_words: u64,
+    /// `compressed_bytes / raw_bytes`; `None` for a zero-byte input.
+    pub ratio: Option<f64>,
+    /// `100 · (1 − ratio)`; `None` for a zero-byte input.
+    pub savings_pct: Option<f64>,
+}
+
+impl_json_struct!(CodecReport {
+    raw_bytes,
+    compressed_bytes,
+    raw_words,
+    blocks,
+    header_words,
+    literal_ops,
+    literal_words,
+    nop_ops,
+    nop_words,
+    zero_ops,
+    zero_words,
+    backref_ops,
+    backref_words,
+    ratio,
+    savings_pct,
+});
+
+impl CodecReport {
+    /// A report with every counter zeroed and the ratio fields `None`.
+    pub fn empty() -> Self {
+        CodecReport {
+            raw_bytes: 0,
+            compressed_bytes: 0,
+            raw_words: 0,
+            blocks: 0,
+            header_words: 0,
+            literal_ops: 0,
+            literal_words: 0,
+            nop_ops: 0,
+            nop_words: 0,
+            zero_ops: 0,
+            zero_words: 0,
+            backref_ops: 0,
+            backref_words: 0,
+            ratio: None,
+            savings_pct: None,
+        }
+    }
+
+    /// Fills `ratio`/`savings_pct` from `raw_bytes`/`compressed_bytes`,
+    /// honouring the non-finite contract: a zero-byte input yields `None`
+    /// rather than `NaN`/`inf`.
+    pub fn finalise_ratios(&mut self) {
+        self.ratio = if self.raw_bytes == 0 {
+            None
+        } else {
+            Some(self.compressed_bytes as f64 / self.raw_bytes as f64).filter(|r| r.is_finite())
+        };
+        self.savings_pct = self.ratio.map(|r| 100.0 * (1.0 - r));
+    }
+
+    /// Effective delivery throughput when the *compressed* image moves over
+    /// a link sustaining `link_mb_s`: the consumer sees raw words appear at
+    /// `link / ratio`. `None` when the ratio or the link is degenerate (a
+    /// link moving no bytes delivers no throughput).
+    pub fn effective_throughput_mb_s(&self, link_mb_s: f64) -> Option<f64> {
+        self.ratio
+            .filter(|r| *r > 0.0)
+            .map(|r| link_mb_s / r)
+            .filter(|t| t.is_finite() && *t > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_sim_core::json::{FromJson, ToJson};
+
+    #[test]
+    fn zero_byte_input_has_no_ratio() {
+        let mut r = CodecReport::empty();
+        r.finalise_ratios();
+        assert_eq!(r.ratio, None);
+        assert_eq!(r.savings_pct, None);
+        assert_eq!(r.effective_throughput_mb_s(1237.5), None);
+        let text = r.to_json_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn ratios_are_finite_and_consistent() {
+        let mut r = CodecReport::empty();
+        r.raw_bytes = 1000;
+        r.compressed_bytes = 250;
+        r.finalise_ratios();
+        assert_eq!(r.ratio, Some(0.25));
+        assert_eq!(r.savings_pct, Some(75.0));
+        let eff = r.effective_throughput_mb_s(1237.5).unwrap();
+        assert!((eff - 4950.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut r = CodecReport::empty();
+        r.raw_bytes = 4040;
+        r.raw_words = 1010;
+        r.compressed_bytes = 356;
+        r.blocks = 1;
+        r.header_words = 34;
+        r.literal_ops = 2;
+        r.literal_words = 40;
+        r.zero_ops = 3;
+        r.zero_words = 800;
+        r.backref_ops = 1;
+        r.backref_words = 170;
+        r.finalise_ratios();
+        let text = r.to_json_string();
+        let back = CodecReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, r);
+        assert_eq!(back.to_json_string(), text);
+    }
+}

@@ -466,7 +466,7 @@ pub fn run_fault_campaign(
                     skipped += 1;
                     continue;
                 };
-                let bs = mgr.golden(rp).expect("configured at start").clone();
+                let bs = mgr.golden(rp).expect("configured at start");
                 let out = mgr.reconfigure(sys, None, rp, &bs, operating);
                 if out.recovered_after_failure || !out.succeeded() {
                     detected += 1;
@@ -495,7 +495,7 @@ pub fn run_fault_campaign(
             continue;
         }
         let golden = mgr.golden(rp).expect("configured at start");
-        if !sys.fabric_matches(golden) {
+        if !sys.fabric_matches(&golden) {
             silent_corruptions += 1;
         }
     }

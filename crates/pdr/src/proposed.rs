@@ -19,7 +19,8 @@
 //! that, because template frames (zero/repeat) cost no SRAM bandwidth.
 
 use pdr_axi::width::Word32;
-use pdr_bitstream::{compress_frames, Bitstream, StreamingDecompressor};
+use pdr_bitstream::Bitstream;
+use pdr_bitstream_codec::{compress_bitstream, CodecReport, StreamDecoder};
 use pdr_fabric::{AspImage, AspKind, ConfigMemory, Floorplan};
 use pdr_icap::{shared_config_memory, IcapController, SharedConfigMemory};
 use pdr_mem::{QdrSram, SramConfig, SramReadCmd};
@@ -63,15 +64,12 @@ impl Default for ProposedConfig {
 struct StagedJob {
     /// Raw (uncompressed) bitstream size in bytes.
     raw_bytes: u64,
-    /// Total SRAM words to stream.
+    /// Total SRAM words to stream (the `PDRC` container, word-padded,
+    /// when compression is on; the raw image otherwise).
     total_words: u32,
-    /// Leading packet words passed through unmodified.
-    header_words: u32,
-    /// SRAM words carrying the (possibly compressed) frame payload.
-    payload_words: u32,
-    /// Frame words the decompressor must emit.
-    frame_words_out: u64,
-    /// Whether the payload is compressed.
+    /// Words the decompressor must hand the ICAP (the full packet stream).
+    words_out: u64,
+    /// Whether the staged image is a `PDRC` container.
     compressed: bool,
     /// Verification region.
     start_idx: u32,
@@ -97,6 +95,8 @@ pub struct ProposedReport {
     pub preload_time: SimDuration,
     /// Compression ratio (sram/raw payload), 1.0 when disabled.
     pub compression_ratio: f64,
+    /// Codec telemetry for the staged image (`None` when uncompressed).
+    pub codec: Option<CodecReport>,
 }
 
 pdr_sim_core::impl_json_struct!(ProposedReport {
@@ -107,22 +107,28 @@ pdr_sim_core::impl_json_struct!(ProposedReport {
     crc_ok,
     preload_time,
     compression_ratio,
+    codec,
 });
 
-/// Feeds the ICAP from the SRAM stream, decompressing the frame payload —
-/// the PR Controller's datapath half plus the Bitstream Decompressor of
-/// Fig. 7.
+/// Feeds the ICAP from the SRAM stream, expanding `PDRC` containers on
+/// the fly — the PR Controller's datapath half plus the Bitstream
+/// Decompressor of Fig. 7.
+///
+/// Cycle model: per ICAP clock edge the block pulls at most one SRAM word
+/// into the codec's bounded input FIFO (backpressure: it only pulls when
+/// the FIFO has a word of space) and hands at most one decoded word to the
+/// ICAP. RLE/back-reference spans therefore stream at the full 550 MHz
+/// ICAP rate while costing no SRAM read bandwidth — that is the whole
+/// throughput win.
 #[derive(Debug)]
 struct Decompressor {
     input: Consumer<Word32>,
     output: Producer<Word32>,
-    /// Remaining input words per phase: (header, payload, trailer).
-    header_in: u32,
-    payload_in: u32,
-    trailer_in: u32,
-    /// Remaining frame words to emit.
-    frame_out: u64,
-    decoder: StreamingDecompressor,
+    /// SRAM words left to pull.
+    words_in: u32,
+    /// Words left to hand the ICAP.
+    words_out: u64,
+    decoder: StreamDecoder,
     compressed: bool,
     idle: bool,
 }
@@ -132,24 +138,18 @@ impl Decompressor {
         Decompressor {
             input,
             output,
-            header_in: 0,
-            payload_in: 0,
-            trailer_in: 0,
-            frame_out: 0,
-            decoder: StreamingDecompressor::new(),
+            words_in: 0,
+            words_out: 0,
+            decoder: StreamDecoder::new(),
             compressed: false,
             idle: true,
         }
     }
 
     fn load(&mut self, job: &StagedJob) {
-        self.header_in = job.header_words;
-        self.payload_in = job.payload_words;
-        self.trailer_in = job
-            .total_words
-            .saturating_sub(job.header_words + job.payload_words);
-        self.frame_out = job.frame_words_out;
-        self.decoder = StreamingDecompressor::new();
+        self.words_in = job.total_words;
+        self.words_out = job.words_out;
+        self.decoder = StreamDecoder::new();
         self.compressed = job.compressed;
         self.idle = false;
     }
@@ -164,79 +164,47 @@ impl Component for Decompressor {
         if self.idle || !self.output.can_push() {
             return;
         }
-        // Phase 1: pass the packet header through unmodified.
-        if self.header_in > 0 {
-            if let Some(w) = self.input.pop() {
-                self.output
-                    .try_push(Word32 {
-                        data: w.data,
-                        last: false,
-                    })
-                    .expect("checked can_push");
-                self.header_in -= 1;
-            }
-            return;
-        }
-        // Phase 2: frame payload.
-        if self.frame_out > 0 {
-            if !self.compressed {
-                if self.payload_in > 0 {
-                    if let Some(w) = self.input.pop() {
-                        self.payload_in -= 1;
-                        self.frame_out -= 1;
-                        self.output
-                            .try_push(Word32 {
-                                data: w.data,
-                                last: false,
-                            })
-                            .expect("checked can_push");
-                    }
-                }
-                return;
-            }
-            // Feed the decoder (one SRAM word per cycle of input budget).
-            if self.payload_in > 0 && self.decoder.buffered_input() < 64 {
+        if !self.compressed {
+            // Bypass: one word in, one word out.
+            if self.words_out > 0 && self.words_in > 0 {
                 if let Some(w) = self.input.pop() {
-                    self.payload_in -= 1;
-                    self.decoder.push_bytes(&w.data.to_le_bytes());
-                }
-            }
-            match self.decoder.pop_word() {
-                Ok(Some(word)) => {
-                    self.frame_out -= 1;
+                    self.words_in -= 1;
+                    self.words_out -= 1;
                     self.output
                         .try_push(Word32 {
-                            data: word,
-                            last: false,
+                            data: w.data,
+                            last: self.words_out == 0,
                         })
                         .expect("checked can_push");
+                    if self.words_out == 0 {
+                        self.idle = true;
+                    }
                 }
-                Ok(None) => {}
-                Err(_) => self.idle = true, // malformed staging: wedge
             }
             return;
         }
-        // Drain any compressed padding the decoder never needed.
-        if self.payload_in > 0 {
-            if self.input.pop().is_some() {
-                self.payload_in -= 1;
-            }
-            return;
-        }
-        // Phase 3: trailer (CRC check word, DESYNC).
-        if self.trailer_in > 0 {
+        // Pull one container word into the bounded FIFO when it fits.
+        if self.words_in > 0 && self.decoder.free_capacity() >= 4 {
             if let Some(w) = self.input.pop() {
-                self.trailer_in -= 1;
+                self.words_in -= 1;
+                self.decoder.push(&w.data.to_le_bytes());
+            }
+        }
+        match self.decoder.pop_word() {
+            Ok(Some(word)) => {
+                self.words_out -= 1;
                 self.output
                     .try_push(Word32 {
-                        data: w.data,
-                        last: self.trailer_in == 0,
+                        data: word,
+                        last: self.words_out == 0,
                     })
                     .expect("checked can_push");
-                if self.trailer_in == 0 {
+                if self.words_out == 0 {
                     self.idle = true;
                 }
             }
+            Ok(None) => {}
+            Err(_) => self.idle = true, // malformed staging: wedge until reset
         }
     }
 }
@@ -258,6 +226,7 @@ pub struct ProposedSystem {
     stage_cursor: u64,
     staged: Option<StagedJob>,
     last_preload: SimDuration,
+    last_codec: Option<CodecReport>,
 }
 
 impl ProposedSystem {
@@ -298,6 +267,7 @@ impl ProposedSystem {
             stage_cursor: 0,
             staged: None,
             last_preload: SimDuration::ZERO,
+            last_codec: None,
         }
     }
 
@@ -328,37 +298,19 @@ impl ProposedSystem {
             .expect("bitstream targets an address outside the device");
         let golden = frames_crc(&frames);
 
-        // Split the packet stream into header / frame payload / trailer.
-        let words: Vec<u32> = bitstream.words().collect();
-        let frame_words_total = frames.len() * pdr_bitstream::FRAME_WORDS;
-        // The frame payload is the contiguous run before the trailer; the
-        // builder emits exactly 6 trailer words (CRC hdr+val, CMD hdr+val,
-        // 2 NOPs).
-        let trailer_words = 6usize;
-        let header_words = words.len() - frame_words_total - trailer_words;
-
-        let mut staged_bytes: Vec<u8> = Vec::new();
-        let push_words = |buf: &mut Vec<u8>, ws: &[u32]| {
-            for w in ws {
-                buf.extend_from_slice(&w.to_le_bytes());
-            }
-        };
-        push_words(&mut staged_bytes, &words[..header_words]);
-        let payload_words;
+        // Stage either the raw packet stream or the whole image as a
+        // `PDRC` container (the codec passes the sync/header preamble
+        // through internally, so the ICAP sees an identical word stream).
         let compressed = self.config.compress;
-        if compressed {
-            let packed = compress_frames(&frames);
-            payload_words = packed.len().div_ceil(4) as u32;
-            staged_bytes.extend_from_slice(&packed);
-            staged_bytes.resize(staged_bytes.len().next_multiple_of(4), 0);
+        let (staged_bytes, codec) = if compressed {
+            let c = compress_bitstream(bitstream);
+            let mut bytes = c.bytes;
+            // The SRAM stores whole 32-bit words.
+            bytes.resize(bytes.len().next_multiple_of(4), 0);
+            (bytes, Some(c.report))
         } else {
-            payload_words = frame_words_total as u32;
-            push_words(
-                &mut staged_bytes,
-                &words[header_words..header_words + frame_words_total],
-            );
-        }
-        push_words(&mut staged_bytes, &words[words.len() - trailer_words..]);
+            (bitstream.to_le_bytes(), None)
+        };
 
         let addr = self.stage_cursor;
         assert!(
@@ -370,12 +322,11 @@ impl ProposedSystem {
             .component_mut::<QdrSram>(self.sram_id)
             .preload(addr, &staged_bytes);
         self.last_preload = dur;
+        self.last_codec = codec;
         self.staged = Some(StagedJob {
             raw_bytes: bitstream.len() as u64,
             total_words: (staged_bytes.len() / 4) as u32,
-            header_words: header_words as u32,
-            payload_words,
-            frame_words_out: frame_words_total as u64,
+            words_out: bitstream.word_count() as u64,
             compressed,
             start_idx,
             frame_count: frames.len() as u32,
@@ -441,6 +392,7 @@ impl ProposedSystem {
             crc_ok,
             preload_time: self.last_preload,
             compression_ratio: sram_bytes as f64 / job.raw_bytes as f64,
+            codec: self.last_codec.clone(),
         }
     }
 

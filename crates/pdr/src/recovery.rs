@@ -23,6 +23,7 @@
 //! retries per success, scrub and quarantine counts.
 
 use pdr_bitstream::Bitstream;
+use pdr_bitstream_codec::{compress_bitstream, decompress_to_bitstream};
 use pdr_sim_core::stats::OnlineStats;
 use pdr_sim_core::{impl_json_enum, impl_json_struct, Frequency, SimDuration};
 
@@ -44,6 +45,10 @@ pub struct RecoveryConfig {
     pub scrub_mhz: u64,
     /// Consecutive scrub failures on one partition before quarantine.
     pub quarantine_after: u32,
+    /// Hold golden images as `PDRC` containers (see `pdr-bitstream-codec`)
+    /// instead of raw bitstreams. Scrubbing expands the container before
+    /// re-applying it, and read-back still verifies the expanded image.
+    pub compress_golden: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -54,6 +59,41 @@ impl Default for RecoveryConfig {
             floor_mhz: 100,
             scrub_mhz: 100,
             quarantine_after: 1,
+            compress_golden: false,
+        }
+    }
+}
+
+/// How a partition's golden image is held in the manager's store.
+#[derive(Debug, Clone)]
+enum GoldenImage {
+    /// The raw image, as registered.
+    Raw(Bitstream),
+    /// A `PDRC` container; expanded when scrubbing needs it.
+    Compressed(Vec<u8>),
+}
+
+impl GoldenImage {
+    fn encode(bitstream: Bitstream, compress: bool) -> Self {
+        if compress {
+            GoldenImage::Compressed(compress_bitstream(&bitstream).bytes)
+        } else {
+            GoldenImage::Raw(bitstream)
+        }
+    }
+
+    fn materialise(&self) -> Bitstream {
+        match self {
+            GoldenImage::Raw(bs) => bs.clone(),
+            GoldenImage::Compressed(bytes) => decompress_to_bitstream(bytes)
+                .expect("manager-encoded golden container round-trips bit-exactly"),
+        }
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        match self {
+            GoldenImage::Raw(bs) => bs.len() as u64,
+            GoldenImage::Compressed(bytes) => bytes.len() as u64,
         }
     }
 }
@@ -138,7 +178,7 @@ impl_json_struct!(RecoveryStats {
 #[derive(Debug, Clone)]
 pub struct RecoveryManager {
     config: RecoveryConfig,
-    golden: Vec<Option<Bitstream>>,
+    golden: Vec<Option<GoldenImage>>,
     health: Vec<PartitionHealth>,
     /// Consecutive scrub failures per partition (quarantine trigger).
     scrub_strikes: Vec<u32>,
@@ -188,12 +228,19 @@ impl RecoveryManager {
     ///
     /// Panics if `rp` is out of range.
     pub fn register_golden(&mut self, rp: usize, bitstream: Bitstream) {
-        self.golden[rp] = Some(bitstream);
+        self.golden[rp] = Some(GoldenImage::encode(bitstream, self.config.compress_golden));
     }
 
-    /// The registered golden image for `rp`, if any.
-    pub fn golden(&self, rp: usize) -> Option<&Bitstream> {
-        self.golden[rp].as_ref()
+    /// The registered golden image for `rp`, if any — always the raw
+    /// bitstream, expanded on demand when the store is compressed.
+    pub fn golden(&self, rp: usize) -> Option<Bitstream> {
+        self.golden[rp].as_ref().map(GoldenImage::materialise)
+    }
+
+    /// Bytes the golden store holds for `rp` (container size under
+    /// [`RecoveryConfig::compress_golden`], raw size otherwise).
+    pub fn golden_stored_bytes(&self, rp: usize) -> Option<u64> {
+        self.golden[rp].as_ref().map(GoldenImage::stored_bytes)
     }
 
     /// Health of partition `rp`.
@@ -313,7 +360,8 @@ impl RecoveryManager {
     /// Panics if `rp` is out of range or has no registered golden image.
     pub fn on_crc_alarm(&mut self, sys: &mut ZynqPdrSystem, rp: usize) -> RecoveryOutcome {
         let golden = self.golden[rp]
-            .clone()
+            .as_ref()
+            .map(GoldenImage::materialise)
             .expect("scrubbing needs a registered golden bitstream");
         if self.health[rp] == PartitionHealth::Quarantined {
             return RecoveryOutcome {
@@ -394,7 +442,10 @@ impl RecoveryManager {
         if self.health[rp] == PartitionHealth::Degraded {
             self.health[rp] = PartitionHealth::Healthy;
         }
-        self.golden[rp] = Some(bitstream.clone());
+        self.golden[rp] = Some(GoldenImage::encode(
+            bitstream.clone(),
+            self.config.compress_golden,
+        ));
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -409,7 +460,10 @@ impl RecoveryManager {
         t_detect: pdr_sim_core::SimTime,
     ) -> RecoveryOutcome {
         self.health[rp] = PartitionHealth::Degraded;
-        self.golden[rp] = Some(bitstream.clone());
+        self.golden[rp] = Some(GoldenImage::encode(
+            bitstream.clone(),
+            self.config.compress_golden,
+        ));
         let mttr = sys.now().duration_since(t_detect);
         self.mttr_us.push(mttr.as_micros_f64());
         self.faults_recovered += 1;
@@ -458,8 +512,36 @@ mod tests {
         assert_eq!(out.attempts, 1);
         assert!(!out.recovered_after_failure);
         assert_eq!(mgr.health(0), PartitionHealth::Healthy);
-        assert_eq!(mgr.golden(0), Some(&bs));
+        assert_eq!(mgr.golden(0), Some(bs));
         assert_eq!(mgr.stats().faults_detected, 0);
+    }
+
+    #[test]
+    fn compressed_golden_store_shrinks_and_scrub_still_restores() {
+        let mut sys = system();
+        let config = RecoveryConfig {
+            compress_golden: true,
+            ..RecoveryConfig::default()
+        };
+        let mut mgr = RecoveryManager::for_system(&sys, config);
+        let bs = sys.make_asp_bitstream(0, AspKind::AesMix, 9);
+        assert!(mgr
+            .reconfigure(&mut sys, None, 0, &bs, mhz(200))
+            .succeeded());
+        // The store holds a container smaller than the raw image, yet
+        // hands back the bit-exact original.
+        let stored = mgr.golden_stored_bytes(0).expect("registered");
+        assert!(stored < bs.len() as u64, "{stored} vs {}", bs.len());
+        assert_eq!(mgr.golden(0), Some(bs));
+        // A CRC alarm scrubs from the compressed golden and re-verifies.
+        sys.start_background_monitor(&[0]);
+        let scan = sys.monitor_scan_period();
+        sys.inject_seu(0, 11, 13, 3);
+        sys.run_monitor_until_alarm(scan * 3)
+            .expect("monitor must catch the upset");
+        let out = mgr.on_crc_alarm(&mut sys, 0);
+        assert!(out.succeeded(), "{out:?}");
+        assert!(out.report.as_ref().unwrap().crc_ok());
     }
 
     #[test]

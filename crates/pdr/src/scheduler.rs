@@ -22,6 +22,13 @@
 //!   the *next* queued request's image on the independent write port as
 //!   soon as the current transfer begins, so back-to-back transfers on
 //!   different partitions pipeline instead of serialising behind fetches.
+//! * **Compressed catalog** — with
+//!   [`compress_catalog`](SchedulerConfig::compress_catalog) the catalog
+//!   holds `PDRC` containers (see `pdr-bitstream-codec`): fetches move the
+//!   *compressed* bytes and the LRU budget is charged by *stored* size, so
+//!   the same staging SRAM holds more images and cold misses stall for
+//!   `fetch_time(stored_bytes)` instead of the raw size. Dispatch expands
+//!   the container and the transfer still verifies by CRC read-back.
 //! * **Telemetry** — per-request queueing and service latency (exact
 //!   p50/p99 via [`SampleSeries`]), aggregate throughput, cache and
 //!   deadline counters, all serialisable as [`SchedulerReport`] with the
@@ -35,6 +42,7 @@
 use std::collections::BTreeMap;
 
 use pdr_bitstream::Bitstream;
+use pdr_bitstream_codec::{compress_bitstream, decompress_to_bitstream, CodecReport};
 use pdr_mem::SramConfig;
 use pdr_sim_core::stats::SampleSeries;
 use pdr_sim_core::{impl_json_enum, impl_json_struct, Frequency, SimDuration, SimTime};
@@ -138,6 +146,9 @@ pub struct SchedulerConfig {
     pub fetch: FetchModel,
     /// Overlap the next request's fetch with the running transfer.
     pub prefetch: bool,
+    /// Store the catalog as `PDRC` containers: fetches move compressed
+    /// bytes and the cache budget is charged by stored size.
+    pub compress_catalog: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -148,6 +159,7 @@ impl Default for SchedulerConfig {
             queue_capacity: 64,
             fetch: FetchModel::from_sd_card(&SdCard::class10()),
             prefetch: true,
+            compress_catalog: false,
         }
     }
 }
@@ -162,6 +174,46 @@ impl SchedulerConfig {
             cache_capacity_bytes: 0,
             prefetch: false,
             ..self
+        }
+    }
+
+    /// Enables the compressed catalog (Sec. VI decompressor in front of
+    /// the ICAP): fetch stalls and cache residency are charged on stored
+    /// container bytes instead of raw image bytes.
+    pub fn compressed(self) -> Self {
+        SchedulerConfig {
+            compress_catalog: true,
+            ..self
+        }
+    }
+}
+
+/// How a registered image is held in the catalog.
+#[derive(Debug, Clone)]
+enum CatalogImage {
+    /// The raw image, as registered.
+    Raw(Bitstream),
+    /// A `PDRC` container; expanded at dispatch.
+    Compressed(Vec<u8>),
+}
+
+/// One catalog slot: the image plus both of its sizes. Fetch time and the
+/// LRU byte budget are always charged on `stored_bytes`; `raw_bytes` is
+/// what actually crosses the ICAP once expanded.
+#[derive(Debug, Clone)]
+struct CatalogEntry {
+    image: CatalogImage,
+    raw_bytes: u64,
+    stored_bytes: u64,
+    codec: Option<CodecReport>,
+}
+
+impl CatalogEntry {
+    fn materialise(&self) -> Bitstream {
+        match &self.image {
+            CatalogImage::Raw(bs) => bs.clone(),
+            CatalogImage::Compressed(bytes) => decompress_to_bitstream(bytes)
+                .expect("scheduler-encoded container round-trips bit-exactly"),
         }
     }
 }
@@ -221,8 +273,15 @@ pub struct SchedulerReport {
     pub cache_misses: u64,
     /// Misses fully or partially hidden by prefetch overlap.
     pub prefetch_hits: u64,
-    /// Payload bytes of verified transfers.
+    /// Payload bytes of verified transfers (raw, post-decompression).
     pub bytes_transferred: u64,
+    /// Stored (possibly compressed) bytes fetched on cold misses.
+    pub bytes_fetched: u64,
+    /// Sum of raw image sizes across the catalog.
+    pub catalog_raw_bytes: u64,
+    /// Sum of stored image sizes across the catalog (equals
+    /// `catalog_raw_bytes` when the catalog is uncompressed).
+    pub catalog_stored_bytes: u64,
     /// First submission to last completion, µs.
     pub makespan_us: f64,
     /// Aggregate goodput over the makespan in MB/s (10⁶ bytes/s), `None`
@@ -257,6 +316,9 @@ impl_json_struct!(SchedulerReport {
     cache_misses,
     prefetch_hits,
     bytes_transferred,
+    bytes_fetched,
+    catalog_raw_bytes,
+    catalog_stored_bytes,
     makespan_us,
     throughput_mb_s,
     queueing_latency_us,
@@ -283,7 +345,7 @@ struct Prefetch {
 pub struct Scheduler {
     config: SchedulerConfig,
     /// Registered images by id (`BTreeMap` for deterministic iteration).
-    catalog: BTreeMap<u32, Bitstream>,
+    catalog: BTreeMap<u32, CatalogEntry>,
     /// Resident ids, least-recently-used first.
     cache: Vec<u32>,
     cache_bytes: u64,
@@ -305,6 +367,7 @@ pub struct Scheduler {
     cache_misses: u64,
     prefetch_hits: u64,
     bytes_transferred: u64,
+    bytes_fetched: u64,
 }
 
 impl Scheduler {
@@ -333,6 +396,7 @@ impl Scheduler {
             cache_misses: 0,
             prefetch_hits: 0,
             bytes_transferred: 0,
+            bytes_fetched: 0,
         }
     }
 
@@ -343,9 +407,28 @@ impl Scheduler {
 
     /// Registers `bitstream` in the catalog under `id` (replacing any
     /// previous image with that id, which is also evicted from the cache).
+    /// With a [compressed catalog](SchedulerConfig::compress_catalog) the
+    /// image is encoded to a `PDRC` container here, once.
     pub fn register_bitstream(&mut self, id: u32, bitstream: Bitstream) {
         self.evict(id);
-        self.catalog.insert(id, bitstream);
+        let raw_bytes = bitstream.len() as u64;
+        let entry = if self.config.compress_catalog {
+            let c = compress_bitstream(&bitstream);
+            CatalogEntry {
+                raw_bytes,
+                stored_bytes: c.bytes.len() as u64,
+                codec: Some(c.report),
+                image: CatalogImage::Compressed(c.bytes),
+            }
+        } else {
+            CatalogEntry {
+                raw_bytes,
+                stored_bytes: raw_bytes,
+                codec: None,
+                image: CatalogImage::Raw(bitstream),
+            }
+        };
+        self.catalog.insert(id, entry);
     }
 
     /// Marks `id` resident in the cache without charging fetch time — the
@@ -355,8 +438,29 @@ impl Scheduler {
     ///
     /// Panics if `id` is not in the catalog.
     pub fn warm(&mut self, id: u32) {
-        let bytes = self.catalog[&id].len() as u64;
+        let bytes = self.catalog[&id].stored_bytes;
         self.insert_cached(id, bytes);
+    }
+
+    /// Raw image size of `id`, bytes.
+    pub fn raw_bytes(&self, id: u32) -> Option<u64> {
+        self.catalog.get(&id).map(|e| e.raw_bytes)
+    }
+
+    /// Bytes `id` occupies in the catalog/cache (container size when the
+    /// catalog is compressed, the raw size otherwise).
+    pub fn stored_bytes(&self, id: u32) -> Option<u64> {
+        self.catalog.get(&id).map(|e| e.stored_bytes)
+    }
+
+    /// Codec telemetry for `id` (`None` on an uncompressed catalog).
+    pub fn codec_report(&self, id: u32) -> Option<&CodecReport> {
+        self.catalog.get(&id).and_then(|e| e.codec.as_ref())
+    }
+
+    /// Bytes currently resident in the cache (stored sizes).
+    pub fn cached_bytes(&self) -> u64 {
+        self.cache_bytes
     }
 
     /// Number of requests waiting in the ready queue.
@@ -422,7 +526,11 @@ impl Scheduler {
     ) -> Option<RequestRecord> {
         let idx = self.best_ready()?;
         let q = self.queue.remove(idx);
-        let bytes = self.catalog[&q.req.bitstream_id].len() as u64;
+        let entry = &self.catalog[&q.req.bitstream_id];
+        // Fetch and residency are charged on stored (possibly compressed)
+        // bytes; the ICAP transfer moves the raw expansion.
+        let stored = entry.stored_bytes;
+        let raw = entry.raw_bytes;
 
         // ---- Stage the image: cache hit, prefetch overlap, or cold miss.
         let dispatch = sys.now();
@@ -443,9 +551,10 @@ impl Scheduler {
                         SimDuration::ZERO
                     }
                 }
-                _ => self.config.fetch.fetch_time(bytes),
+                _ => self.config.fetch.fetch_time(stored),
             };
-            self.insert_cached(q.req.bitstream_id, bytes);
+            self.bytes_fetched += stored;
+            self.insert_cached(q.req.bitstream_id, stored);
             if stall > SimDuration::ZERO {
                 sys.run_monitor_for(stall);
             }
@@ -461,7 +570,7 @@ impl Scheduler {
         // port: the write port is independent, so the fetch runs behind it.
         if self.config.prefetch && self.prefetch.is_none() {
             if let Some(next) = self.next_uncached_id() {
-                let bytes = self.catalog[&next].len() as u64;
+                let bytes = self.catalog[&next].stored_bytes;
                 self.prefetch = Some(Prefetch {
                     bitstream_id: next,
                     ready_at: sys.now() + self.config.fetch.fetch_time(bytes),
@@ -469,8 +578,10 @@ impl Scheduler {
             }
         }
 
-        // ---- Transfer through the full self-healing ladder.
-        let bs = self.catalog[&q.req.bitstream_id].clone();
+        // ---- Transfer through the full self-healing ladder. A compressed
+        // entry is expanded here; the read-back CRC check inside the ladder
+        // therefore verifies the *post-decompression* image on the fabric.
+        let bs = self.catalog[&q.req.bitstream_id].materialise();
         let freq = Frequency::from_mhz(self.config.freq_mhz);
         let out = recovery.reconfigure(sys, None, q.req.rp, &bs, freq);
         let done = sys.now();
@@ -485,7 +596,7 @@ impl Scheduler {
         };
         if out.error.is_none() {
             self.completed += 1;
-            self.bytes_transferred += bytes;
+            self.bytes_transferred += raw;
         } else {
             self.failed += 1;
         }
@@ -538,6 +649,9 @@ impl Scheduler {
             cache_misses: self.cache_misses,
             prefetch_hits: self.prefetch_hits,
             bytes_transferred: self.bytes_transferred,
+            bytes_fetched: self.bytes_fetched,
+            catalog_raw_bytes: self.catalog.values().map(|e| e.raw_bytes).sum(),
+            catalog_stored_bytes: self.catalog.values().map(|e| e.stored_bytes).sum(),
             makespan_us: makespan.as_micros_f64(),
             throughput_mb_s: throughput,
             queueing_latency_us: StatsSummary::from(&self.queueing_us.online_stats()),
@@ -577,7 +691,9 @@ impl Scheduler {
     fn evict(&mut self, id: u32) {
         if let Some(pos) = self.cache.iter().position(|&c| c == id) {
             self.cache.remove(pos);
-            self.cache_bytes -= self.catalog[&id].len() as u64;
+            // Residency was charged at the stored size, so release exactly
+            // that — charging raw here was the old accounting bug.
+            self.cache_bytes -= self.catalog[&id].stored_bytes;
         }
     }
 

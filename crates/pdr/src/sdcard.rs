@@ -26,16 +26,34 @@
 use std::collections::BTreeMap;
 
 use pdr_bitstream::Bitstream;
+use pdr_bitstream_codec::{compress_bitstream, CodecReport};
 use pdr_sim_core::SimDuration;
 
+/// One stored file: the raw image plus what actually occupies card blocks.
+#[derive(Debug, Clone)]
+struct StoredFile {
+    bitstream: Bitstream,
+    /// Bytes the file occupies on the card (`PDRC` container size when the
+    /// card stores compressed images, the raw size otherwise).
+    stored_bytes: u64,
+    codec: Option<CodecReport>,
+}
+
 /// A bootable SD card image: named partial bitstreams.
+///
+/// When built [`with_compression`](SdCard::with_compression), files are
+/// stored as `PDRC` containers: boot staging reads the *compressed* bytes
+/// off the card (effective fetch bandwidth × 1/ratio), and the boot flow
+/// expands them on the way into DRAM.
 #[derive(Debug, Clone)]
 pub struct SdCard {
     /// Sustained sequential read bandwidth in bytes/second.
     read_bw_bytes_per_s: u64,
     /// Fixed per-file access overhead (FAT lookup, first-cluster seek).
     per_file_overhead: SimDuration,
-    files: BTreeMap<String, Bitstream>,
+    /// Store files as compressed containers.
+    compress: bool,
+    files: BTreeMap<String, StoredFile>,
 }
 
 impl SdCard {
@@ -44,8 +62,14 @@ impl SdCard {
         SdCard {
             read_bw_bytes_per_s: 19_000_000,
             per_file_overhead: SimDuration::from_millis(2),
+            compress: false,
             files: BTreeMap::new(),
         }
+    }
+
+    /// A class-10 card holding compressed bitstream containers.
+    pub fn class10_compressed() -> Self {
+        SdCard::class10().with_compression(true)
     }
 
     /// Creates a card with explicit performance characteristics.
@@ -58,19 +82,68 @@ impl SdCard {
         SdCard {
             read_bw_bytes_per_s,
             per_file_overhead,
+            compress: false,
             files: BTreeMap::new(),
         }
     }
 
-    /// Stores a bitstream under `name` (replacing any previous file).
-    pub fn store(&mut self, name: &str, bitstream: Bitstream) -> &mut Self {
-        self.files.insert(name.to_string(), bitstream);
+    /// Switches compressed storage on or off. Files already stored are
+    /// re-encoded to match.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        if self.compress != on {
+            self.compress = on;
+            let files = std::mem::take(&mut self.files);
+            for (name, f) in files {
+                self.store(&name, f.bitstream);
+            }
+        }
         self
     }
 
-    /// Reads a file by name.
+    /// Whether this card stores compressed containers.
+    pub fn is_compressed(&self) -> bool {
+        self.compress
+    }
+
+    /// Stores a bitstream under `name` (replacing any previous file).
+    pub fn store(&mut self, name: &str, bitstream: Bitstream) -> &mut Self {
+        let (stored_bytes, codec) = if self.compress {
+            let c = compress_bitstream(&bitstream);
+            (c.bytes.len() as u64, Some(c.report))
+        } else {
+            (bitstream.len() as u64, None)
+        };
+        self.files.insert(
+            name.to_string(),
+            StoredFile {
+                bitstream,
+                stored_bytes,
+                codec,
+            },
+        );
+        self
+    }
+
+    /// Reads a file by name (always the raw image, whatever the storage
+    /// format — the boot flow decompresses transparently).
     pub fn file(&self, name: &str) -> Option<&Bitstream> {
-        self.files.get(name)
+        self.files.get(name).map(|f| &f.bitstream)
+    }
+
+    /// Bytes `name` occupies on the card.
+    pub fn stored_bytes(&self, name: &str) -> Option<u64> {
+        self.files.get(name).map(|f| f.stored_bytes)
+    }
+
+    /// Codec telemetry for `name` (`None` on an uncompressed card).
+    pub fn codec_report(&self, name: &str) -> Option<&CodecReport> {
+        self.files.get(name).and_then(|f| f.codec.as_ref())
+    }
+
+    /// Time to read `name` off the card — charged on the *stored* bytes,
+    /// so a compressed card boots faster.
+    pub fn read_time_for(&self, name: &str) -> Option<SimDuration> {
+        self.files.get(name).map(|f| self.read_time(f.stored_bytes))
     }
 
     /// File names in stable (sorted) order.
@@ -101,7 +174,7 @@ impl SdCard {
 
     /// Iterates over `(name, bitstream)` pairs in stable order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Bitstream)> {
-        self.files.iter().map(|(n, b)| (n.as_str(), b))
+        self.files.iter().map(|(n, f)| (n.as_str(), &f.bitstream))
     }
 }
 
@@ -164,5 +237,53 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_bandwidth_panics() {
         let _ = SdCard::with_performance(0, SimDuration::ZERO);
+    }
+
+    fn padded_bitstream(tag: u32) -> Bitstream {
+        // Mostly-empty frames: highly compressible, like real RP images.
+        let mut frames = vec![Frame::default(); 24];
+        frames[0] = Frame::filled(tag);
+        let mut b = Builder::new(0x2);
+        b.add_frames(FrameAddress::new(0, 0, 0, 0), frames);
+        b.build()
+    }
+
+    #[test]
+    fn compressed_card_stores_fewer_bytes_and_reads_faster() {
+        let bs = padded_bitstream(7);
+        let raw_len = bs.len() as u64;
+
+        let mut plain = SdCard::class10();
+        plain.store("a.bit", bs.clone());
+        let mut packed = SdCard::class10_compressed();
+        packed.store("a.bit", bs.clone());
+
+        assert!(!plain.is_compressed());
+        assert!(packed.is_compressed());
+        assert_eq!(plain.stored_bytes("a.bit"), Some(raw_len));
+        assert!(plain.codec_report("a.bit").is_none());
+
+        let stored = packed.stored_bytes("a.bit").unwrap();
+        assert!(stored < raw_len / 2, "{stored} vs {raw_len}");
+        let report = packed.codec_report("a.bit").unwrap();
+        assert_eq!(report.raw_bytes, raw_len);
+        assert_eq!(report.compressed_bytes, stored);
+        assert!(packed.read_time_for("a.bit").unwrap() < plain.read_time_for("a.bit").unwrap());
+
+        // The raw image is served back unchanged either way.
+        assert_eq!(packed.file("a.bit"), Some(&bs));
+    }
+
+    #[test]
+    fn with_compression_reencodes_existing_files() {
+        let bs = padded_bitstream(3);
+        let raw_len = bs.len() as u64;
+        let mut card = SdCard::class10();
+        card.store("a.bit", bs.clone());
+        let card = card.with_compression(true);
+        assert!(card.stored_bytes("a.bit").unwrap() < raw_len);
+        let card = card.with_compression(false);
+        assert_eq!(card.stored_bytes("a.bit"), Some(raw_len));
+        assert_eq!(card.file("a.bit"), Some(&bs));
     }
 }

@@ -694,12 +694,19 @@ impl ZynqPdrSystem {
     /// DRAM, charging simulated time per file, and returns the catalog of
     /// staged addresses. Staging happens once; subsequent reconfigurations
     /// run from DRAM at full speed.
+    ///
+    /// Read time is charged on the bytes the card actually stores, so a
+    /// [compressed card](crate::sdcard::SdCard::with_compression) boots
+    /// faster; the image is expanded on the way into DRAM, and the report
+    /// always records raw (staged) byte counts.
     pub fn boot_from_sd(&mut self, card: &crate::sdcard::SdCard) -> crate::sdcard::BootReport {
         let mut files = Vec::new();
         let mut total = SimDuration::ZERO;
         let mut addr = BITSTREAM_ADDR;
         for (name, bs) in card.iter() {
-            let dt = card.read_time(bs.len() as u64);
+            let dt = card
+                .read_time_for(name)
+                .expect("iterating a file the card holds");
             self.engine.run_for(dt);
             self.backing.write(addr, &bs.to_le_bytes());
             files.push((name.to_string(), bs.len() as u64, dt));

@@ -1,0 +1,158 @@
+//! Generators of realistic frame-structured partial bitstreams.
+//!
+//! The codec in `pdr-bitstream-codec` is *frame-aware*: its win comes from
+//! the structure real partial bitstreams actually have — zeroed frames from
+//! unrouted logic, repeated frames from replicated columns, NOP/zero
+//! padding between packets, and a sprinkle of dense routed logic. Purely
+//! uniform random words would exercise none of those paths, so these
+//! generators produce that mix on the testkit's deterministic tape:
+//!
+//! * [`realistic_bitstreams`] — complete [`Bitstream`]s built through the
+//!   real [`Builder`] (sync header, packets, CRC trailer), whose frames are
+//!   drawn from a weighted mix of zeroed / repeated / constant-filled /
+//!   sparse / dense flavours.
+//! * [`padded_word_streams`] — raw word vectors stitched from zero runs,
+//!   NOP runs, noise and window-replays; these need not parse as
+//!   bitstreams, which makes them the right diet for container-level
+//!   round-trip and corruption properties.
+//!
+//! Both shrink like every other testkit generator: the tape shrinks, so
+//! failing inputs converge to few, simple frames.
+
+use std::ops::RangeBounds;
+
+use pdr_bitstream::packet::NOP_WORD;
+use pdr_bitstream::{Bitstream, Builder, Frame, FrameAddress, FRAME_WORDS};
+
+use crate::choices::Choices;
+use crate::gen::{usizes, Gen};
+
+/// IDCODE used for generated images (an Artix-7 xc7a100t, matching the
+/// rest of the workspace's test fixtures; the codec never interprets it).
+const GEN_IDCODE: u32 = 0x1362_D093;
+
+fn draw_frame(src: &mut Choices, prev: Option<&Frame>) -> Frame {
+    match src.draw() % 10 {
+        // Unrouted logic dominates real partial bitstreams.
+        0..=3 => Frame::zeroed(),
+        // Replicated columns: an exact repeat of the previous frame.
+        4 | 5 => prev.cloned().unwrap_or_else(Frame::zeroed),
+        // A constant test pattern.
+        6 => Frame::filled(src.draw() as u32),
+        // Sparse routing: a handful of configured words in a zero frame.
+        7 | 8 => {
+            let mut f = Frame::zeroed();
+            for _ in 0..(src.draw() % 8 + 1) {
+                let i = (src.draw() as usize) % FRAME_WORDS;
+                f.words_mut()[i] = src.draw() as u32;
+            }
+            f
+        }
+        // Dense logic: every word populated.
+        _ => Frame::from_words((0..FRAME_WORDS).map(|_| src.draw() as u32).collect()),
+    }
+}
+
+/// Complete partial bitstreams with `frames` configuration frames drawn
+/// from the realistic mix, assembled by the real [`Builder`] (so every
+/// generated image has a genuine sync header, packet stream and CRC
+/// trailer).
+pub fn realistic_bitstreams(frames: impl RangeBounds<usize> + 'static) -> Gen<Bitstream> {
+    let count = usizes(frames);
+    Gen::from_fn(move |src| {
+        let n = count.generate(src);
+        let far = FrameAddress::new(
+            (src.draw() % 2) as u32,
+            (src.draw() % 4) as u32,
+            (src.draw() % 32) as u32,
+            0,
+        );
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f = draw_frame(src, out.last());
+            out.push(f);
+        }
+        let mut b = Builder::new(GEN_IDCODE);
+        b.add_frames(far, out);
+        b.build()
+    })
+}
+
+/// Raw word streams stitched from the segment kinds the codec cares about:
+/// zero runs, NOP runs, noise, and replays of an earlier window. Unlike
+/// [`realistic_bitstreams`] these need not parse as bitstreams — use them
+/// for container-level round-trip and corruption properties.
+pub fn padded_word_streams(len: impl RangeBounds<usize> + 'static) -> Gen<Vec<u32>> {
+    let target_len = usizes(len);
+    Gen::from_fn(move |src| {
+        let target = target_len.generate(src);
+        let mut words: Vec<u32> = Vec::with_capacity(target);
+        while words.len() < target {
+            let remaining = target - words.len();
+            let n = 1 + (src.draw() as usize) % remaining;
+            match src.draw() % 4 {
+                0 => words.extend(std::iter::repeat_n(0u32, n)),
+                1 => words.extend(std::iter::repeat_n(NOP_WORD, n)),
+                2 if !words.is_empty() => {
+                    // Replay an earlier window (overlap allowed, like the
+                    // codec's own COPY op).
+                    let dist = 1 + (src.draw() as usize) % words.len();
+                    for _ in 0..n {
+                        let w = words[words.len() - dist];
+                        words.push(w);
+                    }
+                }
+                _ => words.extend((0..n).map(|_| src.draw() as u32)),
+            }
+        }
+        words
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample<T: 'static>(g: &Gen<T>, seed: u64, n: usize) -> Vec<T> {
+        let mut src = Choices::random(seed);
+        (0..n).map(|_| g.generate(&mut src)).collect()
+    }
+
+    #[test]
+    fn bitstreams_are_well_formed_and_sized() {
+        for bs in sample(&realistic_bitstreams(1..8), 11, 20) {
+            assert!(!bs.is_empty());
+            // Builder output is at least header + one frame + trailer.
+            assert!(bs.word_count() > FRAME_WORDS);
+        }
+    }
+
+    #[test]
+    fn word_streams_respect_the_length_range() {
+        for ws in sample(&padded_word_streams(1..300), 13, 50) {
+            assert!((1..300).contains(&ws.len()));
+        }
+    }
+
+    #[test]
+    fn streams_exercise_padding_and_noise() {
+        let all: Vec<u32> = sample(&padded_word_streams(64..128), 17, 40)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(all.contains(&0), "zero runs never drawn");
+        assert!(all.contains(&NOP_WORD), "NOP runs never drawn");
+        assert!(
+            all.iter().any(|&w| w != 0 && w != NOP_WORD),
+            "noise never drawn"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = realistic_bitstreams(1..6);
+        let a = sample(&g, 23, 5);
+        let b = sample(&g, 23, 5);
+        assert_eq!(a, b);
+    }
+}

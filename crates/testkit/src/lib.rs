@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitstreams;
 pub mod choices;
 pub mod gen;
 pub mod runner;

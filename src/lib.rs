@@ -10,6 +10,8 @@
 //! * [`axi`] — AXI4-Stream / AXI4-Lite / AXI-MM bus models.
 //! * [`mem`] — DRAM and QDR-II+ SRAM models.
 //! * [`bitstream`] — configuration bitstream toolchain.
+//! * [`codec`] — frame-aware bitstream compression (`PDRC` container) and
+//!   the streaming ICAP-side decompressor.
 //! * [`fabric`] — FPGA configuration memory and reconfigurable partitions.
 //! * [`timing`] — over-clocking and temperature failure models.
 //! * [`power`] — power/energy models.
@@ -34,6 +36,7 @@
 
 pub use pdr_axi as axi;
 pub use pdr_bitstream as bitstream;
+pub use pdr_bitstream_codec as codec;
 pub use pdr_core as pdr;
 pub use pdr_dma as dma;
 pub use pdr_fabric as fabric;

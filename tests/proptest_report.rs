@@ -1,8 +1,9 @@
 //! Report serialisation properties: every report type in the workspace —
-//! [`ReconfigReport`], [`RecoveryStats`], [`StatsSummary`] and the
-//! scheduler's [`SchedulerReport`] — encodes→decodes **bit-exactly**,
-//! including the degenerate corners (zero latency, zero bytes, zero power,
-//! zero samples) that used to push `inf`/`NaN` towards the codec.
+//! [`ReconfigReport`], [`RecoveryStats`], [`StatsSummary`], the
+//! scheduler's [`SchedulerReport`] and the compression codec's
+//! [`CodecReport`] — encodes→decodes **bit-exactly**, including the
+//! degenerate corners (zero latency, zero bytes, zero power, zero
+//! samples) that used to push `inf`/`NaN` towards the JSON layer.
 
 use pdr_testkit::{bools, f64s, one_of, property, tuple2, tuple3, u64s, usizes, Config, Gen};
 
@@ -186,6 +187,9 @@ property! {
             cache_misses,
             prefetch_hits,
             bytes_transferred,
+            bytes_fetched: bytes_transferred / 2,
+            catalog_raw_bytes: bytes_transferred,
+            catalog_stored_bytes: bytes_transferred / 3,
             makespan_us,
             throughput_mb_s: throughput,
             queueing_latency_us,
@@ -210,4 +214,33 @@ fn tuple4_counters() -> Gen<(u64, u64, u64, u64)> {
         u64s(0..=1000),
         u64s(0..=1000),
     )
+}
+
+property! {
+    config = cfg();
+
+    /// Codec telemetry from a *real* compression of generated word streams
+    /// round-trips bit-exactly, and the zero-byte corner never leaks a
+    /// non-finite ratio or throughput.
+    fn codec_report_round_trips_bit_exactly(
+        words in pdr_testkit::bitstreams::padded_word_streams(0..1500),
+        link_mb_s in field_f64s(),
+    ) {
+        let report = pdr_lab::codec::compress(&words).report;
+        if words.is_empty() {
+            assert_eq!(report.ratio, None, "zero-byte input must not have a ratio");
+            assert_eq!(report.savings_pct, None);
+        }
+        if let Some(r) = report.ratio {
+            assert!(r.is_finite(), "ratio leaked non-finite: {r}");
+        }
+        if let Some(t) = report.effective_throughput_mb_s(link_mb_s) {
+            assert!(t.is_finite() && t > 0.0, "throughput leaked: {t}");
+        }
+        let text = report.to_json_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let back = pdr_lab::codec::CodecReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_string(), text);
+    }
 }

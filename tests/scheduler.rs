@@ -263,3 +263,107 @@ fn empty_scheduler_report_is_json_safe() {
     let back = SchedulerReport::from_json_str(&text).expect("decodes");
     assert_eq!(back, r);
 }
+
+#[test]
+fn compressed_catalog_fixes_lru_budget_accounting() {
+    use pdr_lab::codec::compress_bitstream;
+
+    let sys = ZynqPdrSystem::new(SystemConfig::fast_quad());
+    let images: Vec<_> = (0..4usize)
+        .map(|rp| {
+            let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+            sys.make_asp_bitstream(rp, kind, rp as u32 + 1)
+        })
+        .collect();
+    let raw: Vec<u64> = images.iter().map(|bs| bs.len() as u64).collect();
+    let stored: Vec<u64> = images
+        .iter()
+        .map(|bs| compress_bitstream(bs).bytes.len() as u64)
+        .collect();
+    // A budget that admits all four *compressed* images but not the raw set.
+    let budget = stored.iter().sum::<u64>() + 1024;
+    assert!(
+        budget < raw.iter().sum::<u64>(),
+        "fixture must compress: {stored:?} vs {raw:?}"
+    );
+
+    // Compressed catalog: residency is charged at stored size, so every
+    // image fits and warming the last must not evict the first.
+    let mut packed = Scheduler::new(
+        SchedulerConfig {
+            cache_capacity_bytes: budget,
+            ..SchedulerConfig::default()
+        }
+        .compressed(),
+    );
+    for (id, bs) in images.iter().enumerate() {
+        packed.register_bitstream(id as u32, bs.clone());
+        assert_eq!(packed.stored_bytes(id as u32), Some(stored[id]));
+        assert_eq!(packed.raw_bytes(id as u32), Some(raw[id]));
+        assert!(packed.codec_report(id as u32).is_some());
+        packed.warm(id as u32);
+    }
+    for id in 0..4u32 {
+        assert!(packed.is_cached(id), "budget admits all compressed images");
+    }
+    assert!(packed.cached_bytes() <= budget);
+    assert_eq!(packed.cached_bytes(), stored.iter().sum::<u64>());
+
+    // The same budget with raw sizes must evict — the directed regression
+    // for the old accounting that charged raw bytes against the budget.
+    let mut plain = Scheduler::new(SchedulerConfig {
+        cache_capacity_bytes: budget,
+        ..SchedulerConfig::default()
+    });
+    for (id, bs) in images.iter().enumerate() {
+        plain.register_bitstream(id as u32, bs.clone());
+        plain.warm(id as u32);
+    }
+    assert!(
+        (0..4u32).any(|id| !plain.is_cached(id)),
+        "raw sizes exceed the budget, so warming all four must evict"
+    );
+}
+
+#[test]
+fn compressed_dispatch_verifies_and_shrinks_fetch_traffic() {
+    // Raw catalog, cold fetches.
+    let (mut sys, mut mgr, mut sched) = quad();
+    for rp in 0..4 {
+        assert!(sched.submit(&sys, &mgr, req(rp, rp as u32, 0, 500)).is_ok());
+    }
+    sched.run_until_idle(&mut sys, &mut mgr);
+    let raw_report = sched.report();
+
+    // Compressed catalog, same workload: fetches move container bytes.
+    let (mut sys, mut mgr, _) = quad();
+    let mut packed = Scheduler::new(SchedulerConfig::default().compressed());
+    for rp in 0..4usize {
+        let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+        packed.register_bitstream(rp as u32, sys.make_asp_bitstream(rp, kind, rp as u32 + 1));
+    }
+    for rp in 0..4 {
+        assert!(packed
+            .submit(&sys, &mgr, req(rp, rp as u32, 0, 500))
+            .is_ok());
+    }
+    packed.run_until_idle(&mut sys, &mut mgr);
+    let r = packed.report();
+
+    // Every transfer verified end-to-end (read-back CRC covers the
+    // post-decompression image on the fabric).
+    assert_eq!(r.completed, 4, "{r:?}");
+    assert_eq!(r.failed, 0);
+    // Transfers still account raw bytes; fetches moved fewer.
+    assert_eq!(r.bytes_transferred, raw_report.bytes_transferred);
+    assert!(r.catalog_stored_bytes < r.catalog_raw_bytes);
+    assert_eq!(r.bytes_fetched, r.catalog_stored_bytes);
+    assert!(r.bytes_fetched < r.bytes_transferred);
+    // Cheaper fetches shorten the cold-path service latency.
+    assert!(
+        r.service_latency_us.mean < raw_report.service_latency_us.mean,
+        "compressed fetches must be faster: {} vs {}",
+        r.service_latency_us.mean,
+        raw_report.service_latency_us.mean
+    );
+}
