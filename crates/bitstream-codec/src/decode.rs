@@ -227,6 +227,19 @@ impl StreamDecoder {
         self.raw_words
     }
 
+    /// Blocks whose payload CRC has validated so far. Monotone within a
+    /// stream; observers (e.g. the proposed system's trace layer) poll it
+    /// between clock edges to attribute progress to individual blocks.
+    pub fn blocks_done(&self) -> u32 {
+        self.blocks_done
+    }
+
+    /// Total blocks the container header promised (0 until the header is
+    /// parsed).
+    pub fn block_count(&self) -> u32 {
+        self.block_count
+    }
+
     /// Whether the whole container decoded cleanly.
     pub fn finished(&self) -> bool {
         self.phase == Phase::Done && self.error.is_none()

@@ -21,7 +21,10 @@
 //!   PR controller, bitstream decompressor, PS scheduler;
 //! * [`scheduler`] — the multi-tenant request scheduler: admission against
 //!   recovery quarantine, EDF-within-priority queueing, and a bitstream
-//!   cache with QDR-style prefetch.
+//!   cache with QDR-style prefetch;
+//! * [`trace`] — the deterministic structured event bus and metrics layer:
+//!   stamped, replayable event tapes (JSONL) plus event-derived counters,
+//!   locked down by the golden-trace harness in `tests/trace.rs`.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub mod report;
 pub mod scheduler;
 pub mod sdcard;
 pub mod system;
+pub mod trace;
 
 pub use campaign::{
     run_fault_campaign, run_seu_campaign, CampaignResult, FaultCampaign, FaultCampaignResult,
@@ -71,3 +75,4 @@ pub use scheduler::{
 };
 pub use sdcard::{BootReport, SdCard};
 pub use system::{SystemConfig, ZynqPdrSystem};
+pub use trace::{TraceCounters, TraceEvent, TraceLevel, TraceRecord, TraceReport, TraceSink};

@@ -18,6 +18,9 @@
 //! is the bottleneck at 1237.5 MB/s raw — and compressed images beat even
 //! that, because template frames (zero/repeat) cost no SRAM bandwidth.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use pdr_axi::width::Word32;
 use pdr_bitstream::Bitstream;
 use pdr_bitstream_codec::{compress_bitstream, CodecReport, StreamDecoder};
@@ -30,6 +33,12 @@ use pdr_sim_core::{
 };
 
 use crate::system::{bitstream_payload, frames_crc, IDCODE};
+use crate::trace::{TraceEvent, TraceLevel, TraceReport, TraceSink};
+
+/// The trace sink shared between the [`ProposedSystem`] driver and its
+/// in-engine [`Decompressor`] component — same `Rc<RefCell<..>>` idiom as
+/// [`SharedConfigMemory`], so both sides stamp one tape with one sequence.
+type SharedTraceSink = Rc<RefCell<TraceSink>>;
 
 /// Configuration of the proposed system.
 #[derive(Debug, Clone)]
@@ -131,10 +140,15 @@ struct Decompressor {
     decoder: StreamDecoder,
     compressed: bool,
     idle: bool,
+    /// Shared event bus; per-block progress is attributed to the cycle the
+    /// block's payload CRC validated.
+    trace: SharedTraceSink,
+    /// Blocks already put on the tape for the current job.
+    blocks_seen: u32,
 }
 
 impl Decompressor {
-    fn new(input: Consumer<Word32>, output: Producer<Word32>) -> Self {
+    fn new(input: Consumer<Word32>, output: Producer<Word32>, trace: SharedTraceSink) -> Self {
         Decompressor {
             input,
             output,
@@ -143,6 +157,8 @@ impl Decompressor {
             decoder: StreamDecoder::new(),
             compressed: false,
             idle: true,
+            trace,
+            blocks_seen: 0,
         }
     }
 
@@ -152,6 +168,7 @@ impl Decompressor {
         self.decoder = StreamDecoder::new();
         self.compressed = job.compressed;
         self.idle = false;
+        self.blocks_seen = 0;
     }
 }
 
@@ -160,7 +177,7 @@ impl Component for Decompressor {
         "bitstream-decompressor"
     }
 
-    fn on_clock_edge(&mut self, _ctx: &mut EdgeCtx<'_>) {
+    fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
         if self.idle || !self.output.can_push() {
             return;
         }
@@ -206,6 +223,24 @@ impl Component for Decompressor {
             Ok(None) => {}
             Err(_) => self.idle = true, // malformed staging: wedge until reset
         }
+        // Per-block progress. The u32 compare is free on every edge; the
+        // sink is only borrowed on the (rare) edge where a block validates.
+        let validated = self.decoder.blocks_done();
+        if validated > self.blocks_seen {
+            let now = ctx.now();
+            let words_out = self.decoder.words_out();
+            let mut sink = self.trace.borrow_mut();
+            for block in self.blocks_seen + 1..=validated {
+                sink.emit(
+                    now,
+                    TraceEvent::CodecBlock {
+                        block: block as u64,
+                        words_out,
+                    },
+                );
+            }
+            self.blocks_seen = validated;
+        }
     }
 }
 
@@ -227,6 +262,7 @@ pub struct ProposedSystem {
     staged: Option<StagedJob>,
     last_preload: SimDuration,
     last_codec: Option<CodecReport>,
+    trace: SharedTraceSink,
 }
 
 impl ProposedSystem {
@@ -242,8 +278,11 @@ impl ProposedSystem {
         let (to_icap_tx, to_icap_rx) = pdr_sim_core::fifo_channel::<Word32>("pr-icap", 64);
         let sram_data = ports.data.fifo().clone();
         let to_icap = to_icap_tx.fifo().clone();
-        let decomp_id =
-            engine.add_component(Decompressor::new(ports.data, to_icap_tx), Some(icap_clk));
+        let trace: SharedTraceSink = Rc::new(RefCell::new(TraceSink::new()));
+        let decomp_id = engine.add_component(
+            Decompressor::new(ports.data, to_icap_tx, trace.clone()),
+            Some(icap_clk),
+        );
 
         let mem = shared_config_memory(ConfigMemory::new(config.floorplan.geometry().clone()));
         let irq_bus = IrqBus::new();
@@ -268,7 +307,29 @@ impl ProposedSystem {
             staged: None,
             last_preload: SimDuration::ZERO,
             last_codec: None,
+            trace,
         }
+    }
+
+    /// Sets the structured-trace level (default [`TraceLevel::Off`]).
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace.borrow_mut().set_level(level);
+    }
+
+    /// Aggregate trace metrics snapshot.
+    pub fn trace_report(&self) -> TraceReport {
+        self.trace.borrow_mut().report()
+    }
+
+    /// The retained event tape as JSONL (empty below [`TraceLevel::Full`]).
+    pub fn export_trace_jsonl(&self) -> String {
+        self.trace.borrow().export_jsonl()
+    }
+
+    /// Stamps `event` with the engine clock onto the shared tape.
+    fn trace_emit(&self, event: TraceEvent) {
+        let now = self.engine.now();
+        self.trace.borrow_mut().emit(now, event);
     }
 
     /// The configuration.
@@ -365,6 +426,9 @@ impl ProposedSystem {
             d.load(&job);
         }
         let t_start = self.engine.now();
+        self.trace_emit(TraceEvent::StagedTransferStart {
+            sram_words: job.total_words as u64,
+        });
         self.cmd
             .try_push(SramReadCmd {
                 addr: 0,
@@ -383,6 +447,10 @@ impl ProposedSystem {
             let mem = self.mem.borrow();
             mem.range_crc(job.start_idx, job.frame_count) == job.golden
         };
+        self.trace_emit(TraceEvent::StagedTransferDone {
+            ok: crc_ok,
+            words_out: job.words_out,
+        });
         let sram_bytes = job.total_words as u64 * 4;
         ProposedReport {
             raw_bytes: job.raw_bytes,

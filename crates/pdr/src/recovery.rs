@@ -31,6 +31,7 @@ use crate::campaign::StatsSummary;
 use crate::governor::Governor;
 use crate::report::{ReconfigError, ReconfigReport};
 use crate::system::ZynqPdrSystem;
+use crate::trace::TraceEvent;
 
 /// Recovery-ladder parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,9 +308,22 @@ impl RecoveryManager {
         let t_detect = sys.now();
         let mut freq_mhz = freq.as_hz() / 1_000_000;
         for _ in 0..self.config.max_retries {
+            let prev_mhz = freq_mhz;
             freq_mhz = self.next_backoff(&mut gov, freq_mhz);
+            if freq_mhz != prev_mhz {
+                sys.trace_emit(TraceEvent::Backoff {
+                    rp: rp as u64,
+                    from_mhz: prev_mhz,
+                    to_mhz: freq_mhz,
+                });
+            }
             self.retries += 1;
             attempts += 1;
+            sys.trace_emit(TraceEvent::Retry {
+                rp: rp as u64,
+                attempt: attempts as u64 - 1,
+                freq_mhz,
+            });
             report = sys.reconfigure(rp, bitstream, Frequency::from_mhz(freq_mhz));
             if report.error.is_none() {
                 return self.recovered(sys, rp, bitstream, report, attempts, false, t_detect);
@@ -322,6 +336,10 @@ impl RecoveryManager {
         // Retries exhausted: scrub — the known-safe frequency.
         self.scrubs += 1;
         attempts += 1;
+        sys.trace_emit(TraceEvent::Scrub {
+            rp: rp as u64,
+            freq_mhz: self.config.scrub_mhz,
+        });
         report = sys.reconfigure(rp, bitstream, Frequency::from_mhz(self.config.scrub_mhz));
         if report.error.is_none() {
             self.scrub_strikes[rp] = 0;
@@ -332,7 +350,7 @@ impl RecoveryManager {
         self.scrub_failures += 1;
         self.scrub_strikes[rp] += 1;
         let error = if self.scrub_strikes[rp] >= self.config.quarantine_after {
-            self.quarantine(rp);
+            self.quarantine(sys, rp);
             Some(ReconfigError::Quarantined)
         } else {
             report.error
@@ -376,6 +394,10 @@ impl RecoveryManager {
         let t_detect = sys.now();
         sys.crc_error_irq().clear();
         self.scrubs += 1;
+        sys.trace_emit(TraceEvent::Scrub {
+            rp: rp as u64,
+            freq_mhz: self.config.scrub_mhz,
+        });
         let report = sys.reconfigure(rp, &golden, Frequency::from_mhz(self.config.scrub_mhz));
         if report.error.is_none() {
             self.scrub_strikes[rp] = 0;
@@ -397,7 +419,7 @@ impl RecoveryManager {
         self.scrub_failures += 1;
         self.scrub_strikes[rp] += 1;
         let error = if self.scrub_strikes[rp] >= self.config.quarantine_after {
-            self.quarantine(rp);
+            self.quarantine(sys, rp);
             Some(ReconfigError::Quarantined)
         } else {
             report.error
@@ -477,10 +499,11 @@ impl RecoveryManager {
         }
     }
 
-    fn quarantine(&mut self, rp: usize) {
+    fn quarantine(&mut self, sys: &mut ZynqPdrSystem, rp: usize) {
         if self.health[rp] != PartitionHealth::Quarantined {
             self.health[rp] = PartitionHealth::Quarantined;
             self.quarantines += 1;
+            sys.trace_emit(TraceEvent::Quarantine { rp: rp as u64 });
         }
     }
 }

@@ -52,6 +52,7 @@ use crate::recovery::{PartitionHealth, RecoveryManager};
 use crate::report::ReconfigError;
 use crate::sdcard::SdCard;
 use crate::system::ZynqPdrSystem;
+use crate::trace::TraceEvent;
 
 /// One tenant's reconfiguration request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,6 +274,13 @@ pub struct SchedulerReport {
     pub cache_misses: u64,
     /// Misses fully or partially hidden by prefetch overlap.
     pub prefetch_hits: u64,
+    /// Images evicted from the resident cache (capacity pressure, or
+    /// replacement when an id is re-registered). Until this PR evictions
+    /// went entirely unaccounted, so cache thrash was invisible in the
+    /// report even though every evicted image pays a re-fetch later.
+    pub cache_evictions: u64,
+    /// Stored bytes released by those evictions.
+    pub bytes_evicted: u64,
     /// Payload bytes of verified transfers (raw, post-decompression).
     pub bytes_transferred: u64,
     /// Stored (possibly compressed) bytes fetched on cold misses.
@@ -315,6 +323,8 @@ impl_json_struct!(SchedulerReport {
     cache_hits,
     cache_misses,
     prefetch_hits,
+    cache_evictions,
+    bytes_evicted,
     bytes_transferred,
     bytes_fetched,
     catalog_raw_bytes,
@@ -366,6 +376,8 @@ pub struct Scheduler {
     cache_hits: u64,
     cache_misses: u64,
     prefetch_hits: u64,
+    cache_evictions: u64,
+    bytes_evicted: u64,
     bytes_transferred: u64,
     bytes_fetched: u64,
 }
@@ -395,6 +407,8 @@ impl Scheduler {
             cache_hits: 0,
             cache_misses: 0,
             prefetch_hits: 0,
+            cache_evictions: 0,
+            bytes_evicted: 0,
             bytes_transferred: 0,
             bytes_fetched: 0,
         }
@@ -538,6 +552,10 @@ impl Scheduler {
         if was_hit {
             self.cache_hits += 1;
             self.touch(q.req.bitstream_id);
+            sys.trace_emit(TraceEvent::CacheHit {
+                id: q.req.bitstream_id as u64,
+                bytes: stored,
+            });
         } else {
             self.cache_misses += 1;
             let stall = match self.prefetch {
@@ -554,7 +572,16 @@ impl Scheduler {
                 _ => self.config.fetch.fetch_time(stored),
             };
             self.bytes_fetched += stored;
-            self.insert_cached(q.req.bitstream_id, stored);
+            sys.trace_emit(TraceEvent::CacheMiss {
+                id: q.req.bitstream_id as u64,
+                stored_bytes: stored,
+            });
+            for (victim, released) in self.insert_cached(q.req.bitstream_id, stored) {
+                sys.trace_emit(TraceEvent::CacheEvict {
+                    id: victim as u64,
+                    bytes: released,
+                });
+            }
             if stall > SimDuration::ZERO {
                 sys.run_monitor_for(stall);
             }
@@ -574,6 +601,10 @@ impl Scheduler {
                 self.prefetch = Some(Prefetch {
                     bitstream_id: next,
                     ready_at: sys.now() + self.config.fetch.fetch_time(bytes),
+                });
+                sys.trace_emit(TraceEvent::PrefetchArmed {
+                    id: next as u64,
+                    bytes,
                 });
             }
         }
@@ -648,6 +679,8 @@ impl Scheduler {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             prefetch_hits: self.prefetch_hits,
+            cache_evictions: self.cache_evictions,
+            bytes_evicted: self.bytes_evicted,
             bytes_transferred: self.bytes_transferred,
             bytes_fetched: self.bytes_fetched,
             catalog_raw_bytes: self.catalog.values().map(|e| e.raw_bytes).sum(),
@@ -688,28 +721,39 @@ impl Scheduler {
         }
     }
 
-    fn evict(&mut self, id: u32) {
-        if let Some(pos) = self.cache.iter().position(|&c| c == id) {
-            self.cache.remove(pos);
-            // Residency was charged at the stored size, so release exactly
-            // that — charging raw here was the old accounting bug.
-            self.cache_bytes -= self.catalog[&id].stored_bytes;
-        }
+    /// Removes `id` from the cache, booking the eviction in the telemetry.
+    /// Returns the bytes released (`None` when `id` was not resident).
+    fn evict(&mut self, id: u32) -> Option<u64> {
+        let pos = self.cache.iter().position(|&c| c == id)?;
+        self.cache.remove(pos);
+        // Residency was charged at the stored size, so release exactly
+        // that — charging raw here was the old accounting bug.
+        let bytes = self.catalog[&id].stored_bytes;
+        self.cache_bytes -= bytes;
+        self.cache_evictions += 1;
+        self.bytes_evicted += bytes;
+        Some(bytes)
     }
 
-    fn insert_cached(&mut self, id: u32, bytes: u64) {
+    /// Makes `id` resident, evicting least-recently-used images as needed.
+    /// Returns the `(id, bytes)` of every image evicted, in eviction order,
+    /// so the caller can put them on the event tape.
+    fn insert_cached(&mut self, id: u32, bytes: u64) -> Vec<(u32, u64)> {
+        let mut evicted = Vec::new();
         if self.config.cache_capacity_bytes == 0 || bytes > self.config.cache_capacity_bytes {
-            return; // caching disabled or image larger than the budget
+            return evicted; // caching disabled or image larger than the budget
         }
         if self.is_cached(id) {
             self.touch(id);
-            return;
+            return evicted;
         }
         while self.cache_bytes + bytes > self.config.cache_capacity_bytes {
             let lru = self.cache[0];
-            self.evict(lru);
+            let released = self.evict(lru).expect("LRU head is resident");
+            evicted.push((lru, released));
         }
         self.cache.push(id);
         self.cache_bytes += bytes;
+        evicted
     }
 }

@@ -156,6 +156,13 @@ impl SdCard {
         self.files.len()
     }
 
+    /// Total bytes the card's files occupy (stored sizes — what boot
+    /// staging reads off the card, and what the boot flow's
+    /// `SdFileStaged` trace events account for byte-for-byte).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.stored_bytes).sum()
+    }
+
     /// Sustained sequential read bandwidth, bytes per second.
     pub fn bandwidth_bytes_per_s(&self) -> u64 {
         self.read_bw_bytes_per_s

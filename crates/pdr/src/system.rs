@@ -20,7 +20,9 @@ use pdr_timing::{DieThermal, OverclockModel, XadcSensor};
 
 use crate::clockwizard::ClockWizard;
 use crate::crc_readback::{CrcReadback, Region, CYCLES_PER_FRAME};
+use crate::faults::FaultKind;
 use crate::report::{CrcStatus, ReconfigError, ReconfigReport, TimeoutCause};
+use crate::trace::{TraceEvent, TraceLevel, TraceSink};
 
 /// DRAM byte address where partial bitstreams are staged (the paper copies
 /// them from the SD card at boot).
@@ -157,6 +159,8 @@ pub struct ZynqPdrSystem {
     /// DMA stall cycles to arm on the next reconfiguration (applied after
     /// the pre-flight quiesce, which would otherwise clear them).
     pending_dma_stall: u64,
+    /// Structured event bus ([`crate::trace`]); `Off` by default.
+    trace: TraceSink,
 }
 
 impl ZynqPdrSystem {
@@ -311,6 +315,7 @@ impl ZynqPdrSystem {
             monitored_frames: 0,
             derate_until: None,
             pending_dma_stall: 0,
+            trace: TraceSink::new(),
         }
     }
 
@@ -332,6 +337,30 @@ impl ZynqPdrSystem {
     /// Direct engine access (benches and advanced scenarios).
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
+    }
+
+    /// Sets the structured-trace level (default [`TraceLevel::Off`]).
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace.set_level(level);
+    }
+
+    /// The structured event bus.
+    pub fn tracer(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable event-bus access (reports need `&mut` for exact quantiles;
+    /// `clear()` scopes a tape to a region of interest).
+    pub fn tracer_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Stamps and records `event` at the current simulated time. Collaborator
+    /// subsystems (recovery ladder, scheduler) emit through this so every
+    /// tape shares one clock and one sequence.
+    pub fn trace_emit(&mut self, event: TraceEvent) {
+        let now = self.engine.now();
+        self.trace.emit(now, event);
     }
 
     /// Current die temperature (truth, not sensor), °C.
@@ -476,6 +505,11 @@ impl ZynqPdrSystem {
         // The partition argument documents intent and validates the index;
         // the verified region is derived from the bitstream itself.
         let _partition = self.config.floorplan.partition(rp);
+        self.trace_emit(TraceEvent::ReconfigStart {
+            rp: rp as u64,
+            bytes: bitstream.len() as u64,
+            freq_mhz: freq.as_hz() / 1_000_000,
+        });
         let die_temp = self.thermal.die_temp_c();
         let derate = self.active_derate_mhz();
         let assessment = self.config.overclock.assess_derated(freq, die_temp, derate);
@@ -531,6 +565,9 @@ impl ZynqPdrSystem {
         self.regs.write(REG_SA, BITSTREAM_ADDR as u32);
         self.regs.set_bits(REG_DMACR, DMACR_RS);
         self.regs.write(REG_LENGTH, bitstream.len() as u32);
+        self.trace_emit(TraceEvent::DmaBurst {
+            bytes: bitstream.len() as u64,
+        });
 
         let deadline = self.engine.now() + self.config.transfer_timeout;
         let done_irq = self.icap_done.clone();
@@ -604,6 +641,12 @@ impl ZynqPdrSystem {
             None
         };
 
+        self.trace_emit(TraceEvent::ReconfigDone {
+            rp: rp as u64,
+            ok: error.is_none(),
+            latency_ps: latency.map_or(0, |l| l.as_ps()),
+        });
+
         ReconfigReport {
             frequency_hz: freq.as_hz(),
             die_temp_c: self.sensor.read(die_temp, &mut self.rng),
@@ -626,6 +669,19 @@ impl ZynqPdrSystem {
     /// (finite) temperature and power reading.
     fn refuse_before_transfer(&mut self, rp: usize, frequency_hz: u64) -> ReconfigReport {
         let _partition = self.config.floorplan.partition(rp); // validate index
+                                                              // A refused attempt still books one Start/Done pair, so the tape
+                                                              // invariant `reconfig_started == reconfig_ok + reconfig_failed`
+                                                              // holds for every path through the driver.
+        self.trace_emit(TraceEvent::ReconfigStart {
+            rp: rp as u64,
+            bytes: 0,
+            freq_mhz: frequency_hz / 1_000_000,
+        });
+        self.trace_emit(TraceEvent::ReconfigDone {
+            rp: rp as u64,
+            ok: false,
+            latency_ps: 0,
+        });
         let die_temp = self.thermal.die_temp_c();
         // No transfer ran, so the PL contribution is the idle share (as on
         // the PCAP path, which also drives no over-clocked datapath).
@@ -683,11 +739,18 @@ impl ZynqPdrSystem {
         if !hit {
             return CrcStatus::NotChecked;
         }
-        match result.last_ok {
+        let status = match result.last_ok {
             Some(true) => CrcStatus::Valid,
             Some(false) => CrcStatus::Invalid,
             None => CrcStatus::NotChecked,
+        };
+        let frames = frame_count as u64;
+        match status {
+            CrcStatus::Valid => self.trace_emit(TraceEvent::CrcPass { frames }),
+            CrcStatus::Invalid => self.trace_emit(TraceEvent::CrcFail { frames }),
+            CrcStatus::NotChecked => {}
         }
+        status
     }
 
     /// Boots from an SD card (Fig. 4): stages every bitstream file into
@@ -709,6 +772,13 @@ impl ZynqPdrSystem {
                 .expect("iterating a file the card holds");
             self.engine.run_for(dt);
             self.backing.write(addr, &bs.to_le_bytes());
+            let stored = card
+                .stored_bytes(name)
+                .expect("iterating a file the card holds");
+            self.trace_emit(TraceEvent::SdFileStaged {
+                raw_bytes: bs.len() as u64,
+                stored_bytes: stored,
+            });
             files.push((name.to_string(), bs.len() as u64, dt));
             total += dt;
             addr += (bs.len() as u64).next_multiple_of(4096);
@@ -735,6 +805,11 @@ impl ZynqPdrSystem {
             return self.refuse_before_transfer(rp, 0);
         }
         let _partition = self.config.floorplan.partition(rp);
+        self.trace_emit(TraceEvent::ReconfigStart {
+            rp: rp as u64,
+            bytes: bitstream.len() as u64,
+            freq_mhz: 0, // the PS-driven PCAP path has no over-clock
+        });
         let die_temp = self.thermal.die_temp_c();
         self.engine
             .component_mut::<CrcReadback>(self.readback_id)
@@ -769,6 +844,11 @@ impl ZynqPdrSystem {
         // doing programmed I/O.
         let p_board = self.config.power.p_board_w(0.0, die_temp);
         let p_pdr = self.meter.read_w(p_board, &mut self.rng) - self.config.power.p0_board_w();
+        self.trace_emit(TraceEvent::ReconfigDone {
+            rp: rp as u64,
+            ok: crc != CrcStatus::Invalid,
+            latency_ps: latency.as_ps(),
+        });
         ReconfigReport {
             frequency_hz: 0,
             die_temp_c: self.sensor.read(die_temp, &mut self.rng),
@@ -846,12 +926,18 @@ impl ZynqPdrSystem {
         let (_, hit) = self
             .engine
             .run_until_condition(deadline, |_| alarm.is_raised());
-        hit.then(|| {
+        let latency = hit.then(|| {
             self.crc_err
                 .last_raised()
                 .expect("raised line has a timestamp")
                 .duration_since(t0)
-        })
+        });
+        if let Some(l) = latency {
+            self.trace_emit(TraceEvent::CrcAlarm {
+                latency_ps: l.as_ps(),
+            });
+        }
+        latency
     }
 
     /// Injects a single-event upset at an arbitrary frame address (static
@@ -863,6 +949,9 @@ impl ZynqPdrSystem {
     pub fn inject_static_seu(&mut self, far: FrameAddress, word: usize, bit: u32) {
         let ok = self.mem.borrow_mut().inject_bit_flip(far, word, bit);
         assert!(ok, "SEU address outside device");
+        self.trace_emit(TraceEvent::FaultInjected {
+            kind: FaultKind::Seu,
+        });
     }
 
     /// Injects a single-event upset: flips `bit` of `word` in the frame
@@ -881,6 +970,9 @@ impl ZynqPdrSystem {
         let far = geometry.far_at(p.start_index(geometry) + frame_offset);
         let ok = self.mem.borrow_mut().inject_bit_flip(far, word, bit);
         assert!(ok, "SEU coordinates outside device");
+        self.trace_emit(TraceEvent::FaultInjected {
+            kind: FaultKind::Seu,
+        });
     }
 
     /// Starts a transient timing-violation burst: for `duration` from now,
@@ -897,6 +989,9 @@ impl ZynqPdrSystem {
             "derate must be a finite non-negative MHz value: {derate_mhz}"
         );
         self.derate_until = Some((derate_mhz, self.engine.now() + duration));
+        self.trace_emit(TraceEvent::FaultInjected {
+            kind: FaultKind::TimingBurst,
+        });
     }
 
     /// The derating currently in force (0 when no burst is active). Expired
@@ -918,6 +1013,9 @@ impl ZynqPdrSystem {
     /// accumulate until consumed.
     pub fn inject_dma_stall(&mut self, cycles: u64) {
         self.pending_dma_stall = self.pending_dma_stall.saturating_add(cycles);
+        self.trace_emit(TraceEvent::FaultInjected {
+            kind: FaultKind::DmaStall,
+        });
     }
 
     /// Arms a one-shot dropped completion interrupt: the next ICAP done
@@ -928,6 +1026,9 @@ impl ZynqPdrSystem {
         self.engine
             .component_mut::<IcapController>(self.icap_id)
             .drop_next_done_irq();
+        self.trace_emit(TraceEvent::FaultInjected {
+            kind: FaultKind::DroppedIrq,
+        });
     }
 
     /// True when configuration memory holds exactly `bitstream`'s frames at

@@ -55,7 +55,7 @@ pub use gen::{
     u32s, u64s, usizes, vec_of, weighted, Gen, Index,
 };
 pub use runner::{
-    check, check_quietly, discard, load_regression_seeds, parse_seed, Config, Failure,
-    DEFAULT_CASES, DEFAULT_SEED, SEED_ENV,
+    blessing, check, check_quietly, discard, load_regression_seeds, parse_seed, Config, Failure,
+    BLESS_ENV, DEFAULT_CASES, DEFAULT_SEED, SEED_ENV,
 };
 pub use shrink::Verdict;

@@ -23,6 +23,21 @@ pub const DEFAULT_SEED: u64 = 0x50D5_2017_D9A7_CA5E;
 /// that one case (then shrinks and reports if it still fails).
 pub const SEED_ENV: &str = "PDR_TESTKIT_SEED";
 
+/// The environment variable that switches golden-snapshot tests from
+/// *compare* to *regenerate*: `PDR_TESTKIT_BLESS=1 cargo test` rewrites the
+/// committed snapshots (e.g. `tests/golden/*.jsonl`) from the current run
+/// instead of diffing against them. See `docs/OBSERVABILITY.md`.
+pub const BLESS_ENV: &str = "PDR_TESTKIT_BLESS";
+
+/// Whether the current run should regenerate golden snapshots instead of
+/// comparing: true when [`BLESS_ENV`] is set to `1` or `true`.
+pub fn blessing() -> bool {
+    matches!(
+        std::env::var(BLESS_ENV).ok().as_deref(),
+        Some("1") | Some("true")
+    )
+}
+
 /// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct Config {

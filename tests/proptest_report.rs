@@ -186,6 +186,8 @@ property! {
             cache_hits,
             cache_misses,
             prefetch_hits,
+            cache_evictions: cache_misses / 2,
+            bytes_evicted: bytes_transferred / 4,
             bytes_transferred,
             bytes_fetched: bytes_transferred / 2,
             catalog_raw_bytes: bytes_transferred,

@@ -1,0 +1,165 @@
+//! Trace-layer properties: determinism (same seed ⇒ byte-identical tape),
+//! tape well-formedness (dense sequence numbers, monotone stamps), the
+//! observer-effect-zero contract (`TraceLevel::Full` never changes any
+//! report field vs `Off`), and bit-exact [`TraceReport`] JSON round-trips.
+//!
+//! [`TraceReport`]: pdr_lab::pdr::TraceReport
+
+use pdr_lab::fabric::AspKind;
+use pdr_lab::pdr::{
+    ReconfigReport, ReconfigRequest, RecoveryConfig, RecoveryManager, Scheduler, SchedulerConfig,
+    SchedulerReport, SystemConfig, TraceLevel, TraceReport, ZynqPdrSystem,
+};
+use pdr_lab::sim::json::{FromJson, ToJson};
+use pdr_lab::sim::{Frequency, SimDuration};
+use pdr_testkit::{property, select, tuple2, u64s, Config, Gen};
+
+fn cfg() -> Config {
+    Config::with_cases(12).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
+/// Operating points spanning the healthy, marginal and failing regimes.
+fn freqs() -> Gen<u64> {
+    select(vec![100, 200, 310, 320, 360])
+}
+
+fn levels() -> Gen<TraceLevel> {
+    select(vec![
+        TraceLevel::Off,
+        TraceLevel::Counters,
+        TraceLevel::Full,
+    ])
+}
+
+/// One seeded system driving two transfers and an SEU/monitor round — a
+/// workload that touches most event kinds.
+fn traced_run(seed: u64, freq_mhz: u64, level: TraceLevel) -> (ZynqPdrSystem, ReconfigReport) {
+    let mut config = SystemConfig::fast_test();
+    config.seed = seed;
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(level);
+    let bs = sys.make_asp_bitstream(0, AspKind::AesMix, 3);
+    sys.reconfigure(0, &bs, Frequency::from_mhz(200));
+    let report = sys.reconfigure(0, &bs, Frequency::from_mhz(freq_mhz));
+    if report.crc_ok() {
+        sys.start_background_monitor(&[0]);
+        let scan = sys.monitor_scan_period();
+        sys.inject_seu(0, 1, 4, 7);
+        sys.run_monitor_until_alarm(scan * 3);
+    }
+    (sys, report)
+}
+
+/// A seeded scheduler wave over four partitions.
+fn scheduler_run(seed: u64, level: TraceLevel) -> SchedulerReport {
+    let mut config = SystemConfig::fast_quad();
+    config.seed = seed;
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(level);
+    let mut mgr = RecoveryManager::for_system(&sys, RecoveryConfig::default());
+    let mut sched = Scheduler::new(SchedulerConfig::default().compressed());
+    for rp in 0..4usize {
+        let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+        sched.register_bitstream(rp as u32, sys.make_asp_bitstream(rp, kind, rp as u32 + 1));
+    }
+    for rp in 0..4usize {
+        let req = ReconfigRequest {
+            rp,
+            bitstream_id: rp as u32,
+            priority: (rp % 2) as u8,
+            deadline: SimDuration::from_millis(50),
+        };
+        sched.submit(&sys, &mgr, req).expect("workload must admit");
+    }
+    sched.run_until_idle(&mut sys, &mut mgr);
+    sched.report()
+}
+
+property! {
+    config = cfg();
+
+    /// Same seed, same level ⇒ byte-identical JSONL tape and identical
+    /// trace report, at every level.
+    fn same_seed_produces_identical_tapes(
+        seed_freq in tuple2(u64s(0..=u64::MAX), freqs()),
+        level in levels(),
+    ) {
+        let (seed, freq) = seed_freq;
+        let (mut a, _) = traced_run(seed, freq, level);
+        let (mut b, _) = traced_run(seed, freq, level);
+        assert_eq!(
+            a.tracer().export_jsonl(),
+            b.tracer().export_jsonl(),
+            "same seed must replay to the same tape"
+        );
+        assert_eq!(
+            a.tracer_mut().report().to_json_string(),
+            b.tracer_mut().report().to_json_string(),
+        );
+    }
+
+    /// Tapes are well-formed: sequence numbers are dense from zero and
+    /// simulated-time stamps never go backwards.
+    fn tape_stamps_are_monotone(
+        seed_freq in tuple2(u64s(0..=u64::MAX), freqs()),
+    ) {
+        let (seed, freq) = seed_freq;
+        let (sys, _) = traced_run(seed, freq, TraceLevel::Full);
+        let records = sys.tracer().records();
+        assert!(!records.is_empty(), "the workload must emit events");
+        let mut last_t = 0u64;
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64, "sequence numbers must be dense");
+            assert!(
+                rec.t_ps >= last_t,
+                "stamp at seq {} went backwards: {} < {last_t}",
+                rec.seq,
+                rec.t_ps
+            );
+            last_t = rec.t_ps;
+        }
+        assert_eq!(sys.tracer().events_emitted(), records.len() as u64);
+    }
+
+    /// Observer effect = 0: running with a full tape never changes a single
+    /// field of the reconfiguration report vs tracing switched off.
+    fn full_trace_never_changes_reconfig_reports(
+        seed_freq in tuple2(u64s(0..=u64::MAX), freqs()),
+    ) {
+        let (seed, freq) = seed_freq;
+        let (_, off) = traced_run(seed, freq, TraceLevel::Off);
+        let (_, full) = traced_run(seed, freq, TraceLevel::Full);
+        assert_eq!(off, full, "tracing must be a pure observer");
+        assert_eq!(off.to_json_string(), full.to_json_string());
+    }
+
+    /// Observer effect = 0 for the scheduler: byte-identical telemetry JSON
+    /// whether the tape is off or fully retained.
+    fn full_trace_never_changes_scheduler_reports(
+        seed in u64s(0..=u64::MAX),
+    ) {
+        let off = scheduler_run(seed, TraceLevel::Off);
+        let full = scheduler_run(seed, TraceLevel::Full);
+        assert_eq!(off, full, "tracing must be a pure observer");
+        assert_eq!(off.to_json_string(), full.to_json_string());
+    }
+
+    /// Trace reports from real runs round-trip through JSON bit-exactly
+    /// and honour the non-finite-float contract.
+    fn trace_report_round_trips_bit_exactly(
+        seed_freq in tuple2(u64s(0..=u64::MAX), freqs()),
+        level in levels(),
+    ) {
+        let (seed, freq) = seed_freq;
+        let (mut sys, _) = traced_run(seed, freq, level);
+        let report = sys.tracer_mut().report();
+        let text = report.to_json_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let back = TraceReport::from_json_str(&text).expect("decodes");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_string(), text, "re-encoding must be idempotent");
+    }
+}
