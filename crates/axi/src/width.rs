@@ -5,7 +5,7 @@
 //! domain and emits **at most one 32-bit word per cycle**, which makes the
 //! ICAP-side byte rate exactly `4 B × f` — the linear region of Fig. 5.
 
-use pdr_sim_core::{Component, Consumer, EdgeCtx, Producer};
+use pdr_sim_core::{Component, Consumer, EdgeCtx, NextWake, Producer};
 
 use crate::stream::StreamBeat;
 
@@ -75,6 +75,17 @@ impl Component for Width64To32 {
         };
         self.output.try_push(word).expect("checked can_push");
         self.words_out += 1;
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // Blocked output or nothing buffered and nothing arriving: the edge
+        // is a pure no-op. The ICAP popping a word or the DMA pushing a beat
+        // re-polls this converter.
+        if !self.output.can_push() || (self.carry.is_none() && self.input.is_empty()) {
+            NextWake::Idle
+        } else {
+            NextWake::EveryCycle
+        }
     }
 }
 

@@ -24,7 +24,7 @@ use pdr_axi::interconnect::MasterEndpoints;
 use pdr_axi::mm::ReadReq;
 use pdr_axi::stream::StreamBeat;
 use pdr_axi::RegisterFile;
-use pdr_sim_core::{Component, EdgeCtx, IrqLine, Producer};
+use pdr_sim_core::{Component, EdgeCtx, IrqLine, NextWake, Producer};
 
 /// `MM2S_DMACR` control register offset.
 pub const REG_DMACR: u32 = 0x00;
@@ -123,6 +123,9 @@ pub struct AxiDma {
     /// Bytes not yet streamed out.
     bytes_to_stream: u64,
     outstanding: u32,
+    /// Domain cycle up to which stall/start countdowns are synchronised
+    /// (event skipping).
+    last_cycle: u64,
     stats: DmaStats,
 }
 
@@ -159,6 +162,7 @@ impl AxiDma {
             bytes_to_request: 0,
             bytes_to_stream: 0,
             outstanding: 0,
+            last_cycle: 0,
             stats: DmaStats::default(),
         }
     }
@@ -290,6 +294,9 @@ impl Component for AxiDma {
     }
 
     fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        let cycle = ctx.cycle();
+        self.catch_up(cycle - 1);
+        self.last_cycle = cycle;
         if self.stall_cycles > 0 {
             self.stall_cycles -= 1;
             return;
@@ -309,6 +316,54 @@ impl Component for AxiDma {
             State::Running => {
                 self.issue_requests();
                 self.pump_stream(ctx);
+            }
+        }
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        if self.stall_cycles > 0 {
+            // Wake at the last stall-decrement edge; its authoritative
+            // re-poll then answers for the post-stall state.
+            return NextWake::In(self.stall_cycles);
+        }
+        match self.state {
+            State::Halted => {
+                // A halted engine only polls the doorbell; sleep until the
+                // registers actually hold one (writes by other components
+                // re-poll this engine through the wake bookkeeping).
+                if self.regs.bits_set(REG_DMACR, DMACR_RS) && self.regs.read(REG_LENGTH) != 0 {
+                    NextWake::EveryCycle
+                } else {
+                    NextWake::Idle
+                }
+            }
+            // `remaining` countdown edges, then the edge that goes Running.
+            State::Starting { remaining } => NextWake::In(remaining as u64 + 1),
+            State::Running => NextWake::EveryCycle,
+        }
+    }
+
+    fn catch_up(&mut self, cycle: u64) {
+        let mut k = cycle.saturating_sub(self.last_cycle);
+        self.last_cycle = cycle;
+        while k > 0 {
+            if self.stall_cycles > 0 {
+                let d = self.stall_cycles.min(k);
+                self.stall_cycles -= d;
+                k -= d;
+            } else if let State::Starting { remaining } = &mut self.state {
+                // next_wake never sleeps past the remaining==0 work edge.
+                debug_assert!(*remaining as u64 >= k, "folded past the DMA start edge");
+                let d = (*remaining as u64).min(k);
+                *remaining -= d as u32;
+                k -= d;
+            } else {
+                // Halted without a doorbell: every folded edge was a no-op.
+                debug_assert!(
+                    matches!(self.state, State::Halted),
+                    "folded a running DMA engine"
+                );
+                break;
             }
         }
     }

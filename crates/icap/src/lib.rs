@@ -26,7 +26,7 @@ use std::rc::Rc;
 use pdr_axi::width::Word32;
 use pdr_bitstream::{Action, CmdCode, ParseError, Parser};
 use pdr_fabric::ConfigMemory;
-use pdr_sim_core::{Component, Consumer, EdgeCtx, IrqLine, SimTime, Xoshiro256StarStar};
+use pdr_sim_core::{Component, Consumer, EdgeCtx, IrqLine, NextWake, SimTime, Xoshiro256StarStar};
 
 /// Shared handle to the device's configuration memory.
 pub type SharedConfigMemory = Rc<RefCell<ConfigMemory>>;
@@ -236,6 +236,18 @@ impl Component for IcapController {
                 self.done_irq.raise(now);
             }
             ctx.trace("icap-done", self.status.frames_written, 0);
+        }
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // An empty-stream edge pops nothing and returns immediately — a pure
+        // no-op, so the ICAP sleeps until the converter pushes a word. Even a
+        // wedged controller still consumes (and RNG-corrupts) words, so any
+        // non-empty stream needs edge-by-edge service.
+        if self.stream_in.is_empty() {
+            NextWake::Idle
+        } else {
+            NextWake::EveryCycle
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use pdr_axi::interconnect::SlaveEndpoints;
 use pdr_axi::mm::ReadBeat;
-use pdr_sim_core::{Component, EdgeCtx};
+use pdr_sim_core::{Component, EdgeCtx, NextWake};
 
 use crate::backing::Backing;
 
@@ -106,6 +106,9 @@ pub struct DramController {
     refresh_in: u32,
     /// Remaining refresh busy cycles (0 = not refreshing).
     refreshing: u32,
+    /// Domain cycle up to which refresh state is synchronised (event
+    /// skipping).
+    last_cycle: u64,
     stats: DramStats,
 }
 
@@ -121,6 +124,7 @@ impl DramController {
             ports,
             state: BurstState::Idle,
             refreshing: 0,
+            last_cycle: 0,
             stats: DramStats::default(),
         }
     }
@@ -141,7 +145,10 @@ impl Component for DramController {
         &self.name
     }
 
-    fn on_clock_edge(&mut self, _ctx: &mut EdgeCtx<'_>) {
+    fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        let cycle = ctx.cycle();
+        self.catch_up(cycle - 1);
+        self.last_cycle = cycle;
         // Refresh bookkeeping runs unconditionally.
         if self.refreshing > 0 {
             self.refreshing -= 1;
@@ -207,6 +214,43 @@ impl Component for DramController {
                 } else {
                     *sent += 1;
                 }
+            }
+        }
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // Any in-flight burst or queued request needs edge-by-edge service;
+        // an idle controller only cycles its refresh counters, which
+        // catch_up folds in closed form.
+        if !matches!(self.state, BurstState::Idle) || !self.ports.req.is_empty() {
+            NextWake::EveryCycle
+        } else {
+            NextWake::Idle
+        }
+    }
+
+    fn catch_up(&mut self, cycle: u64) {
+        // Replay `cycle - last_cycle` idle edges of the refresh state
+        // machine in closed form. Only legal because every folded edge had
+        // `state == Idle` and an empty request queue (next_wake contract),
+        // so the burst arm of on_clock_edge was unreachable.
+        let mut k = cycle.saturating_sub(self.last_cycle);
+        self.last_cycle = cycle;
+        while k > 0 {
+            if self.refreshing > 0 {
+                let d = (self.refreshing as u64).min(k);
+                self.refreshing -= d as u32;
+                self.stats.refresh_cycles += d;
+                k -= d;
+            } else if self.refresh_in == 0 {
+                self.refreshing = self.config.refresh_cycles;
+                self.refresh_in = self.config.refresh_interval_cycles;
+                self.open_rows.iter_mut().for_each(|r| *r = None);
+                k -= 1;
+            } else {
+                let d = (self.refresh_in as u64).min(k);
+                self.refresh_in -= d as u32;
+                k -= d;
             }
         }
     }

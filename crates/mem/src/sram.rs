@@ -17,7 +17,9 @@
 //! PS Scheduler exploits.
 
 use pdr_axi::width::Word32;
-use pdr_sim_core::{fifo_channel, Component, Consumer, EdgeCtx, Frequency, Producer, SimDuration};
+use pdr_sim_core::{
+    fifo_channel, Component, Consumer, EdgeCtx, Frequency, NextWake, Producer, SimDuration,
+};
 
 use crate::backing::Backing;
 
@@ -179,6 +181,16 @@ impl Component for QdrSram {
         } else {
             Some((addr + 4, remaining - 1))
         };
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // No command in flight and none queued: the edge pops nothing and
+        // returns — a pure no-op until a master pushes a command.
+        if self.is_idle() {
+            NextWake::Idle
+        } else {
+            NextWake::EveryCycle
+        }
     }
 }
 

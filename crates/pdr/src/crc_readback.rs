@@ -14,7 +14,7 @@
 //! would see a half-written region).
 
 use pdr_icap::SharedConfigMemory;
-use pdr_sim_core::{Component, EdgeCtx, IrqLine};
+use pdr_sim_core::{Component, EdgeCtx, IrqLine, NextWake};
 
 use pdr_bitstream::Crc32;
 
@@ -57,6 +57,9 @@ pub struct CrcReadback {
     crc: Crc32,
     /// Total frames read back.
     frames_read: u64,
+    /// Domain cycle up to which `frame_countdown` is synchronised (event
+    /// skipping).
+    last_cycle: u64,
 }
 
 /// Cycles to read one frame back through the ICAP's read port (101 words +
@@ -77,6 +80,7 @@ impl CrcReadback {
             frame_countdown: CYCLES_PER_FRAME,
             crc: Crc32::ieee(),
             frames_read: 0,
+            last_cycle: 0,
         }
     }
 
@@ -159,6 +163,9 @@ impl Component for CrcReadback {
     }
 
     fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        let cycle = ctx.cycle();
+        self.catch_up(cycle - 1);
+        self.last_cycle = cycle;
         if !self.enabled || self.regions.iter().all(|r| r.frames == 0) {
             return;
         }
@@ -186,6 +193,36 @@ impl Component for CrcReadback {
         } else {
             self.cursor = (r, f + 1);
         }
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // Disabled or empty: edges are pure no-ops until software re-enables
+        // scanning (run-end sync keeps `last_cycle` current across runs, so
+        // a later set_enabled starts from a synchronised countdown).
+        if !self.enabled || self.regions.iter().all(|r| r.frames == 0) {
+            return NextWake::Idle;
+        }
+        // Edges with countdown > 1 only decrement it; the interesting edge
+        // (frame absorb + CRC) is the one that sees countdown == 1.
+        NextWake::In(self.frame_countdown as u64)
+    }
+
+    fn catch_up(&mut self, cycle: u64) {
+        if cycle <= self.last_cycle {
+            return;
+        }
+        let k = cycle - self.last_cycle;
+        self.last_cycle = cycle;
+        if !self.enabled || self.regions.iter().all(|r| r.frames == 0) {
+            return;
+        }
+        // next_wake never sleeps past the countdown==1 work edge, so every
+        // folded edge strictly decrements the countdown.
+        debug_assert!(
+            k < self.frame_countdown as u64,
+            "folded past a read-back work edge"
+        );
+        self.frame_countdown -= k as u32;
     }
 }
 

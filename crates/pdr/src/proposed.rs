@@ -28,8 +28,8 @@ use pdr_fabric::{AspImage, AspKind, ConfigMemory, Floorplan};
 use pdr_icap::{shared_config_memory, IcapController, SharedConfigMemory};
 use pdr_mem::{QdrSram, SramConfig, SramReadCmd};
 use pdr_sim_core::{
-    Component, ComponentId, Consumer, EdgeCtx, Engine, Frequency, IrqBus, IrqLine, Producer,
-    SimDuration, SimTime,
+    Component, ComponentId, Consumer, EdgeCtx, Engine, EngineStrategy, Frequency, IrqBus, IrqLine,
+    NextWake, Producer, SimDuration, SimTime,
 };
 
 use crate::system::{bitstream_payload, frames_crc, IDCODE};
@@ -53,6 +53,8 @@ pub struct ProposedConfig {
     pub compress: bool,
     /// Abort threshold per reconfiguration.
     pub timeout: SimDuration,
+    /// Simulation kernel strategy (see `docs/KERNEL.md`).
+    pub strategy: EngineStrategy,
 }
 
 impl Default for ProposedConfig {
@@ -63,6 +65,7 @@ impl Default for ProposedConfig {
             icap_clock: Frequency::from_mhz(550),
             compress: true,
             timeout: SimDuration::from_millis(20),
+            strategy: EngineStrategy::EventSkip,
         }
     }
 }
@@ -242,6 +245,16 @@ impl Component for Decompressor {
             self.blocks_seen = validated;
         }
     }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // Idle (no job, completed, or wedged) and back-pressured edges are
+        // pure no-ops; a load() between runs or an ICAP pop re-polls.
+        if self.idle || !self.output.can_push() {
+            NextWake::Idle
+        } else {
+            NextWake::EveryCycle
+        }
+    }
 }
 
 /// The assembled Sec. VI system.
@@ -268,7 +281,7 @@ pub struct ProposedSystem {
 impl ProposedSystem {
     /// Builds and wires Fig. 7.
     pub fn new(config: ProposedConfig) -> Self {
-        let mut engine = Engine::new();
+        let mut engine = Engine::with_strategy(config.strategy);
         let sram_clk = engine.add_clock_domain("sram-rd", config.sram.read_word_rate);
         let icap_clk = engine.add_clock_domain("icap-550", config.icap_clock);
 

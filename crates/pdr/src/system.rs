@@ -13,8 +13,8 @@ use pdr_icap::{shared_config_memory, IcapController, SharedConfigMemory};
 use pdr_mem::{Backing, DramConfig, DramController};
 use pdr_power::{CurrentSenseMeter, PowerModel};
 use pdr_sim_core::{
-    ClockDomainId, ComponentId, Engine, Fifo, Frequency, IrqBus, IrqLine, SimDuration, SimTime,
-    Xoshiro256StarStar,
+    ClockDomainId, ComponentId, Engine, EngineStrategy, Fifo, Frequency, IrqBus, IrqLine,
+    SimDuration, SimTime, Xoshiro256StarStar,
 };
 use pdr_timing::{DieThermal, OverclockModel, XadcSensor};
 
@@ -63,6 +63,9 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Use noiseless instruments (exact determinism for tests).
     pub ideal_instruments: bool,
+    /// Simulation kernel: the event-skipping default or the edge-by-edge
+    /// tick oracle (differential testing; see `docs/KERNEL.md`).
+    pub strategy: EngineStrategy,
 }
 
 impl Default for SystemConfig {
@@ -81,6 +84,7 @@ impl Default for SystemConfig {
             stream_fifo_depth: 64,
             seed: 0xC0FFEE,
             ideal_instruments: false,
+            strategy: EngineStrategy::EventSkip,
         }
     }
 }
@@ -166,7 +170,7 @@ pub struct ZynqPdrSystem {
 impl ZynqPdrSystem {
     /// Builds and wires the system of Fig. 2.
     pub fn new(config: SystemConfig) -> Self {
-        let mut engine = Engine::new();
+        let mut engine = Engine::with_strategy(config.strategy);
         let axi_clk = engine.add_clock_domain("fclk-axi", config.interconnect_clock);
         let dram_clk = engine.add_clock_domain("ddr", config.dram_clock);
         let oc_clk = engine.add_clock_domain("overclock", Frequency::from_mhz(100));

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use crate::component::Component;
+use crate::component::{Component, NextWake};
 use crate::engine::EdgeCtx;
 use crate::fifo::{Consumer, Producer};
 
@@ -63,6 +63,16 @@ impl<T: 'static, F: FnMut(u64) -> T + 'static> Component for Source<T, F> {
             *r -= 1;
         }
     }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // Done or back-pressured edges are pure no-ops; a consumer pop
+        // re-polls this source before its next edge can fire.
+        if self.remaining == Some(0) || !self.output.can_push() {
+            NextWake::Idle
+        } else {
+            NextWake::EveryCycle
+        }
+    }
 }
 
 /// Consumes up to one item per clock edge, counting and optionally
@@ -75,6 +85,8 @@ pub struct Sink<T, F> {
     /// Consume only every `stride`-th edge (rate limiting); 1 = every edge.
     stride: u32,
     phase: u32,
+    /// Domain cycle up to which `phase` is synchronised (event skipping).
+    last_cycle: u64,
 }
 
 impl<T, F: FnMut(T)> Sink<T, F> {
@@ -97,6 +109,7 @@ impl<T, F: FnMut(T)> Sink<T, F> {
             consumed: 0,
             stride,
             phase: 0,
+            last_cycle: 0,
         }
     }
 
@@ -111,7 +124,10 @@ impl<T: 'static, F: FnMut(T) + 'static> Component for Sink<T, F> {
         &self.name
     }
 
-    fn on_clock_edge(&mut self, _ctx: &mut EdgeCtx<'_>) {
+    fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        let cycle = ctx.cycle();
+        self.catch_up(cycle - 1);
+        self.last_cycle = cycle;
         self.phase += 1;
         if self.phase < self.stride {
             return;
@@ -120,6 +136,28 @@ impl<T: 'static, F: FnMut(T) + 'static> Component for Sink<T, F> {
         if let Some(item) = self.input.pop() {
             (self.inspector)(item);
             self.consumed += 1;
+        }
+    }
+
+    fn next_wake(&self, now_cycle: u64) -> NextWake {
+        if self.input.is_empty() {
+            // Skipped edges only cycle `phase`, which catch_up realigns.
+            return NextWake::Idle;
+        }
+        // Virtual phase after the not-yet-folded skipped edges: the next pop
+        // attempt is the edge that brings it up to `stride`.
+        let elapsed = now_cycle - self.last_cycle;
+        let phase = (self.phase as u64 + elapsed) % self.stride as u64;
+        NextWake::In(self.stride as u64 - phase)
+    }
+
+    fn catch_up(&mut self, cycle: u64) {
+        if cycle > self.last_cycle {
+            let delta = cycle - self.last_cycle;
+            // Each edge increments `phase` and resets it at `stride`, which
+            // is exactly addition modulo `stride`.
+            self.phase = ((self.phase as u64 + delta) % self.stride as u64) as u32;
+            self.last_cycle = cycle;
         }
     }
 }
@@ -175,6 +213,16 @@ impl<T: 'static> Component for DelayLine<T> {
             if let Some(item) = self.input.pop() {
                 self.pipe.push_back((item, self.latency));
             }
+        }
+    }
+
+    fn next_wake(&self, _now_cycle: u64) -> NextWake {
+        // With an empty pipe and empty input an edge touches nothing; any
+        // producer push re-polls this component.
+        if self.pipe.is_empty() && self.input.is_empty() {
+            NextWake::Idle
+        } else {
+            NextWake::EveryCycle
         }
     }
 }

@@ -61,6 +61,30 @@ impl Event {
     }
 }
 
+/// A clocked component's declaration of its next interesting clock edge,
+/// returned from [`Component::next_wake`].
+///
+/// The event-skipping engine uses these declarations to fast-forward a clock
+/// domain across spans where every member is quiescent. See `docs/KERNEL.md`
+/// for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextWake {
+    /// Dispatch this component on every edge (the tick-accurate default for
+    /// unported components).
+    EveryCycle,
+    /// The next `n - 1` edges only advance internal countdowns that
+    /// [`Component::catch_up`] can reproduce in closed form; the first edge
+    /// with observable work is `n` cycles after `now_cycle`. `In(1)` is
+    /// equivalent to [`NextWake::EveryCycle`]; `In(0)` is treated as `In(1)`.
+    In(u64),
+    /// Every future edge is a no-op (beyond what [`Component::catch_up`]
+    /// folds) until some external input arrives — a FIFO push, a register
+    /// write, a delivered event. The engine re-polls sleeping components
+    /// after every dispatched action and at the start of every run, so new
+    /// input always wakes them on the same edge the tick engine would act.
+    Idle,
+}
+
 /// A simulated hardware block (or software agent) driven by the engine.
 ///
 /// Components are registered with
@@ -75,6 +99,39 @@ impl Event {
 pub trait Component: Any {
     /// A short, stable, human-readable name used in traces and panics.
     fn name(&self) -> &str;
+
+    /// Declares this component's next interesting edge, counted from
+    /// `now_cycle` (the bound domain's lifetime edge count).
+    ///
+    /// Called by the event-skipping engine after every dispatch and at the
+    /// start of every run. The answer must be *truthful for the component's
+    /// current inputs*: declaring a wake later than the first edge with
+    /// observable work diverges from the tick engine. Declaring it earlier
+    /// is always safe — an early edge simply dispatches as the (no-op) edge
+    /// the tick engine would also have processed. Implementations that track
+    /// a synchronisation cycle must use `now_cycle` to account for skipped
+    /// edges not yet folded by [`Component::catch_up`].
+    ///
+    /// The default keeps unported components tick-accurate.
+    fn next_wake(&self, now_cycle: u64) -> NextWake {
+        let _ = now_cycle;
+        NextWake::EveryCycle
+    }
+
+    /// Folds the effect of the quiescent edges up to and including `cycle`
+    /// into this component's state, in closed form.
+    ///
+    /// The event-skipping engine guarantees every folded edge was covered by
+    /// a [`Component::next_wake`] declaration, i.e. it would only have
+    /// advanced internal countdowns or idle accounting. Implementations
+    /// track their own synchronisation cycle and must be idempotent for
+    /// `cycle` values at or before it. Called by ported components at the
+    /// top of their own `on_clock_edge` (with `cycle - 1`) and by the engine
+    /// at the end of every run so externally observed state is always
+    /// tick-identical.
+    fn catch_up(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
 
     /// Called on every rising edge of the bound clock domain.
     ///

@@ -14,9 +14,41 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::clock::{ClockDomain, ClockDomainId, ClockDomainInfo};
-use crate::component::{Component, ComponentId, Event};
-use crate::time::{Frequency, SimDuration, SimTime};
+use crate::component::{Component, ComponentId, Event, NextWake};
+use crate::time::{Frequency, SimDuration, SimTime, PS_PER_SEC};
 use crate::trace::{Trace, TraceRecord};
+
+/// How the engine advances a clock domain between interesting edges.
+///
+/// Both strategies produce byte-identical traces, reports and component
+/// state; `Tick` exists as the oracle for differential testing (see
+/// `tests/kernel_equivalence.rs` and `docs/KERNEL.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStrategy {
+    /// Dispatch every rising edge of every running clock domain.
+    Tick,
+    /// Fold spans where every member of a domain is quiescent (per
+    /// [`Component::next_wake`]) into O(1) accounting updates.
+    EventSkip,
+}
+
+impl EngineStrategy {
+    /// Reads the strategy from the `PDR_ENGINE` environment variable
+    /// (`tick` or `event`); defaults to [`EngineStrategy::EventSkip`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value, so CI jobs fail loudly instead of
+    /// silently benchmarking the wrong engine.
+    pub fn from_env() -> Self {
+        match std::env::var("PDR_ENGINE").as_deref() {
+            Ok("tick") => EngineStrategy::Tick,
+            Ok("event") | Ok("event-skip") => EngineStrategy::EventSkip,
+            Ok(other) => panic!("PDR_ENGINE must be `tick` or `event`, got {other:?}"),
+            Err(_) => EngineStrategy::EventSkip,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Action {
@@ -209,6 +241,11 @@ struct Slot {
     component: Option<Box<dyn Component>>,
     name: String,
     domain: Option<ClockDomainId>,
+    /// Next interesting cycle of this component, in its domain's lifetime
+    /// edge count (`total_edges` terms, so re-programming survives). Zero
+    /// forces the first edge to materialise. Only meaningful for clocked
+    /// components under [`EngineStrategy::EventSkip`].
+    due_cycle: u64,
 }
 
 /// The simulation engine: owns components, clock domains and the event queue.
@@ -217,6 +254,7 @@ struct Slot {
 pub struct Engine {
     kernel: Kernel,
     slots: Vec<Slot>,
+    strategy: EngineStrategy,
 }
 
 impl Default for Engine {
@@ -226,8 +264,14 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an empty engine at t = 0 with tracing disabled.
+    /// Creates an empty engine at t = 0 with tracing disabled, using the
+    /// event-skipping strategy.
     pub fn new() -> Self {
+        Self::with_strategy(EngineStrategy::EventSkip)
+    }
+
+    /// Creates an empty engine using the given advance strategy.
+    pub fn with_strategy(strategy: EngineStrategy) -> Self {
         Engine {
             kernel: Kernel {
                 queue: BinaryHeap::new(),
@@ -239,7 +283,13 @@ impl Engine {
                 actions_dispatched: 0,
             },
             slots: Vec::new(),
+            strategy,
         }
+    }
+
+    /// The engine's advance strategy.
+    pub fn strategy(&self) -> EngineStrategy {
+        self.strategy
     }
 
     /// Enables the bounded in-memory trace with the given capacity.
@@ -299,6 +349,7 @@ impl Engine {
             component: Some(Box::new(component)),
             name,
             domain,
+            due_cycle: 0,
         });
         if let Some(d) = domain {
             self.kernel.domains[d.index()].members.push(id);
@@ -383,11 +434,12 @@ impl Engine {
     pub fn run_until(&mut self, deadline: SimTime) -> RunResult {
         let start_actions = self.kernel.actions_dispatched;
         self.kernel.stop_request = None;
-        loop {
+        self.refresh_all_wakes();
+        let result = loop {
             let head_time = match self.kernel.queue.peek() {
                 Some(Reverse(e)) => e.time,
                 None => {
-                    return RunResult {
+                    break RunResult {
                         reason: StopReason::Idle,
                         now: self.kernel.now,
                         actions: self.kernel.actions_dispatched - start_actions,
@@ -396,7 +448,7 @@ impl Engine {
             };
             if head_time > deadline {
                 self.kernel.now = deadline;
-                return RunResult {
+                break RunResult {
                     reason: StopReason::DeadlineReached,
                     now: deadline,
                     actions: self.kernel.actions_dispatched - start_actions,
@@ -405,15 +457,17 @@ impl Engine {
             let Reverse(entry) = self.kernel.queue.pop().expect("peeked entry vanished");
             debug_assert!(entry.time >= self.kernel.now, "time ran backwards");
             self.kernel.now = entry.time;
-            self.dispatch(entry.action);
+            self.execute(entry.action, deadline);
             if let Some(code) = self.kernel.stop_request.take() {
-                return RunResult {
+                break RunResult {
                     reason: StopReason::Stopped(code),
                     now: self.kernel.now,
                     actions: self.kernel.actions_dispatched - start_actions,
                 };
             }
-        }
+        };
+        self.sync_components();
+        result
     }
 
     /// Runs for `duration` of simulated time from now.
@@ -432,9 +486,10 @@ impl Engine {
     ) -> (RunResult, bool) {
         let start_actions = self.kernel.actions_dispatched;
         self.kernel.stop_request = None;
-        loop {
+        self.refresh_all_wakes();
+        let result = loop {
             if predicate(self) {
-                return (
+                break (
                     RunResult {
                         reason: StopReason::Stopped(0),
                         now: self.kernel.now,
@@ -446,7 +501,7 @@ impl Engine {
             let head_time = match self.kernel.queue.peek() {
                 Some(Reverse(e)) => e.time,
                 None => {
-                    return (
+                    break (
                         RunResult {
                             reason: StopReason::Idle,
                             now: self.kernel.now,
@@ -458,7 +513,7 @@ impl Engine {
             };
             if head_time > deadline {
                 self.kernel.now = deadline;
-                return (
+                break (
                     RunResult {
                         reason: StopReason::DeadlineReached,
                         now: deadline,
@@ -469,9 +524,9 @@ impl Engine {
             }
             let Reverse(entry) = self.kernel.queue.pop().expect("peeked entry vanished");
             self.kernel.now = entry.time;
-            self.dispatch(entry.action);
+            self.execute(entry.action, deadline);
             if let Some(code) = self.kernel.stop_request.take() {
-                return (
+                break (
                     RunResult {
                         reason: StopReason::Stopped(code),
                         now: self.kernel.now,
@@ -479,6 +534,350 @@ impl Engine {
                     },
                     false,
                 );
+            }
+        };
+        self.sync_components();
+        result
+    }
+
+    /// Executes one popped action: the tick engine dispatches it directly;
+    /// the event-skipping engine first checks whether a fresh edge heads a
+    /// quiescent span it can fold.
+    fn execute(&mut self, action: Action, deadline: SimTime) {
+        if self.strategy == EngineStrategy::Tick {
+            self.dispatch(action);
+            return;
+        }
+        match action {
+            Action::Edge { domain, generation } => {
+                let d = &self.kernel.domains[domain.index()];
+                if d.gated || d.generation != generation {
+                    // Stale edge: route through dispatch so the action
+                    // accounting matches the tick engine exactly.
+                    self.dispatch(action);
+                    return;
+                }
+                let next_cycle = d.total_edges + 1;
+                let min_due = d
+                    .members
+                    .iter()
+                    .map(|m| self.slots[m.index()].due_cycle)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if min_due <= next_cycle {
+                    // Some member does work on this very edge.
+                    self.dispatch(action);
+                    self.refresh_wakes(Some(domain), None);
+                } else if !self.global_fold(domain, min_due, deadline) {
+                    self.fold_edges(domain, min_due, deadline);
+                }
+            }
+            Action::Deliver { target, .. } => {
+                self.dispatch(action);
+                self.refresh_wakes(None, Some(target));
+            }
+        }
+    }
+
+    /// Attempts to fold a *globally* quiescent span. When every queued entry
+    /// is a fresh edge and every running domain's members are asleep, the
+    /// tick engine would grind through nothing but no-op edge dispatches
+    /// until the earliest declared wake (or the deadline); this folds all of
+    /// those — across every domain — in one O(domains·log domains) step,
+    /// where [`Engine::fold_edges`] alone is capped at the next queued entry
+    /// and so advances a multi-domain system only one inter-edge gap per pop.
+    ///
+    /// Exactness: the accounting (clock counters, time, dispatched actions,
+    /// the schedule-sequence counter) matches `Σk` tick dispatches, and the
+    /// surviving queue state matches the tick engine's — entry times by
+    /// construction, and the *relative sequence order* of the re-pushed
+    /// edges by re-pushing in the tick engine's push chronology: ascending
+    /// last-folded-edge time (a surviving entry is pushed at the pop of the
+    /// last folded edge), then predecessor-edge time (two domains tying on
+    /// `t_last` with distinct grids pushed their `t_last` entries at their
+    /// respective predecessor pops), then — full ties share one edge grid —
+    /// captured-entry time *descending* with the popped entry winning
+    /// same-instant ties: a domain already a cycle ahead at fold time keeps
+    /// its older sequence number at the first shared instant, and that pop
+    /// order then reproduces itself at every later instant of the span.
+    ///
+    /// Returns false when ineligible — a Deliver or stale edge is queued
+    /// (those interleave with the span in ways only the bounded per-domain
+    /// fold handles), or the earliest wake does not clear the next queued
+    /// entry (no cross-domain skip to be had) — and the caller falls back
+    /// to [`Engine::fold_edges`].
+    fn global_fold(
+        &mut self,
+        popped: ClockDomainId,
+        popped_min_due: u64,
+        deadline: SimTime,
+    ) -> bool {
+        // Eligibility scan; also capture each domain's live entry.
+        let n_domains = self.kernel.domains.len();
+        let mut entries: Vec<Option<(u64, SimTime)>> = vec![None; n_domains];
+        let mut head: Option<SimTime> = None;
+        for Reverse(e) in self.kernel.queue.iter() {
+            match e.action {
+                Action::Edge { domain, generation } => {
+                    let d = &self.kernel.domains[domain.index()];
+                    if d.gated || d.generation != generation {
+                        return false;
+                    }
+                    entries[domain.index()] = Some((e.seq, e.time));
+                    head = Some(head.map_or(e.time, |h: SimTime| h.min(e.time)));
+                }
+                Action::Deliver { .. } => return false,
+            }
+        }
+        let Some(head) = head else {
+            return false; // single-domain system: fold_edges already optimal
+        };
+
+        // The fold stops at the earliest cycle any member declared
+        // interesting, over every running domain, or at the deadline.
+        let mut t_stop = deadline;
+        for (idx, d) in self.kernel.domains.iter().enumerate() {
+            if d.gated {
+                continue;
+            }
+            let min_due = if idx == popped.index() {
+                popped_min_due
+            } else {
+                d.members
+                    .iter()
+                    .map(|m| self.slots[m.index()].due_cycle)
+                    .min()
+                    .unwrap_or(u64::MAX)
+            };
+            if min_due == u64::MAX {
+                continue;
+            }
+            let delta = min_due.saturating_sub(d.total_edges + 1);
+            let t_due = d.phase_origin + d.frequency.edge_offset(d.next_edge + delta);
+            t_stop = t_stop.min(t_due);
+        }
+        if t_stop <= head {
+            return false; // cannot skip past any queued entry
+        }
+
+        // Fold every running domain's edges strictly before `t_stop` (the
+        // popped edge always folds: it already won its pop ordering).
+        let horizon = SimTime::from_ps(t_stop.as_ps().saturating_sub(1));
+        type FoldKey = (SimTime, SimTime, std::cmp::Reverse<SimTime>, u8, u64);
+        let mut folds: Vec<(FoldKey, ClockDomainId)> = Vec::new();
+        let mut total_k = 0u64;
+        let mut max_t_last = self.kernel.now;
+        for (idx, &entry) in entries.iter().enumerate() {
+            let is_popped = idx == popped.index();
+            if !is_popped && entry.is_none() {
+                continue; // gated (or an unreachable entry-less domain)
+            }
+            let d = &mut self.kernel.domains[idx];
+            if d.gated {
+                continue;
+            }
+            let n0 = d.next_edge;
+            let k_time = if horizon < d.phase_origin {
+                0
+            } else {
+                let y = (horizon - d.phase_origin).as_ps();
+                let e_max =
+                    ((y as u128 + 1) * d.frequency.as_hz() as u128 - 1) / PS_PER_SEC as u128;
+                let e_max = u64::try_from(e_max).unwrap_or(u64::MAX);
+                if e_max < n0 {
+                    0
+                } else {
+                    e_max - n0 + 1
+                }
+            };
+            let k = if is_popped { k_time.max(1) } else { k_time };
+            if k == 0 {
+                continue; // entry at or past t_stop: stays queued verbatim
+            }
+            d.edges_since_origin = n0 + k - 1;
+            d.next_edge = n0 + k;
+            d.total_edges += k;
+            let t_last = d.phase_origin + d.frequency.edge_offset(n0 + k - 1);
+            // The instant the tick engine pushed this domain's surviving
+            // entry: the pop of the edge before it.
+            let t_prev = if k >= 2 {
+                d.phase_origin + d.frequency.edge_offset(n0 + k - 2)
+            } else if n0 >= 1 {
+                d.phase_origin + d.frequency.edge_offset(n0 - 1)
+            } else {
+                SimTime::ZERO
+            };
+            // Within a (t_last, t_prev) tie group every domain shares one
+            // edge grid, and the tick pop order at the final shared instant
+            // is set at the first: domains already *ahead* (captured entry at
+            // a later instant) keep their older sequence numbers and stay in
+            // front of the stragglers' fresh re-pushes forever after. So the
+            // group orders by captured-entry time DESCENDING; the popped
+            // entry out-popped every same-instant peer, so it wins that tie.
+            let (t_cap, pop_rank, s_cap) = if is_popped {
+                (self.kernel.now, 0u8, 0u64)
+            } else {
+                let (s, t) = entry.expect("captured");
+                (t, 1, s)
+            };
+            debug_assert!(t_last <= horizon || (is_popped && k == 1));
+            total_k += k;
+            max_t_last = max_t_last.max(t_last);
+            folds.push((
+                (t_last, t_prev, std::cmp::Reverse(t_cap), pop_rank, s_cap),
+                ClockDomainId(idx as u32),
+            ));
+        }
+
+        // Drop the folded domains' consumed entries; keep the rest verbatim
+        // (original seq included).
+        let folded: Vec<bool> = {
+            let mut v = vec![false; n_domains];
+            for &(_, id) in &folds {
+                v[id.index()] = true;
+            }
+            v
+        };
+        let retained: Vec<QueueEntry> = self
+            .kernel
+            .queue
+            .drain()
+            .map(|Reverse(e)| e)
+            .filter(|e| match e.action {
+                Action::Edge { domain, .. } => !folded[domain.index()],
+                Action::Deliver { .. } => unreachable!("eligibility scan admitted a Deliver"),
+            })
+            .collect();
+        self.kernel.queue.extend(retained.into_iter().map(Reverse));
+
+        debug_assert!(max_t_last >= self.kernel.now, "global fold ran backwards");
+        self.kernel.now = max_t_last;
+        self.kernel.actions_dispatched += total_k;
+        // The tick engine consumed one sequence number per folded pop's
+        // re-push; only the final pushes below survive.
+        self.kernel.seq += total_k - folds.len() as u64;
+        folds.sort_unstable_by_key(|&(key, _)| key);
+        for (_, id) in folds {
+            self.kernel.schedule_edge(id);
+        }
+        true
+    }
+
+    /// Folds a run of consecutive quiescent edges of `domain` into O(1)
+    /// accounting updates, emulating exactly what `k` sequential tick
+    /// dispatches would have done to clocks, time, action counts and the
+    /// schedule-sequence counter. Member state is folded lazily via
+    /// [`Component::catch_up`]. The popped edge (already off the queue) is
+    /// the first folded edge.
+    fn fold_edges(&mut self, domain: ClockDomainId, min_due: u64, deadline: SimTime) {
+        // Folded edges after the first must fire strictly before every other
+        // queued entry: a freshly re-scheduled edge always carries the
+        // youngest sequence number, so the tick engine breaks same-time ties
+        // in favour of the other entry.
+        let other_min = self.kernel.queue.peek().map(|Reverse(e)| e.time);
+        let d = &mut self.kernel.domains[domain.index()];
+        let c = d.total_edges;
+        debug_assert!(min_due > c + 1, "fold requires a quiescent next edge");
+        let k_wake = if min_due == u64::MAX {
+            u64::MAX
+        } else {
+            min_due - 1 - c
+        };
+        let horizon = match other_min {
+            Some(t) => SimTime::from_ps(t.as_ps().saturating_sub(1)).min(deadline),
+            None => deadline,
+        };
+        let n0 = d.next_edge; // origin-relative index of the popped edge
+        let k_time = if horizon < d.phase_origin {
+            0
+        } else {
+            let y = (horizon - d.phase_origin).as_ps();
+            // Largest edge index e with edge_offset(e) <= y, inverting
+            // edge_offset's truncating division in 128-bit arithmetic.
+            let e_max = ((y as u128 + 1) * d.frequency.as_hz() as u128 - 1) / PS_PER_SEC as u128;
+            let e_max = u64::try_from(e_max).unwrap_or(u64::MAX);
+            if e_max < n0 {
+                0
+            } else {
+                e_max - n0 + 1
+            }
+        };
+        // Even when the horizon forbids folding past the popped edge, the
+        // popped edge itself already won its pop ordering: a k = 1 "fold" is
+        // exactly the tick engine's no-op dispatch of that edge.
+        let k = k_wake.min(k_time).max(1);
+        d.edges_since_origin = n0 + k - 1;
+        d.next_edge = n0 + k;
+        d.total_edges = c + k;
+        let new_now = d.phase_origin + d.frequency.edge_offset(n0 + k - 1);
+        debug_assert!(new_now >= self.kernel.now, "fold ran backwards");
+        self.kernel.now = new_now;
+        self.kernel.actions_dispatched += k;
+        // The tick engine would have consumed one sequence number per
+        // re-scheduled edge; only the last push survives in the queue.
+        self.kernel.seq += k - 1;
+        self.kernel.schedule_edge(domain);
+    }
+
+    /// Re-polls component wake declarations after a dispatched action.
+    ///
+    /// Members of the just-dispatched edge's domain (or the event's target)
+    /// answer authoritatively — their state is freshly synchronised, so the
+    /// poll may move the wake later. Every other clocked component is
+    /// min-merged: its stored wake can only move earlier, which is always
+    /// safe (an early edge dispatches as a tick-identical no-op) and is what
+    /// wakes sleepers whose inputs this action just refilled.
+    fn refresh_wakes(&mut self, edge_domain: Option<ClockDomainId>, target: Option<ComponentId>) {
+        for idx in 0..self.slots.len() {
+            let Some(sd) = self.slots[idx].domain else {
+                continue;
+            };
+            let authoritative = edge_domain == Some(sd) || target.map(|t| t.index()) == Some(idx);
+            let now_cycle = self.kernel.domains[sd.index()].total_edges;
+            if !authoritative && self.slots[idx].due_cycle <= now_cycle + 1 {
+                continue; // already awake; min-merge cannot move it earlier
+            }
+            let Some(component) = self.slots[idx].component.as_ref() else {
+                continue;
+            };
+            let due = match component.next_wake(now_cycle) {
+                NextWake::EveryCycle => now_cycle + 1,
+                NextWake::In(n) => now_cycle.saturating_add(n.max(1)),
+                NextWake::Idle => u64::MAX,
+            };
+            let slot = &mut self.slots[idx];
+            slot.due_cycle = if authoritative {
+                due
+            } else {
+                slot.due_cycle.min(due)
+            };
+        }
+    }
+
+    /// Min-merges every clocked component's wake at the start of a run:
+    /// harness code may have pushed FIFOs, written registers or re-armed
+    /// components since the previous run returned.
+    fn refresh_all_wakes(&mut self) {
+        if self.strategy == EngineStrategy::EventSkip {
+            self.refresh_wakes(None, None);
+        }
+    }
+
+    /// Folds every clocked component up to its domain's current edge count
+    /// at the end of a run, so state observed between runs (stats readers,
+    /// test assertions, driver decisions) is byte-identical to the tick
+    /// engine's.
+    fn sync_components(&mut self) {
+        if self.strategy != EngineStrategy::EventSkip {
+            return;
+        }
+        for idx in 0..self.slots.len() {
+            let Some(d) = self.slots[idx].domain else {
+                continue;
+            };
+            let cycle = self.kernel.domains[d.index()].total_edges;
+            if let Some(component) = self.slots[idx].component.as_mut() {
+                component.catch_up(cycle);
             }
         }
     }
@@ -800,6 +1199,151 @@ mod tests {
         assert_eq!(names[a.index()], "stopper");
         assert_eq!(names[b.index()], "edge-counter");
         assert_eq!(e.component_name(a), "stopper");
+    }
+
+    /// A ported component doing observable work every `period`-th cycle,
+    /// counting raw dispatches so tests can prove spans were skipped.
+    struct Beacon {
+        period: u64,
+        last_cycle: u64,
+        raw_calls: u64,
+        work: Vec<u64>,
+    }
+    impl Beacon {
+        fn new(period: u64) -> Self {
+            Beacon {
+                period,
+                last_cycle: 0,
+                raw_calls: 0,
+                work: Vec::new(),
+            }
+        }
+    }
+    impl Component for Beacon {
+        fn name(&self) -> &str {
+            "beacon"
+        }
+        fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+            let cycle = ctx.cycle();
+            self.catch_up(cycle - 1);
+            self.last_cycle = cycle;
+            self.raw_calls += 1;
+            if cycle.is_multiple_of(self.period) {
+                self.work.push(cycle);
+            }
+        }
+        fn next_wake(&self, now_cycle: u64) -> crate::component::NextWake {
+            crate::component::NextWake::In(self.period - now_cycle % self.period)
+        }
+        fn catch_up(&mut self, cycle: u64) {
+            if cycle > self.last_cycle {
+                self.last_cycle = cycle;
+            }
+        }
+    }
+
+    /// Directed regression for the `ctx.cycle()` observation audit: the
+    /// counters advance *before* member dispatch, so a component must see
+    /// its own wake edge's 1-based cycle number — in both engines, at every
+    /// wake, with identical clock/action accounting.
+    #[test]
+    fn cycle_observation_on_wake_edges_pinned_in_both_engines() {
+        let run = |strategy: EngineStrategy| {
+            let mut e = Engine::with_strategy(strategy);
+            let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+            let id = e.add_component(Beacon::new(10), Some(clk));
+            e.run_for(SimDuration::from_micros(1)); // 100 edges
+            let b = e.component::<Beacon>(id);
+            (
+                b.work.clone(),
+                b.raw_calls,
+                b.last_cycle,
+                e.clock_info(clk).total_edges,
+                e.actions_dispatched(),
+                e.now(),
+            )
+        };
+        let tick = run(EngineStrategy::Tick);
+        let skip = run(EngineStrategy::EventSkip);
+        let expected: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        assert_eq!(tick.0, expected, "tick engine must see wake-edge cycles");
+        assert_eq!(skip.0, expected, "event engine must see wake-edge cycles");
+        assert_eq!(tick.1, 100, "tick dispatches every edge");
+        assert!(
+            skip.1 <= 11,
+            "event engine must skip quiescent edges, dispatched {}",
+            skip.1
+        );
+        // Folded accounting is byte-identical: synced state, clocks, action
+        // counts and time all match the tick oracle.
+        assert_eq!(tick.2, skip.2, "catch_up must sync last_cycle at run end");
+        assert_eq!(tick.3, skip.3, "total_edges");
+        assert_eq!(tick.4, skip.4, "actions_dispatched counts folded edges");
+        assert_eq!(tick.5, skip.5, "final now");
+    }
+
+    /// Events delivered between edges observe the same cycle count in both
+    /// engines, even when the event lands inside a span the event engine
+    /// would otherwise fold.
+    #[test]
+    fn event_delivery_observes_same_cycle_in_both_engines() {
+        struct CycleProbe {
+            seen: Vec<u64>,
+        }
+        impl Component for CycleProbe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn next_wake(&self, _now_cycle: u64) -> crate::component::NextWake {
+                crate::component::NextWake::Idle
+            }
+            fn on_event(&mut self, ctx: &mut EdgeCtx<'_>, event: Event) {
+                self.seen.push(ctx.cycle() * 1000 + event.a);
+            }
+        }
+        let run = |strategy: EngineStrategy| {
+            let mut e = Engine::with_strategy(strategy);
+            let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+            let id = e.add_component(CycleProbe { seen: vec![] }, Some(clk));
+            e.schedule(SimDuration::from_nanos(25), id, Event::with_arg(0, 7));
+            e.schedule(SimDuration::from_nanos(91), id, Event::with_arg(0, 8));
+            e.run_for(SimDuration::from_micros(1));
+            (
+                e.component::<CycleProbe>(id).seen.clone(),
+                e.actions_dispatched(),
+            )
+        };
+        let tick = run(EngineStrategy::Tick);
+        let skip = run(EngineStrategy::EventSkip);
+        assert_eq!(tick.0, vec![2 * 1000 + 7, 9 * 1000 + 8]);
+        assert_eq!(tick, skip);
+    }
+
+    /// An idle domain folds whole runs into O(1) work while keeping the
+    /// clock arithmetic exact across frequency re-programming.
+    #[test]
+    fn idle_fold_survives_reprogram_and_gating() {
+        let run = |strategy: EngineStrategy| {
+            let mut e = Engine::with_strategy(strategy);
+            let clk = e.add_clock_domain("clk", Frequency::from_mhz(100));
+            let id = e.add_component(Beacon::new(7), Some(clk));
+            e.run_for(SimDuration::from_micros(1));
+            e.set_clock_frequency(clk, Frequency::from_mhz(280));
+            e.run_for(SimDuration::from_micros(1));
+            e.gate_clock(clk, true);
+            e.run_for(SimDuration::from_micros(1));
+            e.gate_clock(clk, false);
+            e.run_for(SimDuration::from_micros(1));
+            let b = e.component::<Beacon>(id);
+            (
+                b.work.clone(),
+                b.last_cycle,
+                e.clock_info(clk).total_edges,
+                e.actions_dispatched(),
+                e.now(),
+            )
+        };
+        assert_eq!(run(EngineStrategy::Tick), run(EngineStrategy::EventSkip));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   edges never drift, even at awkward frequencies such as 280 MHz.
 //! * [`Engine`] — a single-threaded event scheduler with total determinism:
 //!   events at equal timestamps fire in schedule order (a monotone sequence
-//!   number breaks ties).
+//!   number breaks ties). Its default [`EngineStrategy::EventSkip`] kernel
+//!   fast-forwards across clock spans where every component is quiescent
+//!   (declared via [`NextWake`]) while staying byte-identical to the
+//!   edge-by-edge [`EngineStrategy::Tick`] oracle — see `docs/KERNEL.md`.
 //! * [`Component`] — the trait all simulated hardware blocks implement.
 //!   Components are bound to clock domains and receive `on_clock_edge`
 //!   callbacks; they can also exchange discrete events.
@@ -67,8 +70,8 @@ pub mod trace;
 pub mod vcd;
 
 pub use clock::{ClockDomainId, ClockDomainInfo};
-pub use component::{Component, ComponentId, Event, EventKey};
-pub use engine::{EdgeCtx, Engine, RunResult, StopReason};
+pub use component::{Component, ComponentId, Event, EventKey, NextWake};
+pub use engine::{EdgeCtx, Engine, EngineStrategy, RunResult, StopReason};
 pub use fifo::{fifo_channel, Consumer, Fifo, Producer};
 pub use irq::{IrqBus, IrqLine};
 pub use rng::{SplitMix64, Xoshiro256StarStar};

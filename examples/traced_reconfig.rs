@@ -21,11 +21,16 @@ use pdr_lab::pdr::{
     RecoveryConfig, RecoveryManager, SdCard, SystemConfig, TraceLevel, ZynqPdrSystem,
 };
 use pdr_lab::sim::json::ToJson;
-use pdr_lab::sim::Frequency;
+use pdr_lab::sim::{EngineStrategy, Frequency};
 
 fn main() {
     // -- measured system: boot, transfers, SEU, scrub ----------------------
-    let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+    // `PDR_ENGINE=tick|event` selects the kernel; the CI kernel smoke runs
+    // this example under both and `cmp`s the tapes (see docs/KERNEL.md).
+    let strategy = EngineStrategy::from_env();
+    let mut config = SystemConfig::fast_test();
+    config.strategy = strategy;
+    let mut sys = ZynqPdrSystem::new(config);
     sys.set_trace_level(TraceLevel::Full);
 
     let bs0 = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
@@ -56,6 +61,7 @@ fn main() {
     let mut prop = ProposedSystem::new(ProposedConfig {
         floorplan: SystemConfig::fast_test().floorplan,
         compress: true,
+        strategy,
         ..ProposedConfig::default()
     });
     prop.set_trace_level(TraceLevel::Full);

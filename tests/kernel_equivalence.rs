@@ -1,0 +1,222 @@
+//! Differential kernel-equivalence suite: every committed golden-trace
+//! scenario, the ≥150-fault campaign and the compressed-scheduler workload
+//! run under both [`EngineStrategy::Tick`] (the edge-by-edge oracle) and
+//! [`EngineStrategy::EventSkip`] (the event-skipping kernel), and every
+//! observable — the JSONL tape, the trace report, the campaign/scheduler
+//! telemetry, simulated time and the dispatch count — must be
+//! **byte-identical**. The three golden scenarios additionally pin both
+//! engines to the committed tapes under `tests/golden/`, so a kernel
+//! change that moves a single byte fails twice: against the oracle and
+//! against the repository history.
+
+use pdr_lab::fabric::AspKind;
+use pdr_lab::pdr::{
+    run_fault_campaign, FaultCampaign, FaultCampaignResult, ReconfigRequest, RecoveryConfig,
+    RecoveryManager, Scheduler, SchedulerConfig, SchedulerReport, SdCard, SystemConfig, TraceLevel,
+    ZynqPdrSystem,
+};
+use pdr_lab::sim::json::ToJson;
+use pdr_lab::sim::{EngineStrategy, Frequency, SimDuration};
+
+const STRATEGIES: [EngineStrategy; 2] = [EngineStrategy::Tick, EngineStrategy::EventSkip];
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed golden tape {}: {e}", path.display()))
+}
+
+/// Everything both engines must agree on, down to the byte.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    tape: String,
+    report_json: String,
+    counters: String,
+    now_ps: u64,
+    actions: u64,
+    interconnect: String,
+    reconfigs: u64,
+}
+
+fn observe(mut sys: ZynqPdrSystem) -> Observed {
+    let tape = sys.tracer().export_jsonl();
+    let counters = format!("{:?}", sys.tracer().counters());
+    let interconnect = format!("{:?}", sys.interconnect_stats());
+    let reconfigs = sys.reconfig_count();
+    let now_ps = sys.now().as_ps();
+    let report_json = sys.tracer_mut().report().to_json_string();
+    let actions = sys.engine_mut().actions_dispatched();
+    Observed {
+        tape,
+        report_json,
+        counters,
+        now_ps,
+        actions,
+        interconnect,
+        reconfigs,
+    }
+}
+
+fn assert_equivalent(name: &str, tick: &Observed, skip: &Observed) {
+    assert_eq!(
+        tick.tape, skip.tape,
+        "{name}: tick and event-skip tapes must be byte-identical"
+    );
+    assert_eq!(tick, skip, "{name}: engines disagree on final state");
+}
+
+// ---------------------------------------------------------------------------
+// scenario 1: the golden reconfiguration tape (SD boot, healthy + failing
+// transfer, SEU alarm, scrub recovery)
+// ---------------------------------------------------------------------------
+
+fn reconfig_scenario(strategy: EngineStrategy) -> ZynqPdrSystem {
+    let mut config = SystemConfig::fast_test();
+    config.strategy = strategy;
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(TraceLevel::Full);
+
+    let bs0 = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let bs1 = sys.make_asp_bitstream(1, AspKind::AesMix, 2);
+    let mut card = SdCard::class10_compressed();
+    card.store("rp0_fir.bit", bs0.clone());
+    card.store("rp1_aes.bit", bs1.clone());
+    sys.boot_from_sd(&card);
+
+    assert!(sys.reconfigure(0, &bs0, Frequency::from_mhz(200)).crc_ok());
+    assert!(sys.reconfigure(1, &bs1, Frequency::from_mhz(200)).crc_ok());
+    assert!(!sys.reconfigure(0, &bs0, Frequency::from_mhz(360)).crc_ok());
+    assert!(sys.reconfigure(0, &bs0, Frequency::from_mhz(200)).crc_ok());
+
+    let mut mgr = RecoveryManager::for_system(&sys, RecoveryConfig::default());
+    mgr.register_golden(0, bs0);
+    sys.start_background_monitor(&[0, 1]);
+    let scan = sys.monitor_scan_period();
+    sys.inject_seu(0, 1, 10, 3);
+    let latency = sys
+        .run_monitor_until_alarm(scan * 3)
+        .expect("the monitor must catch an injected SEU");
+    mgr.record_detection(latency);
+    assert!(mgr.on_crc_alarm(&mut sys, 0).succeeded());
+    sys
+}
+
+#[test]
+fn reconfig_tape_is_identical_across_engines_and_matches_golden() {
+    let [tick, skip] = STRATEGIES.map(|s| observe(reconfig_scenario(s)));
+    assert_equivalent("reconfig", &tick, &skip);
+    assert_eq!(
+        tick.tape,
+        golden("reconfig.jsonl"),
+        "both engines must reproduce the committed golden tape"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// scenario 2: the golden fault-campaign slice (800 µs)
+// ---------------------------------------------------------------------------
+
+fn fault_campaign(strategy: EngineStrategy, duration: SimDuration) -> (Observed, String, u64) {
+    let mut campaign = FaultCampaign::default();
+    campaign.plan.duration = duration;
+    let mut config = FaultCampaign::fast_system();
+    config.strategy = strategy;
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(TraceLevel::Full);
+    let r: FaultCampaignResult = run_fault_campaign(&mut sys, &campaign);
+    let events = r.events;
+    (observe(sys), r.to_json_string(), events)
+}
+
+#[test]
+fn fault_slice_tape_is_identical_across_engines_and_matches_golden() {
+    let [(tick, tick_r, tick_events), (skip, skip_r, _)] =
+        STRATEGIES.map(|s| fault_campaign(s, SimDuration::from_micros(800)));
+    assert!(tick_events > 0, "the slice must schedule faults");
+    assert_equivalent("fault-slice", &tick, &skip);
+    assert_eq!(tick_r, skip_r, "campaign result JSON must match");
+    assert_eq!(tick.tape, golden("fault_slice.jsonl"));
+}
+
+#[test]
+fn full_150_fault_campaign_is_identical_across_engines() {
+    // The ≥150-fault campaign: the default mixed plan stretched to 8 ms —
+    // every recovery path (retry, scrub, quarantine) under both kernels.
+    let [(tick, tick_r, tick_events), (skip, skip_r, skip_events)] =
+        STRATEGIES.map(|s| fault_campaign(s, SimDuration::from_millis(8)));
+    assert!(
+        tick_events >= 150,
+        "want a ≥150-fault campaign, got {tick_events}"
+    );
+    assert_eq!(tick_events, skip_events);
+    assert_equivalent("campaign-8ms", &tick, &skip);
+    assert_eq!(
+        tick_r, skip_r,
+        "campaign telemetry JSON must be byte-identical"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// scenario 3: the golden compressed-scheduler workload (thrashing cache)
+// ---------------------------------------------------------------------------
+
+fn scheduler_scenario(strategy: EngineStrategy) -> (ZynqPdrSystem, Scheduler) {
+    let mut config = SystemConfig::fast_quad();
+    config.strategy = strategy;
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(TraceLevel::Full);
+    let mgr = RecoveryManager::for_system(&sys, RecoveryConfig::default());
+
+    let images: Vec<_> = (0..4usize)
+        .map(|rp| {
+            let kind = AspKind::ALL[rp % AspKind::ALL.len()];
+            sys.make_asp_bitstream(rp, kind, rp as u32 + 1)
+        })
+        .collect();
+    let stored: Vec<u64> = images
+        .iter()
+        .map(|bs| pdr_lab::codec::compress_bitstream(bs).bytes.len() as u64)
+        .collect();
+    let budget = stored.iter().sum::<u64>() - 1;
+    let mut sched = Scheduler::new(
+        SchedulerConfig {
+            cache_capacity_bytes: budget,
+            ..SchedulerConfig::default()
+        }
+        .compressed(),
+    );
+    for (id, bs) in images.iter().enumerate() {
+        sched.register_bitstream(id as u32, bs.clone());
+    }
+    let mut mgr = mgr;
+    for wave in 0..2u64 {
+        for rp in 0..4usize {
+            let req = ReconfigRequest {
+                rp,
+                bitstream_id: rp as u32,
+                priority: 0,
+                deadline: SimDuration::from_millis(50 + wave),
+            };
+            sched.submit(&sys, &mgr, req).expect("workload must admit");
+        }
+        sched.run_until_idle(&mut sys, &mut mgr);
+    }
+    (sys, sched)
+}
+
+#[test]
+fn scheduler_tape_is_identical_across_engines_and_matches_golden() {
+    let [(tick, tick_rep), (skip, skip_rep)] = STRATEGIES.map(|s| {
+        let (sys, mut sched) = scheduler_scenario(s);
+        let rep: SchedulerReport = sched.report();
+        (observe(sys), rep)
+    });
+    assert_eq!(tick_rep.completed, 8);
+    assert_equivalent("scheduler", &tick, &skip);
+    assert_eq!(tick_rep, skip_rep, "scheduler telemetry must match");
+    assert_eq!(tick_rep.to_json_string(), skip_rep.to_json_string());
+    assert_eq!(tick.tape, golden("scheduler_compressed.jsonl"));
+}

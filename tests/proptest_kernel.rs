@@ -1,12 +1,20 @@
-//! Property-based tests of the simulation kernel and fabric invariants.
+//! Property-based tests of the simulation kernel and fabric invariants,
+//! including the differential property that the event-skipping kernel is
+//! observationally identical to the tick oracle on arbitrary random
+//! component graphs (random wake patterns, cross-domain clocks, IRQ
+//! storms, mid-run reprogramming and gating).
 
 use pdr_testkit::{
-    any_u64, bools, f64s, indices, property, select, u32s, u64s, usizes, vec_of, Config, Gen,
+    any_u64, bools, f64s, indices, property, select, tuple2, tuple4, u32s, u64s, usizes, vec_of,
+    Config, Gen,
 };
 
 use pdr_lab::fabric::{ColumnKind, Geometry};
 use pdr_lab::sim::stats::{Log2Histogram, OnlineStats};
-use pdr_lab::sim::{fifo_channel, Frequency, SimDuration};
+use pdr_lab::sim::{
+    fifo_channel, Component, ComponentId, EdgeCtx, Engine, EngineStrategy, Event, Frequency,
+    NextWake, SimDuration,
+};
 
 fn cfg() -> Config {
     Config::with_cases(128).regressions(concat!(
@@ -162,5 +170,235 @@ property! {
             assert!(x < bound);
             assert_eq!(x, b.next_bounded(bound));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential kernel property: tick ≡ event-skip on random component graphs
+// ---------------------------------------------------------------------------
+
+fn mix(x: u64) -> u64 {
+    // SplitMix64 finalizer: cheap, bijective, avalanche-complete.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomly parameterised clocked component: it does observable work on a
+/// random cycle pattern, launches decaying event chains at other nodes
+/// (IRQ storms, cross-domain), optionally goes permanently idle after a
+/// quota, and declares its wake times either honestly or ultra-
+/// conservatively (`EveryCycle`, modelling an unported component).
+struct ChaosNode {
+    name: String,
+    id: u64,
+    /// Work-period schedule, cycled through one period per work edge.
+    periods: Vec<u64>,
+    pi: usize,
+    /// Absolute domain cycle of the next work edge.
+    next_work: u64,
+    /// Stop working after this many work edges (`None` = never).
+    quota: Option<u64>,
+    /// Declare wakes truthfully (`true`) or tick on every edge (`false`).
+    honest: bool,
+    /// Event chains still to launch (one per work edge while positive).
+    storm_budget: u64,
+    /// Chain target (the next node in the ring).
+    target: Option<ComponentId>,
+    /// Domain cycle up to which this node is synchronised.
+    last_cycle: u64,
+    /// Observable state: must be engine-independent.
+    hash: u64,
+    works: u64,
+    events: u64,
+}
+
+impl ChaosNode {
+    fn new(id: u64, periods: Vec<u64>, quota: Option<u64>, honest: bool, storm: u64) -> Self {
+        assert!(!periods.is_empty());
+        ChaosNode {
+            name: format!("chaos{id}"),
+            id,
+            next_work: periods[0],
+            periods,
+            pi: 1,
+            quota,
+            honest,
+            storm_budget: storm,
+            target: None,
+            last_cycle: 0,
+            hash: mix(id),
+            works: 0,
+            events: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.quota.is_some_and(|q| self.works >= q)
+    }
+
+    fn summary(&self) -> (u64, u64, u64) {
+        (self.works, self.events, self.hash)
+    }
+}
+
+impl Component for ChaosNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_clock_edge(&mut self, ctx: &mut EdgeCtx<'_>) {
+        let cycle = ctx.cycle();
+        self.catch_up(cycle - 1);
+        self.last_cycle = cycle;
+        if self.done() || cycle != self.next_work {
+            return; // a no-op edge the skipping kernel may fold
+        }
+        self.works += 1;
+        self.hash = mix(self.hash ^ cycle);
+        let p = self.periods[self.pi % self.periods.len()].max(1);
+        self.pi += 1;
+        self.next_work = cycle + p;
+        if self.storm_budget > 0 {
+            self.storm_budget -= 1;
+            if let Some(t) = self.target {
+                let delay = SimDuration::from_nanos(1 + self.hash % 97);
+                ctx.schedule(delay, t, Event::with_args(7, 2 + self.hash % 3, self.id));
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut EdgeCtx<'_>, event: Event) {
+        let cycle = ctx.cycle();
+        self.catch_up(cycle);
+        self.events += 1;
+        self.hash = mix(self.hash ^ event.a.wrapping_mul(31) ^ event.b ^ cycle);
+        // The storm perturbs the wake schedule: pull the next work edge
+        // closer, as an interrupt handler re-arming a timer would.
+        if !self.done() && event.a.is_multiple_of(2) && self.next_work > cycle + 1 {
+            self.next_work = cycle + 1 + event.a % 3;
+        }
+        // Decaying chain: forward the event around the ring.
+        if event.a > 0 {
+            if let Some(t) = self.target {
+                let delay = SimDuration::from_nanos(1 + self.hash % 53);
+                ctx.schedule(delay, t, Event::with_args(7, event.a - 1, self.id));
+            }
+        }
+    }
+
+    fn next_wake(&self, now_cycle: u64) -> NextWake {
+        if !self.honest {
+            return NextWake::EveryCycle;
+        }
+        if self.done() {
+            return NextWake::Idle;
+        }
+        if self.next_work > now_cycle {
+            NextWake::In(self.next_work - now_cycle)
+        } else {
+            NextWake::EveryCycle
+        }
+    }
+
+    fn catch_up(&mut self, cycle: u64) {
+        // Skipped edges touch nothing observable; just track the sync point.
+        if cycle > self.last_cycle {
+            self.last_cycle = cycle;
+        }
+    }
+}
+
+/// Node parameters as drawn by the generators:
+/// `(domain pick, periods, storm budget, (honest, quota draw))`.
+type NodeSpec = (usize, Vec<u64>, u64, (bool, u64));
+
+fn run_chaos(
+    strategy: EngineStrategy,
+    freqs: &[u64],
+    nodes: &[NodeSpec],
+    segments: &[u64],
+    reprogram: bool,
+    gate: bool,
+) -> (Vec<(u64, u64, u64)>, u64, u64) {
+    let mut e = Engine::with_strategy(strategy);
+    let domains: Vec<_> = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &mhz)| e.add_clock_domain(&format!("d{i}"), Frequency::from_mhz(mhz)))
+        .collect();
+    let ids: Vec<ComponentId> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, (dom, periods, storm, (honest, quota_draw)))| {
+            let quota = (*quota_draw < 8).then_some(*quota_draw);
+            let node = ChaosNode::new(i as u64, periods.clone(), quota, *honest, *storm);
+            e.add_component(node, Some(domains[dom % domains.len()]))
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let target = ids[(i + 1) % ids.len()];
+        e.component_mut::<ChaosNode>(id).target = Some(target);
+    }
+    // Seed the storm with one external event.
+    e.schedule(
+        SimDuration::from_nanos(1),
+        ids[0],
+        Event::with_args(7, 3, 99),
+    );
+    for (si, &us) in segments.iter().enumerate() {
+        e.run_for(SimDuration::from_micros(us));
+        // Between-run perturbations: reprogramming and gating exercise the
+        // generation/gating paths of the skipping kernel.
+        if si == 0 {
+            if reprogram {
+                e.set_clock_frequency(domains[0], Frequency::from_mhz(freqs[0] * 2 + 1));
+            }
+            if gate {
+                e.gate_clock(domains[0], true);
+            }
+        } else if gate {
+            e.gate_clock(domains[0], false);
+        }
+    }
+    let summaries = ids
+        .iter()
+        .map(|&id| e.component::<ChaosNode>(id).summary())
+        .collect();
+    (summaries, e.now().as_ps(), e.actions_dispatched())
+}
+
+property! {
+    config = Config::with_cases(48).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ));
+
+    /// The event-skipping kernel is observationally identical to the tick
+    /// oracle on arbitrary component graphs: same per-node work/event
+    /// counts and state hashes, same final simulated time, same action
+    /// count — under random wake patterns, cross-domain clocking, IRQ
+    /// storms, mid-run reprogramming and clock gating.
+    fn event_skip_equals_tick_on_random_graphs(
+        freqs in vec_of(select(vec![1u64, 7, 100, 280, 333, 533, 999]), 1..4),
+        nodes in vec_of(
+            tuple4(
+                usizes(0..8),
+                vec_of(u64s(1..40), 1..5),
+                u64s(0..6),
+                tuple2(bools(), u64s(0..30)),
+            ),
+            2..7,
+        ),
+        segments in vec_of(u64s(1..50), 1..4),
+        perturb in tuple2(bools(), bools()),
+    ) {
+        let (reprogram, gate) = perturb;
+        let tick = run_chaos(EngineStrategy::Tick, &freqs, &nodes, &segments, reprogram, gate);
+        let skip = run_chaos(EngineStrategy::EventSkip, &freqs, &nodes, &segments, reprogram, gate);
+        assert_eq!(tick.0, skip.0, "per-node observable state diverged");
+        assert_eq!(tick.1, skip.1, "final simulated time diverged");
+        assert_eq!(tick.2, skip.2, "dispatched-action accounting diverged");
     }
 }

@@ -8,10 +8,10 @@
 use pdr_lab::fabric::AspKind;
 use pdr_lab::pdr::{
     ReconfigReport, ReconfigRequest, RecoveryConfig, RecoveryManager, Scheduler, SchedulerConfig,
-    SchedulerReport, SystemConfig, TraceLevel, TraceReport, ZynqPdrSystem,
+    SchedulerReport, SystemConfig, TraceCounters, TraceLevel, TraceReport, ZynqPdrSystem,
 };
 use pdr_lab::sim::json::{FromJson, ToJson};
-use pdr_lab::sim::{Frequency, SimDuration};
+use pdr_lab::sim::{EngineStrategy, Frequency, SimDuration};
 use pdr_testkit::{property, select, tuple2, u64s, Config, Gen};
 
 fn cfg() -> Config {
@@ -37,8 +37,19 @@ fn levels() -> Gen<TraceLevel> {
 /// One seeded system driving two transfers and an SEU/monitor round — a
 /// workload that touches most event kinds.
 fn traced_run(seed: u64, freq_mhz: u64, level: TraceLevel) -> (ZynqPdrSystem, ReconfigReport) {
+    traced_run_with(seed, freq_mhz, level, EngineStrategy::EventSkip)
+}
+
+/// [`traced_run`] under an explicit kernel strategy (differential runs).
+fn traced_run_with(
+    seed: u64,
+    freq_mhz: u64,
+    level: TraceLevel,
+    strategy: EngineStrategy,
+) -> (ZynqPdrSystem, ReconfigReport) {
     let mut config = SystemConfig::fast_test();
     config.seed = seed;
+    config.strategy = strategy;
     let mut sys = ZynqPdrSystem::new(config);
     sys.set_trace_level(level);
     let bs = sys.make_asp_bitstream(0, AspKind::AesMix, 3);
@@ -145,6 +156,44 @@ property! {
         let full = scheduler_run(seed, TraceLevel::Full);
         assert_eq!(off, full, "tracing must be a pure observer");
         assert_eq!(off.to_json_string(), full.to_json_string());
+    }
+
+    /// Skipped-span accounting never desyncs the trace counters: under the
+    /// event-skipping kernel, re-folding the retained tape reproduces the
+    /// live counters field-for-field, and tape, counters and report all
+    /// match the tick oracle byte-for-byte.
+    fn event_skipping_never_desyncs_trace_counters(
+        seed_freq in tuple2(u64s(0..=u64::MAX), freqs()),
+    ) {
+        let (seed, freq) = seed_freq;
+        let (mut tick, tick_rep) =
+            traced_run_with(seed, freq, TraceLevel::Full, EngineStrategy::Tick);
+        let (mut skip, skip_rep) =
+            traced_run_with(seed, freq, TraceLevel::Full, EngineStrategy::EventSkip);
+
+        // Tape-refold == live counters, under skipping and under the oracle.
+        let refold = |sys: &ZynqPdrSystem| {
+            let mut c = TraceCounters::default();
+            for r in sys.tracer().records() {
+                c.absorb(&r.event);
+            }
+            c
+        };
+        assert_eq!(
+            refold(&skip),
+            skip.tracer().counters().clone(),
+            "tape refold must reproduce the live counters under skipping"
+        );
+        assert_eq!(refold(&tick), tick.tracer().counters().clone());
+
+        // And the two kernels agree on every observable.
+        assert_eq!(tick_rep, skip_rep);
+        assert_eq!(tick.tracer().export_jsonl(), skip.tracer().export_jsonl());
+        assert_eq!(tick.tracer().counters(), skip.tracer().counters());
+        assert_eq!(
+            tick.tracer_mut().report().to_json_string(),
+            skip.tracer_mut().report().to_json_string(),
+        );
     }
 
     /// Trace reports from real runs round-trip through JSON bit-exactly
