@@ -7,7 +7,10 @@
 //! 790 MB/s, which is exactly the throughput plateau the paper measures once
 //! the ICAP clock exceeds ~200 MHz (Fig. 5).
 
-use pdr_sim_core::{fifo_channel, Component, Consumer, EdgeCtx, NextWake, Producer};
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
+use pdr_sim_core::{
+    fifo_channel, impl_json_struct, Component, Consumer, EdgeCtx, NextWake, Producer,
+};
 
 use crate::mm::{ReadBeat, ReadReq};
 
@@ -30,6 +33,13 @@ pub struct InterconnectStats {
     /// Cycles the data channel had nothing to route.
     pub data_idle: u64,
 }
+
+impl_json_struct!(InterconnectStats {
+    requests,
+    beats,
+    data_stalls,
+    data_idle
+});
 
 /// The interconnect component. Register it on the fabric interconnect clock
 /// domain (100 MHz on the modelled ZedBoard design).
@@ -180,6 +190,54 @@ impl Component for ReadInterconnect {
             self.stats.data_idle += cycle - self.last_cycle;
             self.last_cycle = cycle;
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The interconnect consumes the slave beat FIFO and every master's
+        // request FIFO, so it serialises all of them.
+        let masters: Vec<Json> = self
+            .masters
+            .iter()
+            .map(|m| m.req_in.fifo().snapshot_json())
+            .collect();
+        Json::Obj(vec![
+            ("rr_next".to_string(), (self.rr_next as u64).to_json()),
+            ("stats".to_string(), self.stats.to_json()),
+            ("last_cycle".to_string(), self.last_cycle.to_json()),
+            (
+                "slave_beats".to_string(),
+                self.slave_beat_in.fifo().snapshot_json(),
+            ),
+            ("master_reqs".to_string(), Json::Arr(masters)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.rr_next = u64::from_json(state.get("rr_next").unwrap_or(&Json::Null))? as usize;
+        self.stats = InterconnectStats::from_json(state.get("stats").unwrap_or(&Json::Null))?;
+        self.last_cycle = u64::from_json(state.get("last_cycle").unwrap_or(&Json::Null))?;
+        self.slave_beat_in
+            .fifo()
+            .restore_json(state.get("slave_beats").unwrap_or(&Json::Null))?;
+        let reqs = state
+            .get("master_reqs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "interconnect snapshot missing master_reqs".to_string(),
+            })?;
+        if reqs.len() != self.masters.len() {
+            return Err(JsonError {
+                msg: format!(
+                    "interconnect snapshot has {} masters, engine has {}",
+                    reqs.len(),
+                    self.masters.len()
+                ),
+            });
+        }
+        for (m, v) in self.masters.iter().zip(reqs) {
+            m.req_in.fifo().restore_json(v)?;
+        }
+        Ok(())
     }
 }
 

@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
+
 #[derive(Debug, Default)]
 struct Inner {
     regs: BTreeMap<u32, u32>,
@@ -68,6 +70,52 @@ impl RegisterFile {
     pub fn access_counts(&self) -> (u64, u64) {
         let inner = self.inner.borrow();
         (inner.reads, inner.writes)
+    }
+
+    /// Serialises the register contents and access counters for a
+    /// checkpoint.
+    pub fn snapshot_json(&self) -> Json {
+        let inner = self.inner.borrow();
+        let regs: Vec<Json> = inner
+            .regs
+            .iter()
+            .map(|(addr, value)| {
+                Json::Obj(vec![
+                    ("addr".to_string(), addr.to_json()),
+                    ("value".to_string(), value.to_json()),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("regs".to_string(), Json::Arr(regs)),
+            ("reads".to_string(), inner.reads.to_json()),
+            ("writes".to_string(), inner.writes.to_json()),
+        ])
+    }
+
+    /// Restores contents captured by [`RegisterFile::snapshot_json`],
+    /// replacing all current registers.
+    pub fn restore_json(&self, v: &Json) -> Result<(), JsonError> {
+        let regs_v = v
+            .get("regs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "register file snapshot missing regs".to_string(),
+            })?;
+        let mut regs = BTreeMap::new();
+        for entry in regs_v {
+            regs.insert(
+                u32::from_json(entry.get("addr").unwrap_or(&Json::Null))?,
+                u32::from_json(entry.get("value").unwrap_or(&Json::Null))?,
+            );
+        }
+        let reads = u64::from_json(v.get("reads").unwrap_or(&Json::Null))?;
+        let writes = u64::from_json(v.get("writes").unwrap_or(&Json::Null))?;
+        let mut inner = self.inner.borrow_mut();
+        inner.regs = regs;
+        inner.reads = reads;
+        inner.writes = writes;
+        Ok(())
     }
 }
 

@@ -5,6 +5,8 @@
 //! carrying [`ReadBeat`]s, mirroring AXI's AR/R separation so that address
 //! handshakes do not steal data-beat cycles.
 
+use pdr_sim_core::impl_json_struct;
+
 /// A burst read request (AR channel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReadReq {
@@ -37,6 +39,8 @@ impl ReadReq {
     }
 }
 
+impl_json_struct!(ReadReq { id, addr, beats });
+
 /// One beat of read data (R channel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReadBeat {
@@ -47,6 +51,8 @@ pub struct ReadBeat {
     /// Marks the final beat of the burst (`RLAST`).
     pub last: bool,
 }
+
+impl_json_struct!(ReadBeat { id, data, last });
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,7 @@
 //! AXI4-Stream beats.
 
+use pdr_sim_core::impl_json_struct;
+
 /// One AXI4-Stream beat on a 64-bit bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamBeat {
@@ -10,6 +12,8 @@ pub struct StreamBeat {
     /// End-of-packet marker (`TLAST`).
     pub last: bool,
 }
+
+impl_json_struct!(StreamBeat { data, keep, last });
 
 impl StreamBeat {
     /// A full-width beat (all bytes valid).

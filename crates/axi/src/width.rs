@@ -5,7 +5,8 @@
 //! domain and emits **at most one 32-bit word per cycle**, which makes the
 //! ICAP-side byte rate exactly `4 B × f` — the linear region of Fig. 5.
 
-use pdr_sim_core::{Component, Consumer, EdgeCtx, NextWake, Producer};
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
+use pdr_sim_core::{impl_json_struct, Component, Consumer, EdgeCtx, NextWake, Producer};
 
 use crate::stream::StreamBeat;
 
@@ -17,6 +18,8 @@ pub struct Word32 {
     /// True on the final word of the transfer.
     pub last: bool,
 }
+
+impl_json_struct!(Word32 { data, last });
 
 /// The width-converter component. Bind it to the over-clock domain.
 #[derive(Debug)]
@@ -86,6 +89,23 @@ impl Component for Width64To32 {
         } else {
             NextWake::EveryCycle
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The converter is the unique consumer of the 64-bit beat FIFO.
+        Json::Obj(vec![
+            ("carry".to_string(), self.carry.to_json()),
+            ("words_out".to_string(), self.words_out.to_json()),
+            ("input".to_string(), self.input.fifo().snapshot_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.carry = Option::<Word32>::from_json(state.get("carry").unwrap_or(&Json::Null))?;
+        self.words_out = u64::from_json(state.get("words_out").unwrap_or(&Json::Null))?;
+        self.input
+            .fifo()
+            .restore_json(state.get("input").unwrap_or(&Json::Null))
     }
 }
 

@@ -84,6 +84,18 @@ impl Crc32 {
         c.update(data);
         c.value()
     }
+
+    /// The raw (un-inverted) running state, for checkpointing.
+    pub const fn raw_state(&self) -> u32 {
+        self.state
+    }
+
+    /// Overwrites the raw running state, restoring a checkpoint taken with
+    /// [`Crc32::raw_state`]. The lookup table is derived from the
+    /// polynomial, so only the state travels.
+    pub fn set_raw_state(&mut self, state: u32) {
+        self.state = state;
+    }
 }
 
 /// The configuration-logic CRC: a bitwise CRC-32C over 37-bit units of
@@ -138,6 +150,13 @@ impl ConfigCrc {
     /// The current running value.
     pub fn value(&self) -> u32 {
         self.state
+    }
+
+    /// Rebuilds an engine mid-stream from a running value captured with
+    /// [`ConfigCrc::value`] (the state *is* the value; nothing else
+    /// persists).
+    pub const fn from_value(state: u32) -> Self {
+        ConfigCrc { state }
     }
 }
 

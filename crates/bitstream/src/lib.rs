@@ -61,4 +61,4 @@ pub use compress::{compress_frames, decompress, StreamingDecompressor};
 pub use crc::{ConfigCrc, Crc32};
 pub use frame::{BlockType, Frame, FrameAddress, FRAME_WORDS};
 pub use packet::{Bitstream, CmdCode, ConfigReg, Opcode, PacketHeader, SYNC_WORD};
-pub use parser::{Action, ParseError, Parser};
+pub use parser::{Action, ParseError, Parser, ParserSnapshot};

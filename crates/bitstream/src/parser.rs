@@ -366,6 +366,93 @@ impl Parser {
         self.state = State::Poisoned;
         Err(e)
     }
+
+    /// Captures the parser's complete mid-stream state as plain data, for
+    /// whole-system checkpointing. The capture is lossless: restoring it via
+    /// [`Parser::restore_parts`] and feeding the same remaining words yields
+    /// identical actions, errors and counters.
+    pub fn snapshot_parts(&self) -> ParserSnapshot {
+        let (state, reg_addr, remaining) = match self.state {
+            State::PreSync => (0, 0, 0),
+            State::Header => (1, 0, 0),
+            State::Data { reg, remaining } => (2, reg.addr(), remaining),
+            State::AwaitType2 { reg } => (3, reg.addr(), 0),
+            State::Poisoned => (4, 0, 0),
+        };
+        ParserSnapshot {
+            state,
+            reg_addr,
+            remaining,
+            crc: self.crc.value(),
+            burst_far: self.burst_far.map(|f| f.as_word()),
+            burst_seq: self.burst_seq,
+            frame_buf: self.frame_buf.clone(),
+            words_consumed: self.words_consumed,
+            frames_emitted: self.frames_emitted,
+        }
+    }
+
+    /// Restores state captured by [`Parser::snapshot_parts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field (unknown state
+    /// discriminant, unknown register address, invalid FAR word).
+    pub fn restore_parts(&mut self, s: &ParserSnapshot) -> Result<(), String> {
+        let reg = || {
+            ConfigReg::from_addr(s.reg_addr)
+                .ok_or_else(|| format!("unknown config register address {}", s.reg_addr))
+        };
+        self.state = match s.state {
+            0 => State::PreSync,
+            1 => State::Header,
+            2 => State::Data {
+                reg: reg()?,
+                remaining: s.remaining,
+            },
+            3 => State::AwaitType2 { reg: reg()? },
+            4 => State::Poisoned,
+            other => return Err(format!("unknown parser state discriminant {other}")),
+        };
+        self.crc = ConfigCrc::from_value(s.crc);
+        self.burst_far = match s.burst_far {
+            None => None,
+            Some(w) => Some(
+                FrameAddress::from_word(w).ok_or_else(|| format!("invalid FAR word {w:#010X}"))?,
+            ),
+        };
+        self.burst_seq = s.burst_seq;
+        self.frame_buf = s.frame_buf.clone();
+        self.words_consumed = s.words_consumed;
+        self.frames_emitted = s.frames_emitted;
+        Ok(())
+    }
+}
+
+/// A plain-data capture of a [`Parser`]'s mid-stream state (see
+/// [`Parser::snapshot_parts`]). Fields are public so the checkpoint layer
+/// can serialise them without this crate depending on a codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParserSnapshot {
+    /// State discriminant: 0 `PreSync`, 1 `Header`, 2 `Data`,
+    /// 3 `AwaitType2`, 4 `Poisoned`.
+    pub state: u8,
+    /// Register address for the `Data`/`AwaitType2` states (else 0).
+    pub reg_addr: u32,
+    /// Remaining payload words for the `Data` state (else 0).
+    pub remaining: u32,
+    /// Running configuration-CRC value.
+    pub crc: u32,
+    /// FAR word of the current FDRI burst start, if one is set.
+    pub burst_far: Option<u32>,
+    /// Frames completed in the current FDRI burst.
+    pub burst_seq: u32,
+    /// Partial frame assembly buffer.
+    pub frame_buf: Vec<u32>,
+    /// Words consumed so far.
+    pub words_consumed: u64,
+    /// Complete frames emitted so far.
+    pub frames_emitted: u64,
 }
 
 #[cfg(test)]

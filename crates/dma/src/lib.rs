@@ -24,7 +24,8 @@ use pdr_axi::interconnect::MasterEndpoints;
 use pdr_axi::mm::ReadReq;
 use pdr_axi::stream::StreamBeat;
 use pdr_axi::RegisterFile;
-use pdr_sim_core::{Component, EdgeCtx, IrqLine, NextWake, Producer};
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
+use pdr_sim_core::{impl_json_struct, Component, EdgeCtx, IrqLine, NextWake, Producer};
 
 /// `MM2S_DMACR` control register offset.
 pub const REG_DMACR: u32 = 0x00;
@@ -86,6 +87,15 @@ pub struct DmaStats {
     /// Cycles the engine wanted data but the memory path had none.
     pub starved_cycles: u64,
 }
+
+impl_json_struct!(DmaStats {
+    transfers,
+    bursts,
+    beats_in,
+    beats_out,
+    stream_stalls,
+    starved_cycles
+});
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -366,6 +376,81 @@ impl Component for AxiDma {
                 break;
             }
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The engine owns its register file, its IOC interrupt line, and the
+        // consumer side of its interconnect beat FIFO.
+        let state = match self.state {
+            State::Halted => Json::Obj(vec![("kind".to_string(), Json::Str("halted".into()))]),
+            State::Starting { remaining } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("starting".into())),
+                ("remaining".to_string(), remaining.to_json()),
+            ]),
+            State::Running => Json::Obj(vec![("kind".to_string(), Json::Str("running".into()))]),
+        };
+        Json::Obj(vec![
+            ("state".to_string(), state),
+            ("irq_functional".to_string(), self.irq_functional.to_json()),
+            ("stall_cycles".to_string(), self.stall_cycles.to_json()),
+            ("fetch_addr".to_string(), self.fetch_addr.to_json()),
+            (
+                "bytes_to_request".to_string(),
+                self.bytes_to_request.to_json(),
+            ),
+            (
+                "bytes_to_stream".to_string(),
+                self.bytes_to_stream.to_json(),
+            ),
+            ("outstanding".to_string(), self.outstanding.to_json()),
+            ("last_cycle".to_string(), self.last_cycle.to_json()),
+            ("stats".to_string(), self.stats.to_json()),
+            ("regs".to_string(), self.regs.snapshot_json()),
+            ("irq".to_string(), self.irq.snapshot_json()),
+            (
+                "beats_in".to_string(),
+                self.mem.beats.fifo().snapshot_json(),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        let sv = state.get("state").unwrap_or(&Json::Null);
+        let kind = sv
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError {
+                msg: "dma snapshot missing state".to_string(),
+            })?;
+        self.state = match kind {
+            "halted" => State::Halted,
+            "starting" => State::Starting {
+                remaining: u32::from_json(sv.get("remaining").unwrap_or(&Json::Null))?,
+            },
+            "running" => State::Running,
+            other => {
+                return Err(JsonError {
+                    msg: format!("unknown dma state '{other}'"),
+                })
+            }
+        };
+        self.irq_functional = bool::from_json(state.get("irq_functional").unwrap_or(&Json::Null))?;
+        self.stall_cycles = u64::from_json(state.get("stall_cycles").unwrap_or(&Json::Null))?;
+        self.fetch_addr = u64::from_json(state.get("fetch_addr").unwrap_or(&Json::Null))?;
+        self.bytes_to_request =
+            u64::from_json(state.get("bytes_to_request").unwrap_or(&Json::Null))?;
+        self.bytes_to_stream = u64::from_json(state.get("bytes_to_stream").unwrap_or(&Json::Null))?;
+        self.outstanding = u32::from_json(state.get("outstanding").unwrap_or(&Json::Null))?;
+        self.last_cycle = u64::from_json(state.get("last_cycle").unwrap_or(&Json::Null))?;
+        self.stats = DmaStats::from_json(state.get("stats").unwrap_or(&Json::Null))?;
+        self.regs
+            .restore_json(state.get("regs").unwrap_or(&Json::Null))?;
+        self.irq
+            .restore_json(state.get("irq").unwrap_or(&Json::Null))?;
+        self.mem
+            .beats
+            .fifo()
+            .restore_json(state.get("beats_in").unwrap_or(&Json::Null))
     }
 }
 

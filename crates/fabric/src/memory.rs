@@ -102,6 +102,51 @@ impl ConfigMemory {
         crc.value()
     }
 
+    /// Sparse snapshot of the frame array: `(linear index, frame)` for every
+    /// non-zero frame, in scanning order. Zero frames are implicit, so a
+    /// freshly configured device checkpoints in space proportional to the
+    /// frames actually written, not the device size.
+    pub fn nonzero_frames(&self) -> Vec<(u32, &Frame)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_zero())
+            .map(|(i, f)| (i as u32, f))
+            .collect()
+    }
+
+    /// Restores the frame array and lifetime counters from a snapshot taken
+    /// with [`ConfigMemory::nonzero_frames`], [`ConfigMemory::write_count`]
+    /// and [`ConfigMemory::read_count`]. All frames not listed become zero.
+    ///
+    /// Returns `Err` (leaving the memory untouched) if any index is out of
+    /// range for this geometry.
+    pub fn restore_parts(
+        &mut self,
+        frames: &[(u32, Frame)],
+        writes: u64,
+        reads: u64,
+    ) -> Result<(), String> {
+        for &(idx, _) in frames {
+            if idx as usize >= self.frames.len() {
+                return Err(format!(
+                    "config-memory snapshot frame index {} out of range ({} frames)",
+                    idx,
+                    self.frames.len()
+                ));
+            }
+        }
+        for f in &mut self.frames {
+            *f = Frame::zeroed();
+        }
+        for (idx, f) in frames {
+            self.frames[*idx as usize] = f.clone();
+        }
+        self.writes = writes;
+        self.reads = reads;
+        Ok(())
+    }
+
     /// Injects a bit flip into the stored frame at `far` (SEU / fault
     /// injection). Returns `false` for a nonexistent address.
     pub fn inject_bit_flip(&mut self, far: FrameAddress, word_idx: usize, bit: u32) -> bool {

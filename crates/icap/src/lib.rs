@@ -24,8 +24,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use pdr_axi::width::Word32;
-use pdr_bitstream::{Action, CmdCode, ParseError, Parser};
+use pdr_bitstream::{Action, CmdCode, ParseError, Parser, ParserSnapshot};
 use pdr_fabric::ConfigMemory;
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::{Component, Consumer, EdgeCtx, IrqLine, NextWake, SimTime, Xoshiro256StarStar};
 
 /// Shared handle to the device's configuration memory.
@@ -171,6 +172,77 @@ impl IcapController {
     }
 }
 
+fn parse_error_to_json(e: &Option<ParseError>) -> Json {
+    let (kind, word) = match e {
+        None => return Json::Null,
+        Some(ParseError::InvalidHeader(w)) => ("invalid_header", *w),
+        Some(ParseError::UnexpectedType2(w)) => ("unexpected_type2", *w),
+        Some(ParseError::UnknownRegister(a)) => ("unknown_register", *a),
+        Some(ParseError::InvalidCommand(w)) => ("invalid_command", *w),
+        Some(ParseError::TruncatedFrame) => ("truncated_frame", 0),
+        Some(ParseError::FdriWithoutFar) => ("fdri_without_far", 0),
+    };
+    Json::Obj(vec![
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("word".to_string(), word.to_json()),
+    ])
+}
+
+fn parse_error_from_json(v: &Json) -> Result<Option<ParseError>, JsonError> {
+    if matches!(v, Json::Null) {
+        return Ok(None);
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| JsonError {
+            msg: "parse error snapshot missing kind".to_string(),
+        })?;
+    let word = u32::from_json(v.get("word").unwrap_or(&Json::Null))?;
+    Ok(Some(match kind {
+        "invalid_header" => ParseError::InvalidHeader(word),
+        "unexpected_type2" => ParseError::UnexpectedType2(word),
+        "unknown_register" => ParseError::UnknownRegister(word),
+        "invalid_command" => ParseError::InvalidCommand(word),
+        "truncated_frame" => ParseError::TruncatedFrame,
+        "fdri_without_far" => ParseError::FdriWithoutFar,
+        other => {
+            return Err(JsonError {
+                msg: format!("unknown parse error kind '{other}'"),
+            })
+        }
+    }))
+}
+
+fn parser_snapshot_to_json(s: &ParserSnapshot) -> Json {
+    Json::Obj(vec![
+        ("state".to_string(), s.state.to_json()),
+        ("reg_addr".to_string(), s.reg_addr.to_json()),
+        ("remaining".to_string(), s.remaining.to_json()),
+        ("crc".to_string(), s.crc.to_json()),
+        ("burst_far".to_string(), s.burst_far.to_json()),
+        ("burst_seq".to_string(), s.burst_seq.to_json()),
+        ("frame_buf".to_string(), s.frame_buf.to_json()),
+        ("words_consumed".to_string(), s.words_consumed.to_json()),
+        ("frames_emitted".to_string(), s.frames_emitted.to_json()),
+    ])
+}
+
+fn parser_snapshot_from_json(v: &Json) -> Result<ParserSnapshot, JsonError> {
+    let g = |key: &str| v.get(key).unwrap_or(&Json::Null);
+    Ok(ParserSnapshot {
+        state: u8::from_json(g("state"))?,
+        reg_addr: u32::from_json(g("reg_addr"))?,
+        remaining: u32::from_json(g("remaining"))?,
+        crc: u32::from_json(g("crc"))?,
+        burst_far: Option::<u32>::from_json(g("burst_far"))?,
+        burst_seq: u32::from_json(g("burst_seq"))?,
+        frame_buf: Vec::<u32>::from_json(g("frame_buf"))?,
+        words_consumed: u64::from_json(g("words_consumed"))?,
+        frames_emitted: u64::from_json(g("frames_emitted"))?,
+    })
+}
+
 impl Component for IcapController {
     fn name(&self) -> &str {
         &self.name
@@ -249,6 +321,110 @@ impl Component for IcapController {
         } else {
             NextWake::EveryCycle
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The controller owns its done-IRQ line, the consumer side of the
+        // 32-bit word stream, and the parser. Configuration memory is shared
+        // device state, serialised once at system level.
+        Json::Obj(vec![
+            ("irq_functional".to_string(), self.irq_functional.to_json()),
+            ("drop_next_done".to_string(), self.drop_next_done.to_json()),
+            (
+                "parser".to_string(),
+                parser_snapshot_to_json(&self.parser.snapshot_parts()),
+            ),
+            (
+                "status".to_string(),
+                Json::Obj(vec![
+                    (
+                        "words_consumed".to_string(),
+                        self.status.words_consumed.to_json(),
+                    ),
+                    (
+                        "frames_written".to_string(),
+                        self.status.frames_written.to_json(),
+                    ),
+                    (
+                        "stream_crc_ok".to_string(),
+                        self.status.stream_crc_ok.to_json(),
+                    ),
+                    ("done".to_string(), self.status.done.to_json()),
+                    ("done_time".to_string(), self.status.done_time.to_json()),
+                    (
+                        "parse_error".to_string(),
+                        parse_error_to_json(&self.status.parse_error),
+                    ),
+                    (
+                        "idcode_mismatch".to_string(),
+                        self.status.idcode_mismatch.to_json(),
+                    ),
+                    (
+                        "corrupted_words".to_string(),
+                        self.status.corrupted_words.to_json(),
+                    ),
+                ]),
+            ),
+            (
+                "word_error_rate".to_string(),
+                self.word_error_rate.to_json(),
+            ),
+            (
+                "expected_idcode".to_string(),
+                self.expected_idcode.to_json(),
+            ),
+            ("rng".to_string(), self.rng.state().to_vec().to_json()),
+            (
+                "burst_far".to_string(),
+                self.burst_far.map(|f| f.as_word()).to_json(),
+            ),
+            ("done_irq".to_string(), self.done_irq.snapshot_json()),
+            (
+                "stream_in".to_string(),
+                self.stream_in.fifo().snapshot_json(),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        let g = |key: &str| state.get(key).unwrap_or(&Json::Null);
+        self.irq_functional = bool::from_json(g("irq_functional"))?;
+        self.drop_next_done = bool::from_json(g("drop_next_done"))?;
+        let parts = parser_snapshot_from_json(g("parser"))?;
+        self.parser
+            .restore_parts(&parts)
+            .map_err(|msg| JsonError { msg })?;
+        let sv = g("status");
+        let sg = |key: &str| sv.get(key).unwrap_or(&Json::Null);
+        self.status = IcapStatus {
+            words_consumed: u64::from_json(sg("words_consumed"))?,
+            frames_written: u64::from_json(sg("frames_written"))?,
+            stream_crc_ok: Option::<bool>::from_json(sg("stream_crc_ok"))?,
+            done: bool::from_json(sg("done"))?,
+            done_time: Option::<SimTime>::from_json(sg("done_time"))?,
+            parse_error: parse_error_from_json(sg("parse_error"))?,
+            idcode_mismatch: bool::from_json(sg("idcode_mismatch"))?,
+            corrupted_words: u64::from_json(sg("corrupted_words"))?,
+        };
+        self.word_error_rate = f64::from_json(g("word_error_rate"))?;
+        self.expected_idcode = Option::<u32>::from_json(g("expected_idcode"))?;
+        let rng_state = Vec::<u64>::from_json(g("rng"))?;
+        let rng_state: [u64; 4] = rng_state.try_into().map_err(|_| JsonError {
+            msg: "icap rng state must be four words".to_string(),
+        })?;
+        self.rng = Xoshiro256StarStar::from_state(rng_state);
+        self.burst_far = match Option::<u32>::from_json(g("burst_far"))? {
+            None => None,
+            Some(w) => {
+                Some(
+                    pdr_bitstream::FrameAddress::from_word(w).ok_or_else(|| JsonError {
+                        msg: format!("invalid FAR word {w:#010X}"),
+                    })?,
+                )
+            }
+        };
+        self.done_irq.restore_json(g("done_irq"))?;
+        self.stream_in.fifo().restore_json(g("stream_in"))
     }
 }
 

@@ -10,8 +10,9 @@
 //! ("Memory Port → AXI Interconnect → AXI DMA", Sec. VI).
 
 use pdr_axi::interconnect::SlaveEndpoints;
-use pdr_axi::mm::ReadBeat;
-use pdr_sim_core::{Component, EdgeCtx, NextWake};
+use pdr_axi::mm::{ReadBeat, ReadReq};
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
+use pdr_sim_core::{impl_json_struct, Component, EdgeCtx, NextWake};
 
 use crate::backing::Backing;
 
@@ -76,6 +77,15 @@ pub struct DramStats {
     /// Cycles the output FIFO back-pressured a ready beat.
     pub output_stalls: u64,
 }
+
+impl_json_struct!(DramStats {
+    bursts,
+    beats,
+    row_hits,
+    row_misses,
+    refresh_cycles,
+    output_stalls
+});
 
 #[derive(Debug)]
 enum BurstState {
@@ -253,6 +263,79 @@ impl Component for DramController {
                 k -= d;
             }
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The backing store is shared with software and serialised once at
+        // system level, not per controller.
+        let state = match &self.state {
+            BurstState::Idle => Json::Obj(vec![("kind".to_string(), Json::Str("idle".into()))]),
+            BurstState::Opening { req, remaining } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("opening".into())),
+                ("req".to_string(), req.to_json()),
+                ("remaining".to_string(), remaining.to_json()),
+            ]),
+            BurstState::Serving { req, sent } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("serving".into())),
+                ("req".to_string(), req.to_json()),
+                ("sent".to_string(), sent.to_json()),
+            ]),
+        };
+        Json::Obj(vec![
+            ("state".to_string(), state),
+            ("open_rows".to_string(), self.open_rows.to_json()),
+            ("refresh_in".to_string(), self.refresh_in.to_json()),
+            ("refreshing".to_string(), self.refreshing.to_json()),
+            ("last_cycle".to_string(), self.last_cycle.to_json()),
+            ("stats".to_string(), self.stats.to_json()),
+            ("req_in".to_string(), self.ports.req.fifo().snapshot_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        let sv = state.get("state").unwrap_or(&Json::Null);
+        let kind = sv
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError {
+                msg: "dram snapshot missing burst state".to_string(),
+            })?;
+        self.state = match kind {
+            "idle" => BurstState::Idle,
+            "opening" => BurstState::Opening {
+                req: ReadReq::from_json(sv.get("req").unwrap_or(&Json::Null))?,
+                remaining: u32::from_json(sv.get("remaining").unwrap_or(&Json::Null))?,
+            },
+            "serving" => BurstState::Serving {
+                req: ReadReq::from_json(sv.get("req").unwrap_or(&Json::Null))?,
+                sent: u16::from_json(sv.get("sent").unwrap_or(&Json::Null))?,
+            },
+            other => {
+                return Err(JsonError {
+                    msg: format!("unknown dram burst state '{other}'"),
+                })
+            }
+        };
+        let open_rows =
+            Vec::<Option<u64>>::from_json(state.get("open_rows").unwrap_or(&Json::Null))?;
+        if open_rows.len() != self.open_rows.len() {
+            return Err(JsonError {
+                msg: format!(
+                    "dram snapshot has {} banks, controller has {}",
+                    open_rows.len(),
+                    self.open_rows.len()
+                ),
+            });
+        }
+        self.open_rows = open_rows;
+        self.refresh_in = u32::from_json(state.get("refresh_in").unwrap_or(&Json::Null))?;
+        self.refreshing = u32::from_json(state.get("refreshing").unwrap_or(&Json::Null))?;
+        self.last_cycle = u64::from_json(state.get("last_cycle").unwrap_or(&Json::Null))?;
+        self.stats = DramStats::from_json(state.get("stats").unwrap_or(&Json::Null))?;
+        self.ports
+            .req
+            .fifo()
+            .restore_json(state.get("req_in").unwrap_or(&Json::Null))
     }
 }
 

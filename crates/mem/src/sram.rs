@@ -17,8 +17,10 @@
 //! PS Scheduler exploits.
 
 use pdr_axi::width::Word32;
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::{
-    fifo_channel, Component, Consumer, EdgeCtx, Frequency, NextWake, Producer, SimDuration,
+    fifo_channel, impl_json_struct, Component, Consumer, EdgeCtx, Frequency, NextWake, Producer,
+    SimDuration,
 };
 
 use crate::backing::Backing;
@@ -56,6 +58,8 @@ pub struct SramReadCmd {
     pub words: u32,
 }
 
+impl_json_struct!(SramReadCmd { addr, words });
+
 /// Counters describing SRAM activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SramStats {
@@ -68,6 +72,13 @@ pub struct SramStats {
     /// Bytes pre-loaded through the write port.
     pub preloaded_bytes: u64,
 }
+
+impl_json_struct!(SramStats {
+    commands,
+    words,
+    output_stalls,
+    preloaded_bytes
+});
 
 /// The QDR SRAM: backing storage plus a streaming read port.
 ///
@@ -191,6 +202,40 @@ impl Component for QdrSram {
         } else {
             NextWake::EveryCycle
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The SRAM owns its backing (created in `new`), so it serialises the
+        // contents itself, unlike DRAM whose backing is shared system state.
+        let current = match self.current {
+            None => Json::Null,
+            Some((addr, remaining)) => Json::Obj(vec![
+                ("addr".to_string(), addr.to_json()),
+                ("remaining".to_string(), remaining.to_json()),
+            ]),
+        };
+        Json::Obj(vec![
+            ("current".to_string(), current),
+            ("stats".to_string(), self.stats.to_json()),
+            ("backing".to_string(), self.backing.snapshot_json()),
+            ("cmd_in".to_string(), self.cmd_in.fifo().snapshot_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.current = match state.get("current") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some((
+                u64::from_json(v.get("addr").unwrap_or(&Json::Null))?,
+                u32::from_json(v.get("remaining").unwrap_or(&Json::Null))?,
+            )),
+        };
+        self.stats = SramStats::from_json(state.get("stats").unwrap_or(&Json::Null))?;
+        self.backing
+            .restore_json(state.get("backing").unwrap_or(&Json::Null))?;
+        self.cmd_in
+            .fifo()
+            .restore_json(state.get("cmd_in").unwrap_or(&Json::Null))
     }
 }
 

@@ -14,11 +14,15 @@
 //! the scan that first re-reads the flipped frame — the campaign checks the
 //! measured distribution against that bound.
 
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::stats::OnlineStats;
-use pdr_sim_core::{impl_json_struct, Frequency, SimDuration, SimTime, Xoshiro256StarStar};
+use pdr_sim_core::{
+    impl_json_enum, impl_json_struct, Frequency, SimDuration, SimTime, Xoshiro256StarStar,
+};
 
 use crate::faults::{FaultKind, FaultPlan, FaultPlanConfig};
 use crate::recovery::{PartitionHealth, RecoveryConfig, RecoveryManager, RecoveryStats};
+use crate::snapshot;
 use crate::system::{SystemConfig, ZynqPdrSystem};
 
 /// Campaign parameters.
@@ -357,30 +361,171 @@ impl_json_struct!(FaultCampaignResult {
     recovery,
 });
 
-/// Runs a mixed-fault campaign: generates the plan, brings every partition
-/// into service (initial content becomes the golden reference), then walks
-/// the schedule. SEUs are detected by the background CRC monitor and
-/// scrubbed; timing bursts, DMA stalls and dropped interrupts are exercised
-/// through a managed reconfiguration on a round-robin vehicle partition, so
-/// the watchdog + retry/backoff ladder absorbs them. A final golden sweep
-/// counts silent corruptions.
-///
-/// Deterministic: the result (including its JSON) is a pure function of
-/// the campaign, the system configuration and their seeds.
-///
-/// # Panics
-///
-/// Panics if the campaign monitors no partitions, the plan targets a
-/// partition outside the monitored set, or initial configuration fails.
-pub fn run_fault_campaign(
+/// What the system observed for one scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The fault manifested and was caught (CRC alarm, watchdog, or a
+    /// recovered transfer failure).
+    Detected,
+    /// An SEU the monitor failed to catch within its deadline.
+    Undetected,
+    /// The fault produced no observable failure.
+    Benign,
+    /// Injection or exercise was skipped (every candidate quarantined).
+    Skipped,
+}
+
+impl_json_enum!(FaultOutcome {
+    Detected,
+    Undetected,
+    Benign,
+    Skipped
+});
+
+/// Per-event campaign record, streamed to the caller's sink the moment the
+/// event is resolved. The record carries full replay provenance: the event
+/// index, its per-fault seed ([`FaultPlan::fault_seed`]) and the exact
+/// injection timestamp, so any single fault can be re-run in isolation via
+/// [`FaultPlan::isolate`] without regenerating the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Index of the event in the plan.
+    pub idx: u64,
+    /// The fault kind.
+    pub kind: FaultKind,
+    /// Per-fault RNG seed (replay provenance).
+    pub seed: u64,
+    /// Scheduled instant, ps from campaign start.
+    pub scheduled_ps: u64,
+    /// Absolute simulation time when the event was handled, ps.
+    pub injected_ps: u64,
+    /// What the system observed.
+    pub outcome: FaultOutcome,
+    /// Whether the recovery ladder repaired it.
+    pub recovered: bool,
+    /// Detection latency, µs (SEU detections; 0 otherwise).
+    pub latency_us: f64,
+    /// Time-to-repair, µs (recovered faults; 0 otherwise).
+    pub mttr_us: f64,
+}
+
+impl_json_struct!(FaultRecord {
+    idx,
+    kind,
+    seed,
+    scheduled_ps,
+    injected_ps,
+    outcome,
+    recovered,
+    latency_us,
+    mttr_us,
+});
+
+/// The campaign's mutable bookkeeping between events — everything the
+/// stepwise runner needs besides the system, the recovery manager and the
+/// (immutable) plan. Serialized whole into campaign checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+struct CampaignState {
+    idx: usize,
+    detected: u64,
+    undetected: u64,
+    benign: u64,
+    skipped: u64,
+    recovered: u64,
+    unrecovered: u64,
+    downtime_ps: u64,
+    quarantined_at: Vec<Option<SimTime>>,
+    rr: usize,
+    t0: SimTime,
+    scan: SimDuration,
+}
+
+impl CampaignState {
+    fn to_json(&self) -> Json {
+        let quarantined: Vec<Json> = self
+            .quarantined_at
+            .iter()
+            .map(|q| match q {
+                None => Json::Null,
+                Some(t) => Json::U64(t.as_ps()),
+            })
+            .collect();
+        Json::Obj(vec![
+            ("idx".into(), Json::U64(self.idx as u64)),
+            ("detected".into(), Json::U64(self.detected)),
+            ("undetected".into(), Json::U64(self.undetected)),
+            ("benign".into(), Json::U64(self.benign)),
+            ("skipped".into(), Json::U64(self.skipped)),
+            ("recovered".into(), Json::U64(self.recovered)),
+            ("unrecovered".into(), Json::U64(self.unrecovered)),
+            ("downtime_ps".into(), Json::U64(self.downtime_ps)),
+            ("quarantined_at".into(), Json::Arr(quarantined)),
+            ("rr".into(), Json::U64(self.rr as u64)),
+            ("t0_ps".into(), Json::U64(self.t0.as_ps())),
+            ("scan_ps".into(), Json::U64(self.scan.as_ps())),
+        ])
+    }
+
+    fn from_json(v: &Json, partitions: usize) -> Result<CampaignState, JsonError> {
+        let u = |key: &str| -> Result<u64, JsonError> {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| JsonError {
+                msg: format!("campaign state missing u64 `{key}`"),
+            })
+        };
+        let quarantined_json = v
+            .get("quarantined_at")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "campaign state missing `quarantined_at`".into(),
+            })?;
+        if quarantined_json.len() != partitions {
+            return Err(JsonError {
+                msg: format!(
+                    "quarantined_at covers {} partitions, system has {partitions}",
+                    quarantined_json.len()
+                ),
+            });
+        }
+        let mut quarantined_at = Vec::with_capacity(partitions);
+        for q in quarantined_json {
+            quarantined_at.push(match q {
+                Json::Null => None,
+                other => Some(SimTime::from_ps(other.as_u64().ok_or_else(|| {
+                    JsonError {
+                        msg: "quarantined_at entry must be null or u64".into(),
+                    }
+                })?)),
+            });
+        }
+        Ok(CampaignState {
+            idx: u("idx")? as usize,
+            detected: u("detected")?,
+            undetected: u("undetected")?,
+            benign: u("benign")?,
+            skipped: u("skipped")?,
+            recovered: u("recovered")?,
+            unrecovered: u("unrecovered")?,
+            downtime_ps: u("downtime_ps")?,
+            quarantined_at,
+            rr: u("rr")? as usize,
+            t0: SimTime::from_ps(u("t0_ps")?),
+            scan: SimDuration::from_ps(u("scan_ps")?),
+        })
+    }
+}
+
+/// Brings the system into service for a campaign: asserts the plan is in
+/// scope, configures every partition (initial content becomes the golden
+/// reference) and arms the background monitor.
+fn init_campaign(
     sys: &mut ZynqPdrSystem,
     campaign: &FaultCampaign,
-) -> FaultCampaignResult {
+    plan: &FaultPlan,
+) -> (RecoveryManager, CampaignState) {
     assert!(
         !campaign.rps.is_empty(),
         "campaign needs monitored partitions"
     );
-    let plan = FaultPlan::generate(&campaign.plan, sys.floorplan());
     for e in plan.events.iter().filter(|e| e.kind == FaultKind::Seu) {
         assert!(
             campaign.rps.contains(&e.rp),
@@ -388,107 +533,161 @@ pub fn run_fault_campaign(
             e.rp
         );
     }
-    let operating = Frequency::from_mhz(campaign.operating_mhz);
     let scrub = Frequency::from_mhz(campaign.recovery.scrub_mhz);
     let mut mgr = RecoveryManager::for_system(sys, campaign.recovery);
-
     for (i, &rp) in campaign.rps.iter().enumerate() {
         let bs = sys.make_partial_bitstream(rp, i as u32 + 1);
         let out = mgr.reconfigure(sys, None, rp, &bs, scrub);
         assert!(out.succeeded(), "initial configuration of rp{rp} failed");
     }
     sys.start_background_monitor(&campaign.rps);
-    let scan = sys.monitor_scan_period();
-    let t0 = sys.now();
+    let st = CampaignState {
+        idx: 0,
+        detected: 0,
+        undetected: 0,
+        benign: 0,
+        skipped: 0,
+        recovered: 0,
+        unrecovered: 0,
+        downtime_ps: 0,
+        quarantined_at: vec![None; sys.floorplan().partitions().len()],
+        rr: 0,
+        t0: sys.now(),
+        scan: sys.monitor_scan_period(),
+    };
+    (mgr, st)
+}
 
-    let mut detected = 0u64;
-    let mut undetected = 0u64;
-    let mut benign = 0u64;
-    let mut skipped = 0u64;
-    let mut recovered = 0u64;
-    let mut unrecovered = 0u64;
-    let mut downtime_ps = 0u64;
-    let mut quarantined_at: Vec<Option<SimTime>> = vec![None; sys.floorplan().partitions().len()];
-    let mut rr = 0usize;
-
-    for e in &plan.events {
-        // Advance to the scheduled instant; events that fall behind the
-        // handling of their predecessors run back-to-back.
-        let elapsed = sys.now().duration_since(t0).as_ps();
-        if e.at_ps > elapsed {
-            sys.run_monitor_for(SimDuration::from_ps(e.at_ps - elapsed));
+/// Handles the next scheduled event: advances simulated time to its slot,
+/// injects it, lets the monitor/recovery machinery resolve it, and folds
+/// the outcome into the running counters. Returns the event's record, or
+/// `None` when the plan is exhausted.
+fn step_campaign(
+    sys: &mut ZynqPdrSystem,
+    mgr: &mut RecoveryManager,
+    campaign: &FaultCampaign,
+    plan: &FaultPlan,
+    st: &mut CampaignState,
+) -> Option<FaultRecord> {
+    let i = st.idx;
+    let e = plan.events.get(i)?;
+    st.idx += 1;
+    // Advance to the scheduled instant; events that fall behind the
+    // handling of their predecessors run back-to-back.
+    let elapsed = sys.now().duration_since(st.t0).as_ps();
+    if e.at_ps > elapsed {
+        sys.run_monitor_for(SimDuration::from_ps(e.at_ps - elapsed));
+    }
+    let mut rec = FaultRecord {
+        idx: i as u64,
+        kind: e.kind,
+        seed: plan.fault_seed(i),
+        scheduled_ps: e.at_ps,
+        injected_ps: sys.now().as_ps(),
+        outcome: FaultOutcome::Skipped,
+        recovered: false,
+        latency_us: 0.0,
+        mttr_us: 0.0,
+    };
+    match e.kind {
+        FaultKind::Seu => {
+            if mgr.health(e.rp) == PartitionHealth::Quarantined {
+                st.skipped += 1;
+                return Some(rec);
+            }
+            sys.inject_seu(e.rp, e.frame, e.word, e.bit);
+            match sys.run_monitor_until_alarm(st.scan * 3) {
+                Some(lat) => {
+                    st.detected += 1;
+                    rec.outcome = FaultOutcome::Detected;
+                    rec.latency_us = lat.as_micros_f64();
+                    st.downtime_ps += lat.as_ps();
+                    mgr.record_detection(lat);
+                    let out = mgr.on_crc_alarm(sys, e.rp);
+                    if out.succeeded() {
+                        st.recovered += 1;
+                        rec.recovered = true;
+                        let mttr = out.mttr.expect("recovered");
+                        rec.mttr_us = mttr.as_micros_f64();
+                        st.downtime_ps += mttr.as_ps();
+                    } else {
+                        st.unrecovered += 1;
+                        note_quarantines(mgr, &mut st.quarantined_at, sys.now());
+                    }
+                    restart_monitor(sys, mgr, &campaign.rps);
+                }
+                None => {
+                    st.undetected += 1;
+                    rec.outcome = FaultOutcome::Undetected;
+                }
+            }
         }
-        match e.kind {
-            FaultKind::Seu => {
-                if mgr.health(e.rp) == PartitionHealth::Quarantined {
-                    skipped += 1;
-                    continue;
+        kind => {
+            match kind {
+                FaultKind::TimingBurst => {
+                    sys.inject_timing_burst(e.derate_mhz, SimDuration::from_ps(e.duration_ps))
                 }
-                sys.inject_seu(e.rp, e.frame, e.word, e.bit);
-                match sys.run_monitor_until_alarm(scan * 3) {
-                    Some(lat) => {
-                        detected += 1;
-                        downtime_ps += lat.as_ps();
-                        mgr.record_detection(lat);
-                        let out = mgr.on_crc_alarm(sys, e.rp);
-                        if out.succeeded() {
-                            recovered += 1;
-                            downtime_ps += out.mttr.expect("recovered").as_ps();
-                        } else {
-                            unrecovered += 1;
-                            note_quarantines(&mgr, &mut quarantined_at, sys.now());
-                        }
-                        restart_monitor(sys, &mgr, &campaign.rps);
-                    }
-                    None => undetected += 1,
+                FaultKind::DmaStall => sys.inject_dma_stall(e.stall_cycles),
+                FaultKind::DroppedIrq => sys.drop_next_completion_irq(),
+                FaultKind::Seu => unreachable!("handled above"),
+            }
+            let n = campaign.rps.len();
+            let mut vehicle = None;
+            for k in 0..n {
+                let rp = campaign.rps[(st.rr + k) % n];
+                if mgr.health(rp) != PartitionHealth::Quarantined {
+                    vehicle = Some(rp);
+                    st.rr += k + 1;
+                    break;
                 }
             }
-            kind => {
-                match kind {
-                    FaultKind::TimingBurst => {
-                        sys.inject_timing_burst(e.derate_mhz, SimDuration::from_ps(e.duration_ps))
-                    }
-                    FaultKind::DmaStall => sys.inject_dma_stall(e.stall_cycles),
-                    FaultKind::DroppedIrq => sys.drop_next_completion_irq(),
-                    FaultKind::Seu => unreachable!("handled above"),
-                }
-                let n = campaign.rps.len();
-                let mut vehicle = None;
-                for k in 0..n {
-                    let rp = campaign.rps[(rr + k) % n];
-                    if mgr.health(rp) != PartitionHealth::Quarantined {
-                        vehicle = Some(rp);
-                        rr += k + 1;
-                        break;
-                    }
-                }
-                let Some(rp) = vehicle else {
-                    skipped += 1;
-                    continue;
-                };
-                let bs = mgr.golden(rp).expect("configured at start");
-                let out = mgr.reconfigure(sys, None, rp, &bs, operating);
-                if out.recovered_after_failure || !out.succeeded() {
-                    detected += 1;
-                } else {
-                    benign += 1;
-                }
-                if out.succeeded() {
-                    if out.recovered_after_failure {
-                        recovered += 1;
-                        downtime_ps += out.mttr.expect("recovered").as_ps();
-                    }
-                } else {
-                    unrecovered += 1;
-                    note_quarantines(&mgr, &mut quarantined_at, sys.now());
-                }
-                restart_monitor(sys, &mgr, &campaign.rps);
+            let Some(rp) = vehicle else {
+                st.skipped += 1;
+                return Some(rec);
+            };
+            let bs = mgr.golden(rp).expect("configured at start");
+            let out = mgr.reconfigure(
+                sys,
+                None,
+                rp,
+                &bs,
+                Frequency::from_mhz(campaign.operating_mhz),
+            );
+            if out.recovered_after_failure || !out.succeeded() {
+                st.detected += 1;
+                rec.outcome = FaultOutcome::Detected;
+            } else {
+                st.benign += 1;
+                rec.outcome = FaultOutcome::Benign;
             }
+            if out.succeeded() {
+                if out.recovered_after_failure {
+                    st.recovered += 1;
+                    rec.recovered = true;
+                    let mttr = out.mttr.expect("recovered");
+                    rec.mttr_us = mttr.as_micros_f64();
+                    st.downtime_ps += mttr.as_ps();
+                }
+            } else {
+                st.unrecovered += 1;
+                note_quarantines(mgr, &mut st.quarantined_at, sys.now());
+            }
+            restart_monitor(sys, mgr, &campaign.rps);
         }
     }
+    Some(rec)
+}
 
+/// The final golden sweep and availability accounting.
+fn finish_campaign(
+    sys: &ZynqPdrSystem,
+    mgr: &RecoveryManager,
+    campaign: &FaultCampaign,
+    plan: &FaultPlan,
+    st: &CampaignState,
+) -> FaultCampaignResult {
     let end = sys.now();
-    let duration = end.duration_since(t0);
+    let duration = end.duration_since(st.t0);
     let mut silent_corruptions = 0u64;
     for &rp in &campaign.rps {
         if mgr.health(rp) == PartitionHealth::Quarantined {
@@ -499,7 +698,8 @@ pub fn run_fault_campaign(
             silent_corruptions += 1;
         }
     }
-    for q in quarantined_at.iter().flatten() {
+    let mut downtime_ps = st.downtime_ps;
+    for q in st.quarantined_at.iter().flatten() {
         downtime_ps += end.duration_since(*q).as_ps();
     }
     let span_ps = duration
@@ -515,18 +715,61 @@ pub fn run_fault_campaign(
         injected_timing_bursts: plan.count(FaultKind::TimingBurst) as u64,
         injected_dma_stalls: plan.count(FaultKind::DmaStall) as u64,
         injected_dropped_irqs: plan.count(FaultKind::DroppedIrq) as u64,
-        detected,
-        undetected,
-        benign,
-        skipped,
-        recovered,
-        unrecovered,
+        detected: st.detected,
+        undetected: st.undetected,
+        benign: st.benign,
+        skipped: st.skipped,
+        recovered: st.recovered,
+        unrecovered: st.unrecovered,
         silent_corruptions,
         quarantined_partitions: mgr.stats().quarantines,
         availability,
         campaign_us: duration.as_micros_f64(),
         recovery: mgr.stats(),
     }
+}
+
+/// Runs a mixed-fault campaign: generates the plan, brings every partition
+/// into service (initial content becomes the golden reference), then walks
+/// the schedule. SEUs are detected by the background CRC monitor and
+/// scrubbed; timing bursts, DMA stalls and dropped interrupts are exercised
+/// through a managed reconfiguration on a round-robin vehicle partition, so
+/// the watchdog + retry/backoff ladder absorbs them. A final golden sweep
+/// counts silent corruptions.
+///
+/// Memory stays flat in the number of faults: per-event [`FaultRecord`]s
+/// are folded into the aggregate as they are produced and dropped — a
+/// 10⁶-fault campaign holds the same RSS as a 10-fault one. Use
+/// [`run_fault_campaign_streaming`] to observe the records.
+///
+/// Deterministic: the result (including its JSON) is a pure function of
+/// the campaign, the system configuration and their seeds.
+///
+/// # Panics
+///
+/// Panics if the campaign monitors no partitions, the plan targets a
+/// partition outside the monitored set, or initial configuration fails.
+pub fn run_fault_campaign(
+    sys: &mut ZynqPdrSystem,
+    campaign: &FaultCampaign,
+) -> FaultCampaignResult {
+    run_fault_campaign_streaming(sys, campaign, &mut |_| {})
+}
+
+/// [`run_fault_campaign`] with a record sink: `sink` receives each event's
+/// [`FaultRecord`] the moment it resolves (write it to a JSONL file, fold
+/// it, or drop it). Records are never buffered by the runner.
+pub fn run_fault_campaign_streaming(
+    sys: &mut ZynqPdrSystem,
+    campaign: &FaultCampaign,
+    sink: &mut dyn FnMut(FaultRecord),
+) -> FaultCampaignResult {
+    let plan = FaultPlan::generate(&campaign.plan, sys.floorplan());
+    let (mut mgr, mut st) = init_campaign(sys, campaign, &plan);
+    while let Some(rec) = step_campaign(sys, &mut mgr, campaign, &plan, &mut st) {
+        sink(rec);
+    }
+    finish_campaign(sys, &mgr, campaign, &plan, &st)
 }
 
 /// Re-arms the background monitor over the partitions still in service
@@ -550,6 +793,561 @@ fn note_quarantines(mgr: &RecoveryManager, at: &mut [Option<SimTime>], now: SimT
             at[rp] = Some(now);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resumable campaign runner
+// ---------------------------------------------------------------------------
+
+/// A stepwise, checkpointable fault campaign: the state `run_fault_campaign`
+/// keeps in locals, owned so it can be serialized between events.
+///
+/// * [`CampaignRun::checkpoint`] captures the whole run — system snapshot,
+///   recovery manager, plan, and counters — as a versioned JSON envelope;
+///   [`CampaignRun::resume`] rebuilds a run from it that finishes
+///   **byte-identically** to one that was never interrupted.
+/// * [`CampaignRun::replan`] re-seeds the remaining schedule, which is how
+///   [`fork_replicas`] fans a Monte Carlo fleet out of one warmed-up
+///   checkpoint.
+/// * [`CampaignRun::digest`] fingerprints the full observable state after
+///   each event, which is what [`bisect_campaigns`] binary-searches to pin
+///   a first divergence.
+pub struct CampaignRun {
+    sys: ZynqPdrSystem,
+    mgr: RecoveryManager,
+    campaign: FaultCampaign,
+    plan: FaultPlan,
+    st: CampaignState,
+}
+
+impl CampaignRun {
+    /// Builds a run: constructs the system, generates the plan, configures
+    /// every partition and arms the monitor. No events are handled yet.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_fault_campaign`].
+    pub fn new(config: SystemConfig, campaign: FaultCampaign) -> CampaignRun {
+        let sys = ZynqPdrSystem::new(config);
+        let plan = FaultPlan::generate(&campaign.plan, sys.floorplan());
+        CampaignRun::with_plan(sys, campaign, plan)
+    }
+
+    /// Builds a run over an explicit plan instead of generating one — the
+    /// hook for replaying an isolated fault ([`FaultPlan::isolate`]) or
+    /// planting a known divergence for [`bisect_campaigns`].
+    ///
+    /// # Panics
+    ///
+    /// As [`run_fault_campaign`].
+    pub fn with_plan(
+        mut sys: ZynqPdrSystem,
+        campaign: FaultCampaign,
+        plan: FaultPlan,
+    ) -> CampaignRun {
+        let (mgr, st) = init_campaign(&mut sys, &campaign, &plan);
+        CampaignRun {
+            sys,
+            mgr,
+            campaign,
+            plan,
+            st,
+        }
+    }
+
+    /// Handles the next scheduled event; `None` when the plan is exhausted.
+    pub fn step(&mut self) -> Option<FaultRecord> {
+        step_campaign(
+            &mut self.sys,
+            &mut self.mgr,
+            &self.campaign,
+            &self.plan,
+            &mut self.st,
+        )
+    }
+
+    /// Runs every remaining event, streaming records into `sink`, then
+    /// produces the final report.
+    pub fn run_to_end(&mut self, sink: &mut dyn FnMut(FaultRecord)) -> FaultCampaignResult {
+        while let Some(rec) = self.step() {
+            sink(rec);
+        }
+        self.finish()
+    }
+
+    /// True when every scheduled event has been handled.
+    pub fn is_done(&self) -> bool {
+        self.st.idx >= self.plan.events.len()
+    }
+
+    /// Scheduled events in the plan.
+    pub fn events(&self) -> usize {
+        self.plan.events.len()
+    }
+
+    /// Events handled so far.
+    pub fn position(&self) -> usize {
+        self.st.idx
+    }
+
+    /// The final golden sweep and availability report (normally called once
+    /// the plan is exhausted; mid-run it reports the prefix handled so far
+    /// against the full plan's injection counts).
+    pub fn finish(&self) -> FaultCampaignResult {
+        finish_campaign(&self.sys, &self.mgr, &self.campaign, &self.plan, &self.st)
+    }
+
+    /// The system under test.
+    pub fn system(&self) -> &ZynqPdrSystem {
+        &self.sys
+    }
+
+    /// Mutable access to the system under test — e.g. to raise the trace
+    /// level before any events are handled. Mutations mid-run become part
+    /// of the observable state and travel through checkpoints like any
+    /// other state.
+    pub fn system_mut(&mut self) -> &mut ZynqPdrSystem {
+        &mut self.sys
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Serializes the whole run as a versioned checkpoint envelope
+    /// (kind `"campaign"`). Write it with [`snapshot::save`] for the
+    /// atomic temp-file-and-rename discipline.
+    pub fn checkpoint(&self) -> Json {
+        snapshot::envelope(
+            "campaign",
+            Json::Obj(vec![
+                ("system".into(), self.sys.snapshot_json()),
+                ("recovery".into(), self.mgr.snapshot_json()),
+                ("plan".into(), self.plan.to_json()),
+                ("state".into(), self.st.to_json()),
+            ]),
+        )
+    }
+
+    /// Rebuilds a run from a [`CampaignRun::checkpoint`]. `config` and
+    /// `campaign` must be the ones the checkpointed run was built from
+    /// (the plan itself travels inside the checkpoint); a structural
+    /// mismatch is rejected before any state is mutated.
+    pub fn resume(
+        config: SystemConfig,
+        campaign: FaultCampaign,
+        checkpoint: &Json,
+    ) -> Result<CampaignRun, JsonError> {
+        let payload = snapshot::open(checkpoint, "campaign")?;
+        let req = |key: &str| -> Result<&Json, JsonError> {
+            payload.get(key).ok_or_else(|| JsonError {
+                msg: format!("campaign checkpoint missing `{key}`"),
+            })
+        };
+        let mut sys = ZynqPdrSystem::new(config);
+        sys.restore_json(req("system")?)?;
+        let mut mgr = RecoveryManager::for_system(&sys, campaign.recovery);
+        mgr.restore_json(req("recovery")?)?;
+        let plan = FaultPlan::from_json(req("plan")?)?;
+        let st = CampaignState::from_json(req("state")?, sys.floorplan().partitions().len())?;
+        if st.idx > plan.events.len() {
+            return Err(JsonError {
+                msg: format!(
+                    "checkpoint cursor {} past the end of the {}-event plan",
+                    st.idx,
+                    plan.events.len()
+                ),
+            });
+        }
+        Ok(CampaignRun {
+            sys,
+            mgr,
+            campaign,
+            plan,
+            st,
+        })
+    }
+
+    /// Replaces the *remaining* schedule with a fresh plan generated from
+    /// `seed`: the new plan picks up where the old schedule left off —
+    /// events scheduled at or before the last handled event's slot are
+    /// dropped, so each replica faces the remaining campaign horizon with
+    /// its own fault draws. Events already running behind schedule are
+    /// handled back-to-back, exactly as in an uninterrupted run;
+    /// accumulated counters and downtime carry over. This is the
+    /// per-replica divergence point of [`fork_replicas`].
+    pub fn replan(&mut self, seed: u64) {
+        let mut pc = self.campaign.plan.clone();
+        pc.seed = seed;
+        let plan = FaultPlan::generate(&pc, self.sys.floorplan());
+        let cut = match self.st.idx {
+            0 => 0,
+            i => self.plan.events[i.min(self.plan.events.len()) - 1].at_ps,
+        };
+        self.st.idx = plan.events.partition_point(|e| e.at_ps <= cut);
+        self.plan = plan;
+    }
+
+    /// FNV-1a fingerprint of the run's entire observable state — system
+    /// snapshot (including the trace tape), recovery state, and counters,
+    /// but *not* the plan, so two runs executing different schedules
+    /// compare equal exactly until their behaviour first differs.
+    pub fn digest(&self) -> u64 {
+        snapshot::digest(&Json::Obj(vec![
+            ("system".into(), self.sys.snapshot_json()),
+            ("recovery".into(), self.mgr.snapshot_json()),
+            ("state".into(), self.st.to_json()),
+        ]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo fleet
+// ---------------------------------------------------------------------------
+
+/// Distribution summary with order statistics and a normal-approximation
+/// 95% confidence interval on the mean (nearest-rank percentiles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Lower edge of the 95% CI on the mean.
+    pub ci95_lo: f64,
+    /// Upper edge of the 95% CI on the mean.
+    pub ci95_hi: f64,
+}
+
+impl_json_struct!(DistSummary {
+    count,
+    mean,
+    std_dev,
+    min,
+    max,
+    p50,
+    p99,
+    ci95_lo,
+    ci95_hi,
+});
+
+impl DistSummary {
+    /// Summarises a sample set. An empty set yields all-zero fields.
+    pub fn from_samples(samples: &[f64]) -> DistSummary {
+        let n = samples.len();
+        if n == 0 {
+            return DistSummary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+                ci95_lo: 0.0,
+                ci95_hi: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut stats = OnlineStats::new();
+        for &s in samples {
+            stats.push(s);
+        }
+        let nearest = |q: f64| {
+            let rank = (q * n as f64).ceil() as usize;
+            sorted[rank.max(1).min(n) - 1]
+        };
+        let half = if n > 1 {
+            1.96 * stats.std_dev() / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        DistSummary {
+            count: n as u64,
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: nearest(0.50),
+            p99: nearest(0.99),
+            ci95_lo: stats.mean() - half,
+            ci95_hi: stats.mean() + half,
+        }
+    }
+}
+
+/// One replica's row in a [`MonteCarloReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaRow {
+    /// The replica's plan seed.
+    pub seed: u64,
+    /// Events the replica actually handled: the shared warm-up prefix plus
+    /// its own re-seeded remainder.
+    pub events: u64,
+    /// Faults detected.
+    pub detected: u64,
+    /// Faults repaired.
+    pub recovered: u64,
+    /// Faults the ladder could not repair.
+    pub unrecovered: u64,
+    /// The replica's availability.
+    pub availability: f64,
+}
+
+impl_json_struct!(ReplicaRow {
+    seed,
+    events,
+    detected,
+    recovered,
+    unrecovered,
+    availability,
+});
+
+/// Fleet-style merge of N forked campaign replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    /// Replica count.
+    pub replicas: u64,
+    /// Total scheduled events across replicas.
+    pub events: u64,
+    /// Total faults detected.
+    pub detected: u64,
+    /// Total SEUs missed (must be 0).
+    pub undetected: u64,
+    /// Total benign faults.
+    pub benign: u64,
+    /// Total skipped injections.
+    pub skipped: u64,
+    /// Total faults repaired.
+    pub recovered: u64,
+    /// Total unrepaired faults.
+    pub unrecovered: u64,
+    /// Total silent corruptions (must be 0).
+    pub silent_corruptions: u64,
+    /// Total partitions quarantined.
+    pub quarantined_partitions: u64,
+    /// Availability distribution across replicas (mean, p50/p99, 95% CI).
+    pub availability: DistSummary,
+    /// Per-replica rows, in seed order given to [`fork_replicas`].
+    pub per_replica: Vec<ReplicaRow>,
+}
+
+impl_json_struct!(MonteCarloReport {
+    replicas,
+    events,
+    detected,
+    undetected,
+    benign,
+    skipped,
+    recovered,
+    unrecovered,
+    silent_corruptions,
+    quarantined_partitions,
+    availability,
+    per_replica,
+});
+
+/// Fans N Monte Carlo replicas out of one warmed-up checkpoint: each
+/// replica resumes the checkpoint, re-seeds the remaining schedule with its
+/// own seed ([`CampaignRun::replan`]), runs to completion, and the results
+/// merge into a fleet report with confidence intervals. Deterministic: the
+/// same checkpoint and seed set produce a byte-identical report.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn fork_replicas(
+    config: &SystemConfig,
+    campaign: &FaultCampaign,
+    checkpoint: &Json,
+    seeds: &[u64],
+) -> Result<MonteCarloReport, JsonError> {
+    assert!(!seeds.is_empty(), "fork needs at least one replica seed");
+    let mut per_replica = Vec::with_capacity(seeds.len());
+    let mut avail = Vec::with_capacity(seeds.len());
+    let mut report = MonteCarloReport {
+        replicas: seeds.len() as u64,
+        events: 0,
+        detected: 0,
+        undetected: 0,
+        benign: 0,
+        skipped: 0,
+        recovered: 0,
+        unrecovered: 0,
+        silent_corruptions: 0,
+        quarantined_partitions: 0,
+        availability: DistSummary::from_samples(&[]),
+        per_replica: Vec::new(),
+    };
+    for &seed in seeds {
+        let mut run = CampaignRun::resume(config.clone(), campaign.clone(), checkpoint)?;
+        run.replan(seed);
+        let r = run.run_to_end(&mut |_| {});
+        // The replica's plan length counts only its own schedule; what it
+        // handled is the warm-up prefix plus its re-seeded remainder —
+        // every handled event lands in exactly one outcome bucket.
+        let handled = r.detected + r.undetected + r.benign + r.skipped;
+        report.events += handled;
+        report.detected += r.detected;
+        report.undetected += r.undetected;
+        report.benign += r.benign;
+        report.skipped += r.skipped;
+        report.recovered += r.recovered;
+        report.unrecovered += r.unrecovered;
+        report.silent_corruptions += r.silent_corruptions;
+        report.quarantined_partitions += r.quarantined_partitions;
+        avail.push(r.availability);
+        per_replica.push(ReplicaRow {
+            seed,
+            events: handled,
+            detected: r.detected,
+            recovered: r.recovered,
+            unrecovered: r.unrecovered,
+            availability: r.availability,
+        });
+    }
+    report.availability = DistSummary::from_samples(&avail);
+    report.per_replica = per_replica;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// First-divergence bisection
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`bisect_campaigns`] / [`bisect_plans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BisectOutcome {
+    /// 0-based plan index of the first event whose handling diverged. When
+    /// the runs agree through the whole common prefix but schedule
+    /// different event counts, this is the index of the first surplus
+    /// event. Meaningless (0) when `diverged_in_warmup`.
+    pub first_divergent_event: u64,
+    /// The runs already differed before any event was handled (different
+    /// warm-up, e.g. different partitions or initial images).
+    pub diverged_in_warmup: bool,
+    /// Partial replays of run B performed by the binary search — bounded
+    /// by ⌈log₂ n⌉ + 1.
+    pub replays: u64,
+    /// Length of the common event prefix that was searched.
+    pub compared_events: u64,
+}
+
+impl_json_struct!(BisectOutcome {
+    first_divergent_event,
+    diverged_in_warmup,
+    replays,
+    compared_events,
+});
+
+/// [`bisect_plans`] over the plans the two campaign configs generate.
+pub fn bisect_campaigns(
+    config: &SystemConfig,
+    a: &FaultCampaign,
+    b: &FaultCampaign,
+) -> Result<Option<BisectOutcome>, JsonError> {
+    let plan_a = FaultPlan::generate(&a.plan, &config.floorplan);
+    let plan_b = FaultPlan::generate(&b.plan, &config.floorplan);
+    bisect_plans(config, a, b, plan_a, plan_b)
+}
+
+/// Pins the first event at which two campaigns diverge, in O(log n) partial
+/// replays instead of an O(n) event-by-event comparison.
+///
+/// Run A executes once, recording a state digest after every event. Run B
+/// is then probed by binary search: each probe resumes B from the deepest
+/// checkpoint already proven equal, steps forward to the probe index, and
+/// compares digests. The checkpoint advances with the search's lower bound,
+/// so later probes replay ever-shorter suffixes. Returns `None` when the
+/// runs never diverge.
+pub fn bisect_plans(
+    config: &SystemConfig,
+    a: &FaultCampaign,
+    b: &FaultCampaign,
+    plan_a: FaultPlan,
+    plan_b: FaultPlan,
+) -> Result<Option<BisectOutcome>, JsonError> {
+    let mut run_a = CampaignRun::with_plan(ZynqPdrSystem::new(config.clone()), a.clone(), plan_a);
+    let mut digests = vec![run_a.digest()];
+    while run_a.step().is_some() {
+        digests.push(run_a.digest());
+    }
+    let n_a = digests.len() - 1;
+
+    let run_b = CampaignRun::with_plan(ZynqPdrSystem::new(config.clone()), b.clone(), plan_b);
+    let n_b = run_b.events();
+    let limit = n_a.min(n_b);
+    let mut replays = 0u64;
+    if run_b.digest() != digests[0] {
+        return Ok(Some(BisectOutcome {
+            first_divergent_event: 0,
+            diverged_in_warmup: true,
+            replays,
+            compared_events: limit as u64,
+        }));
+    }
+    let mut base = run_b.checkpoint();
+    let mut base_idx = 0usize;
+
+    // One probe at the end of the common prefix settles whether a
+    // divergence exists at all.
+    {
+        let mut run = CampaignRun::resume(config.clone(), b.clone(), &base)?;
+        for _ in base_idx..limit {
+            run.step();
+        }
+        replays += 1;
+        if run.digest() == digests[limit] {
+            return Ok(if n_a == n_b {
+                None
+            } else {
+                Some(BisectOutcome {
+                    first_divergent_event: limit as u64,
+                    diverged_in_warmup: false,
+                    replays,
+                    compared_events: limit as u64,
+                })
+            });
+        }
+    }
+
+    let mut lo = 0usize; // deepest post-event digest proven equal
+    let mut hi = limit; // shallowest post-event digest proven divergent
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let mut run = CampaignRun::resume(config.clone(), b.clone(), &base)?;
+        for _ in base_idx..mid {
+            run.step();
+        }
+        replays += 1;
+        if run.digest() == digests[mid] {
+            lo = mid;
+            base = run.checkpoint();
+            base_idx = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // The digest after `hi` events is the first to differ, so event hi-1
+    // (0-based) is the one whose handling diverged.
+    Ok(Some(BisectOutcome {
+        first_divergent_event: hi as u64 - 1,
+        diverged_in_warmup: false,
+        replays,
+        compared_events: limit as u64,
+    }))
 }
 
 #[cfg(test)]
@@ -648,6 +1446,149 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.to_json_string(), b.to_json_string());
         assert_ne!(run(5).to_json_string(), run(6).to_json_string());
+    }
+
+    #[test]
+    fn streaming_records_reconcile_with_the_report() {
+        let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+        let c = small_fault_campaign();
+        let mut counts = [0u64; 5]; // events, detected, benign, skipped, recovered
+        let r = run_fault_campaign_streaming(&mut sys, &c, &mut |rec| {
+            counts[0] += 1;
+            match rec.outcome {
+                FaultOutcome::Detected => counts[1] += 1,
+                FaultOutcome::Benign => counts[2] += 1,
+                FaultOutcome::Skipped => counts[3] += 1,
+                FaultOutcome::Undetected => {}
+            }
+            if rec.recovered {
+                counts[4] += 1;
+                assert!(rec.mttr_us > 0.0, "{rec:?}");
+            }
+            assert_eq!(rec.idx, counts[0] - 1, "records arrive in plan order");
+        });
+        assert_eq!(counts[0], r.events);
+        assert_eq!(counts[1], r.detected);
+        assert_eq!(counts[2], r.benign);
+        assert_eq!(counts[3], r.skipped);
+        assert_eq!(counts[4], r.recovered);
+    }
+
+    #[test]
+    fn stepwise_runner_matches_the_one_shot_entry_point() {
+        let c = small_fault_campaign();
+        let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+        let direct = run_fault_campaign(&mut sys, &c);
+        let mut run = CampaignRun::new(FaultCampaign::fast_system(), c);
+        let stepped = run.run_to_end(&mut |_| {});
+        assert_eq!(direct, stepped);
+        assert_eq!(direct.to_json_string(), stepped.to_json_string());
+    }
+
+    #[test]
+    fn checkpoint_resume_finishes_byte_identically() {
+        let c = small_fault_campaign();
+        let cfg = FaultCampaign::fast_system();
+
+        let mut uninterrupted = CampaignRun::new(cfg.clone(), c.clone());
+        let r_full = uninterrupted.run_to_end(&mut |_| {});
+
+        let mut killed = CampaignRun::new(cfg.clone(), c.clone());
+        let mid = killed.events() / 2;
+        for _ in 0..mid {
+            killed.step();
+        }
+        // Round-trip the checkpoint through its text form, as a crash
+        // would, and drop the original runner.
+        let text = killed.checkpoint().render();
+        drop(killed);
+        let ckpt = Json::parse(&text).expect("checkpoint parses");
+        let mut resumed = CampaignRun::resume(cfg, c, &ckpt).expect("resume");
+        assert_eq!(resumed.position(), mid);
+        let r_resumed = resumed.run_to_end(&mut |_| {});
+
+        assert_eq!(r_full, r_resumed);
+        assert_eq!(r_full.to_json_string(), r_resumed.to_json_string());
+        assert_eq!(uninterrupted.digest(), resumed.digest());
+        assert_eq!(
+            uninterrupted.system().tracer().export_jsonl(),
+            resumed.system().tracer().export_jsonl(),
+            "the resumed tape must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn forked_replicas_merge_deterministically() {
+        let c = small_fault_campaign();
+        let cfg = FaultCampaign::fast_system();
+        let mut warm = CampaignRun::new(cfg.clone(), c.clone());
+        for _ in 0..3 {
+            warm.step();
+        }
+        let ckpt = warm.checkpoint();
+        let seeds: Vec<u64> = (100..108).collect();
+        let a = fork_replicas(&cfg, &c, &ckpt, &seeds).expect("fork");
+        let b = fork_replicas(&cfg, &c, &ckpt, &seeds).expect("fork");
+        assert_eq!(a, b, "same checkpoint + seeds must merge identically");
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        assert_eq!(a.replicas, 8);
+        assert_eq!(a.per_replica.len(), 8);
+        // The replica seeds genuinely diverge the runs.
+        let distinct: std::collections::HashSet<u64> =
+            a.per_replica.iter().map(|r| r.events).collect();
+        assert!(distinct.len() > 1, "replicas all scheduled {distinct:?}");
+        let d = &a.availability;
+        assert_eq!(d.count, 8);
+        assert!(d.min <= d.p50 && d.p50 <= d.p99 && d.p99 <= d.max);
+        assert!(d.ci95_lo <= d.mean && d.mean <= d.ci95_hi);
+    }
+
+    #[test]
+    fn bisect_pins_a_planted_divergence() {
+        let c = small_fault_campaign();
+        let cfg = FaultCampaign::fast_system();
+        let plan = FaultPlan::generate(&c.plan, &cfg.floorplan);
+        let n = plan.events.len();
+        assert!(n >= 8, "plan too small to bisect meaningfully");
+        // Plant the divergence on the last SEU in the plan, moved to the
+        // other partition: the monitor scans one partition per slot, so the
+        // detection latency (and everything downstream — downtime, health
+        // counters, recovery stats) moves. Many perturbations are invisible
+        // by design — a different frame in the same partition is caught by
+        // the same scan slot and scrubbed back to golden, and a longer DMA
+        // stall still trips the same fixed watchdog — and the whole point of
+        // digest-driven bisection is to find changes that actually alter
+        // observable state.
+        let target = plan
+            .events
+            .iter()
+            .rposition(|e| e.kind == FaultKind::Seu)
+            .expect("generated plan must contain an SEU");
+        assert!(target >= 2, "planted SEU too early to exercise the search");
+        let mut planted = plan.clone();
+        let e = &mut planted.events[target];
+        e.rp = (e.rp + 1) % cfg.floorplan.partitions().len();
+        let frames = cfg
+            .floorplan
+            .partition(e.rp)
+            .frame_count(cfg.floorplan.geometry());
+        e.frame %= frames;
+        let out = bisect_plans(&cfg, &c, &c, plan.clone(), planted)
+            .expect("bisect")
+            .expect("the planted divergence must be found");
+        assert!(!out.diverged_in_warmup);
+        assert_eq!(out.first_divergent_event, target as u64);
+        let bound = (n as f64).log2().ceil() as u64 + 1;
+        assert!(
+            out.replays <= bound,
+            "{} replays exceeds the log2({n})+1 = {bound} bound",
+            out.replays
+        );
+        // Identical plans never diverge.
+        assert_eq!(
+            bisect_plans(&cfg, &c, &c, plan.clone(), plan).expect("bisect"),
+            None
+        );
     }
 
     #[test]

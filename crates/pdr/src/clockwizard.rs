@@ -74,6 +74,20 @@ impl ClockWizard {
         self.current = freq;
         engine.set_clock_frequency(self.domain, freq);
     }
+
+    /// Overwrites the remembered frequency *without* touching the engine —
+    /// for checkpoint restore, where the engine's domain state (including
+    /// the exact phase origin) is restored separately and must not be
+    /// disturbed by a re-lock.
+    pub(crate) fn restore_frequency(&mut self, freq: Frequency) {
+        assert!(
+            (self.min..=self.max).contains(&freq),
+            "restored frequency {freq} outside wizard range {}..={}",
+            self.min,
+            self.max
+        );
+        self.current = freq;
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 //! would see a half-written region).
 
 use pdr_icap::SharedConfigMemory;
-use pdr_sim_core::{Component, EdgeCtx, IrqLine, NextWake};
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
+use pdr_sim_core::{impl_json_struct, Component, EdgeCtx, IrqLine, NextWake};
 
 use pdr_bitstream::Crc32;
 
@@ -39,6 +40,18 @@ pub struct RegionResult {
     /// Total mismatching scans.
     pub failures: u64,
 }
+
+impl_json_struct!(Region {
+    start_idx,
+    frames,
+    golden,
+});
+
+impl_json_struct!(RegionResult {
+    scans,
+    last_ok,
+    failures,
+});
 
 /// The read-back component. Bind it to the fabric clock domain (the block is
 /// standard logic, not over-clocked).
@@ -223,6 +236,79 @@ impl Component for CrcReadback {
             "folded past a read-back work edge"
         );
         self.frame_countdown -= k as u32;
+    }
+
+    fn snapshot_state(&self) -> Json {
+        // The block owns the crc-error interrupt line (it is the raiser) and
+        // its own scan engine; config memory is shared system state.
+        Json::Obj(vec![
+            (
+                "regions".to_string(),
+                Json::Arr(self.regions.iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "results".to_string(),
+                Json::Arr(self.results.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("enabled".to_string(), self.enabled.to_json()),
+            ("cursor_region".to_string(), Json::U64(self.cursor.0 as u64)),
+            ("cursor_frame".to_string(), self.cursor.1.to_json()),
+            (
+                "frame_countdown".to_string(),
+                self.frame_countdown.to_json(),
+            ),
+            ("crc".to_string(), self.crc.raw_state().to_json()),
+            ("frames_read".to_string(), self.frames_read.to_json()),
+            ("last_cycle".to_string(), self.last_cycle.to_json()),
+            ("err_irq".to_string(), self.err_irq.snapshot_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        let regions = state
+            .get("regions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "crc-readback snapshot missing `regions`".to_string(),
+            })?
+            .iter()
+            .map(Region::from_json)
+            .collect::<Result<Vec<Region>, JsonError>>()?;
+        let results = state
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "crc-readback snapshot missing `results`".to_string(),
+            })?
+            .iter()
+            .map(RegionResult::from_json)
+            .collect::<Result<Vec<RegionResult>, JsonError>>()?;
+        if regions.len() != results.len() {
+            return Err(JsonError {
+                msg: "crc-readback snapshot region/result length mismatch".to_string(),
+            });
+        }
+        let cursor_region =
+            u64::from_json(state.get("cursor_region").unwrap_or(&Json::Null))? as usize;
+        if cursor_region != 0 && cursor_region >= regions.len() {
+            return Err(JsonError {
+                msg: "crc-readback snapshot cursor out of range".to_string(),
+            });
+        }
+        self.regions = regions;
+        self.results = results;
+        self.enabled = bool::from_json(state.get("enabled").unwrap_or(&Json::Null))?;
+        self.cursor = (
+            cursor_region,
+            u32::from_json(state.get("cursor_frame").unwrap_or(&Json::Null))?,
+        );
+        self.frame_countdown = u32::from_json(state.get("frame_countdown").unwrap_or(&Json::Null))?;
+        self.crc
+            .set_raw_state(u32::from_json(state.get("crc").unwrap_or(&Json::Null))?);
+        self.frames_read = u64::from_json(state.get("frames_read").unwrap_or(&Json::Null))?;
+        self.last_cycle = u64::from_json(state.get("last_cycle").unwrap_or(&Json::Null))?;
+        self.err_irq
+            .restore_json(state.get("err_irq").unwrap_or(&Json::Null))
     }
 }
 

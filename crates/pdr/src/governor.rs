@@ -288,6 +288,52 @@ impl Governor {
         self.points.iter().map(|p| p.freq_mhz).min()
     }
 
+    /// Checkpoints the characterisation table and selection cursor. The
+    /// probe configuration is structural (supplied at construction) and
+    /// does not travel.
+    pub fn snapshot_json(&self) -> pdr_sim_core::json::Json {
+        use pdr_sim_core::json::{Json, ToJson};
+        Json::Obj(vec![
+            (
+                "points".to_string(),
+                Json::Arr(self.points.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "current".to_string(),
+                self.current.map(|i| i as u64).to_json(),
+            ),
+        ])
+    }
+
+    /// Restores a checkpoint taken with [`Governor::snapshot_json`].
+    pub fn restore_json(
+        &mut self,
+        json: &pdr_sim_core::json::Json,
+    ) -> Result<(), pdr_sim_core::json::JsonError> {
+        use pdr_sim_core::json::{FromJson, Json, JsonError};
+        let points = json
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "governor snapshot missing `points`".to_string(),
+            })?
+            .iter()
+            .map(OperatingPoint::from_json)
+            .collect::<Result<Vec<OperatingPoint>, JsonError>>()?;
+        let current = Option::<u64>::from_json(json.get("current").unwrap_or(&Json::Null))?
+            .map(|i| i as usize);
+        if let Some(i) = current {
+            if i >= points.len() {
+                return Err(JsonError {
+                    msg: "governor snapshot `current` out of range".to_string(),
+                });
+            }
+        }
+        self.points = points;
+        self.current = current;
+        Ok(())
+    }
+
     /// Re-marks the point at `freq_mhz` usable — the recovery path for
     /// *transient* failures (a timing burst that has passed), where
     /// permanently burning the operating point would ratchet the system to

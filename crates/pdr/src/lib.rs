@@ -55,12 +55,15 @@ pub mod recovery;
 pub mod report;
 pub mod scheduler;
 pub mod sdcard;
+pub mod snapshot;
 pub mod system;
 pub mod trace;
 
 pub use campaign::{
-    run_fault_campaign, run_seu_campaign, CampaignResult, FaultCampaign, FaultCampaignResult,
-    SeuCampaign, StatsSummary,
+    bisect_campaigns, bisect_plans, fork_replicas, run_fault_campaign,
+    run_fault_campaign_streaming, run_seu_campaign, BisectOutcome, CampaignResult, CampaignRun,
+    DistSummary, FaultCampaign, FaultCampaignResult, FaultOutcome, FaultRecord, MonteCarloReport,
+    ReplicaRow, SeuCampaign, StatsSummary,
 };
 pub use clockwizard::ClockWizard;
 pub use crc_readback::CrcReadback;

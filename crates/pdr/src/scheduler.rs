@@ -44,6 +44,7 @@ use std::collections::BTreeMap;
 use pdr_bitstream::Bitstream;
 use pdr_bitstream_codec::{compress_bitstream, decompress_to_bitstream, CodecReport};
 use pdr_mem::SramConfig;
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::stats::SampleSeries;
 use pdr_sim_core::{impl_json_enum, impl_json_struct, Frequency, SimDuration, SimTime};
 
@@ -68,6 +69,13 @@ pub struct ReconfigRequest {
     /// complete, but are counted as deadline misses.
     pub deadline: SimDuration,
 }
+
+impl_json_struct!(ReconfigRequest {
+    rp,
+    bitstream_id,
+    priority,
+    deadline,
+});
 
 /// Why admission refused a request. Rejection happens synchronously at
 /// submission; nothing is queued and no hardware is touched.
@@ -244,6 +252,15 @@ pub struct RequestRecord {
     /// Final classified error (`None` = verified success).
     pub error: Option<ReconfigError>,
 }
+
+impl_json_struct!(RequestRecord {
+    req,
+    queueing,
+    service,
+    cache_hit,
+    deadline_met,
+    error,
+});
 
 /// Aggregate scheduler telemetry, serialisable like every other report.
 #[derive(Debug, Clone, PartialEq)]
@@ -694,6 +711,244 @@ impl Scheduler {
             service_p50_us: self.service_us.quantile(0.5),
             service_p99_us: self.service_us.quantile(0.99),
         }
+    }
+
+    /// Checkpoints the scheduler's dynamic state: ready queue, cache
+    /// residency, in-flight prefetch, telemetry, and per-request records.
+    ///
+    /// The *catalog* is structural — the resume path rebuilds the scheduler
+    /// with the same deterministic [`Scheduler::register_bitstream`] calls
+    /// before restoring — so the snapshot carries only a per-id size digest
+    /// used by [`Scheduler::restore_json`] to verify the rebuilt catalog is
+    /// the one the checkpoint was taken against.
+    pub fn snapshot_json(&self) -> Json {
+        let catalog = self
+            .catalog
+            .iter()
+            .map(|(id, e)| {
+                Json::Obj(vec![
+                    ("id".to_string(), id.to_json()),
+                    ("raw_bytes".to_string(), e.raw_bytes.to_json()),
+                    ("stored_bytes".to_string(), e.stored_bytes.to_json()),
+                ])
+            })
+            .collect();
+        let queue = self
+            .queue
+            .iter()
+            .map(|q| {
+                Json::Obj(vec![
+                    ("req".to_string(), q.req.to_json()),
+                    ("submitted".to_string(), q.submitted.to_json()),
+                    ("abs_deadline".to_string(), q.abs_deadline.to_json()),
+                    ("seq".to_string(), q.seq.to_json()),
+                ])
+            })
+            .collect();
+        let prefetch = match self.prefetch {
+            None => Json::Null,
+            Some(p) => Json::Obj(vec![
+                ("bitstream_id".to_string(), p.bitstream_id.to_json()),
+                ("ready_at".to_string(), p.ready_at.to_json()),
+            ]),
+        };
+        Json::Obj(vec![
+            ("catalog".to_string(), Json::Arr(catalog)),
+            (
+                "cache".to_string(),
+                Json::Arr(self.cache.iter().map(|id| id.to_json()).collect()),
+            ),
+            ("cache_bytes".to_string(), self.cache_bytes.to_json()),
+            ("queue".to_string(), Json::Arr(queue)),
+            ("prefetch".to_string(), prefetch),
+            ("seq".to_string(), self.seq.to_json()),
+            ("first_submit".to_string(), self.first_submit.to_json()),
+            ("last_complete".to_string(), self.last_complete.to_json()),
+            (
+                "records".to_string(),
+                Json::Arr(self.records.iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "queueing_us".to_string(),
+                Json::Arr(
+                    self.queueing_us
+                        .samples()
+                        .iter()
+                        .map(|s| s.to_json())
+                        .collect(),
+                ),
+            ),
+            (
+                "service_us".to_string(),
+                Json::Arr(
+                    self.service_us
+                        .samples()
+                        .iter()
+                        .map(|s| s.to_json())
+                        .collect(),
+                ),
+            ),
+            ("submitted".to_string(), self.submitted.to_json()),
+            (
+                "rejections".to_string(),
+                Json::Arr(self.rejections.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("completed".to_string(), self.completed.to_json()),
+            ("failed".to_string(), self.failed.to_json()),
+            ("deadlines_met".to_string(), self.deadlines_met.to_json()),
+            (
+                "deadlines_missed".to_string(),
+                self.deadlines_missed.to_json(),
+            ),
+            ("cache_hits".to_string(), self.cache_hits.to_json()),
+            ("cache_misses".to_string(), self.cache_misses.to_json()),
+            ("prefetch_hits".to_string(), self.prefetch_hits.to_json()),
+            (
+                "cache_evictions".to_string(),
+                self.cache_evictions.to_json(),
+            ),
+            ("bytes_evicted".to_string(), self.bytes_evicted.to_json()),
+            (
+                "bytes_transferred".to_string(),
+                self.bytes_transferred.to_json(),
+            ),
+            ("bytes_fetched".to_string(), self.bytes_fetched.to_json()),
+        ])
+    }
+
+    /// Restores a checkpoint taken with [`Scheduler::snapshot_json`] into a
+    /// scheduler whose catalog has already been re-registered. Fails (and
+    /// leaves this scheduler untouched) if the rebuilt catalog does not
+    /// match the checkpoint's per-id size digest.
+    pub fn restore_json(&mut self, json: &Json) -> Result<(), JsonError> {
+        fn req<'a>(json: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+            json.get(key).ok_or_else(|| JsonError {
+                msg: format!("scheduler snapshot missing `{key}`"),
+            })
+        }
+        // ---- Validate the catalog digest before touching anything.
+        let digest = req(json, "catalog")?.as_array().ok_or_else(|| JsonError {
+            msg: "scheduler snapshot `catalog` is not an array".to_string(),
+        })?;
+        if digest.len() != self.catalog.len() {
+            return Err(JsonError {
+                msg: format!(
+                    "scheduler snapshot catalog has {} images, rebuilt catalog has {}",
+                    digest.len(),
+                    self.catalog.len()
+                ),
+            });
+        }
+        for entry in digest {
+            let id = u32::from_json(req(entry, "id")?)?;
+            let raw = u64::from_json(req(entry, "raw_bytes")?)?;
+            let stored = u64::from_json(req(entry, "stored_bytes")?)?;
+            match self.catalog.get(&id) {
+                Some(e) if e.raw_bytes == raw && e.stored_bytes == stored => {}
+                Some(_) => {
+                    return Err(JsonError {
+                        msg: format!("catalog image {id} differs from the checkpointed image"),
+                    })
+                }
+                None => {
+                    return Err(JsonError {
+                        msg: format!("catalog image {id} missing from the rebuilt scheduler"),
+                    })
+                }
+            }
+        }
+        // ---- Decode everything else, then overlay.
+        let cache = req(json, "cache")?
+            .as_array()
+            .ok_or_else(|| JsonError {
+                msg: "scheduler snapshot `cache` is not an array".to_string(),
+            })?
+            .iter()
+            .map(u32::from_json)
+            .collect::<Result<Vec<u32>, JsonError>>()?;
+        let queue = req(json, "queue")?
+            .as_array()
+            .ok_or_else(|| JsonError {
+                msg: "scheduler snapshot `queue` is not an array".to_string(),
+            })?
+            .iter()
+            .map(|q| {
+                Ok(Queued {
+                    req: ReconfigRequest::from_json(req(q, "req")?)?,
+                    submitted: SimTime::from_json(req(q, "submitted")?)?,
+                    abs_deadline: SimTime::from_json(req(q, "abs_deadline")?)?,
+                    seq: u64::from_json(req(q, "seq")?)?,
+                })
+            })
+            .collect::<Result<Vec<Queued>, JsonError>>()?;
+        let prefetch = match req(json, "prefetch")? {
+            Json::Null => None,
+            p => Some(Prefetch {
+                bitstream_id: u32::from_json(req(p, "bitstream_id")?)?,
+                ready_at: SimTime::from_json(req(p, "ready_at")?)?,
+            }),
+        };
+        let records = req(json, "records")?
+            .as_array()
+            .ok_or_else(|| JsonError {
+                msg: "scheduler snapshot `records` is not an array".to_string(),
+            })?
+            .iter()
+            .map(RequestRecord::from_json)
+            .collect::<Result<Vec<RequestRecord>, JsonError>>()?;
+        let queueing = req(json, "queueing_us")?
+            .as_array()
+            .ok_or_else(|| JsonError {
+                msg: "scheduler snapshot `queueing_us` is not an array".to_string(),
+            })?
+            .iter()
+            .map(f64::from_json)
+            .collect::<Result<Vec<f64>, JsonError>>()?;
+        let service = req(json, "service_us")?
+            .as_array()
+            .ok_or_else(|| JsonError {
+                msg: "scheduler snapshot `service_us` is not an array".to_string(),
+            })?
+            .iter()
+            .map(f64::from_json)
+            .collect::<Result<Vec<f64>, JsonError>>()?;
+        let rejections = req(json, "rejections")?
+            .as_array()
+            .ok_or_else(|| JsonError {
+                msg: "scheduler snapshot `rejections` is not an array".to_string(),
+            })?
+            .iter()
+            .map(u64::from_json)
+            .collect::<Result<Vec<u64>, JsonError>>()?;
+        if rejections.len() != 4 {
+            return Err(JsonError {
+                msg: "scheduler snapshot `rejections` must have 4 entries".to_string(),
+            });
+        }
+        self.cache = cache;
+        self.cache_bytes = u64::from_json(req(json, "cache_bytes")?)?;
+        self.queue = queue;
+        self.prefetch = prefetch;
+        self.seq = u64::from_json(req(json, "seq")?)?;
+        self.first_submit = Option::<SimTime>::from_json(req(json, "first_submit")?)?;
+        self.last_complete = Option::<SimTime>::from_json(req(json, "last_complete")?)?;
+        self.records = records;
+        self.queueing_us = SampleSeries::from_samples(queueing);
+        self.service_us = SampleSeries::from_samples(service);
+        self.submitted = u64::from_json(req(json, "submitted")?)?;
+        self.rejections = [rejections[0], rejections[1], rejections[2], rejections[3]];
+        self.completed = u64::from_json(req(json, "completed")?)?;
+        self.failed = u64::from_json(req(json, "failed")?)?;
+        self.deadlines_met = u64::from_json(req(json, "deadlines_met")?)?;
+        self.deadlines_missed = u64::from_json(req(json, "deadlines_missed")?)?;
+        self.cache_hits = u64::from_json(req(json, "cache_hits")?)?;
+        self.cache_misses = u64::from_json(req(json, "cache_misses")?)?;
+        self.prefetch_hits = u64::from_json(req(json, "prefetch_hits")?)?;
+        self.cache_evictions = u64::from_json(req(json, "cache_evictions")?)?;
+        self.bytes_evicted = u64::from_json(req(json, "bytes_evicted")?)?;
+        self.bytes_transferred = u64::from_json(req(json, "bytes_transferred")?)?;
+        self.bytes_fetched = u64::from_json(req(json, "bytes_fetched")?)?;
+        Ok(())
     }
 
     /// Index of the best ready request: highest priority, then earliest

@@ -6,17 +6,19 @@ use pdr_axi::interconnect::ReadInterconnect;
 use pdr_axi::stream::StreamBeat;
 use pdr_axi::width::{Width64To32, Word32};
 use pdr_axi::RegisterFile;
-use pdr_bitstream::{Action, Bitstream, Builder, Frame, FrameAddress, Parser};
+use pdr_bitstream::{Action, Bitstream, Builder, Frame, FrameAddress, Parser, FRAME_WORDS};
 use pdr_dma::{AxiDma, DmaConfig, DMACR_RS, REG_DMACR, REG_LENGTH, REG_SA};
 use pdr_fabric::{AspImage, AspKind, ColumnKind, ConfigMemory, Floorplan, Geometry, Partition};
 use pdr_icap::{shared_config_memory, IcapController, SharedConfigMemory};
 use pdr_mem::{Backing, DramConfig, DramController};
 use pdr_power::{CurrentSenseMeter, PowerModel};
+use pdr_sim_core::json::{Json, JsonError};
 use pdr_sim_core::{
     ClockDomainId, ComponentId, Engine, EngineStrategy, Fifo, Frequency, IrqBus, IrqLine,
     SimDuration, SimTime, Xoshiro256StarStar,
 };
 use pdr_timing::{DieThermal, OverclockModel, XadcSensor};
+use std::fmt::Write as _;
 
 use crate::clockwizard::ClockWizard;
 use crate::crc_readback::{CrcReadback, Region, CYCLES_PER_FRAME};
@@ -931,10 +933,13 @@ impl ZynqPdrSystem {
             .engine
             .run_until_condition(deadline, |_| alarm.is_raised());
         let latency = hit.then(|| {
-            self.crc_err
+            let raised = self
+                .crc_err
                 .last_raised()
-                .expect("raised line has a timestamp")
-                .duration_since(t0)
+                .expect("raised line has a timestamp");
+            // An alarm that was already pending when the wait began reports
+            // zero latency instead of a backwards time span.
+            raised.max(t0).duration_since(t0)
         });
         if let Some(l) = latency {
             self.trace_emit(TraceEvent::CrcAlarm {
@@ -1068,6 +1073,207 @@ impl ZynqPdrSystem {
     /// Lifetime reconfiguration count.
     pub fn reconfig_count(&self) -> u64 {
         self.reconfigs
+    }
+
+    /// Serializes every piece of dynamic system state: the engine (clocks,
+    /// event queues, and all component state via their
+    /// [`pdr_sim_core::Component`] snapshot hooks), DRAM backing store,
+    /// configuration memory,
+    /// over-clock frequency, thermal state, the system RNG, fault-injection
+    /// arming, and the trace sink.
+    ///
+    /// Restoring this object onto a freshly built system with the *same*
+    /// [`SystemConfig`] (see [`Self::restore_json`]) yields a run that is
+    /// byte-identical to one that never stopped. Structural configuration
+    /// is deliberately *not* serialized — the construction code is the
+    /// single source of truth for topology.
+    pub fn snapshot_json(&self) -> Json {
+        let mem = self.mem.borrow();
+        let frames: Vec<Json> = mem
+            .nonzero_frames()
+            .into_iter()
+            .map(|(idx, frame)| {
+                let mut hex = String::with_capacity(FRAME_WORDS * 8);
+                for w in frame.words() {
+                    let _ = write!(hex, "{w:08x}");
+                }
+                Json::Obj(vec![
+                    ("idx".into(), Json::U64(u64::from(idx))),
+                    ("hex".into(), Json::Str(hex)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("engine".into(), self.engine.snapshot()),
+            ("backing".into(), self.backing.snapshot_json()),
+            (
+                "config_mem".into(),
+                Json::Obj(vec![
+                    ("frames".into(), Json::Arr(frames)),
+                    ("writes".into(), Json::U64(mem.write_count())),
+                    ("reads".into(), Json::U64(mem.read_count())),
+                ]),
+            ),
+            (
+                "overclock_hz".into(),
+                Json::U64(self.wizard.frequency().as_hz()),
+            ),
+            ("die_c".into(), Json::F64(self.thermal.die_temp_c())),
+            ("env_c".into(), Json::F64(self.thermal.env_temp_c())),
+            (
+                "rng".into(),
+                Json::Arr(self.rng.state().iter().map(|&w| Json::U64(w)).collect()),
+            ),
+            ("reconfigs".into(), Json::U64(self.reconfigs)),
+            (
+                "monitored_frames".into(),
+                Json::U64(u64::from(self.monitored_frames)),
+            ),
+            (
+                "derate".into(),
+                match self.derate_until {
+                    None => Json::Null,
+                    Some((mhz, until)) => Json::Obj(vec![
+                        ("mhz".into(), Json::F64(mhz)),
+                        ("until_ps".into(), Json::U64(until.as_ps())),
+                    ]),
+                },
+            ),
+            (
+                "pending_dma_stall".into(),
+                Json::U64(self.pending_dma_stall),
+            ),
+            ("trace".into(), self.trace.snapshot_json()),
+        ])
+    }
+
+    /// Overlays a [`Self::snapshot_json`] object onto this system.
+    ///
+    /// The receiver must be freshly constructed from the *same*
+    /// [`SystemConfig`] that produced the snapshot (same floorplan, seeds,
+    /// and engine strategy) — the engine restore validates the component
+    /// structure and rejects mismatches before any state is mutated.
+    pub fn restore_json(&mut self, json: &Json) -> Result<(), JsonError> {
+        fn req<'a>(json: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+            json.get(key).ok_or_else(|| JsonError {
+                msg: format!("system snapshot missing `{key}`"),
+            })
+        }
+        // The engine restore validates clock-domain and component structure
+        // against the snapshot before touching any component, so a snapshot
+        // from a different floorplan fails here without partial mutation.
+        self.engine.restore(req(json, "engine")?)?;
+        self.backing.restore_json(req(json, "backing")?)?;
+
+        let cm = req(json, "config_mem")?;
+        let frames_json = req(cm, "frames")?.as_array().ok_or_else(|| JsonError {
+            msg: "config_mem.frames must be an array".into(),
+        })?;
+        let mut frames = Vec::with_capacity(frames_json.len());
+        for f in frames_json {
+            let idx = req(f, "idx")?.as_u64().ok_or_else(|| JsonError {
+                msg: "config_mem frame idx must be u64".into(),
+            })?;
+            let idx = u32::try_from(idx).map_err(|_| JsonError {
+                msg: format!("config_mem frame idx {idx} out of u32 range"),
+            })?;
+            let hex = req(f, "hex")?.as_str().ok_or_else(|| JsonError {
+                msg: "config_mem frame hex must be a string".into(),
+            })?;
+            if hex.len() != FRAME_WORDS * 8 || !hex.is_ascii() {
+                return Err(JsonError {
+                    msg: format!(
+                        "config_mem frame {idx}: expected {} hex chars, got {}",
+                        FRAME_WORDS * 8,
+                        hex.len()
+                    ),
+                });
+            }
+            let mut words = Vec::with_capacity(FRAME_WORDS);
+            for i in 0..FRAME_WORDS {
+                let w = u32::from_str_radix(&hex[8 * i..8 * i + 8], 16).map_err(|_| JsonError {
+                    msg: format!("config_mem frame {idx}: bad hex word at {i}"),
+                })?;
+                words.push(w);
+            }
+            frames.push((idx, Frame::from_words(words)));
+        }
+        let writes = req(cm, "writes")?.as_u64().ok_or_else(|| JsonError {
+            msg: "config_mem.writes must be u64".into(),
+        })?;
+        let reads = req(cm, "reads")?.as_u64().ok_or_else(|| JsonError {
+            msg: "config_mem.reads must be u64".into(),
+        })?;
+        self.mem
+            .borrow_mut()
+            .restore_parts(&frames, writes, reads)
+            .map_err(|msg| JsonError { msg })?;
+
+        let hz = req(json, "overclock_hz")?
+            .as_u64()
+            .ok_or_else(|| JsonError {
+                msg: "overclock_hz must be u64".into(),
+            })?;
+        self.wizard.restore_frequency(Frequency::from_hz(hz));
+
+        let die_c = req(json, "die_c")?.as_f64().ok_or_else(|| JsonError {
+            msg: "die_c must be a number".into(),
+        })?;
+        let env_c = req(json, "env_c")?.as_f64().ok_or_else(|| JsonError {
+            msg: "env_c must be a number".into(),
+        })?;
+        self.thermal.set_env_temp(env_c);
+        self.thermal.force_die_temp(die_c);
+
+        let rng_json = req(json, "rng")?.as_array().ok_or_else(|| JsonError {
+            msg: "rng must be an array".into(),
+        })?;
+        if rng_json.len() != 4 {
+            return Err(JsonError {
+                msg: format!("rng state must have 4 words, got {}", rng_json.len()),
+            });
+        }
+        let mut state = [0u64; 4];
+        for (slot, v) in state.iter_mut().zip(rng_json) {
+            *slot = v.as_u64().ok_or_else(|| JsonError {
+                msg: "rng state word must be u64".into(),
+            })?;
+        }
+        self.rng = Xoshiro256StarStar::from_state(state);
+
+        self.reconfigs = req(json, "reconfigs")?.as_u64().ok_or_else(|| JsonError {
+            msg: "reconfigs must be u64".into(),
+        })?;
+        let monitored = req(json, "monitored_frames")?
+            .as_u64()
+            .ok_or_else(|| JsonError {
+                msg: "monitored_frames must be u64".into(),
+            })?;
+        self.monitored_frames = u32::try_from(monitored).map_err(|_| JsonError {
+            msg: format!("monitored_frames {monitored} out of u32 range"),
+        })?;
+
+        self.derate_until = match req(json, "derate")? {
+            Json::Null => None,
+            d => {
+                let mhz = req(d, "mhz")?.as_f64().ok_or_else(|| JsonError {
+                    msg: "derate.mhz must be a number".into(),
+                })?;
+                let until = req(d, "until_ps")?.as_u64().ok_or_else(|| JsonError {
+                    msg: "derate.until_ps must be u64".into(),
+                })?;
+                Some((mhz, SimTime::from_ps(until)))
+            }
+        };
+
+        self.pending_dma_stall =
+            req(json, "pending_dma_stall")?
+                .as_u64()
+                .ok_or_else(|| JsonError {
+                    msg: "pending_dma_stall must be u64".into(),
+                })?;
+
+        self.trace.restore_json(req(json, "trace")?)
     }
 }
 

@@ -47,7 +47,7 @@
 //! assert!(tape.lines().any(|l| l.contains("\"event\":\"ReconfigDone\"")));
 //! ```
 
-use pdr_sim_core::json::{Json, ToJson};
+use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::stats::SampleSeries;
 use pdr_sim_core::{impl_json_enum, impl_json_struct, SimTime};
 
@@ -321,6 +321,116 @@ impl ToJson for TraceRecord {
     }
 }
 
+impl FromJson for TraceRecord {
+    /// Inverse of the flat encoding above — the checkpoint layer uses it to
+    /// rebuild the retained tape, so every variant must round-trip exactly.
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        fn u(json: &Json, key: &str) -> Result<u64, JsonError> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError {
+                    msg: format!("trace record missing u64 field `{key}`"),
+                })
+        }
+        fn b(json: &Json, key: &str) -> Result<bool, JsonError> {
+            json.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| JsonError {
+                    msg: format!("trace record missing bool field `{key}`"),
+                })
+        }
+        let seq = u(json, "seq")?;
+        let t_ps = u(json, "t_ps")?;
+        let tag = json
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError {
+                msg: "trace record missing `event` tag".to_string(),
+            })?;
+        let event = match tag {
+            "ReconfigStart" => TraceEvent::ReconfigStart {
+                rp: u(json, "rp")?,
+                bytes: u(json, "bytes")?,
+                freq_mhz: u(json, "freq_mhz")?,
+            },
+            "ReconfigDone" => TraceEvent::ReconfigDone {
+                rp: u(json, "rp")?,
+                ok: b(json, "ok")?,
+                latency_ps: u(json, "latency_ps")?,
+            },
+            "DmaBurst" => TraceEvent::DmaBurst {
+                bytes: u(json, "bytes")?,
+            },
+            "CrcPass" => TraceEvent::CrcPass {
+                frames: u(json, "frames")?,
+            },
+            "CrcFail" => TraceEvent::CrcFail {
+                frames: u(json, "frames")?,
+            },
+            "CrcAlarm" => TraceEvent::CrcAlarm {
+                latency_ps: u(json, "latency_ps")?,
+            },
+            "FaultInjected" => TraceEvent::FaultInjected {
+                kind: FaultKind::from_json(json.get("kind").ok_or_else(|| JsonError {
+                    msg: "FaultInjected record missing `kind`".to_string(),
+                })?)?,
+            },
+            "Retry" => TraceEvent::Retry {
+                rp: u(json, "rp")?,
+                attempt: u(json, "attempt")?,
+                freq_mhz: u(json, "freq_mhz")?,
+            },
+            "Backoff" => TraceEvent::Backoff {
+                rp: u(json, "rp")?,
+                from_mhz: u(json, "from_mhz")?,
+                to_mhz: u(json, "to_mhz")?,
+            },
+            "Scrub" => TraceEvent::Scrub {
+                rp: u(json, "rp")?,
+                freq_mhz: u(json, "freq_mhz")?,
+            },
+            "Quarantine" => TraceEvent::Quarantine { rp: u(json, "rp")? },
+            "CacheHit" => TraceEvent::CacheHit {
+                id: u(json, "id")?,
+                bytes: u(json, "bytes")?,
+            },
+            "CacheMiss" => TraceEvent::CacheMiss {
+                id: u(json, "id")?,
+                stored_bytes: u(json, "stored_bytes")?,
+            },
+            "CacheEvict" => TraceEvent::CacheEvict {
+                id: u(json, "id")?,
+                bytes: u(json, "bytes")?,
+            },
+            "PrefetchArmed" => TraceEvent::PrefetchArmed {
+                id: u(json, "id")?,
+                bytes: u(json, "bytes")?,
+            },
+            "CodecBlock" => TraceEvent::CodecBlock {
+                block: u(json, "block")?,
+                words_out: u(json, "words_out")?,
+            },
+            "SdFileStaged" => TraceEvent::SdFileStaged {
+                raw_bytes: u(json, "raw_bytes")?,
+                stored_bytes: u(json, "stored_bytes")?,
+            },
+            "StagedTransferStart" => TraceEvent::StagedTransferStart {
+                sram_words: u(json, "sram_words")?,
+            },
+            "StagedTransferDone" => TraceEvent::StagedTransferDone {
+                ok: b(json, "ok")?,
+                words_out: u(json, "words_out")?,
+            },
+            other => {
+                return Err(JsonError {
+                    msg: format!("unknown trace event tag `{other}`"),
+                })
+            }
+        };
+        Ok(TraceRecord { seq, t_ps, event })
+    }
+}
+
 /// Aggregate event counters, maintained at `Counters` level and above.
 ///
 /// Every field is derived from the event stream alone — a second accounting
@@ -588,6 +698,74 @@ impl TraceSink {
             reconfig_latency_p50_us: self.reconfig_latency_us.quantile(0.50),
             reconfig_latency_p99_us: self.reconfig_latency_us.quantile(0.99),
         }
+    }
+
+    /// Checkpoints the complete sink state: level, sequence counter,
+    /// counters, the raw latency samples (bit-exact floats), and the
+    /// retained tape. Restoring with [`TraceSink::restore_json`] and
+    /// continuing a run produces the same bytes as never pausing.
+    pub fn snapshot_json(&self) -> Json {
+        Json::Obj(vec![
+            ("level".to_string(), self.level.to_json()),
+            ("seq".to_string(), Json::U64(self.seq)),
+            ("counters".to_string(), self.counters.to_json()),
+            (
+                "latency_samples".to_string(),
+                Json::Arr(
+                    self.reconfig_latency_us
+                        .samples()
+                        .iter()
+                        .map(|s| s.to_json())
+                        .collect(),
+                ),
+            ),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Restores a checkpoint taken with [`TraceSink::snapshot_json`],
+    /// replacing everything this sink holds.
+    pub fn restore_json(&mut self, json: &Json) -> Result<(), JsonError> {
+        let level = TraceLevel::from_json(json.get("level").ok_or_else(|| JsonError {
+            msg: "trace snapshot missing `level`".to_string(),
+        })?)?;
+        let seq = json
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JsonError {
+                msg: "trace snapshot missing `seq`".to_string(),
+            })?;
+        let counters =
+            TraceCounters::from_json(json.get("counters").ok_or_else(|| JsonError {
+                msg: "trace snapshot missing `counters`".to_string(),
+            })?)?;
+        let samples = json
+            .get("latency_samples")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "trace snapshot missing `latency_samples`".to_string(),
+            })?
+            .iter()
+            .map(f64::from_json)
+            .collect::<Result<Vec<f64>, JsonError>>()?;
+        let events = json
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "trace snapshot missing `events`".to_string(),
+            })?
+            .iter()
+            .map(TraceRecord::from_json)
+            .collect::<Result<Vec<TraceRecord>, JsonError>>()?;
+        self.level = level;
+        self.seq = seq;
+        self.counters = counters;
+        self.reconfig_latency_us = SampleSeries::from_samples(samples);
+        self.events = events;
+        Ok(())
     }
 
     /// Drops everything recorded and restarts `seq` at 0; the level is

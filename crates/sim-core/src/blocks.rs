@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use crate::component::{Component, NextWake};
 use crate::engine::EdgeCtx;
 use crate::fifo::{Consumer, Producer};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// Produces items from a generator closure, up to one per clock edge,
 /// honouring back-pressure.
@@ -73,6 +74,22 @@ impl<T: 'static, F: FnMut(u64) -> T + 'static> Component for Source<T, F> {
             NextWake::EveryCycle
         }
     }
+
+    fn snapshot_state(&self) -> Json {
+        // The generator closure is construction-time structure; `produced`
+        // is the only input it receives, so progress alone replays exactly.
+        // The output FIFO belongs to its consumer.
+        Json::Obj(vec![
+            ("remaining".to_string(), self.remaining.to_json()),
+            ("produced".to_string(), self.produced.to_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.remaining = Option::<u64>::from_json(state.get("remaining").unwrap_or(&Json::Null))?;
+        self.produced = u64::from_json(state.get("produced").unwrap_or(&Json::Null))?;
+        Ok(())
+    }
 }
 
 /// Consumes up to one item per clock edge, counting and optionally
@@ -119,7 +136,7 @@ impl<T, F: FnMut(T)> Sink<T, F> {
     }
 }
 
-impl<T: 'static, F: FnMut(T) + 'static> Component for Sink<T, F> {
+impl<T: ToJson + FromJson + 'static, F: FnMut(T) + 'static> Component for Sink<T, F> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -160,6 +177,26 @@ impl<T: 'static, F: FnMut(T) + 'static> Component for Sink<T, F> {
             self.last_cycle = cycle;
         }
     }
+
+    fn snapshot_state(&self) -> Json {
+        // This sink is the input FIFO's unique consumer, so it serialises
+        // the buffered elements. The inspector closure is structure.
+        Json::Obj(vec![
+            ("consumed".to_string(), self.consumed.to_json()),
+            ("phase".to_string(), self.phase.to_json()),
+            ("last_cycle".to_string(), self.last_cycle.to_json()),
+            ("input".to_string(), self.input.fifo().snapshot_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.consumed = u64::from_json(state.get("consumed").unwrap_or(&Json::Null))?;
+        self.phase = u32::from_json(state.get("phase").unwrap_or(&Json::Null))?;
+        self.last_cycle = u64::from_json(state.get("last_cycle").unwrap_or(&Json::Null))?;
+        self.input
+            .fifo()
+            .restore_json(state.get("input").unwrap_or(&Json::Null))
+    }
 }
 
 /// Forwards items with a fixed pipeline delay of `latency` edges,
@@ -193,7 +230,7 @@ impl<T> DelayLine<T> {
     }
 }
 
-impl<T: 'static> Component for DelayLine<T> {
+impl<T: ToJson + FromJson + 'static> Component for DelayLine<T> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -224,6 +261,45 @@ impl<T: 'static> Component for DelayLine<T> {
         } else {
             NextWake::EveryCycle
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        let pipe: Vec<Json> = self
+            .pipe
+            .iter()
+            .map(|(item, age)| {
+                Json::Obj(vec![
+                    ("item".to_string(), item.to_json()),
+                    ("age".to_string(), age.to_json()),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("pipe".to_string(), Json::Arr(pipe)),
+            ("forwarded".to_string(), self.forwarded.to_json()),
+            ("input".to_string(), self.input.fifo().snapshot_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        let pipe_v = state
+            .get("pipe")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "delay line snapshot missing pipe".to_string(),
+            })?;
+        let mut pipe = VecDeque::with_capacity(pipe_v.len());
+        for entry in pipe_v {
+            pipe.push_back((
+                T::from_json(entry.get("item").unwrap_or(&Json::Null))?,
+                u32::from_json(entry.get("age").unwrap_or(&Json::Null))?,
+            ));
+        }
+        self.pipe = pipe;
+        self.forwarded = u64::from_json(state.get("forwarded").unwrap_or(&Json::Null))?;
+        self.input
+            .fifo()
+            .restore_json(state.get("input").unwrap_or(&Json::Null))
     }
 }
 

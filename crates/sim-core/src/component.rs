@@ -4,6 +4,7 @@ use core::any::Any;
 use core::fmt;
 
 use crate::engine::EdgeCtx;
+use crate::json::{Json, JsonError};
 
 /// Identifies a component registered with an [`Engine`](crate::Engine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -153,6 +154,44 @@ pub trait Component: Any {
             self.name(),
             event
         );
+    }
+
+    /// Serialises this component's mutable state for a whole-system
+    /// checkpoint (see `docs/SNAPSHOT.md`).
+    ///
+    /// The contract: restoring the returned value into a freshly constructed
+    /// component (same constructor arguments, same wiring) must make every
+    /// future observable — FIFO traffic, trace events, counters — byte-
+    /// identical to the component that was snapshotted. Construction-time
+    /// structure (names, capacities, closures, port wiring) is *not*
+    /// serialised; only state that evolves during simulation is.
+    ///
+    /// A component whose consumer-side FIFOs buffer data serialises those
+    /// FIFO contents itself (each FIFO has exactly one consuming component,
+    /// so ownership is unambiguous and nothing is written twice).
+    ///
+    /// The default returns [`Json::Null`], correct only for stateless
+    /// components.
+    fn snapshot_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores state captured by [`Component::snapshot_state`] into this
+    /// freshly constructed component.
+    ///
+    /// The default accepts only [`Json::Null`] (the stateless default) so a
+    /// stateful component that forgot to implement the pair fails loudly at
+    /// restore instead of silently resuming from reset state.
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+        match state {
+            Json::Null => Ok(()),
+            _ => Err(JsonError {
+                msg: format!(
+                    "component '{}' has snapshot state but no restore_state impl",
+                    self.name()
+                ),
+            }),
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 
 use crate::clock::{ClockDomain, ClockDomainId, ClockDomainInfo};
 use crate::component::{Component, ComponentId, Event, NextWake};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::time::{Frequency, SimDuration, SimTime, PS_PER_SEC};
 use crate::trace::{Trace, TraceRecord};
 
@@ -921,6 +922,220 @@ impl Engine {
                 self.call(target, domain, Some(event));
             }
         }
+    }
+
+    /// Serialises the whole engine — event queue, clock domains, per-slot
+    /// wake bookkeeping and every component's [`Component::snapshot_state`] —
+    /// for a deterministic checkpoint (see `docs/SNAPSHOT.md`).
+    ///
+    /// The snapshot captures *mutable* state only: the component graph
+    /// (registration order, domain bindings, FIFO wiring) is reproduced by
+    /// re-running the same construction code, then [`Engine::restore`]
+    /// overlays this state. The debug [`Trace`] buffer is not captured — it
+    /// is a bounded diagnostic aid, disabled by default, and not part of the
+    /// byte-identity contract (the structured `pdr` tape is).
+    ///
+    /// Must be taken between runs (never from inside a dispatch).
+    pub fn snapshot(&self) -> Json {
+        debug_assert!(
+            self.kernel.stop_request.is_none(),
+            "snapshot taken mid-dispatch"
+        );
+        let mut entries: Vec<&QueueEntry> = self.kernel.queue.iter().map(|Reverse(e)| e).collect();
+        entries.sort();
+        let queue: Vec<Json> = entries
+            .into_iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("t".to_string(), e.time.to_json()),
+                    ("seq".to_string(), e.seq.to_json()),
+                ];
+                match e.action {
+                    Action::Edge { domain, generation } => {
+                        fields.push(("edge".to_string(), (domain.0 as u64).to_json()));
+                        fields.push(("generation".to_string(), generation.to_json()));
+                    }
+                    Action::Deliver { target, event } => {
+                        fields.push(("deliver".to_string(), (target.0 as u64).to_json()));
+                        fields.push(("key".to_string(), event.key.to_json()));
+                        fields.push(("a".to_string(), event.a.to_json()));
+                        fields.push(("b".to_string(), event.b.to_json()));
+                    }
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let domains: Vec<Json> = self
+            .kernel
+            .domains
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("name".to_string(), d.name.to_json()),
+                    ("hz".to_string(), d.frequency.to_json()),
+                    ("phase_origin".to_string(), d.phase_origin.to_json()),
+                    (
+                        "edges_since_origin".to_string(),
+                        d.edges_since_origin.to_json(),
+                    ),
+                    ("next_edge".to_string(), d.next_edge.to_json()),
+                    ("total_edges".to_string(), d.total_edges.to_json()),
+                    ("generation".to_string(), d.generation.to_json()),
+                    ("gated".to_string(), d.gated.to_json()),
+                ])
+            })
+            .collect();
+        let components: Vec<Json> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let state = s
+                    .component
+                    .as_ref()
+                    .expect("snapshot taken mid-dispatch")
+                    .snapshot_state();
+                Json::Obj(vec![
+                    ("name".to_string(), s.name.to_json()),
+                    ("due_cycle".to_string(), s.due_cycle.to_json()),
+                    ("state".to_string(), state),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("now".to_string(), self.kernel.now.to_json()),
+            ("seq".to_string(), self.kernel.seq.to_json()),
+            (
+                "actions_dispatched".to_string(),
+                self.kernel.actions_dispatched.to_json(),
+            ),
+            ("queue".to_string(), Json::Arr(queue)),
+            ("domains".to_string(), Json::Arr(domains)),
+            ("components".to_string(), Json::Arr(components)),
+        ])
+    }
+
+    /// Restores a snapshot taken by [`Engine::snapshot`] into this engine.
+    ///
+    /// The engine must have been rebuilt by the *same construction code* that
+    /// produced the snapshotted engine (same domains, same components, same
+    /// registration order, same strategy); names are validated to catch
+    /// drift. After restore, running the engine is byte-identical to running
+    /// the snapshotted engine.
+    pub fn restore(&mut self, v: &Json) -> Result<(), JsonError> {
+        let err = |msg: String| JsonError { msg };
+        let get = |key: &str| v.get(key).unwrap_or(&Json::Null);
+        let now = SimTime::from_json(get("now"))?;
+        let seq = u64::from_json(get("seq"))?;
+        let actions = u64::from_json(get("actions_dispatched"))?;
+
+        let domains = get("domains")
+            .as_array()
+            .ok_or_else(|| err("engine snapshot missing domains".into()))?;
+        if domains.len() != self.kernel.domains.len() {
+            return Err(err(format!(
+                "snapshot has {} clock domains, engine has {}",
+                domains.len(),
+                self.kernel.domains.len()
+            )));
+        }
+        let components = get("components")
+            .as_array()
+            .ok_or_else(|| err("engine snapshot missing components".into()))?;
+        if components.len() != self.slots.len() {
+            return Err(err(format!(
+                "snapshot has {} components, engine has {}",
+                components.len(),
+                self.slots.len()
+            )));
+        }
+        // Validate all names before mutating anything.
+        for (i, dv) in domains.iter().enumerate() {
+            let name = String::from_json(dv.get("name").unwrap_or(&Json::Null))?;
+            if name != self.kernel.domains[i].name {
+                return Err(err(format!(
+                    "clock domain {i} is '{}' in the snapshot but '{}' in the engine",
+                    name, self.kernel.domains[i].name
+                )));
+            }
+        }
+        for (i, cv) in components.iter().enumerate() {
+            let name = String::from_json(cv.get("name").unwrap_or(&Json::Null))?;
+            if name != self.slots[i].name {
+                return Err(err(format!(
+                    "component {i} is '{}' in the snapshot but '{}' in the engine",
+                    name, self.slots[i].name
+                )));
+            }
+        }
+
+        let queue_v = get("queue")
+            .as_array()
+            .ok_or_else(|| err("engine snapshot missing queue".into()))?;
+        let mut entries = Vec::with_capacity(queue_v.len());
+        for ev in queue_v {
+            let time = SimTime::from_json(ev.get("t").unwrap_or(&Json::Null))?;
+            let eseq = u64::from_json(ev.get("seq").unwrap_or(&Json::Null))?;
+            let action = if let Some(d) = ev.get("edge") {
+                let idx = u64::from_json(d)? as usize;
+                if idx >= self.kernel.domains.len() {
+                    return Err(err(format!("queued edge for unknown domain {idx}")));
+                }
+                Action::Edge {
+                    domain: ClockDomainId(idx as u32),
+                    generation: u64::from_json(ev.get("generation").unwrap_or(&Json::Null))?,
+                }
+            } else if let Some(t) = ev.get("deliver") {
+                let idx = u64::from_json(t)? as usize;
+                if idx >= self.slots.len() {
+                    return Err(err(format!("queued event for unknown component {idx}")));
+                }
+                Action::Deliver {
+                    target: ComponentId(idx as u32),
+                    event: Event {
+                        key: u64::from_json(ev.get("key").unwrap_or(&Json::Null))?,
+                        a: u64::from_json(ev.get("a").unwrap_or(&Json::Null))?,
+                        b: u64::from_json(ev.get("b").unwrap_or(&Json::Null))?,
+                    },
+                }
+            } else {
+                return Err(err("queue entry is neither edge nor deliver".into()));
+            };
+            entries.push(QueueEntry {
+                time,
+                seq: eseq,
+                action,
+            });
+        }
+
+        // All decoded; now mutate.
+        self.kernel.now = now;
+        self.kernel.seq = seq;
+        self.kernel.actions_dispatched = actions;
+        self.kernel.stop_request = None;
+        self.kernel.queue.clear();
+        self.kernel.queue.extend(entries.into_iter().map(Reverse));
+        for (i, dv) in domains.iter().enumerate() {
+            let g = |key: &str| dv.get(key).unwrap_or(&Json::Null).clone();
+            let d = &mut self.kernel.domains[i];
+            d.frequency = Frequency::from_json(&g("hz"))?;
+            d.phase_origin = SimTime::from_json(&g("phase_origin"))?;
+            d.edges_since_origin = u64::from_json(&g("edges_since_origin"))?;
+            d.next_edge = u64::from_json(&g("next_edge"))?;
+            d.total_edges = u64::from_json(&g("total_edges"))?;
+            d.generation = u64::from_json(&g("generation"))?;
+            d.gated = bool::from_json(&g("gated"))?;
+        }
+        for (i, cv) in components.iter().enumerate() {
+            self.slots[i].due_cycle = u64::from_json(cv.get("due_cycle").unwrap_or(&Json::Null))?;
+            let state = cv.get("state").unwrap_or(&Json::Null);
+            self.slots[i]
+                .component
+                .as_mut()
+                .expect("restore during dispatch")
+                .restore_state(state)
+                .map_err(|e| err(format!("component '{}': {}", self.slots[i].name, e.msg)))?;
+        }
+        Ok(())
     }
 
     fn call(&mut self, id: ComponentId, domain: Option<ClockDomainId>, event: Option<Event>) {

@@ -15,6 +15,9 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::impl_json_struct;
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
 /// Counters describing a FIFO's lifetime behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FifoStats {
@@ -27,6 +30,13 @@ pub struct FifoStats {
     /// Highest occupancy ever observed.
     pub high_water: usize,
 }
+
+impl_json_struct!(FifoStats {
+    pushed,
+    popped,
+    rejected,
+    high_water
+});
 
 #[derive(Debug)]
 struct Inner<T> {
@@ -155,6 +165,55 @@ impl<T: Clone> Fifo<T> {
     /// Returns a clone of the oldest element without removing it.
     pub fn peek(&self) -> Option<T> {
         self.peek_with(T::clone)
+    }
+}
+
+impl<T: ToJson> Fifo<T> {
+    /// Serialises buffered elements (oldest first) and lifetime stats for a
+    /// checkpoint. The name and capacity are construction-time structure and
+    /// are recorded only for validation on restore.
+    pub fn snapshot_json(&self) -> Json {
+        let inner = self.inner.borrow();
+        Json::Obj(vec![
+            (
+                "elements".to_string(),
+                Json::Arr(inner.buf.iter().map(ToJson::to_json).collect()),
+            ),
+            ("stats".to_string(), inner.stats.to_json()),
+        ])
+    }
+}
+
+impl<T: FromJson> Fifo<T> {
+    /// Replaces buffered contents and stats from a checkpoint taken by
+    /// [`Fifo::snapshot_json`] on an identically constructed FIFO.
+    pub fn restore_json(&self, v: &Json) -> Result<(), JsonError> {
+        let elements = v
+            .get("elements")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "fifo snapshot missing elements".to_string(),
+            })?;
+        let stats = FifoStats::from_json(v.get("stats").unwrap_or(&Json::Null))?;
+        let decoded: Vec<T> = elements
+            .iter()
+            .map(T::from_json)
+            .collect::<Result<_, _>>()?;
+        let mut inner = self.inner.borrow_mut();
+        if decoded.len() > inner.capacity {
+            return Err(JsonError {
+                msg: format!(
+                    "fifo '{}' snapshot holds {} elements but capacity is {}",
+                    inner.name,
+                    decoded.len(),
+                    inner.capacity
+                ),
+            });
+        }
+        inner.buf.clear();
+        inner.buf.extend(decoded);
+        inner.stats = stats;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::time::SimTime;
 
 #[derive(Debug, Clone)]
@@ -130,6 +131,32 @@ impl IrqLine {
     /// Time of the most recent rising transition, if any.
     pub fn last_raised(&self) -> Option<SimTime> {
         self.bus.inner.borrow().lines[self.idx].last_raised
+    }
+
+    /// Serialises the line's level and lifetime counters for a checkpoint.
+    pub fn snapshot_json(&self) -> Json {
+        let inner = self.bus.inner.borrow();
+        let line = &inner.lines[self.idx];
+        Json::Obj(vec![
+            ("raised".to_string(), line.raised.to_json()),
+            ("raise_count".to_string(), line.raise_count.to_json()),
+            ("last_raised".to_string(), line.last_raised.to_json()),
+        ])
+    }
+
+    /// Restores the line's level and counters from a checkpoint taken by
+    /// [`IrqLine::snapshot_json`].
+    pub fn restore_json(&self, v: &Json) -> Result<(), JsonError> {
+        let raised = bool::from_json(v.get("raised").unwrap_or(&Json::Null))?;
+        let raise_count = u64::from_json(v.get("raise_count").unwrap_or(&Json::Null))?;
+        let last_raised =
+            Option::<SimTime>::from_json(v.get("last_raised").unwrap_or(&Json::Null))?;
+        let mut inner = self.bus.inner.borrow_mut();
+        let line = &mut inner.lines[self.idx];
+        line.raised = raised;
+        line.raise_count = raise_count;
+        line.last_raised = last_raised;
+        Ok(())
     }
 }
 

@@ -30,6 +30,17 @@ impl SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// The raw generator state (for checkpointing).
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a raw state word captured by
+    /// [`SplitMix64::state`].
+    pub const fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
 }
 
 /// xoshiro256\*\* by David Blackman and Sebastiano Vigna (public domain
@@ -138,6 +149,26 @@ impl Xoshiro256StarStar {
     /// component its own stream from one experiment seed.
     pub fn fork(&mut self) -> Self {
         Self::seed_from_u64(self.next_u64())
+    }
+
+    /// The raw 256-bit generator state (for checkpointing).
+    pub const fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by
+    /// [`Xoshiro256StarStar::state`]. An all-zero state is a fixed point of
+    /// the recurrence and is rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every state word is zero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "all-zero xoshiro state is invalid"
+        );
+        Xoshiro256StarStar { s }
     }
 }
 

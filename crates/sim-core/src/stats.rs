@@ -83,6 +83,25 @@ impl OnlineStats {
         (self.n > 0).then_some(self.max)
     }
 
+    /// The raw accumulator state `(n, mean, m2, min, max)` for
+    /// checkpointing; `min`/`max` are `None` when empty (their internal
+    /// sentinels are non-finite and must never reach JSON).
+    pub fn raw_parts(&self) -> (u64, f64, f64, Option<f64>, Option<f64>) {
+        (self.n, self.mean, self.m2, self.min(), self.max())
+    }
+
+    /// Rebuilds an accumulator from state captured by
+    /// [`OnlineStats::raw_parts`].
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: Option<f64>, max: Option<f64>) -> Self {
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
@@ -254,6 +273,22 @@ impl SampleSeries {
         let n = self.samples.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
         Some(self.samples[rank - 1])
+    }
+
+    /// The retained samples in their current storage order (for
+    /// checkpointing).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Rebuilds a series from samples captured by [`SampleSeries::samples`].
+    /// Non-finite entries are dropped, matching [`SampleSeries::push`].
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let mut s = SampleSeries::new();
+        for x in samples {
+            s.push(x);
+        }
+        s
     }
 
     /// Streaming moments over the retained samples.

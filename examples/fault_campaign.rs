@@ -8,24 +8,93 @@
 //! CI smoke check and for byte-for-byte replay comparison.
 //!
 //! ```text
-//! cargo run --release --example fault_campaign [seed]
+//! cargo run --release --example fault_campaign -- [seed] [flags]
+//!
+//!   --duration-ms N        scale the campaign to N ms of scheduled faults
+//!   --checkpoint-every N   write an atomic checkpoint after every N events
+//!   --checkpoint-file P    checkpoint path (default target/experiments/
+//!                          fault_campaign.ckpt)
+//!   --resume               resume from the checkpoint file instead of
+//!                          starting over; the final report is byte-identical
+//!                          to an uninterrupted run (CI kills this example
+//!                          mid-soak and checks exactly that)
+//!   --replicas N           Monte Carlo mode: warm one run to a quarter of
+//!                          its plan, checkpoint, fork N re-seeded replicas,
+//!                          and print the merged availability table
+//!                          (mean, p50/p99, 95% CI)
+//!   --trace-full           full event tape (written next to the report)
+//!   --bisect-demo          plant a divergence and pin it by checkpoint
+//!                          bisection in ≤ log2(n)+1 partial replays
 //! ```
 //!
 //! [`FaultPlan`]: pdr_lab::pdr::FaultPlan
 
-use pdr_lab::pdr::{run_fault_campaign, FaultCampaign, ZynqPdrSystem};
+use std::path::{Path, PathBuf};
+
+use pdr_lab::pdr::{
+    bisect_plans, fork_replicas, snapshot, CampaignRun, FaultCampaign, FaultCampaignResult,
+    FaultKind, FaultPlan, TraceLevel,
+};
 use pdr_lab::sim::json::ToJson;
+use pdr_lab::sim::{EngineStrategy, SimDuration};
 
-fn main() {
-    let mut campaign = FaultCampaign::default();
-    if let Some(seed) = std::env::args().nth(1) {
-        campaign.plan.seed = seed.parse().expect("seed must be an integer");
+/// The campaign system, on whichever engine `PDR_ENGINE` selects (the
+/// event-skipping kernel by default) — the CI crash-resume smoke runs the
+/// whole checkpoint/restore cycle under both.
+fn system_config() -> pdr_lab::pdr::SystemConfig {
+    let mut cfg = FaultCampaign::fast_system();
+    cfg.strategy = EngineStrategy::from_env();
+    cfg
+}
+
+struct Args {
+    campaign: FaultCampaign,
+    checkpoint_every: Option<usize>,
+    checkpoint_file: PathBuf,
+    resume: bool,
+    replicas: Option<usize>,
+    trace_full: bool,
+    bisect_demo: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        campaign: FaultCampaign::default(),
+        checkpoint_every: None,
+        checkpoint_file: PathBuf::from("target/experiments/fault_campaign.ckpt"),
+        resume: false,
+        replicas: None,
+        trace_full: false,
+        bisect_demo: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--duration-ms" => {
+                let ms: u64 = value("--duration-ms").parse().expect("--duration-ms");
+                args.campaign.plan.duration = SimDuration::from_millis(ms);
+            }
+            "--checkpoint-every" => {
+                let n: usize = value("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every");
+                args.checkpoint_every = Some(n.max(1));
+            }
+            "--checkpoint-file" => args.checkpoint_file = PathBuf::from(value("--checkpoint-file")),
+            "--resume" => args.resume = true,
+            "--replicas" => {
+                args.replicas = Some(value("--replicas").parse().expect("--replicas"));
+            }
+            "--trace-full" => args.trace_full = true,
+            "--bisect-demo" => args.bisect_demo = true,
+            seed => args.campaign.plan.seed = seed.parse().expect("seed must be an integer"),
+        }
     }
+    args
+}
 
-    println!("== mixed-fault campaign, seed {} ==\n", campaign.plan.seed);
-    let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
-    let r = run_fault_campaign(&mut sys, &campaign);
-
+fn print_report(r: &FaultCampaignResult) {
     println!(
         "injected {:>4} faults over {:.1} ms: {} SEU, {} timing burst, {} DMA stall, {} dropped IRQ",
         r.events,
@@ -69,12 +138,200 @@ fn main() {
         "silent corruptions: {}   availability: {:.4}",
         r.silent_corruptions, r.availability,
     );
+}
 
-    let dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(dir).expect("create target/experiments");
+/// Soaks a run to the end of its plan, checkpointing every `every` events.
+/// Each checkpoint is written atomically, so a SIGKILL at any instant
+/// leaves a complete checkpoint on disk.
+fn soak(run: &mut CampaignRun, every: Option<usize>, file: &Path) -> FaultCampaignResult {
+    let mut handled = 0usize;
+    while run.step().is_some() {
+        handled += 1;
+        if let Some(every) = every {
+            if handled.is_multiple_of(every) {
+                snapshot::save(file, &run.checkpoint()).expect("write checkpoint");
+            }
+        }
+    }
+    run.finish()
+}
+
+fn write_outputs(dir: &Path, r: &FaultCampaignResult, run: &CampaignRun) {
     let path = dir.join("fault_campaign.json");
     std::fs::write(&path, r.to_json_string()).expect("write campaign telemetry");
+    let tape = dir.join("fault_campaign.tape.jsonl");
+    std::fs::write(&tape, run.system().tracer().export_jsonl()).expect("write campaign tape");
     println!("\ntelemetry written to {}", path.display());
+    println!(
+        "event tape written to {} (digest {:#018x})",
+        tape.display(),
+        run.digest()
+    );
+}
+
+fn bisect_demo(campaign: &FaultCampaign, dir: &Path) {
+    let cfg = system_config();
+    let plan = FaultPlan::generate(&campaign.plan, &cfg.floorplan);
+    let n = plan.events.len();
+    let target = plan
+        .events
+        .iter()
+        .rposition(|e| e.kind == FaultKind::Seu)
+        .expect("plan must contain an SEU");
+    let mut planted = plan.clone();
+    let e = &mut planted.events[target];
+    e.rp = (e.rp + 1) % cfg.floorplan.partitions().len();
+    e.frame %= cfg
+        .floorplan
+        .partition(e.rp)
+        .frame_count(cfg.floorplan.geometry());
+    println!("== bisect demo: {n} events, divergence planted at event {target} ==\n");
+
+    let out = bisect_plans(&cfg, campaign, campaign, plan, planted)
+        .expect("bisect")
+        .expect("planted divergence must be found");
+    let bound = (n as f64).log2().ceil() as u64 + 1;
+    println!(
+        "first divergent event: {} (planted {target})   replays: {} (bound {bound})   prefix compared: {}",
+        out.first_divergent_event, out.replays, out.compared_events,
+    );
+    assert_eq!(
+        out.first_divergent_event, target as u64,
+        "bisect missed the plant"
+    );
+    assert!(
+        out.replays <= bound,
+        "{} replays exceeds log2({n})+1 = {bound}",
+        out.replays
+    );
+    std::fs::write(dir.join("fault_bisect.json"), out.to_json_string()).expect("write bisect json");
+    println!(
+        "bisect PASSED: divergence pinned in {} ≤ {bound} partial replays",
+        out.replays
+    );
+}
+
+fn monte_carlo(campaign: &FaultCampaign, replicas: usize, trace_full: bool, dir: &Path) {
+    let cfg = system_config();
+    let mut base = CampaignRun::new(cfg.clone(), campaign.clone());
+    if trace_full {
+        base.system_mut().set_trace_level(TraceLevel::Full);
+    }
+    let warm = (base.events() / 4).max(1);
+    println!(
+        "== Monte Carlo: warming {warm}/{} events, forking {replicas} replicas ==\n",
+        base.events()
+    );
+    for _ in 0..warm {
+        base.step();
+    }
+    let checkpoint = base.checkpoint();
+    let seeds: Vec<u64> = (0..replicas as u64)
+        .map(|i| campaign.plan.seed.wrapping_add(1 + i))
+        .collect();
+    let fleet = fork_replicas(&cfg, campaign, &checkpoint, &seeds).expect("fork replicas");
+
+    println!("seed        events  detected  recovered  unrecovered  availability");
+    for row in &fleet.per_replica {
+        println!(
+            "{:<10}  {:>6}  {:>8}  {:>9}  {:>11}  {:>12.4}",
+            row.seed, row.events, row.detected, row.recovered, row.unrecovered, row.availability,
+        );
+    }
+    let a = &fleet.availability;
+    println!(
+        "\navailability over {} replicas: mean {:.4} (95% CI [{:.4}, {:.4}]), p50 {:.4}, p99 {:.4}, min {:.4}, max {:.4}",
+        fleet.replicas, a.mean, a.ci95_lo, a.ci95_hi, a.p50, a.p99, a.min, a.max,
+    );
+    println!(
+        "fleet totals: {} events, {} detected, {} recovered, {} unrecovered, {} silent corruptions",
+        fleet.events, fleet.detected, fleet.recovered, fleet.unrecovered, fleet.silent_corruptions,
+    );
+    std::fs::write(
+        dir.join("fault_campaign_fleet.json"),
+        fleet.to_json_string(),
+    )
+    .expect("write fleet telemetry");
+    println!(
+        "fleet telemetry written to {}",
+        dir.join("fault_campaign_fleet.json").display()
+    );
+
+    // Markdown section stitched into EXPERIMENTS.md by tools_gen_experiments.sh.
+    let mut md = String::new();
+    md.push_str("## Monte Carlo availability fleet (mixed-fault campaign)\n\n");
+    md.push_str(&format!(
+        "{replicas} replicas forked from one warmed-up checkpoint (seed {}, \
+         {warm} warm-up events), each re-seeded over the remaining campaign \
+         horizon. Deterministic: same checkpoint + seed set ⇒ byte-identical \
+         report.\n\n",
+        campaign.plan.seed,
+    ));
+    md.push_str("| seed | events | detected | recovered | unrecovered | availability |\n");
+    md.push_str("|-----:|-------:|---------:|----------:|------------:|-------------:|\n");
+    for row in &fleet.per_replica {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.4} |\n",
+            row.seed, row.events, row.detected, row.recovered, row.unrecovered, row.availability,
+        ));
+    }
+    md.push_str(&format!(
+        "\nAvailability: mean **{:.4}** (95% CI [{:.4}, {:.4}]), p50 {:.4}, \
+         p99 {:.4}, min {:.4}, max {:.4}.\n",
+        a.mean, a.ci95_lo, a.ci95_hi, a.p50, a.p99, a.min, a.max,
+    ));
+    std::fs::write(dir.join("fault_fleet.md"), md).expect("write fleet markdown");
+
+    assert_eq!(fleet.undetected, 0, "no SEU may go undetected");
+    assert_eq!(
+        fleet.silent_corruptions, 0,
+        "no silent corruption may survive"
+    );
+    println!("fleet PASSED: zero undetected faults, zero silent corruptions");
+}
+
+fn main() {
+    let args = parse_args();
+    let dir = Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+
+    if args.bisect_demo {
+        bisect_demo(&args.campaign, dir);
+        return;
+    }
+    if let Some(replicas) = args.replicas {
+        monte_carlo(&args.campaign, replicas, args.trace_full, dir);
+        return;
+    }
+
+    let cfg = system_config();
+    let mut run = if args.resume {
+        let checkpoint = snapshot::load(&args.checkpoint_file)
+            .unwrap_or_else(|e| panic!("load {}: {}", args.checkpoint_file.display(), e.msg));
+        let run = CampaignRun::resume(cfg, args.campaign.clone(), &checkpoint)
+            .unwrap_or_else(|e| panic!("resume: {}", e.msg));
+        println!(
+            "== mixed-fault campaign, seed {}: resumed at event {}/{} ==\n",
+            args.campaign.plan.seed,
+            run.position(),
+            run.events(),
+        );
+        run
+    } else {
+        let mut run = CampaignRun::new(cfg, args.campaign.clone());
+        if args.trace_full {
+            run.system_mut().set_trace_level(TraceLevel::Full);
+        }
+        println!(
+            "== mixed-fault campaign, seed {} ==\n",
+            args.campaign.plan.seed
+        );
+        run
+    };
+
+    let r = soak(&mut run, args.checkpoint_every, &args.checkpoint_file);
+    print_report(&r);
+    write_outputs(dir, &r, &run);
 
     assert_eq!(r.detected, r.events, "every fault must be detected");
     assert_eq!(r.silent_corruptions, 0, "no silent corruption may survive");

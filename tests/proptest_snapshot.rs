@@ -1,0 +1,160 @@
+//! Snapshot round-trip property tests.
+//!
+//! A randomly drawn action script drives the system into an arbitrary
+//! reachable state; the properties then assert the docs/SNAPSHOT.md
+//! contract from that state: per-component payloads survive a
+//! snapshot→restore round trip byte-for-byte, and the restored system's
+//! next thousand-odd cycles produce the identical trace tape — under both
+//! engine strategies.
+
+use pdr_testkit::{property, tuple4, u64s, usizes, vec_of, Config};
+
+use pdr_lab::fabric::AspKind;
+use pdr_lab::pdr::snapshot;
+use pdr_lab::pdr::{SystemConfig, TraceLevel, ZynqPdrSystem};
+use pdr_lab::sim::json::Json;
+use pdr_lab::sim::{EngineStrategy, Frequency, SimDuration};
+
+fn cfg() -> Config {
+    Config::with_cases(8).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
+/// One opcode-encoded random action: (op, a, b, c).
+type Action = (usize, u64, u64, u64);
+
+fn actions() -> pdr_testkit::Gen<Vec<Action>> {
+    vec_of(
+        tuple4(usizes(0..6), u64s(0..1000), u64s(0..1000), u64s(0..1000)),
+        1..=10,
+    )
+}
+
+fn system(strategy: EngineStrategy) -> ZynqPdrSystem {
+    let mut config = SystemConfig::fast_test();
+    config.strategy = strategy;
+    let mut sys = ZynqPdrSystem::new(config);
+    // Fixed prologue so every script acts on a live system: both partitions
+    // configured, background scrubbing armed, full trace tape.
+    sys.set_trace_level(TraceLevel::Full);
+    let bs0 = sys.make_asp_bitstream(0, AspKind::Fir16, 1);
+    let bs1 = sys.make_asp_bitstream(1, AspKind::AesMix, 2);
+    assert!(sys.reconfigure(0, &bs0, Frequency::from_mhz(200)).crc_ok());
+    assert!(sys.reconfigure(1, &bs1, Frequency::from_mhz(200)).crc_ok());
+    sys.start_background_monitor(&[0, 1]);
+    sys
+}
+
+fn apply(sys: &mut ZynqPdrSystem, &(op, a, b, c): &Action) {
+    let rp = a as usize % 2;
+    match op {
+        0 => {
+            // A transfer at a random operating point — below, inside, and
+            // beyond the corruption envelope all land here.
+            let kind = AspKind::ALL[b as usize % AspKind::ALL.len()];
+            let bs = sys.make_asp_bitstream(rp, kind, c as u32);
+            let _ = sys.reconfigure(rp, &bs, Frequency::from_mhz(150 + b % 230));
+        }
+        1 => {
+            let plan = sys.floorplan();
+            let frames = plan.partition(rp).frame_count(plan.geometry());
+            sys.inject_seu(
+                rp,
+                (b % frames as u64) as u32,
+                c as usize % 101,
+                (c % 32) as u32,
+            );
+        }
+        2 => sys.inject_timing_burst(
+            30.0 + (b % 30) as f64,
+            SimDuration::from_micros(1 + c % 500),
+        ),
+        3 => sys.inject_dma_stall(50 + b % 400),
+        4 => {
+            let scan = sys.monitor_scan_period();
+            sys.run_monitor_for(scan * (1 + b % 3) / 2);
+        }
+        _ => sys.drop_next_completion_irq(),
+    }
+}
+
+/// Every observable the continued run produces, concatenated.
+fn tail(sys: &mut ZynqPdrSystem) -> String {
+    let scan = sys.monitor_scan_period();
+    let alarm = sys.run_monitor_until_alarm(scan * 2);
+    let bs = sys.make_asp_bitstream(0, AspKind::MatMul8, 9);
+    let report = sys.reconfigure(0, &bs, Frequency::from_mhz(250));
+    sys.run_monitor_for(scan);
+    format!(
+        "alarm={alarm:?} report={report:?} now={:?} reconfigs={} counters={:?}\n{}",
+        sys.now(),
+        sys.reconfig_count(),
+        sys.tracer().counters(),
+        sys.tracer().export_jsonl(),
+    )
+}
+
+property! {
+    config = cfg();
+
+    /// Snapshot → restore reproduces every component's payload
+    /// byte-for-byte, from any reachable state, under both engines.
+    fn every_component_survives_the_round_trip(script in actions()) {
+        for strategy in [EngineStrategy::EventSkip, EngineStrategy::Tick] {
+            let mut sys = system(strategy);
+            for action in &script {
+                apply(&mut sys, action);
+            }
+            let snap = snapshot::take(&sys);
+            let mut config = SystemConfig::fast_test();
+            config.strategy = strategy;
+            let restored = snapshot::restore(config, &snap).expect("restore must succeed");
+            let before = sys.snapshot_json();
+            let after = restored.snapshot_json();
+            // Component by component, so a failure names the broken layer
+            // instead of dumping two whole-system blobs.
+            let components = match &before {
+                Json::Obj(fields) => fields.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+                other => panic!("system snapshot must be an object, got {other:?}"),
+            };
+            for key in components {
+                assert_eq!(
+                    before.get(&key).map(Json::render),
+                    after.get(&key).map(Json::render),
+                    "component `{key}` diverged after round trip ({strategy:?})"
+                );
+            }
+            assert_eq!(snapshot::digest(&before), snapshot::digest(&after));
+        }
+    }
+
+    /// The restored system's continued run — monitor scans, an alarm drain,
+    /// a reconfiguration, thousands of further cycles — is byte-identical
+    /// to the original's, including the full trace tape.
+    fn restored_run_continues_byte_identically(script in actions()) {
+        for strategy in [EngineStrategy::EventSkip, EngineStrategy::Tick] {
+            let mut sys = system(strategy);
+            for action in &script {
+                apply(&mut sys, action);
+            }
+            let snap = snapshot::take(&sys);
+            // Round-trip through the text form, as a checkpoint file would.
+            let parsed = Json::parse(&snap.render()).expect("snapshot text must parse");
+            let mut config = SystemConfig::fast_test();
+            config.strategy = strategy;
+            let mut restored = snapshot::restore(config, &parsed).expect("restore must succeed");
+            assert_eq!(
+                tail(&mut sys),
+                tail(&mut restored),
+                "continued runs diverged ({strategy:?})"
+            );
+            assert_eq!(
+                snapshot::digest(&snapshot::take(&sys)),
+                snapshot::digest(&snapshot::take(&restored)),
+                "final digests diverged ({strategy:?})"
+            );
+        }
+    }
+}
