@@ -14,6 +14,9 @@
 //! the scan that first re-reads the flipped frame — the campaign checks the
 //! measured distribution against that bound.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
 use pdr_sim_core::json::{FromJson, Json, JsonError, ToJson};
 use pdr_sim_core::stats::OnlineStats;
 use pdr_sim_core::{
@@ -1044,7 +1047,32 @@ impl_json_struct!(DistSummary {
 
 impl DistSummary {
     /// Summarises a sample set. An empty set yields all-zero fields.
+    ///
+    /// The moments are accumulated by folding one single-sample fragment
+    /// per value with [`OnlineStats::merge`] (parallel Welford), in sample
+    /// order — exactly the fold [`ParallelExecutor`] applies to per-replica
+    /// fragments, so the serial and merged-parallel summaries are
+    /// bit-identical for any thread count.
+    ///
+    /// `std_dev` reports the *population* (÷n) deviation — the spread of
+    /// the samples actually measured — while `ci95_lo`/`ci95_hi` are built
+    /// from the *sample* (÷n−1) deviation, the unbiased estimator a
+    /// confidence interval on the mean requires (a ÷n CI is systematically
+    /// too narrow, worst at small replica counts).
     pub fn from_samples(samples: &[f64]) -> DistSummary {
+        let mut stats = OnlineStats::new();
+        for &s in samples {
+            let mut fragment = OnlineStats::new();
+            fragment.push(s);
+            stats.merge(&fragment);
+        }
+        DistSummary::from_parts(&stats, samples)
+    }
+
+    /// Assembles a summary from moments already folded with
+    /// [`OnlineStats::merge`] plus the samples themselves for the order
+    /// statistics. `stats` must describe exactly `samples`.
+    fn from_parts(stats: &OnlineStats, samples: &[f64]) -> DistSummary {
         let n = samples.len();
         if n == 0 {
             return DistSummary {
@@ -1059,18 +1087,15 @@ impl DistSummary {
                 ci95_hi: 0.0,
             };
         }
+        debug_assert_eq!(stats.count(), n as u64);
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let mut stats = OnlineStats::new();
-        for &s in samples {
-            stats.push(s);
-        }
         let nearest = |q: f64| {
             let rank = (q * n as f64).ceil() as usize;
             sorted[rank.max(1).min(n) - 1]
         };
         let half = if n > 1 {
-            1.96 * stats.std_dev() / (n as f64).sqrt()
+            1.96 * stats.sample_std_dev() / (n as f64).sqrt()
         } else {
             0.0
         };
@@ -1159,26 +1184,64 @@ impl_json_struct!(MonteCarloReport {
     per_replica,
 });
 
-/// Fans N Monte Carlo replicas out of one warmed-up checkpoint: each
-/// replica resumes the checkpoint, re-seeds the remaining schedule with its
-/// own seed ([`CampaignRun::replan`]), runs to completion, and the results
-/// merge into a fleet report with confidence intervals. Deterministic: the
-/// same checkpoint and seed set produce a byte-identical report.
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty.
-pub fn fork_replicas(
+/// Everything one replica contributes to the fleet merge: its row, its
+/// full report, and its availability as a single-sample [`OnlineStats`]
+/// fragment for the parallel-Welford fold.
+struct ReplicaOutcome {
+    row: ReplicaRow,
+    result: FaultCampaignResult,
+    fragment: OnlineStats,
+}
+
+/// Folds a finished replica's report into the merge inputs. The replica's
+/// plan length counts only its own schedule; what it handled is the warm-up
+/// prefix plus its re-seeded remainder — every handled event lands in
+/// exactly one outcome bucket.
+fn outcome_of(seed: u64, result: FaultCampaignResult) -> ReplicaOutcome {
+    let handled = result.detected + result.undetected + result.benign + result.skipped;
+    let mut fragment = OnlineStats::new();
+    fragment.push(result.availability);
+    ReplicaOutcome {
+        row: ReplicaRow {
+            seed,
+            events: handled,
+            detected: result.detected,
+            recovered: result.recovered,
+            unrecovered: result.unrecovered,
+            availability: result.availability,
+        },
+        result,
+        fragment,
+    }
+}
+
+/// One replica of a Monte Carlo fork, start to finish: resume the shared
+/// warmed checkpoint, re-seed the remaining schedule, run to completion.
+/// A pure function of its inputs — the unit of work [`ParallelExecutor`]
+/// hands to a worker thread.
+fn run_replica(
     config: &SystemConfig,
     campaign: &FaultCampaign,
     checkpoint: &Json,
-    seeds: &[u64],
-) -> Result<MonteCarloReport, JsonError> {
-    assert!(!seeds.is_empty(), "fork needs at least one replica seed");
-    let mut per_replica = Vec::with_capacity(seeds.len());
-    let mut avail = Vec::with_capacity(seeds.len());
+    seed: u64,
+) -> Result<ReplicaOutcome, JsonError> {
+    let mut run = CampaignRun::resume(config.clone(), campaign.clone(), checkpoint)?;
+    run.replan(seed);
+    let result = run.run_to_end(&mut |_| {});
+    Ok(outcome_of(seed, result))
+}
+
+/// Merges replica outcomes — **already in replica-index order** — into the
+/// fleet report. Both the serial and the parallel paths commit through this
+/// one function, and the availability fold walks the fragments left to
+/// right, so the merged report is a pure function of the ordered outcome
+/// list: byte-identical no matter how many workers produced it.
+fn merge_replicas(outcomes: Vec<ReplicaOutcome>) -> MonteCarloReport {
+    let mut stats = OnlineStats::new();
+    let mut avail = Vec::with_capacity(outcomes.len());
+    let mut per_replica = Vec::with_capacity(outcomes.len());
     let mut report = MonteCarloReport {
-        replicas: seeds.len() as u64,
+        replicas: outcomes.len() as u64,
         events: 0,
         detected: 0,
         undetected: 0,
@@ -1191,36 +1254,231 @@ pub fn fork_replicas(
         availability: DistSummary::from_samples(&[]),
         per_replica: Vec::new(),
     };
-    for &seed in seeds {
-        let mut run = CampaignRun::resume(config.clone(), campaign.clone(), checkpoint)?;
-        run.replan(seed);
-        let r = run.run_to_end(&mut |_| {});
-        // The replica's plan length counts only its own schedule; what it
-        // handled is the warm-up prefix plus its re-seeded remainder —
-        // every handled event lands in exactly one outcome bucket.
-        let handled = r.detected + r.undetected + r.benign + r.skipped;
-        report.events += handled;
-        report.detected += r.detected;
-        report.undetected += r.undetected;
-        report.benign += r.benign;
-        report.skipped += r.skipped;
-        report.recovered += r.recovered;
-        report.unrecovered += r.unrecovered;
-        report.silent_corruptions += r.silent_corruptions;
-        report.quarantined_partitions += r.quarantined_partitions;
-        avail.push(r.availability);
-        per_replica.push(ReplicaRow {
-            seed,
-            events: handled,
-            detected: r.detected,
-            recovered: r.recovered,
-            unrecovered: r.unrecovered,
-            availability: r.availability,
-        });
+    for o in outcomes {
+        report.events += o.row.events;
+        report.detected += o.result.detected;
+        report.undetected += o.result.undetected;
+        report.benign += o.result.benign;
+        report.skipped += o.result.skipped;
+        report.recovered += o.result.recovered;
+        report.unrecovered += o.result.unrecovered;
+        report.silent_corruptions += o.result.silent_corruptions;
+        report.quarantined_partitions += o.result.quarantined_partitions;
+        stats.merge(&o.fragment);
+        avail.push(o.row.availability);
+        per_replica.push(o.row);
     }
-    report.availability = DistSummary::from_samples(&avail);
+    report.availability = DistSummary::from_parts(&stats, &avail);
     report.per_replica = per_replica;
-    Ok(report)
+    report
+}
+
+/// Fans N Monte Carlo replicas out of one warmed-up checkpoint: each
+/// replica resumes the checkpoint, re-seeds the remaining schedule with its
+/// own seed ([`CampaignRun::replan`]), runs to completion, and the results
+/// merge into a fleet report with confidence intervals. Deterministic: the
+/// same checkpoint and seed set produce a byte-identical report.
+///
+/// This is the serial reference path; [`ParallelExecutor::fork_replicas`]
+/// produces the same bytes from a worker pool.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn fork_replicas(
+    config: &SystemConfig,
+    campaign: &FaultCampaign,
+    checkpoint: &Json,
+    seeds: &[u64],
+) -> Result<MonteCarloReport, JsonError> {
+    ParallelExecutor::serial().fork_replicas(config, campaign, checkpoint, seeds)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic multi-threaded execution
+// ---------------------------------------------------------------------------
+
+/// Environment variable selecting the default worker-thread count for
+/// [`ParallelExecutor::from_env`]. Unset, the executor uses the host's
+/// available parallelism. Any value — including `1` — produces the same
+/// bytes; the variable only trades wall-clock for cores.
+pub const THREADS_ENV: &str = "PDR_THREADS";
+
+/// Fans independent campaign work — Monte Carlo replicas, sharded soaks —
+/// across `std::thread` workers under a deterministic merge contract:
+/// for any seed set and any thread count (including 1), the merged
+/// [`MonteCarloReport`], its availability [`DistSummary`], and the
+/// per-replica rows are **byte-identical** to the serial path.
+///
+/// The contract holds by construction, not by luck:
+///
+/// * each unit of work is a pure function of plain inputs (config,
+///   campaign, checkpoint JSON, seed) — a worker builds its own
+///   [`ZynqPdrSystem`] *inside* its thread, so none of the simulator's
+///   single-threaded `Rc<RefCell<…>>` state ever crosses a thread
+///   boundary (`ZynqPdrSystem` is deliberately `!Send`);
+/// * workers pull indices from a shared queue, so completion order is
+///   racy, but results are committed into an index-ordered table and
+///   merged left to right by one shared merge fold — the same code the
+///   serial path uses;
+/// * the availability moments fold per-replica single-sample
+///   [`OnlineStats`] fragments with the parallel-Welford
+///   [`OnlineStats::merge`], in replica-index order, on the committing
+///   thread.
+///
+/// Enforced by `tests/proptest_parallel.rs` (random plans × thread counts
+/// {1, 2, 3, 8}), the `campaign` bench (equivalence before speedup), and
+/// the CI thread-matrix smoke (`--threads {1,4}` × both engines, `cmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-worker executor — the serial reference path.
+    pub fn serial() -> ParallelExecutor {
+        ParallelExecutor::new(1)
+    }
+
+    /// Reads the worker count from [`THREADS_ENV`], falling back to the
+    /// host's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to anything but a positive integer —
+    /// a misconfigured campaign must fail loudly, not run serial silently.
+    pub fn from_env() -> ParallelExecutor {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => ParallelExecutor::new(n),
+                _ => panic!("{THREADS_ENV} must be a positive integer, got `{v}`"),
+            },
+            Err(_) => {
+                ParallelExecutor::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+            }
+        }
+    }
+
+    /// The worker count this executor fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`fork_replicas`] across the worker pool: every replica restores its
+    /// own system from the shared warmed checkpoint, runs to completion
+    /// with its own RNG and trace sink, and the outcomes are committed in
+    /// replica-index order regardless of completion order. Byte-identical
+    /// to the serial path for any thread count. A resume failure reports
+    /// the error of the lowest-indexed failing replica, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn fork_replicas(
+        &self,
+        config: &SystemConfig,
+        campaign: &FaultCampaign,
+        checkpoint: &Json,
+        seeds: &[u64],
+    ) -> Result<MonteCarloReport, JsonError> {
+        assert!(!seeds.is_empty(), "fork needs at least one replica seed");
+        let outcomes = self.map(seeds.len(), |i| {
+            run_replica(config, campaign, checkpoint, seeds[i])
+        });
+        let mut collected = Vec::with_capacity(seeds.len());
+        for o in outcomes {
+            collected.push(o?);
+        }
+        Ok(merge_replicas(collected))
+    }
+
+    /// Sharded soak: runs one full [`CampaignRun`] per seed — fresh system,
+    /// fresh plan, no shared checkpoint — across the worker pool, returning
+    /// the per-shard reports in seed order. Each report is byte-identical
+    /// to what [`run_fault_campaign`] produces for that seed; use
+    /// [`shard_report`] to merge them into a fleet view.
+    pub fn run_shards(
+        &self,
+        config: &SystemConfig,
+        campaign: &FaultCampaign,
+        seeds: &[u64],
+    ) -> Vec<FaultCampaignResult> {
+        self.map(seeds.len(), |i| {
+            let mut sharded = campaign.clone();
+            sharded.plan.seed = seeds[i];
+            let mut run = CampaignRun::new(config.clone(), sharded);
+            run.run_to_end(&mut |_| {})
+        })
+    }
+
+    /// Runs `task(i)` for `i in 0..n` on the worker pool and returns the
+    /// results **in index order**, whatever order workers finish in. With
+    /// one worker (or one item) the tasks run inline on the calling thread
+    /// — the exact same code path, so thread count can never change bytes.
+    fn map<T, F>(&self, n: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(task).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // The receiver outlives every worker; a send can only
+                    // fail if the committing thread already panicked, and
+                    // then the scope re-raises that panic anyway.
+                    let _ = tx.send((i, task(i)));
+                });
+            }
+            drop(tx);
+            for (i, v) in rx {
+                slots[i] = Some(v);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produces exactly one result"))
+            .collect()
+    }
+}
+
+/// Merges per-shard soak reports (from [`ParallelExecutor::run_shards`],
+/// in the same seed order) into a [`MonteCarloReport`] through the same
+/// ordered fold the replica fork uses.
+///
+/// # Panics
+///
+/// Panics if `seeds` and `results` differ in length or are empty.
+pub fn shard_report(seeds: &[u64], results: &[FaultCampaignResult]) -> MonteCarloReport {
+    assert_eq!(seeds.len(), results.len(), "one result per shard seed");
+    assert!(!seeds.is_empty(), "shard report needs at least one shard");
+    merge_replicas(
+        seeds
+            .iter()
+            .zip(results)
+            .map(|(&seed, r)| outcome_of(seed, r.clone()))
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -1238,9 +1496,13 @@ pub struct BisectOutcome {
     /// The runs already differed before any event was handled (different
     /// warm-up, e.g. different partitions or initial images).
     pub diverged_in_warmup: bool,
-    /// Partial replays of run B performed by the binary search — bounded
-    /// by ⌈log₂ n⌉ + 1.
+    /// Probes performed by the binary search, each a partial replay of
+    /// both runs from their deepest proven-equal checkpoints — bounded by
+    /// ⌈log₂ n⌉ + 1.
     pub replays: u64,
+    /// State digests computed across both runs — O(log n), two per probe
+    /// plus the warm-up pair, never one per event.
+    pub digests: u64,
     /// Length of the common event prefix that was searched.
     pub compared_events: u64,
 }
@@ -1249,6 +1511,7 @@ impl_json_struct!(BisectOutcome {
     first_divergent_event,
     diverged_in_warmup,
     replays,
+    digests,
     compared_events,
 });
 
@@ -1266,12 +1529,16 @@ pub fn bisect_campaigns(
 /// Pins the first event at which two campaigns diverge, in O(log n) partial
 /// replays instead of an O(n) event-by-event comparison.
 ///
-/// Run A executes once, recording a state digest after every event. Run B
-/// is then probed by binary search: each probe resumes B from the deepest
-/// checkpoint already proven equal, steps forward to the probe index, and
-/// compares digests. The checkpoint advances with the search's lower bound,
-/// so later probes replay ever-shorter suffixes. Returns `None` when the
-/// runs never diverge.
+/// Both runs stream lazily: the warm-up digests are compared before either
+/// run handles a single event (a divergence at event 0 costs two digests
+/// and zero replays, where the old eager form replayed and digested all of
+/// run A first), and afterwards each binary-search probe advances *both*
+/// runs from their deepest checkpoints already proven equal to the probe
+/// index and compares one digest pair there. The checkpoints move with the
+/// search's lower bound, so later probes replay ever-shorter suffixes, and
+/// digest work — a full render of the observable state, the expensive part
+/// — is O(log n) total instead of one digest per event with O(n) of them
+/// retained. Returns `None` when the runs never diverge.
 pub fn bisect_plans(
     config: &SystemConfig,
     a: &FaultCampaign,
@@ -1279,37 +1546,57 @@ pub fn bisect_plans(
     plan_a: FaultPlan,
     plan_b: FaultPlan,
 ) -> Result<Option<BisectOutcome>, JsonError> {
-    let mut run_a = CampaignRun::with_plan(ZynqPdrSystem::new(config.clone()), a.clone(), plan_a);
-    let mut digests = vec![run_a.digest()];
-    while run_a.step().is_some() {
-        digests.push(run_a.digest());
-    }
-    let n_a = digests.len() - 1;
-
+    let run_a = CampaignRun::with_plan(ZynqPdrSystem::new(config.clone()), a.clone(), plan_a);
     let run_b = CampaignRun::with_plan(ZynqPdrSystem::new(config.clone()), b.clone(), plan_b);
+    let n_a = run_a.events();
     let n_b = run_b.events();
     let limit = n_a.min(n_b);
     let mut replays = 0u64;
-    if run_b.digest() != digests[0] {
+    let mut digests = 2u64;
+    if run_b.digest() != run_a.digest() {
         return Ok(Some(BisectOutcome {
             first_divergent_event: 0,
             diverged_in_warmup: true,
             replays,
+            digests,
             compared_events: limit as u64,
         }));
     }
-    let mut base = run_b.checkpoint();
-    let mut base_idx = 0usize;
+    // Advancing bases: checkpoints of A and B at `lo`, the deepest
+    // post-event state proven equal. Resuming a checkpoint and stepping is
+    // digest-transparent (the byte-identity contract), so a probe digest
+    // taken after a resume equals the uninterrupted run's.
+    let mut base_a = run_a.checkpoint();
+    let mut base_b = run_b.checkpoint();
+    drop(run_a);
+    drop(run_b);
 
+    // Probes B (and, symmetrically, A) forward from the bases to `idx` and
+    // reports whether the digests still agree there. Every call costs one
+    // replay and one digest pair — accounted at the call sites.
+    let probe = |base_a: &Json,
+                 base_b: &Json,
+                 from: usize,
+                 idx: usize|
+     -> Result<(CampaignRun, CampaignRun, bool), JsonError> {
+        let mut ra = CampaignRun::resume(config.clone(), a.clone(), base_a)?;
+        let mut rb = CampaignRun::resume(config.clone(), b.clone(), base_b)?;
+        for _ in from..idx {
+            ra.step();
+            rb.step();
+        }
+        let agree = ra.digest() == rb.digest();
+        Ok((ra, rb, agree))
+    };
+
+    let mut base_idx = 0usize;
     // One probe at the end of the common prefix settles whether a
     // divergence exists at all.
-    {
-        let mut run = CampaignRun::resume(config.clone(), b.clone(), &base)?;
-        for _ in base_idx..limit {
-            run.step();
-        }
+    if limit > 0 {
+        let (_, _, agree) = probe(&base_a, &base_b, base_idx, limit)?;
         replays += 1;
-        if run.digest() == digests[limit] {
+        digests += 2;
+        if agree {
             return Ok(if n_a == n_b {
                 None
             } else {
@@ -1317,24 +1604,38 @@ pub fn bisect_plans(
                     first_divergent_event: limit as u64,
                     diverged_in_warmup: false,
                     replays,
+                    digests,
                     compared_events: limit as u64,
                 })
             });
         }
+    } else {
+        // An empty common prefix with equal warm-ups: the runs never
+        // diverge, or the longer plan's first event is the first surplus.
+        return Ok(if n_a == n_b {
+            None
+        } else {
+            Some(BisectOutcome {
+                first_divergent_event: 0,
+                diverged_in_warmup: false,
+                replays,
+                digests,
+                compared_events: 0,
+            })
+        });
     }
 
     let mut lo = 0usize; // deepest post-event digest proven equal
     let mut hi = limit; // shallowest post-event digest proven divergent
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        let mut run = CampaignRun::resume(config.clone(), b.clone(), &base)?;
-        for _ in base_idx..mid {
-            run.step();
-        }
+        let (ra, rb, agree) = probe(&base_a, &base_b, base_idx, mid)?;
         replays += 1;
-        if run.digest() == digests[mid] {
+        digests += 2;
+        if agree {
             lo = mid;
-            base = run.checkpoint();
+            base_a = ra.checkpoint();
+            base_b = rb.checkpoint();
             base_idx = mid;
         } else {
             hi = mid;
@@ -1346,6 +1647,7 @@ pub fn bisect_plans(
         first_divergent_event: hi as u64 - 1,
         diverged_in_warmup: false,
         replays,
+        digests,
         compared_events: limit as u64,
     }))
 }
@@ -1518,6 +1820,34 @@ mod tests {
     }
 
     #[test]
+    fn ci95_uses_the_sample_std_dev() {
+        // n = 2 pins the ÷n vs ÷(n−1) distinction at its worst: for
+        // samples {a, b} the sample deviation is |a−b|/√2, so the CI
+        // half-width must be 1.96·|a−b|/2 — the old population-deviation
+        // form produced 1.96·|a−b|/(2√2), √2 too narrow.
+        let d = DistSummary::from_samples(&[0.6, 0.8]);
+        assert_eq!(d.count, 2);
+        let half = 1.96 * (0.8_f64 - 0.6) / 2.0;
+        assert!((d.ci95_hi - d.mean - half).abs() < 1e-12, "{d:?}");
+        assert!((d.mean - d.ci95_lo - half).abs() < 1e-12, "{d:?}");
+        // The std_dev field keeps its population (÷n) semantics.
+        assert!((d.std_dev - 0.1).abs() < 1e-12, "{d:?}");
+        // General n: the half-width is exactly 1.96·s/√n with s the
+        // sample deviation.
+        let samples = [0.61, 0.55, 0.70, 0.66, 0.59];
+        let d = DistSummary::from_samples(&samples);
+        let mut stats = OnlineStats::new();
+        for &s in &samples {
+            stats.push(s);
+        }
+        let half = 1.96 * stats.sample_std_dev() / (samples.len() as f64).sqrt();
+        assert!((d.ci95_hi - d.ci95_lo - 2.0 * half).abs() < 1e-12, "{d:?}");
+        // One sample: no interval, but still well-formed.
+        let d = DistSummary::from_samples(&[0.5]);
+        assert_eq!((d.ci95_lo, d.ci95_hi), (0.5, 0.5));
+    }
+
+    #[test]
     fn forked_replicas_merge_deterministically() {
         let c = small_fault_campaign();
         let cfg = FaultCampaign::fast_system();
@@ -1541,6 +1871,68 @@ mod tests {
         assert_eq!(d.count, 8);
         assert!(d.min <= d.p50 && d.p50 <= d.p99 && d.p99 <= d.max);
         assert!(d.ci95_lo <= d.mean && d.mean <= d.ci95_hi);
+    }
+
+    #[test]
+    fn parallel_fork_is_byte_identical_to_serial() {
+        let c = small_fault_campaign();
+        let cfg = FaultCampaign::fast_system();
+        let mut warm = CampaignRun::new(cfg.clone(), c.clone());
+        for _ in 0..3 {
+            warm.step();
+        }
+        let ckpt = warm.checkpoint();
+        let seeds: Vec<u64> = (300..306).collect();
+        let serial = fork_replicas(&cfg, &c, &ckpt, &seeds).expect("serial fork");
+        for threads in [2, 3, 8] {
+            let parallel = ParallelExecutor::new(threads)
+                .fork_replicas(&cfg, &c, &ckpt, &seeds)
+                .expect("parallel fork");
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(
+                serial.to_json_string(),
+                parallel.to_json_string(),
+                "threads={threads}: merged fleet JSON must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_soaks_match_the_one_shot_runner() {
+        let c = small_fault_campaign();
+        let cfg = FaultCampaign::fast_system();
+        let seeds = [11u64, 12, 13, 14];
+        let shards = ParallelExecutor::new(4).run_shards(&cfg, &c, &seeds);
+        assert_eq!(shards.len(), seeds.len());
+        for (&seed, shard) in seeds.iter().zip(&shards) {
+            let mut sys = ZynqPdrSystem::new(FaultCampaign::fast_system());
+            let mut sharded = c.clone();
+            sharded.plan.seed = seed;
+            let direct = run_fault_campaign(&mut sys, &sharded);
+            assert_eq!(&direct, shard, "seed {seed}");
+            assert_eq!(direct.to_json_string(), shard.to_json_string());
+        }
+        let merged = shard_report(&seeds, &shards);
+        assert_eq!(merged.replicas, 4);
+        assert_eq!(
+            merged.events,
+            shards.iter().map(|r| r.events).sum::<u64>(),
+            "full shards handle their whole plans"
+        );
+        assert_eq!(merged, shard_report(&seeds, &shards), "merge is stable");
+    }
+
+    #[test]
+    fn executor_commits_in_index_order_under_racy_completion() {
+        // Tasks finish in reverse order (later indices sleep less); the
+        // committed table must still be index-ordered.
+        let out = ParallelExecutor::new(4).map(8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - i as u64));
+            i * 10
+        });
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(ParallelExecutor::serial().map(3, |i| i), vec![0, 1, 2]);
+        assert_eq!(ParallelExecutor::new(16).map(0, |i| i), Vec::<usize>::new());
     }
 
     #[test]
@@ -1584,10 +1976,64 @@ mod tests {
             "{} replays exceeds the log2({n})+1 = {bound} bound",
             out.replays
         );
+        // Digest work is two per probe plus the warm-up pair — O(log n),
+        // never the old one-per-event O(n).
+        assert_eq!(out.digests, 2 * out.replays + 2);
+        assert!(
+            out.digests < n as u64,
+            "{} digests for an {n}-event plan is not O(log n)",
+            out.digests
+        );
         // Identical plans never diverge.
-        assert_eq!(
-            bisect_plans(&cfg, &c, &c, plan.clone(), plan).expect("bisect"),
-            None
+        let same = bisect_plans(&cfg, &c, &c, plan.clone(), plan).expect("bisect");
+        assert_eq!(same, None);
+    }
+
+    #[test]
+    fn bisect_streams_digests_lazily_for_early_divergences() {
+        let c = small_fault_campaign();
+        let cfg = FaultCampaign::fast_system();
+        let plan = FaultPlan::generate(&c.plan, &cfg.floorplan);
+        let n = plan.events.len();
+        assert!(n >= 8);
+
+        // A warm-up divergence (different scrub clock ⇒ different initial
+        // reconfigurations) must be pinned before either run handles a
+        // single event: zero replays, one digest pair.
+        let mut c2 = c.clone();
+        c2.recovery.scrub_mhz = 150;
+        let out = bisect_plans(&cfg, &c, &c2, plan.clone(), plan.clone())
+            .expect("bisect")
+            .expect("different warm-ups must diverge");
+        assert!(out.diverged_in_warmup);
+        assert_eq!((out.replays, out.digests), (0, 2), "{out:?}");
+
+        // A divergence planted on the first SEU: digest work stays
+        // O(log n) even though the divergence sits near the front.
+        let target = plan
+            .events
+            .iter()
+            .position(|e| e.kind == FaultKind::Seu)
+            .expect("generated plan must contain an SEU");
+        let mut planted = plan.clone();
+        let e = &mut planted.events[target];
+        e.rp = (e.rp + 1) % cfg.floorplan.partitions().len();
+        e.frame %= cfg
+            .floorplan
+            .partition(e.rp)
+            .frame_count(cfg.floorplan.geometry());
+        let out = bisect_plans(&cfg, &c, &c, plan.clone(), planted)
+            .expect("bisect")
+            .expect("planted divergence must be found");
+        assert!(!out.diverged_in_warmup);
+        assert_eq!(out.first_divergent_event, target as u64);
+        let bound = (n as f64).log2().ceil() as u64 + 1;
+        assert!(out.replays <= bound, "{out:?}");
+        assert!(
+            out.digests <= 2 * bound + 2,
+            "{} digests for an early divergence in an {n}-event plan — \
+             digest streaming must be lazy, not one per event",
+            out.digests
         );
     }
 

@@ -17,6 +17,7 @@
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pdr_sim_core::json::{Json, JsonError};
 
@@ -98,13 +99,30 @@ pub fn digest(json: &Json) -> u64 {
     fnv1a(json.render().as_bytes())
 }
 
+/// Monotonic discriminator for temp-file names: two in-flight [`save`]
+/// calls in the same process must never share a temp file.
+static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Atomically writes a snapshot to `path`: the rendered JSON goes to a
 /// sibling temp file which is then renamed over the target, so a crash
 /// mid-write never leaves a torn checkpoint.
+///
+/// The temp name is unique per call (pid + in-process counter), so
+/// concurrent savers targeting the same path — parallel campaign workers
+/// checkpointing shards, or two processes sharing a checkpoint directory —
+/// cannot interleave writes or rename each other's half-written file: each
+/// rename atomically installs one complete snapshot, last writer wins. A
+/// failed write or rename removes its own temp file instead of leaking it.
 pub fn save(path: &Path, json: &Json) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, json.render())?;
-    fs::rename(&tmp, path)
+    let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = std::path::PathBuf::from(name);
+    let result = fs::write(&tmp, json.render()).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads and parses a snapshot written by [`save`].
@@ -153,6 +171,61 @@ mod tests {
         let env = envelope("system", Json::Str("abc".into()));
         save(&path, &env).unwrap();
         assert_eq!(load(&path).unwrap(), env);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_target_never_tear() {
+        // Before per-call temp names, two savers shared `path.tmp`: one
+        // could rename the other's half-written file over the target. Now
+        // every completed save installs one complete snapshot and the last
+        // rename wins; a reader can never observe a torn or mixed file.
+        let dir = std::env::temp_dir().join("pdr-snapshot-concurrent-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.json");
+        std::fs::remove_file(&path).ok();
+        const THREADS: u64 = 4;
+        const SAVES: u64 = 25;
+        // Payloads are large enough that a torn write would be parseable
+        // only by accident, and tagged so a reader can attribute content.
+        let payload = |t: u64, i: u64| {
+            envelope(
+                "system",
+                Json::Arr(
+                    (0..256)
+                        .map(|k| Json::U64(t * 1_000_000 + i * 1_000 + k))
+                        .collect(),
+                ),
+            )
+        };
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let path = &path;
+                let payload = &payload;
+                scope.spawn(move || {
+                    for i in 0..SAVES {
+                        save(path, &payload(t, i)).expect("save");
+                        // Every observation must be one complete envelope.
+                        let seen = load(path).expect("concurrently saved file must parse");
+                        assert!(open(&seen, "system").is_ok(), "torn or mixed snapshot");
+                    }
+                });
+            }
+        });
+        // The survivor is exactly one of the payloads that were written.
+        let last = load(&path).expect("final file parses");
+        let wrote = (0..THREADS)
+            .flat_map(|t| (0..SAVES).map(move |i| payload(t, i)))
+            .any(|p| p == last);
+        assert!(wrote, "final snapshot is not any payload that was saved");
+        // No temp files leak once every save has completed.
+        let leaked: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leaked.is_empty(), "leaked temp files: {leaked:?}");
         std::fs::remove_file(&path).ok();
     }
 }

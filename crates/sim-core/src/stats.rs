@@ -59,7 +59,11 @@ impl OnlineStats {
         }
     }
 
-    /// Population variance (0 for fewer than two samples).
+    /// Population variance, `m2 / n` (0 for fewer than two samples).
+    ///
+    /// This describes the spread of the samples *seen*; an inference about
+    /// the mean of the distribution they were drawn from (a confidence
+    /// interval) must use [`OnlineStats::sample_variance`] instead.
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -68,9 +72,26 @@ impl OnlineStats {
         }
     }
 
-    /// Population standard deviation.
+    /// Population standard deviation, `sqrt(m2 / n)`.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
+    }
+
+    /// Unbiased sample variance, `m2 / (n - 1)` (Bessel's correction; 0 for
+    /// fewer than two samples). This is the estimator a confidence interval
+    /// on the mean is built from — using the population variance there makes
+    /// every CI systematically too narrow, worst at small `n`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation, `sqrt(m2 / (n - 1))`.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
     }
 
     /// Smallest sample (`None` when empty).
@@ -380,7 +401,34 @@ mod tests {
         let s = OnlineStats::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
         assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn sample_variance_applies_bessel_correction() {
+        // n = 2 is where the ÷n vs ÷(n−1) distinction is largest: for
+        // samples {a, b} the population variance is (a−b)²/4 but the
+        // unbiased sample variance is (a−b)²/2.
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        s.push(7.0);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 8.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.sample_std_dev() - 8.0_f64.sqrt()).abs() < 1e-12);
+        // For one sample neither variance is defined; both report 0.
+        let mut one = OnlineStats::new();
+        one.push(5.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.sample_variance(), 0.0);
+        // The ratio is exactly n/(n−1) for any n ≥ 2.
+        let mut many = OnlineStats::new();
+        for i in 0..10 {
+            many.push((i * i) as f64);
+        }
+        let n = many.count() as f64;
+        assert!((many.sample_variance() - many.variance() * n / (n - 1.0)).abs() < 1e-9);
     }
 
     #[test]

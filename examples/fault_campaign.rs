@@ -22,6 +22,11 @@
 //!                          its plan, checkpoint, fork N re-seeded replicas,
 //!                          and print the merged availability table
 //!                          (mean, p50/p99, 95% CI)
+//!   --threads N            fan the replicas across N worker threads
+//!                          (default: PDR_THREADS, else the machine's
+//!                          parallelism); the merged report is byte-identical
+//!                          for every N — CI compares the fleet JSON across
+//!                          a thread matrix to prove it
 //!   --trace-full           full event tape (written next to the report)
 //!   --bisect-demo          plant a divergence and pin it by checkpoint
 //!                          bisection in ≤ log2(n)+1 partial replays
@@ -32,8 +37,8 @@
 use std::path::{Path, PathBuf};
 
 use pdr_lab::pdr::{
-    bisect_plans, fork_replicas, snapshot, CampaignRun, FaultCampaign, FaultCampaignResult,
-    FaultKind, FaultPlan, TraceLevel,
+    bisect_plans, snapshot, CampaignRun, FaultCampaign, FaultCampaignResult, FaultKind, FaultPlan,
+    ParallelExecutor, TraceLevel,
 };
 use pdr_lab::sim::json::ToJson;
 use pdr_lab::sim::{EngineStrategy, SimDuration};
@@ -53,6 +58,7 @@ struct Args {
     checkpoint_file: PathBuf,
     resume: bool,
     replicas: Option<usize>,
+    threads: Option<usize>,
     trace_full: bool,
     bisect_demo: bool,
 }
@@ -64,6 +70,7 @@ fn parse_args() -> Args {
         checkpoint_file: PathBuf::from("target/experiments/fault_campaign.ckpt"),
         resume: false,
         replicas: None,
+        threads: None,
         trace_full: false,
         bisect_demo: false,
     };
@@ -85,6 +92,9 @@ fn parse_args() -> Args {
             "--resume" => args.resume = true,
             "--replicas" => {
                 args.replicas = Some(value("--replicas").parse().expect("--replicas"));
+            }
+            "--threads" => {
+                args.threads = Some(value("--threads").parse().expect("--threads"));
             }
             "--trace-full" => args.trace_full = true,
             "--bisect-demo" => args.bisect_demo = true,
@@ -211,7 +221,13 @@ fn bisect_demo(campaign: &FaultCampaign, dir: &Path) {
     );
 }
 
-fn monte_carlo(campaign: &FaultCampaign, replicas: usize, trace_full: bool, dir: &Path) {
+fn monte_carlo(
+    campaign: &FaultCampaign,
+    replicas: usize,
+    executor: &ParallelExecutor,
+    trace_full: bool,
+    dir: &Path,
+) {
     let cfg = system_config();
     let mut base = CampaignRun::new(cfg.clone(), campaign.clone());
     if trace_full {
@@ -219,8 +235,9 @@ fn monte_carlo(campaign: &FaultCampaign, replicas: usize, trace_full: bool, dir:
     }
     let warm = (base.events() / 4).max(1);
     println!(
-        "== Monte Carlo: warming {warm}/{} events, forking {replicas} replicas ==\n",
-        base.events()
+        "== Monte Carlo: warming {warm}/{} events, forking {replicas} replicas across {} thread(s) ==\n",
+        base.events(),
+        executor.threads(),
     );
     for _ in 0..warm {
         base.step();
@@ -229,7 +246,9 @@ fn monte_carlo(campaign: &FaultCampaign, replicas: usize, trace_full: bool, dir:
     let seeds: Vec<u64> = (0..replicas as u64)
         .map(|i| campaign.plan.seed.wrapping_add(1 + i))
         .collect();
-    let fleet = fork_replicas(&cfg, campaign, &checkpoint, &seeds).expect("fork replicas");
+    let fleet = executor
+        .fork_replicas(&cfg, campaign, &checkpoint, &seeds)
+        .expect("fork replicas");
 
     println!("seed        events  detected  recovered  unrecovered  availability");
     for row in &fleet.per_replica {
@@ -300,7 +319,11 @@ fn main() {
         return;
     }
     if let Some(replicas) = args.replicas {
-        monte_carlo(&args.campaign, replicas, args.trace_full, dir);
+        let executor = match args.threads {
+            Some(n) => ParallelExecutor::new(n),
+            None => ParallelExecutor::from_env(),
+        };
+        monte_carlo(&args.campaign, replicas, &executor, args.trace_full, dir);
         return;
     }
 

@@ -28,7 +28,7 @@ cargo run --release --offline --example fault_campaign -- 2017 --duration-ms 5 -
 
 for f in table1 fig5 temp_stress fig6 table2 table3 proposed headline \
          ablation_fifo ablation_burst ablation_crc ablation_compress ablation_interconnect ablation_size ablation_guardband ablation_contention seu_campaign \
-         recovery scheduler codec fault_fleet; do
+         recovery scheduler codec fault_fleet campaign; do
   if [ -f "target/experiments/$f.md" ]; then
     cat "target/experiments/$f.md" >> "$out"
     echo >> "$out"
