@@ -1350,17 +1350,31 @@ impl ParallelExecutor {
     /// Reads the worker count from [`THREADS_ENV`], falling back to the
     /// host's available parallelism.
     ///
+    /// `PDR_THREADS=0` clamps to one worker — zero is a request for "as
+    /// little parallelism as possible", not a configuration error, and the
+    /// byte-identity contract makes any clamp observationally safe. An
+    /// `available_parallelism()` error likewise falls back to one worker.
+    ///
     /// # Panics
     ///
-    /// Panics if the variable is set to anything but a positive integer —
-    /// a misconfigured campaign must fail loudly, not run serial silently.
+    /// Panics if the variable is set to anything non-numeric — a
+    /// misconfigured campaign must fail loudly, not run serial silently.
     pub fn from_env() -> ParallelExecutor {
-        match std::env::var(THREADS_ENV) {
-            Ok(v) => match v.parse::<usize>() {
-                Ok(n) if n >= 1 => ParallelExecutor::new(n),
-                _ => panic!("{THREADS_ENV} must be a positive integer, got `{v}`"),
+        Self::from_env_value(std::env::var(THREADS_ENV).ok().as_deref())
+    }
+
+    /// [`ParallelExecutor::from_env`] with the variable's value passed in —
+    /// the testable core (directed tests must not mutate process-global
+    /// environment under a multi-threaded test harness). `None` means the
+    /// variable is unset.
+    pub fn from_env_value(value: Option<&str>) -> ParallelExecutor {
+        match value {
+            Some(v) => match v.trim().parse::<usize>() {
+                // `new` clamps 0 to the serial executor.
+                Ok(n) => ParallelExecutor::new(n),
+                Err(_) => panic!("{THREADS_ENV} must be a non-negative integer, got `{v}`"),
             },
-            Err(_) => {
+            None => {
                 ParallelExecutor::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
             }
         }
@@ -1422,7 +1436,10 @@ impl ParallelExecutor {
     /// results **in index order**, whatever order workers finish in. With
     /// one worker (or one item) the tasks run inline on the calling thread
     /// — the exact same code path, so thread count can never change bytes.
-    fn map<T, F>(&self, n: usize, task: F) -> Vec<T>
+    ///
+    /// Public so other deterministic fan-outs (the fleet's epoch-barriered
+    /// shard step) can ride the same index-ordered commit contract.
+    pub fn map<T, F>(&self, n: usize, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -1657,6 +1674,23 @@ mod tests {
     use super::*;
     use pdr_fabric::AspKind;
     use pdr_sim_core::json::ToJson;
+
+    #[test]
+    fn executor_clamps_zero_threads_to_serial() {
+        // Regression: `PDR_THREADS=0` used to panic; it must clamp to one
+        // worker (as must a failing `available_parallelism`, which the
+        // `None` arm's `map_or(1, …)` covers).
+        assert_eq!(ParallelExecutor::new(0).threads(), 1);
+        assert_eq!(ParallelExecutor::from_env_value(Some("0")).threads(), 1);
+        assert_eq!(ParallelExecutor::from_env_value(Some(" 3 ")).threads(), 3);
+        assert!(ParallelExecutor::from_env_value(None).threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative integer")]
+    fn executor_rejects_non_numeric_thread_count() {
+        let _ = ParallelExecutor::from_env_value(Some("many"));
+    }
 
     fn configured_system() -> ZynqPdrSystem {
         let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());

@@ -1,0 +1,1260 @@
+//! Fleet-scale PDR-as-a-service control plane.
+//!
+//! Turns the single-board simulator into a control plane over N simulated
+//! boards: a consistent-hash [`PlacementRing`] routes Zipf-skewed tenant
+//! traffic ([`TrafficModel`]) onto boards whose service costs are
+//! *calibrated* on the real cycle-level system ([`Calibration`]); boards
+//! cache the compressed catalog ([`Board`]), steal work within their
+//! shard, and walk a quarantine ladder whose events propagate to the
+//! control plane at epoch barriers — draining the board from the ring and
+//! optionally re-replicating its hot entries.
+//!
+//! # Determinism invariants (see `docs/FLEET.md`)
+//!
+//! The merged [`FleetReport`] is **byte-identical** for every
+//! `PDR_THREADS` value and both `PDR_ENGINE` strategies, and a campaign
+//! killed at any epoch and resumed from its checkpoint finishes with the
+//! same bytes. The construction:
+//!
+//! * the shard count is a config knob, *never* derived from the thread
+//!   count — threads only decide which worker executes a shard;
+//! * arrivals are generated serially from one RNG stream and routed
+//!   before the fan-out; each shard's epoch step is a pure function of
+//!   (shard boards, its arrivals, catalog, calibration);
+//! * shard deltas are merged in shard-index order on the committing
+//!   thread ([`ParallelExecutor::map`]'s ordered-commit contract), and
+//!   cross-shard effects (quarantine, re-replication, invalidation) apply
+//!   only at the barrier;
+//! * engine invariance is inherited: the only component that touches the
+//!   [`EngineStrategy`](pdr_sim_core::EngineStrategy) kernel is the
+//!   calibration pass, whose observables are byte-identical under both
+//!   engines by the PR 6 contract;
+//! * no libm transcendentals anywhere near report bytes
+//!   ([`traffic::det_ln`]/[`traffic::det_exp`],
+//!   bit-pattern histogram bins in
+//!   [`pdr_sim_core::stats::BoundedQuantiles`]) — the
+//!   committed `BENCH_fleet.json` must reproduce across hosts.
+
+pub mod board;
+pub mod ring;
+pub mod traffic;
+
+pub use board::{Board, CachedCopy, Calibration, DispatchOutcome, FleetCatalogEntry, ServiceClass};
+pub use ring::{mix64, PlacementRing};
+pub use traffic::{Arrival, TrafficConfig, TrafficModel, ZipfSampler};
+
+use pdr_sim_core::json::{Json, JsonError, ToJson};
+use pdr_sim_core::rng::Xoshiro256StarStar;
+use pdr_sim_core::stats::{BoundedQuantiles, OnlineStats};
+use pdr_sim_core::{impl_json_struct, SimDuration};
+
+use crate::campaign::{ParallelExecutor, StatsSummary};
+use crate::scheduler::FetchModel;
+use crate::snapshot;
+use crate::system::SystemConfig;
+
+use board::build_catalog;
+
+/// Exact-mode capacity of the fleet latency sketches: small campaigns (and
+/// every per-shard epoch delta) stay exact; million-request campaigns spill
+/// into the fixed histogram and RSS stays flat.
+const QUANTILE_LIMIT: usize = 4096;
+
+/// Fleet campaign configuration. `Default` is the CI-sized smoke fleet;
+/// [`FleetConfig::full_scale`] is the ISSUE's ≥1000-board, ≥10⁶-request
+/// campaign.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Simulated boards behind the control plane.
+    pub boards: u32,
+    /// Shards the boards are split into (contiguous ranges). Fixed by
+    /// config — never derived from the thread count.
+    pub shards: u32,
+    /// Virtual nodes per board on the placement ring.
+    pub vnodes_per_board: u32,
+    /// Tenant population.
+    pub tenants: u32,
+    /// Catalog entries (distinct bitstream images).
+    pub catalog_entries: u32,
+    /// Calibrated size classes (entry -> class by modulo).
+    pub size_classes: u32,
+    /// Campaign seed: traffic, per-board fault streams, bad-board draw.
+    pub seed: u64,
+    /// Traffic model knobs.
+    pub traffic: TrafficConfig,
+    /// Epoch barrier interval.
+    pub epoch: SimDuration,
+    /// Per-board admission cap (queued + in-service requests).
+    pub queue_capacity: u32,
+    /// Backlog at which an arrival tries to steal to a sibling board.
+    pub steal_threshold: u32,
+    /// Per-board replicated-catalog cache budget, stored (compressed) bytes.
+    pub cache_capacity_bytes: u64,
+    /// Catalog fetch path for cache misses.
+    pub fetch: FetchModel,
+    /// Service-path reconfiguration frequency, MHz (safe envelope).
+    pub service_mhz: u64,
+    /// Scrub frequency, MHz.
+    pub scrub_mhz: u64,
+    /// Per-request CRC failure probability on a healthy board.
+    pub base_fault_rate: f64,
+    /// Permille of boards drawn "bad" at init.
+    pub bad_board_permille: u32,
+    /// Per-request CRC failure probability on a bad board.
+    pub bad_fault_rate: f64,
+    /// Consecutive scrub failures before the control plane quarantines.
+    pub quarantine_strikes: u32,
+    /// Re-replicate a quarantined board's resident entries to their ring
+    /// homes?
+    pub replicate_on_quarantine: bool,
+    /// Bump one catalog entry's version every this many epochs (0 = never).
+    pub invalidate_every_epochs: u64,
+    /// The cycle-level system calibration runs on. Its `strategy` field is
+    /// how `PDR_ENGINE` reaches the fleet.
+    pub system: SystemConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            boards: 16,
+            shards: 4,
+            vnodes_per_board: 128,
+            tenants: 500,
+            catalog_entries: 96,
+            size_classes: 6,
+            seed: 2017,
+            traffic: TrafficConfig {
+                duration: SimDuration::from_millis(2_500),
+                ..TrafficConfig::default()
+            },
+            epoch: SimDuration::from_millis(50),
+            queue_capacity: 64,
+            steal_threshold: 6,
+            cache_capacity_bytes: 256 * 1024,
+            fetch: FetchModel {
+                bandwidth_bytes_per_s: 19_000_000,
+                per_fetch_overhead: SimDuration::from_micros(200),
+            },
+            service_mhz: 200,
+            scrub_mhz: 100,
+            base_fault_rate: 0.002,
+            bad_board_permille: 0,
+            bad_fault_rate: 0.25,
+            quarantine_strikes: 2,
+            replicate_on_quarantine: true,
+            invalidate_every_epochs: 4,
+            system: SystemConfig::fast_quad(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The ISSUE's acceptance-scale campaign: ≥1000 boards, ≥10⁶ requests,
+    /// a sprinkling of bad boards so quarantine propagation actually fires.
+    pub fn full_scale() -> Self {
+        FleetConfig {
+            boards: 1000,
+            shards: 16,
+            tenants: 10_000,
+            catalog_entries: 512,
+            traffic: TrafficConfig {
+                target_requests: 1_010_000,
+                duration: SimDuration::from_millis(2_500),
+                ..TrafficConfig::default()
+            },
+            epoch: SimDuration::from_millis(100),
+            bad_board_permille: 5,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Effective shard count (clamped into `1..=boards`).
+    pub fn effective_shards(&self) -> u32 {
+        self.shards.clamp(1, self.boards.max(1))
+    }
+
+    /// Boards per shard (contiguous ranges; the last shard may be short).
+    pub fn boards_per_shard(&self) -> u32 {
+        self.boards.div_ceil(self.effective_shards())
+    }
+}
+
+/// The merged fleet campaign report. Every field is deterministic
+/// simulation output — no wall-clock, no host state — and every float is
+/// finite or `None` (the repo-wide JSON contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Boards in the fleet.
+    pub boards: u64,
+    /// Shards the epoch step fanned over.
+    pub shards: u64,
+    /// Epoch barriers executed.
+    pub epochs: u64,
+    /// Requests entering the control plane.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests lost to scrub failures.
+    pub failed: u64,
+    /// Requests refused admission (full queue or no healthy board).
+    pub rejected: u64,
+    /// Requests re-routed off a quarantined board mid-epoch.
+    pub rerouted: u64,
+    /// Requests stolen to a less-loaded sibling board.
+    pub stolen: u64,
+    /// First-attempt CRC failures.
+    pub crc_failures: u64,
+    /// Scrub (golden re-apply + retry) passes.
+    pub scrubs: u64,
+    /// Scrubs that themselves failed.
+    pub scrub_failures: u64,
+    /// Boards quarantined and drained from the ring.
+    pub boards_quarantined: u64,
+    /// Hot entries re-replicated to ring homes after quarantines.
+    pub replicated_entries: u64,
+    /// Control-plane invalidation rounds.
+    pub invalidations: u64,
+    /// Resident copies dropped by invalidations.
+    pub invalidated_copies: u64,
+    /// Replicated-catalog cache hits (fleet-wide).
+    pub cache_hits: u64,
+    /// Cache misses (paid the calibrated fetch).
+    pub cache_misses: u64,
+    /// LRU evictions across all boards.
+    pub cache_evictions: u64,
+    /// Fleet-wide hit rate, `None` when no lookups happened.
+    pub cache_hit_rate: Option<f64>,
+    /// completed / submitted, `None` when nothing was submitted.
+    pub availability: Option<f64>,
+    /// End-to-end sojourn (arrival to completion), µs.
+    pub latency_us: StatsSummary,
+    /// Queueing delay (arrival to service start), µs.
+    pub queue_wait_us: StatsSummary,
+    /// Median sojourn, µs (bounded-memory sketch; `None` when empty).
+    pub latency_p50_us: Option<f64>,
+    /// 99th-percentile sojourn, µs.
+    pub latency_p99_us: Option<f64>,
+    /// First arrival to last completion, µs.
+    pub makespan_us: f64,
+    /// Completed requests per simulated second, `None` for an empty run.
+    pub throughput_rps: Option<f64>,
+}
+
+impl_json_struct!(FleetReport {
+    boards,
+    shards,
+    epochs,
+    submitted,
+    completed,
+    failed,
+    rejected,
+    rerouted,
+    stolen,
+    crc_failures,
+    scrubs,
+    scrub_failures,
+    boards_quarantined,
+    replicated_entries,
+    invalidations,
+    invalidated_copies,
+    cache_hits,
+    cache_misses,
+    cache_evictions,
+    cache_hit_rate,
+    availability,
+    latency_us,
+    queue_wait_us,
+    latency_p50_us,
+    latency_p99_us,
+    makespan_us,
+    throughput_rps,
+});
+
+/// Cumulative campaign counters + bounded-memory latency accumulators.
+#[derive(Debug, Clone, PartialEq)]
+struct FleetStats {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    rerouted: u64,
+    stolen: u64,
+    crc_failures: u64,
+    scrubs: u64,
+    scrub_failures: u64,
+    boards_quarantined: u64,
+    replicated_entries: u64,
+    invalidations: u64,
+    invalidated_copies: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    latency: OnlineStats,
+    queue_wait: OnlineStats,
+    sketch: BoundedQuantiles,
+    max_completion_ps: u64,
+}
+
+impl FleetStats {
+    fn new() -> Self {
+        FleetStats {
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            rerouted: 0,
+            stolen: 0,
+            crc_failures: 0,
+            scrubs: 0,
+            scrub_failures: 0,
+            boards_quarantined: 0,
+            replicated_entries: 0,
+            invalidations: 0,
+            invalidated_copies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            latency: OnlineStats::new(),
+            queue_wait: OnlineStats::new(),
+            sketch: BoundedQuantiles::new(QUANTILE_LIMIT),
+            max_completion_ps: 0,
+        }
+    }
+}
+
+/// One shard's epoch outcome, merged in shard order at the barrier.
+struct ShardDelta {
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    rerouted: u64,
+    stolen: u64,
+    crc_failures: u64,
+    scrubs: u64,
+    scrub_failures: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    latency: OnlineStats,
+    queue_wait: OnlineStats,
+    sketch: BoundedQuantiles,
+    max_completion_ps: u64,
+    /// Boards newly quarantined this epoch, with their resident cache at
+    /// the moment of quarantine (for re-replication).
+    quarantines: Vec<(u32, Vec<CachedCopy>)>,
+}
+
+/// Pure shard epoch step: processes `arrivals` (time-ordered, already
+/// routed to boards in this shard) against the shard's board slice.
+fn process_shard(
+    boards: &mut [Board],
+    base_id: u32,
+    arrivals: &[(Arrival, u32)],
+    catalog: &[FleetCatalogEntry],
+    calibration: &Calibration,
+    cfg: &FleetConfig,
+) -> ShardDelta {
+    let mut d = ShardDelta {
+        completed: 0,
+        failed: 0,
+        rejected: 0,
+        rerouted: 0,
+        stolen: 0,
+        crc_failures: 0,
+        scrubs: 0,
+        scrub_failures: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        latency: OnlineStats::new(),
+        queue_wait: OnlineStats::new(),
+        sketch: BoundedQuantiles::new(QUANTILE_LIMIT),
+        max_completion_ps: 0,
+        quarantines: Vec::new(),
+    };
+    for &(arr, board_id) in arrivals {
+        let mut bi = (board_id - base_id) as usize;
+        // Least-backlog healthy sibling (deterministic tie-break: lowest
+        // index) — the fallback for both re-routing and work-stealing.
+        let least_loaded =
+            |boards: &mut [Board], except: Option<usize>| -> Option<(usize, usize)> {
+                let mut best: Option<(usize, usize)> = None;
+                for (j, b) in boards.iter_mut().enumerate() {
+                    if b.quarantined || Some(j) == except {
+                        continue;
+                    }
+                    let depth = b.prune(arr.at_ps);
+                    if best.is_none_or(|(_, bd)| depth < bd) {
+                        best = Some((j, depth));
+                    }
+                }
+                best
+            };
+        if boards[bi].quarantined {
+            // Mid-epoch the ring still names this board (membership changes
+            // only at barriers); the shard's admission layer re-routes.
+            match least_loaded(boards, None) {
+                Some((j, _)) => {
+                    bi = j;
+                    d.rerouted += 1;
+                }
+                None => {
+                    d.rejected += 1;
+                    continue;
+                }
+            }
+        } else {
+            let backlog = boards[bi].prune(arr.at_ps);
+            if backlog >= cfg.steal_threshold as usize {
+                if let Some((j, depth)) = least_loaded(boards, Some(bi)) {
+                    if depth + 1 < backlog {
+                        bi = j;
+                        d.stolen += 1;
+                    }
+                }
+            }
+        }
+        if boards[bi].prune(arr.at_ps) >= cfg.queue_capacity as usize {
+            d.rejected += 1;
+            continue;
+        }
+        let entry = &catalog[arr.entry as usize];
+        let class = &calibration.classes[entry.class as usize];
+        let out = boards[bi].dispatch(
+            arr.at_ps,
+            arr.entry,
+            entry.version,
+            class,
+            cfg.cache_capacity_bytes,
+        );
+        if out.hit {
+            d.cache_hits += 1;
+        } else {
+            d.cache_misses += 1;
+        }
+        d.cache_evictions += u64::from(out.evictions);
+        if out.crc_failed {
+            d.crc_failures += 1;
+        }
+        if out.scrubbed {
+            d.scrubs += 1;
+        }
+        if out.scrub_failed {
+            d.scrub_failures += 1;
+            d.failed += 1;
+        } else {
+            d.completed += 1;
+            let sojourn_us = (out.completion_ps - arr.at_ps) as f64 / 1e6;
+            d.latency.push(sojourn_us);
+            d.sketch.push(sojourn_us);
+            d.queue_wait.push((out.start_ps - arr.at_ps) as f64 / 1e6);
+        }
+        d.max_completion_ps = d.max_completion_ps.max(out.completion_ps);
+        if boards[bi].scrub_strikes >= cfg.quarantine_strikes && !boards[bi].quarantined {
+            boards[bi].quarantined = true;
+            d.quarantines
+                .push((boards[bi].id, boards[bi].cache.clone()));
+        }
+    }
+    d
+}
+
+/// Per-board fault rates drawn once from the campaign seed (bad boards are
+/// a deterministic function of config, so resume can rebuild them).
+fn fault_rates(cfg: &FleetConfig) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0x4241_445f_424f_4152);
+    let p_bad = cfg.bad_board_permille as f64 / 1000.0;
+    (0..cfg.boards)
+        .map(|_| {
+            if rng.next_f64() < p_bad {
+                cfg.bad_fault_rate
+            } else {
+                cfg.base_fault_rate
+            }
+        })
+        .collect()
+}
+
+/// A resumable fleet campaign. Drive with [`FleetRun::step_epoch`] or
+/// [`FleetRun::run_to_end`]; checkpoint with [`FleetRun::checkpoint`] +
+/// [`snapshot::save`]; resume with [`FleetRun::resume`].
+pub struct FleetRun {
+    config: FleetConfig,
+    calibration: Calibration,
+    catalog: Vec<FleetCatalogEntry>,
+    ring: PlacementRing,
+    /// Boards, shard-major: `shards[s]` owns ids `s*per .. (s+1)*per`.
+    shards: Vec<Vec<Board>>,
+    traffic: TrafficModel,
+    epoch_idx: u64,
+    finished: bool,
+    stats: FleetStats,
+    config_digest: u64,
+}
+
+impl FleetRun {
+    /// Builds a fresh campaign: runs calibration on the cycle-level system,
+    /// builds catalog, ring, boards and the traffic stream.
+    pub fn new(config: FleetConfig) -> FleetRun {
+        assert!(config.boards > 0, "fleet needs at least one board");
+        assert!(config.epoch.as_ps() > 0, "fleet needs a positive epoch");
+        let calibration = Calibration::measure(
+            &config.system,
+            &config.fetch,
+            config.size_classes,
+            config.service_mhz,
+            config.scrub_mhz,
+        );
+        let catalog = build_catalog(config.catalog_entries, config.size_classes);
+        let ring = PlacementRing::new(config.boards, config.vnodes_per_board);
+        let rates = fault_rates(&config);
+        let per = config.boards_per_shard();
+        let shards = (0..config.effective_shards())
+            .map(|s| {
+                (s * per..((s + 1) * per).min(config.boards))
+                    .map(|b| Board::new(b, config.seed, rates[b as usize]))
+                    .collect()
+            })
+            .collect();
+        let traffic = TrafficModel::new(
+            config.traffic.clone(),
+            config.tenants,
+            config.catalog_entries,
+            config.seed,
+        );
+        let config_digest = Self::digest_config(&config, &calibration);
+        FleetRun {
+            config,
+            calibration,
+            catalog,
+            ring,
+            shards,
+            traffic,
+            epoch_idx: 0,
+            finished: false,
+            stats: FleetStats::new(),
+            config_digest,
+        }
+    }
+
+    /// A digest binding a checkpoint to its config — including the
+    /// calibration table, which transitively covers the [`SystemConfig`]
+    /// (but *not* the engine strategy: both engines calibrate to identical
+    /// tables, so checkpoints are engine-portable by construction).
+    fn digest_config(cfg: &FleetConfig, calibration: &Calibration) -> u64 {
+        let t = &cfg.traffic;
+        let fields: Vec<u64> = [
+            u64::from(cfg.boards),
+            u64::from(cfg.shards),
+            u64::from(cfg.vnodes_per_board),
+            u64::from(cfg.tenants),
+            u64::from(cfg.catalog_entries),
+            u64::from(cfg.size_classes),
+            cfg.seed,
+            t.target_requests,
+            t.duration.as_ps(),
+            u64::from(t.burst_amplitude_permille),
+            t.burst_period.as_ps(),
+            u64::from(t.tenant_zipf_milli),
+            u64::from(t.entry_zipf_milli),
+            cfg.epoch.as_ps(),
+            u64::from(cfg.queue_capacity),
+            u64::from(cfg.steal_threshold),
+            cfg.cache_capacity_bytes,
+            cfg.fetch.bandwidth_bytes_per_s,
+            cfg.fetch.per_fetch_overhead.as_ps(),
+            cfg.service_mhz,
+            cfg.scrub_mhz,
+            cfg.base_fault_rate.to_bits(),
+            u64::from(cfg.bad_board_permille),
+            cfg.bad_fault_rate.to_bits(),
+            u64::from(cfg.quarantine_strikes),
+            u64::from(cfg.replicate_on_quarantine),
+            cfg.invalidate_every_epochs,
+        ]
+        .into_iter()
+        .chain(calibration.classes.iter().flat_map(|c| {
+            [
+                c.raw_bytes,
+                c.stored_bytes,
+                c.transfer_ps,
+                c.scrub_ps,
+                c.fetch_ps,
+            ]
+        }))
+        .collect();
+        let mut bytes = Vec::with_capacity(fields.len() * 8);
+        for f in fields {
+            bytes.extend_from_slice(&f.to_le_bytes());
+        }
+        snapshot::fnv1a(&bytes)
+    }
+
+    /// The placement ring (current membership).
+    pub fn ring(&self) -> &PlacementRing {
+        &self.ring
+    }
+
+    /// The calibration table driving every board's service times.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Epoch barriers executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch_idx
+    }
+
+    /// True once the traffic stream is exhausted.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Runs one epoch: serial arrival generation + routing, parallel shard
+    /// step over `executor`, ordered merge, then the control-plane barrier
+    /// (quarantine propagation, re-replication, invalidation). Returns
+    /// `false` once the campaign is finished.
+    pub fn step_epoch(&mut self, executor: &ParallelExecutor) -> bool {
+        if self.finished {
+            return false;
+        }
+        let end_ps = (self.epoch_idx + 1) * self.config.epoch.as_ps();
+        let mut arrivals = Vec::new();
+        let more = self.traffic.fill_until(end_ps, &mut arrivals);
+
+        // Serial routing through the barrier-frozen ring.
+        let shard_count = self.shards.len();
+        let per = self.config.boards_per_shard();
+        let mut buckets: Vec<Vec<(Arrival, u32)>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for a in arrivals {
+            self.stats.submitted += 1;
+            match self.ring.lookup(a.key) {
+                None => self.stats.rejected += 1,
+                Some(b) => buckets[(b / per) as usize].push((a, b)),
+            }
+        }
+
+        // Parallel shard step; results committed in shard-index order.
+        let shards_ref = &self.shards;
+        let buckets_ref = &buckets;
+        let catalog_ref = &self.catalog;
+        let calib_ref = &self.calibration;
+        let cfg_ref = &self.config;
+        let results = executor.map(shard_count, |s| {
+            let mut boards = shards_ref[s].clone();
+            let delta = process_shard(
+                &mut boards,
+                s as u32 * per,
+                &buckets_ref[s],
+                catalog_ref,
+                calib_ref,
+                cfg_ref,
+            );
+            (boards, delta)
+        });
+
+        // Ordered merge at the barrier.
+        let mut quarantines: Vec<(u32, Vec<CachedCopy>)> = Vec::new();
+        for (s, (boards, d)) in results.into_iter().enumerate() {
+            self.shards[s] = boards;
+            self.stats.completed += d.completed;
+            self.stats.failed += d.failed;
+            self.stats.rejected += d.rejected;
+            self.stats.rerouted += d.rerouted;
+            self.stats.stolen += d.stolen;
+            self.stats.crc_failures += d.crc_failures;
+            self.stats.scrubs += d.scrubs;
+            self.stats.scrub_failures += d.scrub_failures;
+            self.stats.cache_hits += d.cache_hits;
+            self.stats.cache_misses += d.cache_misses;
+            self.stats.cache_evictions += d.cache_evictions;
+            self.stats.latency.merge(&d.latency);
+            self.stats.queue_wait.merge(&d.queue_wait);
+            self.stats.sketch.merge(&d.sketch);
+            self.stats.max_completion_ps = self.stats.max_completion_ps.max(d.max_completion_ps);
+            quarantines.extend(d.quarantines);
+        }
+
+        // Quarantine propagation: drain from the ring, then re-replicate
+        // the drained boards' resident entries to their ring homes.
+        for &(board_id, _) in &quarantines {
+            if self.ring.drain(board_id) {
+                self.stats.boards_quarantined += 1;
+            }
+        }
+        if self.config.replicate_on_quarantine {
+            let budget = self.config.cache_capacity_bytes;
+            for (_, residents) in &quarantines {
+                for copy in residents {
+                    let home_key = mix64(0x454e_5452_595f_484f ^ u64::from(copy.entry));
+                    if let Some(home) = self.ring.lookup(home_key) {
+                        let fresh = CachedCopy {
+                            entry: copy.entry,
+                            version: self.catalog[copy.entry as usize].version,
+                            stored_bytes: copy.stored_bytes,
+                        };
+                        let per = self.config.boards_per_shard();
+                        let b = &mut self.shards[(home / per) as usize][(home % per) as usize];
+                        let evicted = b.warm(fresh, budget);
+                        if evicted > 0 {
+                            self.stats.cache_evictions += u64::from(evicted);
+                        }
+                        self.stats.replicated_entries += 1;
+                    }
+                }
+            }
+        }
+
+        // Catalog invalidation: bump one entry's version; every resident
+        // copy fleet-wide drops (the next request re-fetches).
+        let k = self.config.invalidate_every_epochs;
+        if k > 0 && (self.epoch_idx + 1).is_multiple_of(k) && !self.catalog.is_empty() {
+            let victim =
+                (mix64(self.config.seed ^ (self.epoch_idx + 1)) % self.catalog.len() as u64) as u32;
+            self.catalog[victim as usize].version += 1;
+            self.stats.invalidations += 1;
+            for shard in &mut self.shards {
+                for b in shard {
+                    if b.invalidate(victim) {
+                        self.stats.invalidated_copies += 1;
+                    }
+                }
+            }
+        }
+
+        self.epoch_idx += 1;
+        if !more {
+            // Every admitted request already has a computed completion —
+            // the fleet clock is lazy — so exhaustion ends the campaign.
+            self.finished = true;
+        }
+        more
+    }
+
+    /// Steps until the traffic stream is exhausted.
+    pub fn run_to_end(&mut self, executor: &ParallelExecutor) {
+        while self.step_epoch(executor) {}
+    }
+
+    fn board_mut(&mut self, id: u32) -> &mut Board {
+        let per = self.config.boards_per_shard();
+        let s = (id / per) as usize;
+        &mut self.shards[s][(id % per) as usize]
+    }
+
+    /// The merged fleet report.
+    pub fn report(&self) -> FleetReport {
+        let st = &self.stats;
+        let ratio = |num: u64, den: u64| (den > 0).then(|| num as f64 / den as f64);
+        let makespan_us = st.max_completion_ps as f64 / 1e6;
+        FleetReport {
+            boards: u64::from(self.config.boards),
+            shards: self.shards.len() as u64,
+            epochs: self.epoch_idx,
+            submitted: st.submitted,
+            completed: st.completed,
+            failed: st.failed,
+            rejected: st.rejected,
+            rerouted: st.rerouted,
+            stolen: st.stolen,
+            crc_failures: st.crc_failures,
+            scrubs: st.scrubs,
+            scrub_failures: st.scrub_failures,
+            boards_quarantined: st.boards_quarantined,
+            replicated_entries: st.replicated_entries,
+            invalidations: st.invalidations,
+            invalidated_copies: st.invalidated_copies,
+            cache_hits: st.cache_hits,
+            cache_misses: st.cache_misses,
+            cache_evictions: st.cache_evictions,
+            cache_hit_rate: ratio(st.cache_hits, st.cache_hits + st.cache_misses),
+            availability: ratio(st.completed, st.submitted),
+            latency_us: StatsSummary::from(&st.latency),
+            queue_wait_us: StatsSummary::from(&st.queue_wait),
+            latency_p50_us: st.sketch.quantile(0.5),
+            latency_p99_us: st.sketch.quantile(0.99),
+            makespan_us,
+            throughput_rps: (st.max_completion_ps > 0)
+                .then(|| st.completed as f64 / (st.max_completion_ps as f64 / 1e12)),
+        }
+    }
+
+    /// FNV-1a digest of the rendered report — the campaign's identity for
+    /// equivalence checks.
+    pub fn digest(&self) -> u64 {
+        snapshot::fnv1a(self.report().to_json_string().as_bytes())
+    }
+
+    // ---- checkpoint / resume -------------------------------------------
+
+    /// Serialises the full campaign state as a snapshot envelope of kind
+    /// `"fleet"`. Pair with [`snapshot::save`] for atomic on-disk
+    /// checkpoints.
+    pub fn checkpoint(&self) -> Json {
+        let rng_json = |s: [u64; 4]| Json::Arr(s.iter().map(|&w| Json::U64(w)).collect());
+        let opt_f64 = |v: Option<f64>| v.map_or(Json::Null, Json::F64);
+        let (t_rng, t_bits, t_gen, t_pending) = self.traffic.raw_parts();
+        let traffic = Json::Obj(vec![
+            ("rng".into(), rng_json(t_rng)),
+            ("t_bits".into(), Json::U64(t_bits)),
+            ("generated".into(), Json::U64(t_gen)),
+            (
+                "pending".into(),
+                t_pending.map_or(Json::Null, |p| {
+                    Json::Arr(vec![
+                        Json::U64(p.at_ps),
+                        Json::U64(u64::from(p.tenant)),
+                        Json::U64(u64::from(p.entry)),
+                        Json::U64(p.key),
+                    ])
+                }),
+            ),
+        ]);
+        let versions = Json::Arr(
+            self.catalog
+                .iter()
+                .map(|e| Json::U64(u64::from(e.version)))
+                .collect(),
+        );
+        let st = &self.stats;
+        let (lat_n, lat_mean, lat_m2, lat_min, lat_max) = st.latency.raw_parts();
+        let (qw_n, qw_mean, qw_m2, qw_min, qw_max) = st.queue_wait.raw_parts();
+        let (sk_count, sk_min, sk_max, sk_exact, sk_bins) = st.sketch.raw_parts();
+        let stats = Json::Obj(vec![
+            ("submitted".into(), Json::U64(st.submitted)),
+            ("completed".into(), Json::U64(st.completed)),
+            ("failed".into(), Json::U64(st.failed)),
+            ("rejected".into(), Json::U64(st.rejected)),
+            ("rerouted".into(), Json::U64(st.rerouted)),
+            ("stolen".into(), Json::U64(st.stolen)),
+            ("crc_failures".into(), Json::U64(st.crc_failures)),
+            ("scrubs".into(), Json::U64(st.scrubs)),
+            ("scrub_failures".into(), Json::U64(st.scrub_failures)),
+            (
+                "boards_quarantined".into(),
+                Json::U64(st.boards_quarantined),
+            ),
+            (
+                "replicated_entries".into(),
+                Json::U64(st.replicated_entries),
+            ),
+            ("invalidations".into(), Json::U64(st.invalidations)),
+            (
+                "invalidated_copies".into(),
+                Json::U64(st.invalidated_copies),
+            ),
+            ("cache_hits".into(), Json::U64(st.cache_hits)),
+            ("cache_misses".into(), Json::U64(st.cache_misses)),
+            ("cache_evictions".into(), Json::U64(st.cache_evictions)),
+            (
+                "latency".into(),
+                Json::Arr(vec![
+                    Json::U64(lat_n),
+                    Json::U64(lat_mean.to_bits()),
+                    Json::U64(lat_m2.to_bits()),
+                    opt_f64(lat_min),
+                    opt_f64(lat_max),
+                ]),
+            ),
+            (
+                "queue_wait".into(),
+                Json::Arr(vec![
+                    Json::U64(qw_n),
+                    Json::U64(qw_mean.to_bits()),
+                    Json::U64(qw_m2.to_bits()),
+                    opt_f64(qw_min),
+                    opt_f64(qw_max),
+                ]),
+            ),
+            (
+                "sketch".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::U64(sk_count)),
+                    ("min".into(), opt_f64(sk_min)),
+                    ("max".into(), opt_f64(sk_max)),
+                    (
+                        "exact".into(),
+                        Json::Arr(sk_exact.iter().map(|&x| Json::U64(x.to_bits())).collect()),
+                    ),
+                    (
+                        "bins".into(),
+                        Json::Arr(
+                            sk_bins
+                                .iter()
+                                .map(|&(i, c)| Json::Arr(vec![Json::U64(i), Json::U64(c)]))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("max_completion_ps".into(), Json::U64(st.max_completion_ps)),
+        ]);
+        let boards = Json::Arr(
+            self.shards
+                .iter()
+                .flatten()
+                .map(|b| {
+                    Json::Obj(vec![
+                        ("id".into(), Json::U64(u64::from(b.id))),
+                        ("rng".into(), rng_json(b.rng.state())),
+                        ("busy".into(), Json::U64(b.busy_until_ps)),
+                        (
+                            "inflight".into(),
+                            Json::Arr(b.inflight.iter().map(|&c| Json::U64(c)).collect()),
+                        ),
+                        (
+                            "cache".into(),
+                            Json::Arr(
+                                b.cache
+                                    .iter()
+                                    .map(|c| {
+                                        Json::Arr(vec![
+                                            Json::U64(u64::from(c.entry)),
+                                            Json::U64(u64::from(c.version)),
+                                            Json::U64(c.stored_bytes),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("strikes".into(), Json::U64(u64::from(b.scrub_strikes))),
+                        ("quarantined".into(), Json::Bool(b.quarantined)),
+                    ])
+                })
+                .collect(),
+        );
+        snapshot::envelope(
+            "fleet",
+            Json::Obj(vec![
+                ("config_digest".into(), Json::U64(self.config_digest)),
+                ("epoch".into(), Json::U64(self.epoch_idx)),
+                ("finished".into(), Json::Bool(self.finished)),
+                ("traffic".into(), traffic),
+                ("versions".into(), versions),
+                ("stats".into(), stats),
+                ("boards".into(), boards),
+            ]),
+        )
+    }
+
+    /// Rebuilds a campaign from `config` plus a checkpoint produced by
+    /// [`FleetRun::checkpoint`]. The config must match the one the
+    /// checkpoint was taken under (verified via the config digest, which
+    /// includes the calibration table); the continued run is byte-identical
+    /// to one that never stopped.
+    pub fn resume(config: FleetConfig, json: &Json) -> Result<FleetRun, JsonError> {
+        let payload = snapshot::open(json, "fleet")?;
+        let err = |msg: &str| JsonError { msg: msg.into() };
+        let get_u64 = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(&format!("fleet checkpoint missing `{key}`")))
+        };
+        let rng_from = |v: &Json| -> Result<[u64; 4], JsonError> {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| err("rng state must be an array"))?;
+            if arr.len() != 4 {
+                return Err(err("rng state must have 4 words"));
+            }
+            let mut s = [0u64; 4];
+            for (i, w) in arr.iter().enumerate() {
+                s[i] = w.as_u64().ok_or_else(|| err("rng word must be u64"))?;
+            }
+            Ok(s)
+        };
+        let opt_f64 = |v: Option<&Json>| -> Option<f64> { v.and_then(Json::as_f64) };
+
+        let mut run = FleetRun::new(config);
+        let digest = get_u64(payload, "config_digest")?;
+        if digest != run.config_digest {
+            return Err(err(&format!(
+                "fleet checkpoint config digest {digest:#x} does not match \
+                 {:#x} — wrong config for this checkpoint",
+                run.config_digest
+            )));
+        }
+        run.epoch_idx = get_u64(payload, "epoch")?;
+        run.finished = payload
+            .get("finished")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| err("fleet checkpoint missing `finished`"))?;
+
+        // Traffic stream.
+        let t = payload
+            .get("traffic")
+            .ok_or_else(|| err("fleet checkpoint missing `traffic`"))?;
+        let pending = match t.get("pending") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(a)) if a.len() == 4 => Some(Arrival {
+                at_ps: a[0].as_u64().ok_or_else(|| err("pending.at_ps"))?,
+                tenant: a[1].as_u64().ok_or_else(|| err("pending.tenant"))? as u32,
+                entry: a[2].as_u64().ok_or_else(|| err("pending.entry"))? as u32,
+                key: a[3].as_u64().ok_or_else(|| err("pending.key"))?,
+            }),
+            _ => return Err(err("malformed pending arrival")),
+        };
+        run.traffic = TrafficModel::from_raw_parts(
+            run.config.traffic.clone(),
+            run.config.tenants,
+            run.config.catalog_entries,
+            rng_from(t.get("rng").ok_or_else(|| err("traffic.rng"))?)?,
+            get_u64(t, "t_bits")?,
+            get_u64(t, "generated")?,
+            pending,
+        );
+
+        // Catalog versions.
+        let versions = payload
+            .get("versions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err("fleet checkpoint missing `versions`"))?;
+        if versions.len() != run.catalog.len() {
+            return Err(err("catalog version count mismatch"));
+        }
+        for (e, v) in run.catalog.iter_mut().zip(versions) {
+            e.version = v.as_u64().ok_or_else(|| err("catalog version"))? as u32;
+        }
+
+        // Stats.
+        let st = payload
+            .get("stats")
+            .ok_or_else(|| err("fleet checkpoint missing `stats`"))?;
+        let online_from = |v: &Json| -> Result<OnlineStats, JsonError> {
+            let a = v
+                .as_array()
+                .ok_or_else(|| err("online stats must be an array"))?;
+            if a.len() != 5 {
+                return Err(err("online stats must have 5 fields"));
+            }
+            Ok(OnlineStats::from_raw_parts(
+                a[0].as_u64().ok_or_else(|| err("stats.n"))?,
+                f64::from_bits(a[1].as_u64().ok_or_else(|| err("stats.mean"))?),
+                f64::from_bits(a[2].as_u64().ok_or_else(|| err("stats.m2"))?),
+                opt_f64(Some(&a[3])),
+                opt_f64(Some(&a[4])),
+            ))
+        };
+        let mut s = FleetStats::new();
+        s.submitted = get_u64(st, "submitted")?;
+        s.completed = get_u64(st, "completed")?;
+        s.failed = get_u64(st, "failed")?;
+        s.rejected = get_u64(st, "rejected")?;
+        s.rerouted = get_u64(st, "rerouted")?;
+        s.stolen = get_u64(st, "stolen")?;
+        s.crc_failures = get_u64(st, "crc_failures")?;
+        s.scrubs = get_u64(st, "scrubs")?;
+        s.scrub_failures = get_u64(st, "scrub_failures")?;
+        s.boards_quarantined = get_u64(st, "boards_quarantined")?;
+        s.replicated_entries = get_u64(st, "replicated_entries")?;
+        s.invalidations = get_u64(st, "invalidations")?;
+        s.invalidated_copies = get_u64(st, "invalidated_copies")?;
+        s.cache_hits = get_u64(st, "cache_hits")?;
+        s.cache_misses = get_u64(st, "cache_misses")?;
+        s.cache_evictions = get_u64(st, "cache_evictions")?;
+        s.latency = online_from(st.get("latency").ok_or_else(|| err("stats.latency"))?)?;
+        s.queue_wait = online_from(
+            st.get("queue_wait")
+                .ok_or_else(|| err("stats.queue_wait"))?,
+        )?;
+        let sk = st.get("sketch").ok_or_else(|| err("stats.sketch"))?;
+        let exact = sk
+            .get("exact")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err("sketch.exact"))?
+            .iter()
+            .map(|v| v.as_u64().map(f64::from_bits))
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| err("sketch.exact entries"))?;
+        let bins = sk
+            .get("bins")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err("sketch.bins"))?
+            .iter()
+            .map(|v| {
+                let pair = v.as_array()?;
+                Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+            })
+            .collect::<Option<Vec<(u64, u64)>>>()
+            .ok_or_else(|| err("sketch.bins entries"))?;
+        s.sketch = BoundedQuantiles::from_raw_parts(
+            QUANTILE_LIMIT,
+            get_u64(sk, "count")?,
+            opt_f64(sk.get("min")),
+            opt_f64(sk.get("max")),
+            exact,
+            bins,
+        );
+        s.max_completion_ps = get_u64(st, "max_completion_ps")?;
+        run.stats = s;
+
+        // Boards (ids are positional: shard-major flatten order).
+        let boards = payload
+            .get("boards")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err("fleet checkpoint missing `boards`"))?;
+        if boards.len() != u64::from(run.config.boards) as usize {
+            return Err(err("board count mismatch"));
+        }
+        for bj in boards {
+            let id = get_u64(bj, "id")? as u32;
+            if id >= run.config.boards {
+                return Err(err("board id out of range"));
+            }
+            let quarantined = bj
+                .get("quarantined")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| err("board.quarantined"))?;
+            let inflight = bj
+                .get("inflight")
+                .and_then(Json::as_array)
+                .ok_or_else(|| err("board.inflight"))?
+                .iter()
+                .map(|v| v.as_u64())
+                .collect::<Option<std::collections::VecDeque<u64>>>()
+                .ok_or_else(|| err("board.inflight entries"))?;
+            let cache = bj
+                .get("cache")
+                .and_then(Json::as_array)
+                .ok_or_else(|| err("board.cache"))?
+                .iter()
+                .map(|v| {
+                    let t = v.as_array()?;
+                    Some(CachedCopy {
+                        entry: t.first()?.as_u64()? as u32,
+                        version: t.get(1)?.as_u64()? as u32,
+                        stored_bytes: t.get(2)?.as_u64()?,
+                    })
+                })
+                .collect::<Option<Vec<CachedCopy>>>()
+                .ok_or_else(|| err("board.cache entries"))?;
+            let rng = rng_from(bj.get("rng").ok_or_else(|| err("board.rng"))?)?;
+            let b = run.board_mut(id);
+            b.rng = Xoshiro256StarStar::from_state(rng);
+            b.busy_until_ps = get_u64(bj, "busy")?;
+            b.cache_bytes = cache.iter().map(|c| c.stored_bytes).sum();
+            b.inflight = inflight;
+            b.cache = cache;
+            b.scrub_strikes = get_u64(bj, "strikes")? as u32;
+            b.quarantined = quarantined;
+            if quarantined {
+                run.ring.drain(id);
+            }
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetConfig {
+        FleetConfig {
+            boards: 6,
+            shards: 2,
+            tenants: 40,
+            catalog_entries: 24,
+            size_classes: 3,
+            traffic: TrafficConfig {
+                target_requests: 400,
+                duration: SimDuration::from_millis(40),
+                ..TrafficConfig::default()
+            },
+            epoch: SimDuration::from_millis(10),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_campaign_is_thread_invariant() {
+        let mut serial = FleetRun::new(tiny());
+        serial.run_to_end(&ParallelExecutor::serial());
+        let reference = serial.report().to_json_string();
+        for threads in [2, 3, 8] {
+            let mut run = FleetRun::new(tiny());
+            run.run_to_end(&ParallelExecutor::new(threads));
+            assert_eq!(
+                reference,
+                run.report().to_json_string(),
+                "threads={threads} must not change fleet bytes"
+            );
+        }
+        assert!(serial.finished());
+        let r = serial.report();
+        assert_eq!(r.submitted, 400);
+        assert_eq!(r.submitted, r.completed + r.failed + r.rejected);
+        assert!(r.cache_hit_rate.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fleet_checkpoint_resumes_byte_identically() {
+        let ex = ParallelExecutor::new(2);
+        let mut whole = FleetRun::new(tiny());
+        whole.run_to_end(&ex);
+        let expect = whole.report().to_json_string();
+
+        let mut front = FleetRun::new(tiny());
+        front.step_epoch(&ex);
+        front.step_epoch(&ex);
+        let ckpt = front.checkpoint();
+        // Round-trip through rendered text, as a file would.
+        let parsed = Json::parse(&ckpt.render()).expect("checkpoint parses");
+        let mut back = FleetRun::resume(tiny(), &parsed).expect("resume");
+        assert_eq!(back.epoch(), 2);
+        back.run_to_end(&ex);
+        assert_eq!(expect, back.report().to_json_string());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let mut run = FleetRun::new(tiny());
+        run.step_epoch(&ParallelExecutor::serial());
+        let ckpt = run.checkpoint();
+        let mut other = tiny();
+        other.seed ^= 1;
+        assert!(FleetRun::resume(other, &ckpt).is_err());
+    }
+
+    #[test]
+    fn bad_boards_quarantine_and_leave_the_ring() {
+        let mut cfg = tiny();
+        cfg.bad_board_permille = 400;
+        cfg.bad_fault_rate = 0.9;
+        cfg.traffic.target_requests = 1500;
+        let mut run = FleetRun::new(cfg);
+        run.run_to_end(&ParallelExecutor::new(3));
+        let r = run.report();
+        assert!(
+            r.boards_quarantined > 0,
+            "bad boards must quarantine: {r:?}"
+        );
+        assert!(r.scrub_failures > 0 && r.crc_failures > r.scrub_failures);
+        assert_eq!(
+            run.ring().member_count() as u64,
+            r.boards - r.boards_quarantined
+        );
+        // Placement never routes to a quarantined board after the barrier.
+        for k in 0..200u64 {
+            if let Some(b) = run.ring().lookup(mix64(k)) {
+                assert!(run.ring().is_member(b));
+            }
+        }
+        assert!(r.replicated_entries > 0, "hot entries re-replicate");
+    }
+
+    #[test]
+    fn invalidation_rounds_drop_copies() {
+        let mut cfg = tiny();
+        cfg.invalidate_every_epochs = 1;
+        let mut run = FleetRun::new(cfg);
+        run.run_to_end(&ParallelExecutor::serial());
+        let r = run.report();
+        assert!(r.invalidations > 0);
+        assert!(
+            r.invalidated_copies > 0,
+            "popular entries must have resident copies to drop: {r:?}"
+        );
+    }
+}

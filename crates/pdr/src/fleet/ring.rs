@@ -1,0 +1,202 @@
+//! Consistent-hash placement ring: catalog entries and tenant requests onto
+//! simulated boards.
+//!
+//! Each member board contributes `vnodes_per_board` virtual nodes, hashed
+//! onto a 64-bit ring; a key is owned by the first virtual node clockwise
+//! from it. Two properties carry the fleet's routing contract:
+//!
+//! * **Bounded imbalance** — with `v` virtual nodes per board, per-board
+//!   load over uniform keys concentrates around the mean with relative
+//!   spread ~`1/sqrt(v)`. At the default `v = 128` the documented (and
+//!   proptested) bound is `max load <= 1.75 x mean` for fleets of up to a
+//!   few hundred boards and key sets of at least `64 x boards`.
+//! * **Minimal disruption** — draining a board remaps *only* the keys that
+//!   board owned (each to the next surviving virtual node); every other
+//!   key keeps its owner. Re-admitting the board restores the original
+//!   assignment exactly. Proven structurally by
+//!   `tests/proptest_fleet.rs::ring_drain_remaps_only_owned_keys`.
+//!
+//! All hashing is the SplitMix64 finaliser over plain integers — no
+//! `RandomState`, no pointer identity — so placement is byte-identical
+//! across processes, thread counts, and engine strategies.
+
+/// SplitMix64 finaliser: the ring's stateless 64-bit mixer.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Domain-separation salt for virtual-node hashes (vs request keys).
+const VNODE_SALT: u64 = 0x5044_525f_5249_4e47; // "PDR_RING"
+
+/// The consistent-hash ring. Construction and membership changes rebuild a
+/// sorted `(hash, board)` table; lookups binary-search it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementRing {
+    boards: u32,
+    vnodes_per_board: u32,
+    members: Vec<bool>,
+    ring: Vec<(u64, u32)>,
+}
+
+impl PlacementRing {
+    /// A ring over boards `0..boards`, all initially members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boards` or `vnodes_per_board` is zero.
+    pub fn new(boards: u32, vnodes_per_board: u32) -> Self {
+        assert!(boards > 0, "ring needs at least one board");
+        assert!(vnodes_per_board > 0, "ring needs at least one vnode/board");
+        let mut r = PlacementRing {
+            boards,
+            vnodes_per_board,
+            members: vec![true; boards as usize],
+            ring: Vec::new(),
+        };
+        r.rebuild();
+        r
+    }
+
+    fn vnode_hash(board: u32, v: u32) -> u64 {
+        mix64(VNODE_SALT ^ ((u64::from(board) << 32) | u64::from(v)))
+    }
+
+    fn rebuild(&mut self) {
+        self.ring.clear();
+        for b in 0..self.boards {
+            if self.members[b as usize] {
+                for v in 0..self.vnodes_per_board {
+                    self.ring.push((Self::vnode_hash(b, v), b));
+                }
+            }
+        }
+        // Sorting by (hash, board) makes the (astronomically unlikely)
+        // hash-collision order deterministic too.
+        self.ring.sort_unstable();
+    }
+
+    /// The board owning `key`: the first virtual node at or clockwise of
+    /// the key's position, wrapping at the top of the ring. `None` when no
+    /// board remains a member.
+    pub fn lookup(&self, key: u64) -> Option<u32> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = mix64(key);
+        let i = self.ring.partition_point(|&(vh, _)| vh < h);
+        Some(self.ring[i % self.ring.len()].1)
+    }
+
+    /// Drains `board` from the ring (quarantine / planned removal). Returns
+    /// `false` if it was not a member. Only keys the board owned remap.
+    pub fn drain(&mut self, board: u32) -> bool {
+        if board >= self.boards || !self.members[board as usize] {
+            return false;
+        }
+        self.members[board as usize] = false;
+        self.ring.retain(|&(_, b)| b != board);
+        true
+    }
+
+    /// Re-admits a drained board. Returns `false` if it was already a
+    /// member. Restores exactly the assignment the ring had before the
+    /// matching [`PlacementRing::drain`].
+    pub fn admit(&mut self, board: u32) -> bool {
+        if board >= self.boards || self.members[board as usize] {
+            return false;
+        }
+        self.members[board as usize] = true;
+        self.rebuild();
+        true
+    }
+
+    /// Whether `board` is currently a member.
+    pub fn is_member(&self, board: u32) -> bool {
+        board < self.boards && self.members[board as usize]
+    }
+
+    /// Number of member boards.
+    pub fn member_count(&self) -> usize {
+        self.members.iter().filter(|&&m| m).count()
+    }
+
+    /// Total board slots (members and drained).
+    pub fn boards(&self) -> u32 {
+        self.boards
+    }
+
+    /// Virtual nodes per board.
+    pub fn vnodes_per_board(&self) -> u32 {
+        self.vnodes_per_board
+    }
+
+    /// Per-board key counts over `keys` — the balance diagnostic the
+    /// proptests assert on.
+    pub fn load_histogram(&self, keys: impl Iterator<Item = u64>) -> Vec<u64> {
+        let mut counts = vec![0u64; self.boards as usize];
+        for k in keys {
+            if let Some(b) = self.lookup(k) {
+                counts[b as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let ring = PlacementRing::new(16, 64);
+        for k in 0..1000u64 {
+            let a = ring.lookup(k).unwrap();
+            let b = ring.lookup(k).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 16);
+        }
+    }
+
+    #[test]
+    fn drain_then_admit_restores_assignment() {
+        let mut ring = PlacementRing::new(8, 32);
+        let before: Vec<_> = (0..500u64).map(|k| ring.lookup(k)).collect();
+        assert!(ring.drain(3));
+        assert!(!ring.drain(3), "double drain is a no-op");
+        for k in 0..500u64 {
+            assert_ne!(ring.lookup(k), Some(3), "drained board must own nothing");
+        }
+        assert!(ring.admit(3));
+        let after: Vec<_> = (0..500u64).map(|k| ring.lookup(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn drain_remaps_only_owned_keys() {
+        let mut ring = PlacementRing::new(12, 64);
+        let keys: Vec<u64> = (0..4000).map(|i| mix64(i ^ 0xabcd)).collect();
+        let before: Vec<u32> = keys.iter().map(|&k| ring.lookup(k).unwrap()).collect();
+        ring.drain(5);
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = ring.lookup(*k).unwrap();
+            if was != 5 {
+                assert_eq!(now, was, "key not owned by the drained board moved");
+            } else {
+                assert_ne!(now, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let mut ring = PlacementRing::new(2, 8);
+        ring.drain(0);
+        ring.drain(1);
+        assert_eq!(ring.member_count(), 0);
+        assert_eq!(ring.lookup(42), None);
+    }
+}

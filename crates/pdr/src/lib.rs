@@ -22,6 +22,11 @@
 //! * [`scheduler`] — the multi-tenant request scheduler: admission against
 //!   recovery quarantine, EDF-within-priority queueing, and a bitstream
 //!   cache with QDR-style prefetch;
+//! * [`fleet`] — the fleet-scale PDR-as-a-service control plane:
+//!   consistent-hash placement over 1000+ simulated boards, sharded
+//!   admission with work stealing, quarantine propagation, a replicated
+//!   catalog cache, and a deterministic million-request traffic model,
+//!   calibrated on the cycle-level system (see `docs/FLEET.md`);
 //! * [`trace`] — the deterministic structured event bus and metrics layer:
 //!   stamped, replayable event tapes (JSONL) plus event-derived counters,
 //!   locked down by the golden-trace harness in `tests/trace.rs`.
@@ -48,6 +53,7 @@ pub mod clockwizard;
 pub mod crc_readback;
 pub mod experiments;
 pub mod faults;
+pub mod fleet;
 pub mod frontpanel;
 pub mod governor;
 pub mod proposed;
@@ -68,6 +74,10 @@ pub use campaign::{
 pub use clockwizard::ClockWizard;
 pub use crc_readback::CrcReadback;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
+pub use fleet::{
+    Board, Calibration, FleetConfig, FleetReport, FleetRun, PlacementRing, TrafficConfig,
+    TrafficModel,
+};
 pub use frontpanel::{switch_frequency, FrontPanel};
 pub use governor::{ActiveFeedback, Governor, GovernorConfig, Objective, OperatingPoint};
 pub use recovery::{PartitionHealth, RecoveryConfig, RecoveryManager, RecoveryStats};

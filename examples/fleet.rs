@@ -1,0 +1,256 @@
+//! Fleet-scale PDR-as-a-service campaign.
+//!
+//! Stands up the control plane from `pdr_core::fleet` — consistent-hash
+//! placement over N simulated boards, per-shard admission with work
+//! stealing, quarantine propagation, a replicated catalog cache — and
+//! drives it with a deterministic open-loop traffic model (Poisson
+//! arrivals under a triangular diurnal envelope, Zipf tenant/entry skew).
+//! Service costs are calibrated on the real cycle-level `ZynqPdrSystem`
+//! through whichever kernel `PDR_ENGINE` selects.
+//!
+//! The default invocation is the acceptance-scale campaign: 1000 boards,
+//! just over one million requests. The merged report lands in
+//! `target/experiments/fleet_campaign.json`; CI compares it byte-for-byte
+//! across `PDR_THREADS` × `PDR_ENGINE`, and SIGKILLs a checkpointing run
+//! mid-campaign to prove crash-resume reproduces the same bytes.
+//!
+//! ```text
+//! cargo run --release --example fleet -- [flags]
+//!
+//!   --boards N             fleet size (default 1000)
+//!   --shards N             control-plane shards (default 16; fixed, so the
+//!                          report is independent of the thread count)
+//!   --tenants N            tenant population (default 10000)
+//!   --requests N           campaign size (default 1010000)
+//!   --duration-ms N        traffic horizon in simulated ms (default 2500)
+//!   --seed N               campaign seed (default 2017)
+//!   --threads N            worker threads (default: PDR_THREADS, else the
+//!                          machine's parallelism); unobservable in output
+//!   --checkpoint-every N   atomic checkpoint after every N epochs
+//!   --checkpoint-file P    checkpoint path (default target/experiments/
+//!                          fleet_campaign.ckpt)
+//!   --resume               resume from the checkpoint file; the final
+//!                          report is byte-identical to an uninterrupted run
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use pdr_lab::pdr::fleet::{FleetConfig, FleetReport, FleetRun};
+use pdr_lab::pdr::{snapshot, ParallelExecutor};
+use pdr_lab::sim::json::ToJson;
+use pdr_lab::sim::{EngineStrategy, SimDuration};
+
+struct Args {
+    config: FleetConfig,
+    threads: Option<usize>,
+    checkpoint_every: Option<u64>,
+    checkpoint_file: PathBuf,
+    resume: bool,
+}
+
+fn parse_args() -> Args {
+    let mut config = FleetConfig::full_scale();
+    config.system.strategy = EngineStrategy::from_env();
+    let mut args = Args {
+        config,
+        threads: None,
+        checkpoint_every: None,
+        checkpoint_file: PathBuf::from("target/experiments/fleet_campaign.ckpt"),
+        resume: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--boards" => args.config.boards = value("--boards").parse().expect("--boards"),
+            "--shards" => args.config.shards = value("--shards").parse().expect("--shards"),
+            "--tenants" => args.config.tenants = value("--tenants").parse().expect("--tenants"),
+            "--requests" => {
+                args.config.traffic.target_requests =
+                    value("--requests").parse().expect("--requests");
+            }
+            "--duration-ms" => {
+                let ms: u64 = value("--duration-ms").parse().expect("--duration-ms");
+                args.config.traffic.duration = SimDuration::from_millis(ms);
+            }
+            "--seed" => args.config.seed = value("--seed").parse().expect("--seed"),
+            "--threads" => args.threads = Some(value("--threads").parse().expect("--threads")),
+            "--checkpoint-every" => {
+                let n: u64 = value("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every");
+                args.checkpoint_every = Some(n.max(1));
+            }
+            "--checkpoint-file" => args.checkpoint_file = PathBuf::from(value("--checkpoint-file")),
+            "--resume" => args.resume = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+/// Peak RSS in KiB from /proc, `None` off Linux — diagnostic only, never
+/// part of the comparable artifacts.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn print_report(r: &FleetReport) {
+    let pct = |v: Option<f64>| v.map_or("n/a".into(), |x| format!("{:.2}%", 100.0 * x));
+    println!(
+        "fleet: {} boards in {} shards, {} epochs, {} requests submitted",
+        r.boards, r.shards, r.epochs, r.submitted,
+    );
+    println!(
+        "served {} ({} available)   failed {}   rejected {}   rerouted {}   stolen {}",
+        r.completed,
+        pct(r.availability),
+        r.failed,
+        r.rejected,
+        r.rerouted,
+        r.stolen,
+    );
+    println!(
+        "cache: {} hits / {} misses ({} hit rate), {} evictions, {} invalidation rounds dropping {} copies",
+        r.cache_hits,
+        r.cache_misses,
+        pct(r.cache_hit_rate),
+        r.cache_evictions,
+        r.invalidations,
+        r.invalidated_copies,
+    );
+    println!(
+        "health: {} CRC failures, {} scrubs ({} failed), {} boards quarantined, {} entries re-replicated",
+        r.crc_failures, r.scrubs, r.scrub_failures, r.boards_quarantined, r.replicated_entries,
+    );
+    let q = |v: Option<f64>| v.map_or("n/a".into(), |x| format!("{:.0} us", x));
+    println!(
+        "latency: mean {:.0} us, p50 {}, p99 {}, max {:.0} us   queue wait mean {:.0} us",
+        r.latency_us.mean,
+        q(r.latency_p50_us),
+        q(r.latency_p99_us),
+        r.latency_us.max,
+        r.queue_wait_us.mean,
+    );
+    println!(
+        "makespan {:.1} ms   throughput {}",
+        r.makespan_us / 1000.0,
+        r.throughput_rps
+            .map_or("n/a".into(), |t| format!("{t:.0} req/s")),
+    );
+}
+
+fn write_outputs(dir: &Path, config: &FleetConfig, r: &FleetReport) {
+    let path = dir.join("fleet_campaign.json");
+    std::fs::write(&path, r.to_json_string()).expect("write fleet telemetry");
+    println!("\ntelemetry written to {}", path.display());
+
+    // Markdown section stitched into EXPERIMENTS.md by tools_gen_experiments.sh.
+    let pct = |v: Option<f64>| v.map_or("n/a".into(), |x| format!("{:.2}%", 100.0 * x));
+    let us = |v: Option<f64>| v.map_or("n/a".into(), |x| format!("{x:.0}"));
+    let mut md = String::new();
+    md.push_str("## Fleet-scale PDR-as-a-service campaign\n\n");
+    md.push_str(&format!(
+        "{} boards behind a consistent-hash control plane ({} shards, 128 \
+         vnodes/board), serving {} catalog entries to {} Zipf-skewed tenants \
+         under a bursty open-loop load. Service costs calibrated on the \
+         cycle-level system; report byte-identical across `PDR_THREADS` and \
+         both `PDR_ENGINE` kernels, and across a mid-campaign kill + resume.\n\n",
+        r.boards, r.shards, config.catalog_entries, config.tenants,
+    ));
+    md.push_str("| metric | value |\n|---|---:|\n");
+    let rows: Vec<(&str, String)> = vec![
+        ("requests submitted", r.submitted.to_string()),
+        ("completed", r.completed.to_string()),
+        ("availability", pct(r.availability)),
+        (
+            "rejected / failed",
+            format!("{} / {}", r.rejected, r.failed),
+        ),
+        ("work stolen", r.stolen.to_string()),
+        ("re-routed around quarantine", r.rerouted.to_string()),
+        ("boards quarantined", r.boards_quarantined.to_string()),
+        ("entries re-replicated", r.replicated_entries.to_string()),
+        ("cache hit rate", pct(r.cache_hit_rate)),
+        ("invalidation rounds", r.invalidations.to_string()),
+        ("latency mean (us)", format!("{:.0}", r.latency_us.mean)),
+        ("latency p50 (us)", us(r.latency_p50_us)),
+        ("latency p99 (us)", us(r.latency_p99_us)),
+        ("makespan (ms)", format!("{:.1}", r.makespan_us / 1000.0)),
+        (
+            "throughput (req/s)",
+            r.throughput_rps.map_or("n/a".into(), |t| format!("{t:.0}")),
+        ),
+    ];
+    for (k, v) in rows {
+        md.push_str(&format!("| {k} | {v} |\n"));
+    }
+    std::fs::write(dir.join("fleet_campaign.md"), md).expect("write fleet markdown");
+}
+
+fn main() {
+    let args = parse_args();
+    let dir = Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let executor = match args.threads {
+        Some(n) => ParallelExecutor::new(n),
+        None => ParallelExecutor::from_env(),
+    };
+
+    let mut run = if args.resume {
+        let ckpt = snapshot::load(&args.checkpoint_file)
+            .unwrap_or_else(|e| panic!("load {}: {}", args.checkpoint_file.display(), e.msg));
+        let run = FleetRun::resume(args.config.clone(), &ckpt)
+            .unwrap_or_else(|e| panic!("resume: {}", e.msg));
+        println!(
+            "== fleet campaign, seed {}: resumed at epoch {} across {} thread(s) ==\n",
+            args.config.seed,
+            run.epoch(),
+            executor.threads(),
+        );
+        run
+    } else {
+        println!(
+            "== fleet campaign, seed {}: {} boards / {} shards / {} requests across {} thread(s) ==\n",
+            args.config.seed,
+            args.config.boards,
+            args.config.effective_shards(),
+            args.config.traffic.target_requests,
+            executor.threads(),
+        );
+        FleetRun::new(args.config.clone())
+    };
+
+    while run.step_epoch(&executor) {
+        if let Some(every) = args.checkpoint_every {
+            if run.epoch() % every == 0 {
+                snapshot::save(&args.checkpoint_file, &run.checkpoint()).expect("write checkpoint");
+            }
+        }
+    }
+
+    let r = run.report();
+    print_report(&r);
+    write_outputs(dir, &args.config, &r);
+    if let Some(kib) = peak_rss_kib() {
+        println!("peak RSS {kib} KiB (diagnostic; not part of the artifact)");
+    }
+
+    assert_eq!(
+        r.submitted,
+        r.completed + r.failed + r.rejected,
+        "every request must be accounted for"
+    );
+    assert!(
+        r.availability.unwrap_or(0.0) > 0.9,
+        "fleet availability must survive the campaign: {r:?}"
+    );
+    assert!(r.stolen > 0, "burst envelope must trigger work stealing");
+    assert!(
+        r.cache_hit_rate.unwrap_or(0.0) > 0.3,
+        "Zipf skew must make the replicated catalog cache useful"
+    );
+    println!("fleet campaign PASSED");
+}

@@ -1,0 +1,131 @@
+//! Fleet control-plane property tests.
+//!
+//! Three contracts from `docs/FLEET.md` driven with randomly drawn fleets
+//! instead of the directed fixtures in `crates/pdr/src/fleet/`:
+//!
+//! 1. the placement ring's documented balance bound (`max <= 1.75 x mean`
+//!    at 128 vnodes/board over `>= 64 x boards` uniform keys);
+//! 2. minimal disruption — draining a board remaps exactly the keys it
+//!    owned, and roughly its fair share of the key space;
+//! 3. the campaign determinism contract — the merged `FleetReport` renders
+//!    byte-identically for every thread count and both engine strategies.
+
+use pdr_testkit::{property, tuple2, tuple3, u32s, u64s, Config};
+
+use pdr_lab::pdr::fleet::{mix64, FleetConfig, FleetRun, PlacementRing, TrafficConfig};
+use pdr_lab::pdr::ParallelExecutor;
+use pdr_lab::sim::json::ToJson;
+use pdr_lab::sim::{EngineStrategy, SimDuration};
+
+fn cfg() -> Config {
+    Config::with_cases(4).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
+property! {
+    config = cfg();
+
+    /// Balance: at the default 128 vnodes/board, per-board load over
+    /// uniform keys stays within the documented `1.75 x mean` bound.
+    fn ring_load_is_balanced(draw in tuple2(u32s(4..=48), u64s(0..1_000))) {
+        let (boards, key_salt) = draw;
+        let ring = PlacementRing::new(boards, 128);
+        let keys = u64::from(boards) * 64;
+        let hist = ring.load_histogram((0..keys).map(|i| mix64(i ^ (key_salt << 32))));
+        let mean = keys as f64 / f64::from(boards);
+        let max = *hist.iter().max().unwrap() as f64;
+        assert!(
+            max <= 1.75 * mean,
+            "boards={boards} salt={key_salt}: max load {max} vs mean {mean}"
+        );
+        assert_eq!(hist.iter().sum::<u64>(), keys, "lookup must be total");
+    }
+
+    /// Minimal disruption: draining one board remaps exactly the keys it
+    /// owned — no collateral movement — and that set is roughly the
+    /// board's fair share (within the balance bound above).
+    fn ring_drain_remaps_only_owned_keys(draw in tuple3(
+        u32s(3..=32),
+        u32s(0..32),
+        u64s(0..1_000),
+    )) {
+        let (boards, victim_raw, key_salt) = draw;
+        let victim = victim_raw % boards;
+        let mut ring = PlacementRing::new(boards, 128);
+        let keys: Vec<u64> = (0..u64::from(boards) * 64)
+            .map(|i| mix64(i ^ (key_salt << 24) ^ 0x5eed))
+            .collect();
+        let before: Vec<u32> = keys.iter().map(|&k| ring.lookup(k).unwrap()).collect();
+        assert!(ring.drain(victim));
+        let mut remapped = 0u64;
+        for (&k, &was) in keys.iter().zip(&before) {
+            let now = ring.lookup(k).unwrap();
+            if was == victim {
+                remapped += 1;
+                assert_ne!(now, victim, "drained board must not own keys");
+            } else {
+                assert_eq!(now, was, "key not owned by the drained board moved");
+            }
+        }
+        let fair = keys.len() as f64 / f64::from(boards);
+        assert!(
+            (remapped as f64) <= 1.75 * fair,
+            "remapped {remapped} of {} keys, fair share {fair}",
+            keys.len()
+        );
+        // Re-admitting restores the exact original assignment.
+        assert!(ring.admit(victim));
+        for (&k, &was) in keys.iter().zip(&before) {
+            assert_eq!(ring.lookup(k), Some(was));
+        }
+    }
+
+    /// Determinism: for a randomly drawn small campaign the merged
+    /// `FleetReport` JSON is byte-identical across thread counts {1, 2, 3}
+    /// and both engine strategies.
+    fn fleet_report_is_thread_and_engine_invariant(draw in tuple3(
+        u64s(0..10_000),
+        u32s(4..=10),
+        u32s(150..=400),
+    )) {
+        let (seed, boards, requests) = draw;
+        let config = |strategy: EngineStrategy| {
+            let mut c = FleetConfig {
+                boards,
+                shards: 3,
+                tenants: 64,
+                catalog_entries: 32,
+                size_classes: 3,
+                seed,
+                traffic: TrafficConfig {
+                    target_requests: u64::from(requests),
+                    duration: SimDuration::from_millis(30),
+                    ..TrafficConfig::default()
+                },
+                epoch: SimDuration::from_millis(10),
+                ..FleetConfig::default()
+            };
+            c.system.strategy = strategy;
+            c
+        };
+        let mut reference = FleetRun::new(config(EngineStrategy::EventSkip));
+        reference.run_to_end(&ParallelExecutor::serial());
+        let expect = reference.report().to_json_string();
+        for threads in [1usize, 2, 3] {
+            for strategy in [EngineStrategy::Tick, EngineStrategy::EventSkip] {
+                let mut run = FleetRun::new(config(strategy));
+                run.run_to_end(&ParallelExecutor::new(threads));
+                assert_eq!(
+                    expect,
+                    run.report().to_json_string(),
+                    "threads={threads} strategy={strategy:?} changed fleet bytes"
+                );
+            }
+        }
+        let r = reference.report();
+        assert_eq!(r.submitted, u64::from(requests));
+        assert_eq!(r.submitted, r.completed + r.failed + r.rejected);
+    }
+}

@@ -25,10 +25,14 @@ HDR
 # bench target; regenerate it here so the stitched file is always current.
 cargo run --release --offline --example fault_campaign -- 2017 --duration-ms 5 --replicas 8 \
   > /dev/null 2>&1 || echo "fault_campaign --replicas failed; fleet section may be stale" >&2
+# Likewise the fleet-scale control-plane campaign section comes from the
+# fleet example (the `fleet` bench writes its own determinism/speedup table).
+cargo run --release --offline --example fleet \
+  > /dev/null 2>&1 || echo "fleet example failed; fleet_campaign section may be stale" >&2
 
 for f in table1 fig5 temp_stress fig6 table2 table3 proposed headline \
          ablation_fifo ablation_burst ablation_crc ablation_compress ablation_interconnect ablation_size ablation_guardband ablation_contention seu_campaign \
-         recovery scheduler codec fault_fleet campaign; do
+         recovery scheduler codec fault_fleet campaign fleet fleet_campaign; do
   if [ -f "target/experiments/$f.md" ]; then
     cat "target/experiments/$f.md" >> "$out"
     echo >> "$out"
