@@ -1,0 +1,188 @@
+//! DVFS — the closed thermal–power loop on the (V, f) grid: equivalence
+//! before timing, then the energy sweep behind docs/DVFS.md.
+//!
+//! Gate (a regression fails the build before anything is timed):
+//!
+//! * the full closed-loop convergence — thermal RC trajectory, event tape
+//!   and the committed (V, f) pick — is **byte-identical** between the
+//!   tick oracle and the event-skipping kernel;
+//! * the same scenario replays byte-for-byte under one kernel (same seed ⇒
+//!   same tapes);
+//! * every starting corner of the grid converges onto the same sweet spot.
+//!
+//! Then the bench characterises the whole supply-voltage × frequency grid
+//! on a live looped system and publishes the energy sweep — the paper's
+//! Table II extended along the new voltage axis — to
+//! `target/experiments/dvfs.md`, and writes `BENCH_dvfs.json` at the
+//! workspace root: a deterministic, simulated-time-only snapshot committed
+//! as the perf trajectory (independent of `PDR_BENCH_SAMPLES`, which only
+//! scales the wall-clock timing loop).
+
+use pdr_bench::{publish, Table};
+use pdr_core::{
+    DvfsConfig, DvfsGovernor, SystemConfig, ThermalLoopConfig, TraceLevel, ZynqPdrSystem,
+};
+use pdr_sim_core::json::{Json, ToJson};
+use pdr_sim_core::EngineStrategy;
+
+fn looped_system(strategy: EngineStrategy) -> ZynqPdrSystem {
+    let mut config = SystemConfig::fast_test();
+    config.strategy = strategy;
+    config.thermal_loop = Some(ThermalLoopConfig::default());
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(TraceLevel::Full);
+    sys
+}
+
+struct Run {
+    pick_json: String,
+    trajectory: String,
+    tape: String,
+    grid: Vec<(u32, Vec<Json>)>,
+}
+
+/// One full closed-loop run: converge from a hot overvolted corner, then
+/// keep the characterisation grid the governor built along the way.
+fn closed_loop(strategy: EngineStrategy) -> Run {
+    let mut sys = looped_system(strategy);
+    sys.set_vdd_mv(1050);
+    sys.set_die_temp_c(60.0);
+    let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+    let pick = dvfs.converge(&mut sys, 0);
+    Run {
+        pick_json: pick.to_json_string(),
+        trajectory: sys.thermal_trajectory_jsonl(),
+        tape: sys.tracer().export_jsonl(),
+        grid: dvfs
+            .tables()
+            .iter()
+            .map(|(vdd, gov)| (*vdd, gov.points().iter().map(|p| p.to_json()).collect()))
+            .collect(),
+    }
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let samples: u32 = std::env::var("PDR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    // -- equivalence gate: tick vs event, and same-seed replay -------------
+    let tick = closed_loop(EngineStrategy::Tick);
+    let event = closed_loop(EngineStrategy::EventSkip);
+    assert_eq!(
+        tick.trajectory, event.trajectory,
+        "thermal trajectory diverges between kernels"
+    );
+    assert_eq!(tick.tape, event.tape, "event tape diverges between kernels");
+    assert_eq!(tick.pick_json, event.pick_json, "the (V, f) pick diverges");
+    let replay = closed_loop(EngineStrategy::EventSkip);
+    assert_eq!(
+        event.trajectory, replay.trajectory,
+        "same seed must replay byte-for-byte"
+    );
+    assert_eq!(event.pick_json, replay.pick_json);
+
+    // -- every corner of the grid finds the same sweet spot ----------------
+    for (vdd0, temp0) in [(950u32, 25.0), (1000, 40.0), (1050, 60.0)] {
+        let mut sys = looped_system(EngineStrategy::EventSkip);
+        sys.set_vdd_mv(vdd0);
+        sys.set_die_temp_c(temp0);
+        let pick = DvfsGovernor::new(DvfsConfig::default()).converge(&mut sys, 0);
+        assert_eq!(
+            (pick.vdd_mv, pick.point.freq_mhz),
+            (1000, 200),
+            "corner ({vdd0} mV, {temp0} °C) missed the knee"
+        );
+    }
+
+    // -- wall-clock timing (reported, never committed) ---------------------
+    let wall = std::time::Instant::now();
+    for _ in 0..samples {
+        let _ = closed_loop(EngineStrategy::EventSkip);
+    }
+    let per_converge = wall.elapsed() / samples;
+
+    // -- BENCH_dvfs.json — committed perf-trajectory point -----------------
+    // Simulated-time metrics only, independent of PDR_BENCH_SAMPLES:
+    // regenerating at any scale reproduces this file bit-for-bit.
+    let pick_value =
+        Json::parse(&tick.pick_json).expect("operating point serialises to valid JSON");
+    let snapshot = Json::Obj(vec![
+        ("bench".into(), Json::Str("dvfs".into())),
+        ("pick".into(), pick_value),
+        (
+            "grid".into(),
+            Json::Arr(
+                tick.grid
+                    .iter()
+                    .map(|(vdd, points)| {
+                        Json::Obj(vec![
+                            ("vdd_mv".into(), Json::U64(u64::from(*vdd))),
+                            ("points".into(), Json::Arr(points.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "trajectory_lines".into(),
+            Json::U64(tick.trajectory.lines().count() as u64),
+        ),
+    ]);
+    let mut root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    let path = root.join("BENCH_dvfs.json");
+    match std::fs::write(&path, snapshot.render() + "\n") {
+        Ok(()) => eprintln!("[perf trajectory written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    // -- energy-sweep markdown table ---------------------------------------
+    // Rows: probe frequencies. Columns: PpW per supply rail ("-" where the
+    // point is outside the guard-banded envelope).
+    let mut freqs: Vec<u64> = tick
+        .grid
+        .iter()
+        .flat_map(|(_, points)| points.iter())
+        .filter_map(|p| p.get("freq_mhz").and_then(Json::as_u64))
+        .collect();
+    freqs.sort_unstable();
+    freqs.dedup();
+    let mut header = vec!["f \\ Vdd".to_string()];
+    header.extend(tick.grid.iter().map(|(v, _)| format!("{v} mV [MB/J]")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for f in freqs {
+        let mut row = vec![format!("{f} MHz")];
+        for (_, points) in &tick.grid {
+            let cell = points
+                .iter()
+                .find(|p| p.get("freq_mhz").and_then(Json::as_u64) == Some(f))
+                .filter(|p| p.get("usable").and_then(Json::as_bool) == Some(true))
+                .and_then(|p| p.get("ppw_mb_j").and_then(Json::as_f64))
+                .map_or_else(|| "-".into(), |e| format!("{e:.0}"));
+            row.push(cell);
+        }
+        t.row(&row);
+    }
+
+    let content = format!(
+        "## DVFS — energy sweep on the supply-voltage × frequency grid\n\n{}\n\
+         Characterised live by the closed-loop governor with the thermal RC \
+         model running (docs/DVFS.md). Undervolting to 950 mV saves ~10 % \
+         power but its timing penalty caps the usable envelope near 140 MHz; \
+         overvolting to 1050 mV stretches the envelope but pays ~10 % more \
+         power on an already-saturated plateau — so the efficiency optimum \
+         that *emerges* is the paper's own knee: nominal supply, 200 MHz \
+         (asserted from three starting corners). Convergence, trajectory and \
+         tape are byte-identical across both kernels (asserted).\n\n\
+         _one closed-loop convergence: {per_converge:.2?} wall — \
+         regenerated in {:.2?}_\n",
+        t.render(),
+        t0.elapsed()
+    );
+    publish("dvfs", &content);
+}

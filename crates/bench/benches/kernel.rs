@@ -121,6 +121,7 @@ fn scheduler_soak(strategy: EngineStrategy) -> (ZynqPdrSystem, u64) {
                 bitstream_id: rp as u32,
                 priority: 0,
                 deadline: SimDuration::from_millis(50 + wave),
+                tenant: 0,
             };
             sched.submit(&sys, &mgr, req).expect("workload must admit");
             bytes += image.len() as u64;

@@ -51,6 +51,7 @@ fn run(config: SchedulerConfig, waves: u32, warm: bool) -> SchedulerReport {
                 bitstream_id: rp as u32,
                 priority: (rp % 2) as u8,
                 deadline: SimDuration::from_millis(20 + wave as u64),
+                tenant: rp as u32,
             };
             sched
                 .submit(&sys, &mgr, req)

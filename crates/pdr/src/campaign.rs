@@ -268,7 +268,7 @@ impl Default for FaultCampaign {
                 burst_probability: 0.1,
                 burst_length: 3,
                 burst_spacing: SimDuration::from_micros(20),
-                weights: [6, 2, 1, 2],
+                weights: [6, 2, 1, 2, 0],
                 // 280 MHz has 25 MHz of interrupt slack and 38 MHz of data
                 // slack at 40 °C: every derate in range kills at least the
                 // interrupt path, derates past 38 corrupt data too.
@@ -277,6 +277,7 @@ impl Default for FaultCampaign {
                 // The watchdog fires at 250 µs = 70 k cycles at 280 MHz;
                 // every stall in range outlasts it.
                 stall_cycles: (80_000, 150_000),
+                ..FaultPlanConfig::default()
             },
             rps: vec![0, 1],
             operating_mhz: 280,
@@ -632,6 +633,9 @@ fn step_campaign(
                 }
                 FaultKind::DmaStall => sys.inject_dma_stall(e.stall_cycles),
                 FaultKind::DroppedIrq => sys.drop_next_completion_irq(),
+                FaultKind::HeatSoak => {
+                    sys.inject_heat_soak(e.delta_mc, SimDuration::from_ps(e.duration_ps))
+                }
                 FaultKind::Seu => unreachable!("handled above"),
             }
             let n = campaign.rps.len();

@@ -349,6 +349,349 @@ impl Governor {
     }
 }
 
+/// One characterised voltage–frequency operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsOperatingPoint {
+    /// PL core supply in millivolts.
+    pub vdd_mv: u32,
+    /// The frequency-axis point measured at that supply.
+    pub point: OperatingPoint,
+}
+
+pdr_sim_core::impl_json_struct!(DvfsOperatingPoint { vdd_mv, point });
+
+/// Configuration for the V/f co-optimizing governor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsConfig {
+    /// Supply voltages to characterise, in millivolts. Probed in order;
+    /// score ties go to the earlier entry, so list the preferred (nominal)
+    /// supply before exotic ones if determinism of ties matters to you.
+    pub vdd_grid_mv: Vec<u32>,
+    /// The per-voltage frequency sweep.
+    pub governor: GovernorConfig,
+    /// What the co-optimizer maximises across the whole (V, f) grid.
+    pub objective: Objective,
+    /// Simulated time to let the die settle between convergence rounds.
+    pub settle: pdr_sim_core::SimDuration,
+    /// Convergence-round budget: characterise → select → settle, repeated
+    /// until the selection stops moving or this many rounds have run.
+    pub max_rounds: usize,
+    /// The frequency the governor falls back to under a thermal alarm.
+    pub throttle_floor_mhz: u64,
+}
+
+impl Default for DvfsConfig {
+    fn default() -> Self {
+        DvfsConfig {
+            vdd_grid_mv: vec![950, pdr_power::VDD_NOMINAL_MV, 1050],
+            governor: GovernorConfig::default(),
+            objective: Objective::MaxEfficiency,
+            settle: pdr_sim_core::SimDuration::from_millis(2),
+            max_rounds: 4,
+            throttle_floor_mhz: 100,
+        }
+    }
+}
+
+/// The closed-loop V/f co-optimizer: one frequency [`Governor`] per grid
+/// voltage, plus the thermal-alarm backoff state.
+///
+/// The paper's methodology characterises frequency at a fixed supply; the
+/// VolTune/VAS line of work it cites varies the supply too. This governor
+/// runs the paper's sweep once per grid voltage, scores every usable (V, f)
+/// cell under one objective, and commits the winner to the live system —
+/// then keeps re-characterising until the electro-thermal loop stops moving
+/// the answer (the *emergent* sweet spot the test suite locks down).
+#[derive(Debug, Clone)]
+pub struct DvfsGovernor {
+    config: DvfsConfig,
+    /// One characterisation table per grid voltage, in grid order.
+    tables: Vec<(u32, Governor)>,
+    /// Index into `tables` of the committed voltage, if any.
+    active: Option<usize>,
+    /// Latched by a thermal alarm until [`DvfsGovernor::reinstate`].
+    throttled: bool,
+}
+
+impl DvfsGovernor {
+    /// Creates an uncharacterised co-optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty voltage grid.
+    pub fn new(config: DvfsConfig) -> Self {
+        assert!(
+            !config.vdd_grid_mv.is_empty(),
+            "DVFS governor needs at least one grid voltage"
+        );
+        DvfsGovernor {
+            config,
+            tables: Vec::new(),
+            active: None,
+            throttled: false,
+        }
+    }
+
+    /// The configuration (read-only).
+    pub fn config(&self) -> &DvfsConfig {
+        &self.config
+    }
+
+    /// Sweeps frequency at every grid voltage, rebuilding all tables. The
+    /// system is left at the *last* grid voltage; callers normally follow
+    /// with [`DvfsGovernor::select`], which commits the winning supply.
+    pub fn characterise(&mut self, sys: &mut ZynqPdrSystem, rp: usize) {
+        self.tables.clear();
+        self.active = None;
+        for &vdd in &self.config.vdd_grid_mv {
+            sys.set_vdd_mv(vdd);
+            let mut gov = Governor::new(self.config.governor);
+            gov.characterise(sys, rp);
+            self.tables.push((vdd, gov));
+        }
+    }
+
+    /// The per-voltage tables, in grid order.
+    pub fn tables(&self) -> &[(u32, Governor)] {
+        &self.tables
+    }
+
+    /// True while a thermal alarm has the governor pinned to its floor.
+    pub fn throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Whether this voltage's table has at least one candidate that survives
+    /// the guard band (and, for a latency objective, meets the budget) — the
+    /// pre-check that keeps [`Governor::select`]'s panic unreachable.
+    fn eligible(&self, gov: &Governor) -> bool {
+        let Some(max) = gov.max_usable_mhz() else {
+            return false;
+        };
+        let ceiling = max.saturating_sub(self.config.governor.guard_band_mhz);
+        gov.points().iter().any(|p| {
+            p.usable
+                && p.freq_mhz <= ceiling
+                && match self.config.objective {
+                    Objective::LatencyBudget(budget) => match p.latency_us {
+                        Some(us) => us <= budget.as_micros_f64(),
+                        None => false,
+                    },
+                    _ => true,
+                }
+        })
+    }
+
+    /// How good a selected point is under the configured objective (higher
+    /// is better; power is negated so cheaper wins).
+    fn score(&self, p: &OperatingPoint) -> f64 {
+        match self.config.objective {
+            Objective::MaxThroughput => p.throughput_mb_s.unwrap_or(0.0),
+            Objective::MaxEfficiency => p.ppw_mb_j.unwrap_or(0.0),
+            Objective::LatencyBudget(_) => -p.p_pdr_w,
+        }
+    }
+
+    /// Scores every eligible voltage's best point and **commits** the winner:
+    /// the system's supply moves to the winning voltage (booking a
+    /// [`crate::trace::TraceEvent::DvfsSet`]) and the winning table's cursor
+    /// points at the chosen frequency. Ties go to the earlier grid entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DvfsGovernor::characterise`] or when no
+    /// (V, f) cell is usable under the guard band and objective.
+    pub fn select(&mut self, sys: &mut ZynqPdrSystem) -> DvfsOperatingPoint {
+        assert!(
+            !self.tables.is_empty(),
+            "select() before characterise(): no (V, f) tables"
+        );
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.tables.len() {
+            if !self.eligible(&self.tables[i].1) {
+                continue;
+            }
+            let objective = self.config.objective;
+            let point = self.tables[i].1.select(objective).clone();
+            let s = self.score(&point);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((i, s));
+            }
+        }
+        let (idx, _) = best.expect("no usable (V, f) operating point on the grid");
+        self.active = Some(idx);
+        let (vdd, ref gov) = self.tables[idx];
+        let point = gov.current().expect("select() set the cursor").clone();
+        sys.set_vdd_mv(vdd);
+        DvfsOperatingPoint { vdd_mv: vdd, point }
+    }
+
+    /// The committed (V, f) point, if any.
+    pub fn current(&self) -> Option<DvfsOperatingPoint> {
+        let idx = self.active?;
+        let (vdd, ref gov) = self.tables[idx];
+        Some(DvfsOperatingPoint {
+            vdd_mv: vdd,
+            point: gov.current()?.clone(),
+        })
+    }
+
+    /// The frequency governor of the committed voltage — the hook the
+    /// recovery ladder drives ([`Governor::on_failure`] /
+    /// [`Governor::reinstate`] keep working unchanged under DVFS).
+    pub fn active_governor_mut(&mut self) -> Option<&mut Governor> {
+        self.active.map(|i| &mut self.tables[i].1)
+    }
+
+    /// Runs the closed loop to a fixed point: characterise at the present
+    /// die temperature, commit the best (V, f) cell, reconfigure once at the
+    /// committed point (re-basing the thermal heater), let the die settle,
+    /// service any thermal alarm, and repeat until the selection stops
+    /// moving or the round budget runs out. Returns the converged point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no (V, f) cell is ever usable.
+    pub fn converge(&mut self, sys: &mut ZynqPdrSystem, rp: usize) -> DvfsOperatingPoint {
+        let mut last: Option<(u32, u64)> = None;
+        let mut chosen = None;
+        for _ in 0..self.config.max_rounds.max(1) {
+            self.characterise(sys, rp);
+            let pick = self.select(sys);
+            // Park the fabric (and the heater) at the committed point, not
+            // at the sweep's floor probe.
+            let bs = sys.make_partial_bitstream(rp, 1);
+            let r = sys.reconfigure(rp, &bs, Frequency::from_mhz(pick.point.freq_mhz));
+            debug_assert!(r.crc_ok(), "committed point must verify: {r:?}");
+            sys.engine_mut().run_for(self.config.settle);
+            if sys.poll_thermal_alarm().is_some() {
+                self.on_thermal_alarm(sys);
+                last = None; // a throttle invalidates the fixed point
+                continue;
+            }
+            let key = (pick.vdd_mv, pick.point.freq_mhz);
+            let stable = last == Some(key);
+            chosen = Some(pick);
+            last = Some(key);
+            if stable {
+                break;
+            }
+        }
+        chosen.expect("at least one convergence round ran")
+    }
+
+    /// Thermal-alarm backoff: drop the supply to the lowest grid voltage and
+    /// the frequency to the throttle floor, booking a
+    /// [`crate::trace::TraceEvent::ThermalThrottle`]. The governor stays
+    /// throttled (selection state cleared) until [`DvfsGovernor::reinstate`].
+    pub fn on_thermal_alarm(&mut self, sys: &mut ZynqPdrSystem) -> DvfsOperatingPoint {
+        let vdd = *self
+            .config
+            .vdd_grid_mv
+            .iter()
+            .min()
+            .expect("non-empty grid");
+        let freq_mhz = self.config.throttle_floor_mhz;
+        self.throttled = true;
+        self.active = None;
+        sys.set_vdd_mv(vdd);
+        sys.trace_emit(crate::trace::TraceEvent::ThermalThrottle {
+            vdd_mv: u64::from(vdd),
+            freq_mhz,
+        });
+        DvfsOperatingPoint {
+            vdd_mv: vdd,
+            point: OperatingPoint {
+                freq_mhz,
+                throughput_mb_s: None,
+                latency_us: None,
+                p_pdr_w: 0.0,
+                ppw_mb_j: None,
+                usable: true,
+            },
+        }
+    }
+
+    /// Clears the throttle latch once the die has cooled; the next
+    /// [`DvfsGovernor::select`] or [`DvfsGovernor::converge`] may climb
+    /// back up the grid.
+    pub fn reinstate(&mut self) {
+        self.throttled = false;
+    }
+
+    /// Checkpoints every per-voltage table plus the selection/throttle
+    /// state. The grid and objective are structural and do not travel.
+    pub fn snapshot_json(&self) -> pdr_sim_core::json::Json {
+        use pdr_sim_core::json::{Json, ToJson};
+        Json::Obj(vec![
+            (
+                "tables".to_string(),
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|(vdd, gov)| {
+                            Json::Obj(vec![
+                                ("vdd_mv".to_string(), Json::U64(u64::from(*vdd))),
+                                ("governor".to_string(), gov.snapshot_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "active".to_string(),
+                self.active.map(|i| i as u64).to_json(),
+            ),
+            ("throttled".to_string(), Json::Bool(self.throttled)),
+        ])
+    }
+
+    /// Restores a checkpoint taken with [`DvfsGovernor::snapshot_json`].
+    pub fn restore_json(
+        &mut self,
+        json: &pdr_sim_core::json::Json,
+    ) -> Result<(), pdr_sim_core::json::JsonError> {
+        use pdr_sim_core::json::{FromJson, Json, JsonError};
+        let raw = json
+            .get("tables")
+            .and_then(Json::as_array)
+            .ok_or_else(|| JsonError {
+                msg: "dvfs snapshot missing `tables`".to_string(),
+            })?;
+        let mut tables = Vec::with_capacity(raw.len());
+        for entry in raw {
+            let vdd = entry
+                .get("vdd_mv")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError {
+                    msg: "dvfs table entry missing `vdd_mv`".to_string(),
+                })?;
+            let vdd = u32::try_from(vdd).map_err(|_| JsonError {
+                msg: format!("vdd_mv {vdd} out of u32 range"),
+            })?;
+            let mut gov = Governor::new(self.config.governor);
+            gov.restore_json(entry.get("governor").ok_or_else(|| JsonError {
+                msg: "dvfs table entry missing `governor`".to_string(),
+            })?)?;
+            tables.push((vdd, gov));
+        }
+        let active = Option::<u64>::from_json(json.get("active").unwrap_or(&Json::Null))?
+            .map(|i| i as usize);
+        if let Some(i) = active {
+            if i >= tables.len() {
+                return Err(JsonError {
+                    msg: "dvfs snapshot `active` out of range".to_string(),
+                });
+            }
+        }
+        let throttled = bool::from_json(json.get("throttled").unwrap_or(&Json::Bool(false)))?;
+        self.tables = tables;
+        self.active = active;
+        self.throttled = throttled;
+        Ok(())
+    }
+}
+
 /// HP-2011-style **active feedback**: instead of characterising offline, the
 /// controller reads the die-temperature sensor before every transfer and
 /// clamps the requested over-clock to the model-predicted safe envelope
@@ -551,5 +894,102 @@ mod tests {
     fn select_without_characterise_panics() {
         let (_, mut gov) = governed_system();
         let _ = gov.select(Objective::MaxThroughput);
+    }
+
+    #[test]
+    fn dvfs_grid_prefers_the_nominal_knee_for_efficiency() {
+        // Undervolting cuts power ~10% but the +150 MHz timing bias caps the
+        // usable sweep near 140 MHz; overvolting extends the envelope but
+        // pays ~10% more power on the saturated plateau. The nominal 200 MHz
+        // knee must win the whole grid.
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+        dvfs.characterise(&mut sys, 0);
+        assert_eq!(dvfs.tables().len(), 3);
+        let pick = dvfs.select(&mut sys);
+        assert_eq!(pick.vdd_mv, 1000, "tables: {:?}", dvfs.tables());
+        assert_eq!(pick.point.freq_mhz, 200);
+        assert_eq!(sys.vdd_mv(), 1000, "select must commit the supply");
+        // Noisy (fast_test) instruments: the knee's MB/J lands near the
+        // paper's 599 but the tight 5% claim lives in tests/paper_claims.rs
+        // on ideal instruments.
+        let ppw = pick.point.ppw_mb_j.expect("usable point");
+        assert!((540.0..=660.0).contains(&ppw), "ppw {ppw}");
+    }
+
+    #[test]
+    fn dvfs_overvolt_wins_when_throughput_is_the_objective() {
+        // At 1050 mV the interrupt envelope stretches past 340 MHz, so the
+        // throughput plateau is reachable deeper into the sweep; the
+        // efficiency penalty is irrelevant under MaxThroughput — but the
+        // plateau tie-break (same MB/s, lower power at nominal... still
+        // scores equal throughput) keeps the earlier grid entry unless the
+        // extended envelope actually buys bytes. Either way the chosen point
+        // must be usable and at least as fast as the nominal pick.
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let mut dvfs = DvfsGovernor::new(DvfsConfig {
+            objective: Objective::MaxThroughput,
+            ..DvfsConfig::default()
+        });
+        dvfs.characterise(&mut sys, 0);
+        let pick = dvfs.select(&mut sys);
+        assert!(pick.point.usable);
+        assert!(pick.point.freq_mhz >= 200, "pick: {pick:?}");
+    }
+
+    #[test]
+    fn dvfs_recovery_hook_drives_the_active_table() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+        dvfs.characterise(&mut sys, 0);
+        let before = dvfs.select(&mut sys);
+        let g = dvfs.active_governor_mut().expect("committed");
+        let stepped = g.on_failure().expect("slower point exists").freq_mhz;
+        assert!(stepped < before.point.freq_mhz);
+        assert_eq!(dvfs.current().unwrap().point.freq_mhz, stepped);
+    }
+
+    #[test]
+    fn dvfs_thermal_alarm_throttles_and_reinstates() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+        dvfs.characterise(&mut sys, 0);
+        let _ = dvfs.select(&mut sys);
+        let floor = dvfs.on_thermal_alarm(&mut sys);
+        assert!(dvfs.throttled());
+        assert_eq!(floor.vdd_mv, 950);
+        assert_eq!(floor.point.freq_mhz, 100);
+        assert_eq!(sys.vdd_mv(), 950);
+        assert!(dvfs.current().is_none(), "throttle clears the selection");
+        dvfs.reinstate();
+        assert!(!dvfs.throttled());
+        let again = dvfs.select(&mut sys);
+        assert_eq!(again.vdd_mv, 1000, "recovers the sweet spot");
+    }
+
+    #[test]
+    fn dvfs_snapshot_round_trips_tables_and_cursor() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+        dvfs.characterise(&mut sys, 0);
+        let picked = dvfs.select(&mut sys);
+        let snap = dvfs.snapshot_json();
+        let mut restored = DvfsGovernor::new(DvfsConfig::default());
+        restored.restore_json(&snap).unwrap();
+        assert_eq!(restored.current(), Some(picked));
+        assert_eq!(
+            restored.snapshot_json().render(),
+            snap.render(),
+            "snapshot of a restore must be byte-identical"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one grid voltage")]
+    fn dvfs_empty_grid_is_rejected() {
+        let _ = DvfsGovernor::new(DvfsConfig {
+            vdd_grid_mv: vec![],
+            ..DvfsConfig::default()
+        });
     }
 }

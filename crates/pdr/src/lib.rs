@@ -79,7 +79,10 @@ pub use fleet::{
     TrafficModel,
 };
 pub use frontpanel::{switch_frequency, FrontPanel};
-pub use governor::{ActiveFeedback, Governor, GovernorConfig, Objective, OperatingPoint};
+pub use governor::{
+    ActiveFeedback, DvfsConfig, DvfsGovernor, DvfsOperatingPoint, Governor, GovernorConfig,
+    Objective, OperatingPoint,
+};
 pub use recovery::{PartitionHealth, RecoveryConfig, RecoveryManager, RecoveryStats};
 pub use report::{CrcStatus, ReconfigError, ReconfigReport, TimeoutCause};
 pub use scheduler::{
@@ -87,5 +90,5 @@ pub use scheduler::{
     SchedulerReport,
 };
 pub use sdcard::{BootReport, SdCard};
-pub use system::{SystemConfig, ZynqPdrSystem};
+pub use system::{SystemConfig, ThermalLoopConfig, ZynqPdrSystem};
 pub use trace::{TraceCounters, TraceEvent, TraceLevel, TraceRecord, TraceReport, TraceSink};

@@ -68,6 +68,11 @@ pub struct ReconfigRequest {
     /// Relative deadline from submission. Requests finishing later still
     /// complete, but are counted as deadline misses.
     pub deadline: SimDuration,
+    /// Owning tenant. Tenants with an energy budget (see
+    /// [`Scheduler::set_energy_budget_j`]) are metered per verified
+    /// transfer and refused admission once the budget is spent; tenant 0
+    /// with no registered budget is the legacy unmetered behaviour.
+    pub tenant: u32,
 }
 
 impl_json_struct!(ReconfigRequest {
@@ -75,6 +80,7 @@ impl_json_struct!(ReconfigRequest {
     bitstream_id,
     priority,
     deadline,
+    tenant,
 });
 
 /// Why admission refused a request. Rejection happens synchronously at
@@ -89,13 +95,16 @@ pub enum RejectReason {
     Quarantined,
     /// The ready queue is at capacity.
     QueueFull,
+    /// The tenant's energy budget is exhausted.
+    EnergyExhausted,
 }
 
 impl_json_enum!(RejectReason {
     UnknownBitstream,
     InvalidPartition,
     Quarantined,
-    QueueFull
+    QueueFull,
+    EnergyExhausted
 });
 
 /// Analytic model of the path that brings a bitstream *into* the staging
@@ -277,6 +286,10 @@ pub struct SchedulerReport {
     pub rejected_quarantined: u64,
     /// Rejections against a full ready queue.
     pub rejected_queue_full: u64,
+    /// Rejections against an exhausted tenant energy budget.
+    pub rejected_energy_exhausted: u64,
+    /// Joules charged to metered tenants by verified transfers.
+    pub energy_charged_j: f64,
     /// Dispatched requests that verified end-to-end.
     pub completed: u64,
     /// Dispatched requests whose recovery ladder still failed.
@@ -333,6 +346,8 @@ impl_json_struct!(SchedulerReport {
     rejected_invalid_partition,
     rejected_quarantined,
     rejected_queue_full,
+    rejected_energy_exhausted,
+    energy_charged_j,
     completed,
     failed,
     deadlines_met,
@@ -385,7 +400,11 @@ pub struct Scheduler {
     queueing_us: SampleSeries,
     service_us: SampleSeries,
     submitted: u64,
-    rejections: [u64; 4],
+    rejections: [u64; 5],
+    /// Per-tenant energy caps, joules (absent = unmetered).
+    energy_budget_j: BTreeMap<u32, f64>,
+    /// Joules charged so far per metered tenant.
+    energy_spent_j: BTreeMap<u32, f64>,
     completed: u64,
     failed: u64,
     deadlines_met: u64,
@@ -416,7 +435,9 @@ impl Scheduler {
             queueing_us: SampleSeries::new(),
             service_us: SampleSeries::new(),
             submitted: 0,
-            rejections: [0; 4],
+            rejections: [0; 5],
+            energy_budget_j: BTreeMap::new(),
+            energy_spent_j: BTreeMap::new(),
             completed: 0,
             failed: 0,
             deadlines_met: 0,
@@ -509,6 +530,39 @@ impl Scheduler {
         &self.records
     }
 
+    /// Caps `tenant`'s verified-transfer energy at `budget_j` joules.
+    /// Requests from a tenant whose spend has reached its cap are rejected
+    /// at admission with [`RejectReason::EnergyExhausted`]. Re-registering
+    /// raises (or lowers) the cap without forgetting past spend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or negative budget.
+    pub fn set_energy_budget_j(&mut self, tenant: u32, budget_j: f64) {
+        assert!(
+            budget_j.is_finite() && budget_j >= 0.0,
+            "energy budget must be finite and non-negative: {budget_j}"
+        );
+        self.energy_budget_j.insert(tenant, budget_j);
+    }
+
+    /// `tenant`'s energy cap, if one is registered.
+    pub fn energy_budget_j(&self, tenant: u32) -> Option<f64> {
+        self.energy_budget_j.get(&tenant).copied()
+    }
+
+    /// Joules charged to `tenant` so far (0.0 for a tenant never seen).
+    pub fn energy_spent_j(&self, tenant: u32) -> f64 {
+        self.energy_spent_j.get(&tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Remaining joules under `tenant`'s cap (`None` when unmetered).
+    pub fn energy_remaining_j(&self, tenant: u32) -> Option<f64> {
+        self.energy_budget_j
+            .get(&tenant)
+            .map(|b| (b - self.energy_spent_j(tenant)).max(0.0))
+    }
+
     /// Submits one request at the system's current simulated time. On
     /// success the request joins the ready queue; on rejection nothing is
     /// queued and the reason is returned.
@@ -527,6 +581,12 @@ impl Scheduler {
             Some(RejectReason::Quarantined)
         } else if self.queue.len() >= self.config.queue_capacity {
             Some(RejectReason::QueueFull)
+        } else if self
+            .energy_budget_j
+            .get(&req.tenant)
+            .is_some_and(|b| self.energy_spent_j(req.tenant) >= *b)
+        {
+            Some(RejectReason::EnergyExhausted)
         } else {
             None
         };
@@ -648,6 +708,14 @@ impl Scheduler {
         } else {
             self.failed += 1;
         }
+        // Metered tenants are charged the measured transfer energy (the
+        // instrument can read slightly negative under noise at idle;
+        // clamp so a budget can never be *refilled* by a charge).
+        if self.energy_budget_j.contains_key(&q.req.tenant) {
+            if let Some(e) = out.report.as_ref().and_then(|r| r.energy_j) {
+                *self.energy_spent_j.entry(q.req.tenant).or_insert(0.0) += e.max(0.0);
+            }
+        }
         if record.deadline_met {
             self.deadlines_met += 1;
         } else {
@@ -689,6 +757,10 @@ impl Scheduler {
             rejected_invalid_partition: self.rejections[RejectReason::InvalidPartition as usize],
             rejected_quarantined: self.rejections[RejectReason::Quarantined as usize],
             rejected_queue_full: self.rejections[RejectReason::QueueFull as usize],
+            rejected_energy_exhausted: self.rejections[RejectReason::EnergyExhausted as usize],
+            // `+ 0.0` canonicalises the empty-sum identity (`f64: Sum`
+            // folds from -0.0) so unmetered runs report 0, not -0.
+            energy_charged_j: self.energy_spent_j.values().sum::<f64>() + 0.0,
             completed: self.completed,
             failed: self.failed,
             deadlines_met: self.deadlines_met,
@@ -792,6 +864,34 @@ impl Scheduler {
             (
                 "rejections".to_string(),
                 Json::Arr(self.rejections.iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "energy_budget_j".to_string(),
+                Json::Arr(
+                    self.energy_budget_j
+                        .iter()
+                        .map(|(t, j)| {
+                            Json::Obj(vec![
+                                ("tenant".to_string(), t.to_json()),
+                                ("j".to_string(), j.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "energy_spent_j".to_string(),
+                Json::Arr(
+                    self.energy_spent_j
+                        .iter()
+                        .map(|(t, j)| {
+                            Json::Obj(vec![
+                                ("tenant".to_string(), t.to_json()),
+                                ("j".to_string(), j.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             ("completed".to_string(), self.completed.to_json()),
             ("failed".to_string(), self.failed.to_json()),
@@ -920,11 +1020,32 @@ impl Scheduler {
             .iter()
             .map(u64::from_json)
             .collect::<Result<Vec<u64>, JsonError>>()?;
-        if rejections.len() != 4 {
+        // 4 entries = pre-energy-budget checkpoint (no energy rejections
+        // could have happened); 5 = current layout.
+        if rejections.len() != 4 && rejections.len() != 5 {
             return Err(JsonError {
-                msg: "scheduler snapshot `rejections` must have 4 entries".to_string(),
+                msg: "scheduler snapshot `rejections` must have 4 or 5 entries".to_string(),
             });
         }
+        fn tenant_map(json: Option<&Json>, key: &str) -> Result<BTreeMap<u32, f64>, JsonError> {
+            let Some(json) = json else {
+                return Ok(BTreeMap::new()); // pre-energy-budget checkpoint
+            };
+            json.as_array()
+                .ok_or_else(|| JsonError {
+                    msg: format!("scheduler snapshot `{key}` is not an array"),
+                })?
+                .iter()
+                .map(|e| {
+                    Ok((
+                        u32::from_json(req(e, "tenant")?)?,
+                        f64::from_json(req(e, "j")?)?,
+                    ))
+                })
+                .collect()
+        }
+        let energy_budget = tenant_map(json.get("energy_budget_j"), "energy_budget_j")?;
+        let energy_spent = tenant_map(json.get("energy_spent_j"), "energy_spent_j")?;
         self.cache = cache;
         self.cache_bytes = u64::from_json(req(json, "cache_bytes")?)?;
         self.queue = queue;
@@ -936,7 +1057,15 @@ impl Scheduler {
         self.queueing_us = SampleSeries::from_samples(queueing);
         self.service_us = SampleSeries::from_samples(service);
         self.submitted = u64::from_json(req(json, "submitted")?)?;
-        self.rejections = [rejections[0], rejections[1], rejections[2], rejections[3]];
+        self.rejections = [
+            rejections[0],
+            rejections[1],
+            rejections[2],
+            rejections[3],
+            rejections.get(4).copied().unwrap_or(0),
+        ];
+        self.energy_budget_j = energy_budget;
+        self.energy_spent_j = energy_spent;
         self.completed = u64::from_json(req(json, "completed")?)?;
         self.failed = u64::from_json(req(json, "failed")?)?;
         self.deadlines_met = u64::from_json(req(json, "deadlines_met")?)?;

@@ -13,11 +13,12 @@ use pdr_icap::{shared_config_memory, IcapController, SharedConfigMemory};
 use pdr_mem::{Backing, DramConfig, DramController};
 use pdr_power::{CurrentSenseMeter, PowerModel};
 use pdr_sim_core::json::{Json, JsonError};
+use pdr_sim_core::thermal::{ThermalRc, ThermalRcConfig, ThermalSample};
 use pdr_sim_core::{
     ClockDomainId, ComponentId, Engine, EngineStrategy, Fifo, Frequency, IrqBus, IrqLine,
     SimDuration, SimTime, Xoshiro256StarStar,
 };
-use pdr_timing::{DieThermal, OverclockModel, XadcSensor};
+use pdr_timing::{voltage_derate_mhz, DieThermal, OverclockModel, XadcSensor};
 use std::fmt::Write as _;
 
 use crate::clockwizard::ClockWizard;
@@ -32,6 +33,56 @@ pub const BITSTREAM_ADDR: u64 = 0x0010_0000;
 
 /// Device IDCODE used by generated bitstreams (7z020-like).
 pub const IDCODE: u32 = 0x0372_7093;
+
+/// Configuration of the closed thermal–power loop (see `docs/DVFS.md`).
+///
+/// When [`SystemConfig::thermal_loop`] is `Some`, the system wires a
+/// deterministic [`ThermalRc`] node onto the fabric clock: dissipated power
+/// (dynamic switching + constant on-die share + temperature-dependent
+/// leakage) drives die temperature, which in turn worsens the over-clock
+/// failure envelope at the next reconfiguration — the paper's exogenous
+/// temperature sweep, closed into a feedback loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalLoopConfig {
+    /// Thermal integration step (work-edge spacing on the fabric clock).
+    pub tick: SimDuration,
+    /// RC time constant of the die + sink.
+    pub tau: SimDuration,
+    /// Junction-to-ambient thermal resistance, °C per watt.
+    pub r_c_per_w: f64,
+    /// Ambient temperature, °C.
+    pub env_c: f64,
+    /// Die temperature at which the thermal-alarm interrupt asserts, °C.
+    pub alarm_c: f64,
+    /// The alarm re-arms once the die cools this far below the threshold.
+    pub hysteresis_c: f64,
+    /// Constant on-die dissipation that heats the junction but is not part
+    /// of the frequency-dependent PDR datapath (PS share through the die),
+    /// watts.
+    pub idle_die_w: f64,
+    /// Record one trajectory sample every this many integration steps
+    /// (0 disables the trajectory tape).
+    pub sample_every_ticks: u64,
+}
+
+impl Default for ThermalLoopConfig {
+    /// ZedBoard-like constants with a CI-runnable τ: 50 µs steps, τ = 5 ms
+    /// (steady states match the physical board; transients are compressed),
+    /// 8 °C/W into 25 °C ambient, alarm at 85 °C with 5 °C hysteresis, and
+    /// one trajectory sample per millisecond.
+    fn default() -> Self {
+        ThermalLoopConfig {
+            tick: SimDuration::from_micros(50),
+            tau: SimDuration::from_millis(5),
+            r_c_per_w: 8.0,
+            env_c: 25.0,
+            alarm_c: 85.0,
+            hysteresis_c: 5.0,
+            idle_die_w: 1.1,
+            sample_every_ticks: 20,
+        }
+    }
+}
 
 /// Everything needed to build a [`ZynqPdrSystem`].
 #[derive(Debug, Clone)]
@@ -68,6 +119,13 @@ pub struct SystemConfig {
     /// Simulation kernel: the event-skipping default or the edge-by-edge
     /// tick oracle (differential testing; see `docs/KERNEL.md`).
     pub strategy: EngineStrategy,
+    /// Initial PL core supply voltage, millivolts (DVFS axis; 1000 mV is
+    /// the nominal point at which every model output is bitwise identical
+    /// to the pre-DVFS system).
+    pub vdd_mv: u32,
+    /// Closed thermal–power loop; `None` (the default) keeps temperature an
+    /// exogenous input exactly as before.
+    pub thermal_loop: Option<ThermalLoopConfig>,
 }
 
 impl Default for SystemConfig {
@@ -87,6 +145,8 @@ impl Default for SystemConfig {
             seed: 0xC0FFEE,
             ideal_instruments: false,
             strategy: EngineStrategy::EventSkip,
+            vdd_mv: pdr_power::VDD_NOMINAL_MV,
+            thermal_loop: None,
         }
     }
 }
@@ -153,6 +213,12 @@ pub struct ZynqPdrSystem {
     mem_beats: Fifo<pdr_axi::mm::ReadBeat>,
     mem_reqs: Fifo<pdr_axi::mm::ReadReq>,
     thermal: DieThermal,
+    /// The closed-loop thermal node (`None` when the loop is off and
+    /// [`Self::thermal`] remains the exogenous truth).
+    thermal_id: Option<ComponentId>,
+    thermal_alarm: IrqLine,
+    /// Current PL core supply, millivolts.
+    vdd_mv: u32,
     sensor: XadcSensor,
     meter: CurrentSenseMeter,
     rng: Xoshiro256StarStar,
@@ -292,9 +358,46 @@ impl ZynqPdrSystem {
             (XadcSensor::new(), CurrentSenseMeter::new())
         };
 
+        // The closed thermal–power loop (opt-in): an integer RC node on the
+        // always-running fabric clock. Its heater is the frequency-dependent
+        // dynamic power plus the constant on-die share; static leakage is
+        // derived inside the node from its own temperature (docs/DVFS.md).
+        let thermal_alarm = irq_bus.allocate("thermal-alarm");
+        let thermal_id = config.thermal_loop.as_ref().map(|tl| {
+            let hz = config.interconnect_clock.as_hz();
+            let tick_cycles =
+                ((tl.tick.as_ps() as u128 * hz as u128) / 1_000_000_000_000u128) as u64;
+            let node_cfg = ThermalRcConfig {
+                tick_cycles,
+                tau_ticks: (tl.tau.as_ps() / tl.tick.as_ps()).max(1),
+                r_mc_per_w: (tl.r_c_per_w * 1000.0) as i64,
+                env_mc: (tl.env_c * 1000.0) as i64,
+                alarm_mc: (tl.alarm_c * 1000.0) as i64,
+                hysteresis_mc: (tl.hysteresis_c * 1000.0) as i64,
+                leak_ref_uw: (config.power.p_static_w_at(40.0, config.vdd_mv) * 1e6) as u64,
+                sample_every_ticks: tl.sample_every_ticks,
+                ..ThermalRcConfig::default()
+            };
+            let mut node = ThermalRc::new(
+                "die-thermal",
+                node_cfg,
+                thermal_alarm.clone(),
+                (config.initial_die_temp_c * 1000.0) as i64,
+            );
+            // The over-clock domain starts at 100 MHz (the wizard's reset
+            // frequency); `reconfigure` re-bases the heater on every clock
+            // change.
+            let p_dyn = config.power.p_dynamic_w_at(100e6, config.vdd_mv);
+            node.set_power_uw(((tl.idle_die_w + p_dyn) * 1e6) as u64);
+            engine.add_component(node, Some(axi_clk))
+        });
+
         ZynqPdrSystem {
             engine,
             thermal: DieThermal::zedboard(config.initial_die_temp_c),
+            thermal_id,
+            thermal_alarm,
+            vdd_mv: config.vdd_mv,
             config,
             wizard,
             rp_clocks,
@@ -369,20 +472,147 @@ impl ZynqPdrSystem {
         self.trace.emit(now, event);
     }
 
-    /// Current die temperature (truth, not sensor), °C.
+    /// Current die temperature (truth, not sensor), °C. With the closed
+    /// loop on, this is the RC node's integer state; otherwise the
+    /// exogenous [`DieThermal`] value.
     pub fn die_temp_c(&self) -> f64 {
-        self.thermal.die_temp_c()
+        match self.thermal_id {
+            Some(id) => self.engine.component::<ThermalRc>(id).temp_c(),
+            None => self.thermal.die_temp_c(),
+        }
     }
 
     /// Forces the die temperature (the heat-gun + settle step of the
     /// paper's stress protocol).
     pub fn set_die_temp_c(&mut self, t: f64) {
-        self.thermal.force_die_temp(t);
+        match self.thermal_id {
+            Some(id) => self
+                .engine
+                .component_mut::<ThermalRc>(id)
+                .force_temp_mc((t * 1000.0) as i64),
+            None => self.thermal.force_die_temp(t),
+        }
     }
 
     /// One XADC sensor reading of the die temperature.
     pub fn read_die_temp_c(&mut self) -> f64 {
-        self.sensor.read(self.thermal.die_temp_c(), &mut self.rng)
+        let truth = self.die_temp_c();
+        self.sensor.read(truth, &mut self.rng)
+    }
+
+    /// Whether the closed thermal–power loop is wired in.
+    pub fn thermal_loop_enabled(&self) -> bool {
+        self.thermal_id.is_some()
+    }
+
+    /// Current PL core supply voltage, millivolts.
+    pub fn vdd_mv(&self) -> u32 {
+        self.vdd_mv
+    }
+
+    /// Moves the PL core supply to `vdd_mv` (the VolTune-style runtime
+    /// voltage axis). Re-bases the thermal node's leakage reference and
+    /// heater, and books a [`TraceEvent::DvfsSet`] with the current
+    /// over-clock so the tape records every committed operating point.
+    pub fn set_vdd_mv(&mut self, vdd_mv: u32) {
+        self.vdd_mv = vdd_mv;
+        if let Some(id) = self.thermal_id {
+            let leak = (self.config.power.p_static_w_at(40.0, vdd_mv) * 1e6) as u64;
+            self.engine
+                .component_mut::<ThermalRc>(id)
+                .set_leak_ref_uw(leak);
+            self.rebase_thermal_heater();
+        }
+        let freq_mhz = self.wizard.frequency().as_hz() / 1_000_000;
+        self.trace_emit(TraceEvent::DvfsSet {
+            vdd_mv: vdd_mv as u64,
+            freq_mhz,
+        });
+    }
+
+    /// Points the thermal node's external heater at the current (V, f)
+    /// operating point: constant on-die share plus dynamic switching power.
+    fn rebase_thermal_heater(&mut self) {
+        let Some(id) = self.thermal_id else { return };
+        let idle_w = self
+            .config
+            .thermal_loop
+            .as_ref()
+            .expect("thermal node implies loop config")
+            .idle_die_w;
+        let p_dyn = self
+            .config
+            .power
+            .p_dynamic_w_at(self.wizard.frequency().as_hz() as f64, self.vdd_mv);
+        self.engine
+            .component_mut::<ThermalRc>(id)
+            .set_power_uw(((idle_w + p_dyn) * 1e6) as u64);
+    }
+
+    /// The thermal-alarm interrupt line (raised by the RC node when the die
+    /// crosses the alarm threshold; latched with hysteresis).
+    pub fn thermal_alarm_irq(&self) -> &IrqLine {
+        &self.thermal_alarm
+    }
+
+    /// Polls the thermal alarm: if the line is raised, clears it, books a
+    /// [`TraceEvent::ThermalAlarm`] stamped with the *current* die
+    /// temperature, and returns that temperature in milli-°C. The governor
+    /// calls this between settle runs.
+    pub fn poll_thermal_alarm(&mut self) -> Option<i64> {
+        if !self.thermal_alarm.is_raised() {
+            return None;
+        }
+        self.thermal_alarm.clear();
+        let temp_mc = match self.thermal_id {
+            Some(id) => self.engine.component::<ThermalRc>(id).temp_mc(),
+            None => (self.thermal.die_temp_c() * 1000.0) as i64,
+        };
+        self.trace_emit(TraceEvent::ThermalAlarm {
+            temp_mc: temp_mc.max(0) as u64,
+        });
+        Some(temp_mc)
+    }
+
+    /// Applies an ambient heat-soak excursion of `delta_mc` milli-°C for
+    /// `duration` (the heat-gun fault of the DVFS scenarios). With the loop
+    /// on, the node's ambient rises and reverts on its own clock; with the
+    /// loop off, the excursion collapses to an instantaneous die-temperature
+    /// bump (the pre-loop stress-protocol approximation).
+    pub fn inject_heat_soak(&mut self, delta_mc: i64, duration: SimDuration) {
+        match self.thermal_id {
+            Some(id) => {
+                let node = self.engine.component_mut::<ThermalRc>(id);
+                let tick_ps = node.config().tick_cycles * 10_000; // 100 MHz edges
+                let ticks = (duration.as_ps() / tick_ps.max(1)).max(1);
+                node.inject_soak_mc(delta_mc, ticks);
+            }
+            None => {
+                let bumped = self.thermal.die_temp_c() + delta_mc as f64 / 1000.0;
+                self.thermal.force_die_temp(bumped);
+            }
+        }
+        self.trace_emit(TraceEvent::FaultInjected {
+            kind: FaultKind::HeatSoak,
+        });
+    }
+
+    /// The recorded thermal trajectory (empty when the loop is off or
+    /// sampling is disabled).
+    pub fn thermal_samples(&self) -> &[ThermalSample] {
+        match self.thermal_id {
+            Some(id) => self.engine.component::<ThermalRc>(id).samples(),
+            None => &[],
+        }
+    }
+
+    /// The thermal trajectory as a JSONL tape (the format committed under
+    /// `tests/golden/`).
+    pub fn thermal_trajectory_jsonl(&self) -> String {
+        match self.thermal_id {
+            Some(id) => self.engine.component::<ThermalRc>(id).samples_jsonl(),
+            None => String::new(),
+        }
     }
 
     /// Generates a partition-filling ASP bitstream for partition `rp`.
@@ -516,9 +746,12 @@ impl ZynqPdrSystem {
             bytes: bitstream.len() as u64,
             freq_mhz: freq.as_hz() / 1_000_000,
         });
-        let die_temp = self.thermal.die_temp_c();
-        let derate = self.active_derate_mhz();
-        let assessment = self.config.overclock.assess_derated(freq, die_temp, derate);
+        let die_temp = self.die_temp_c();
+        // Thermal derate is non-negative; the voltage bias is signed (an
+        // over-volted rail buys margin back). At nominal Vdd the bias term
+        // is exactly 0.0, so legacy fixed-voltage tapes are bit-identical.
+        let bias = self.active_derate_mhz() + voltage_derate_mhz(self.vdd_mv);
+        let assessment = self.config.overclock.assess_biased(freq, die_temp, bias);
 
         // ---- Pre-flight: quiesce the pipeline from any previous failure. --
         self.engine.component_mut::<AxiDma>(self.dma_id).abort();
@@ -536,6 +769,7 @@ impl ZynqPdrSystem {
 
         // ---- Program the over-clock and apply its physics. ---------------
         self.wizard.set_frequency(&mut self.engine, freq);
+        self.rebase_thermal_heater();
         {
             let icap = self.engine.component_mut::<IcapController>(self.icap_id);
             icap.reset();
@@ -623,7 +857,10 @@ impl ZynqPdrSystem {
         let crc = self.verify_region(start_idx, frames.len() as u32, golden);
 
         // ---- Instrument readings. -----------------------------------------
-        let p_board = self.config.power.p_board_w(freq.as_hz() as f64, die_temp);
+        let p_board = self
+            .config
+            .power
+            .p_board_w_at(freq.as_hz() as f64, die_temp, self.vdd_mv);
         let p_pdr = self.meter.read_w(p_board, &mut self.rng) - self.config.power.p0_board_w();
         let icap_status = self
             .engine
@@ -688,10 +925,10 @@ impl ZynqPdrSystem {
             ok: false,
             latency_ps: 0,
         });
-        let die_temp = self.thermal.die_temp_c();
+        let die_temp = self.die_temp_c();
         // No transfer ran, so the PL contribution is the idle share (as on
         // the PCAP path, which also drives no over-clocked datapath).
-        let p_board = self.config.power.p_board_w(0.0, die_temp);
+        let p_board = self.config.power.p_board_w_at(0.0, die_temp, self.vdd_mv);
         let p_pdr = self.meter.read_w(p_board, &mut self.rng) - self.config.power.p0_board_w();
         ReconfigReport {
             frequency_hz,
@@ -816,7 +1053,7 @@ impl ZynqPdrSystem {
             bytes: bitstream.len() as u64,
             freq_mhz: 0, // the PS-driven PCAP path has no over-clock
         });
-        let die_temp = self.thermal.die_temp_c();
+        let die_temp = self.die_temp_c();
         self.engine
             .component_mut::<CrcReadback>(self.readback_id)
             .set_enabled(false);
@@ -848,7 +1085,7 @@ impl ZynqPdrSystem {
 
         // No PL clocking involved: P_PDR is the static share plus the PS
         // doing programmed I/O.
-        let p_board = self.config.power.p_board_w(0.0, die_temp);
+        let p_board = self.config.power.p_board_w_at(0.0, die_temp, self.vdd_mv);
         let p_pdr = self.meter.read_w(p_board, &mut self.rng) - self.config.power.p0_board_w();
         self.trace_emit(TraceEvent::ReconfigDone {
             rp: rp as u64,
@@ -1143,6 +1380,7 @@ impl ZynqPdrSystem {
                 "pending_dma_stall".into(),
                 Json::U64(self.pending_dma_stall),
             ),
+            ("vdd_mv".into(), Json::U64(u64::from(self.vdd_mv))),
             ("trace".into(), self.trace.snapshot_json()),
         ])
     }
@@ -1273,6 +1511,17 @@ impl ZynqPdrSystem {
                     msg: "pending_dma_stall must be u64".into(),
                 })?;
 
+        // Snapshots written before the voltage axis existed carry no
+        // `vdd_mv`; keep the constructed value (nominal) in that case.
+        if let Some(v) = json.get("vdd_mv") {
+            let mv = v.as_u64().ok_or_else(|| JsonError {
+                msg: "vdd_mv must be u64".into(),
+            })?;
+            self.vdd_mv = u32::try_from(mv).map_err(|_| JsonError {
+                msg: format!("vdd_mv {mv} out of u32 range"),
+            })?;
+        }
+
         self.trace.restore_json(req(json, "trace")?)
     }
 }
@@ -1327,6 +1576,7 @@ pub fn frames_crc(frames: &[Frame]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdr_sim_core::json::ToJson;
 
     fn mhz(m: u64) -> Frequency {
         Frequency::from_mhz(m)
@@ -1639,5 +1889,128 @@ mod tests {
         let (far, frames) = bitstream_payload(&bs);
         assert_eq!(far, sys.floorplan().partition(1).start_far());
         assert_eq!(frames.len(), 108);
+    }
+
+    fn thermal_cfg() -> SystemConfig {
+        SystemConfig {
+            thermal_loop: Some(ThermalLoopConfig::default()),
+            ..SystemConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn thermal_loop_settles_near_the_rc_steady_state() {
+        let mut sys = ZynqPdrSystem::new(thermal_cfg());
+        assert!(sys.thermal_loop_enabled());
+        // Heater at construction: idle 1.1 W + P_dyn(100 MHz) ≈ 1.257 W,
+        // plus ~1 W of leakage at 25 °C ambient and R = 8 °C/W puts the
+        // settle point in the low 40s. Run well past 5 τ.
+        sys.engine_mut().run_for(SimDuration::from_millis(40));
+        let t = sys.die_temp_c();
+        assert!(
+            (38.0..=50.0).contains(&t),
+            "loop settle point out of range: {t} °C"
+        );
+        assert!(!sys.thermal_samples().is_empty());
+        assert!(sys.poll_thermal_alarm().is_none(), "no alarm at idle");
+    }
+
+    #[test]
+    fn heat_soak_raises_the_die_and_trips_the_alarm() {
+        let mut sys = ZynqPdrSystem::new(thermal_cfg());
+        sys.engine_mut().run_for(SimDuration::from_millis(30));
+        let before = sys.die_temp_c();
+        // +55 °C ambient excursion for 20 ms: target jumps past the 85 °C
+        // alarm line while the soak holds.
+        sys.inject_heat_soak(55_000, SimDuration::from_millis(20));
+        sys.engine_mut().run_for(SimDuration::from_millis(18));
+        let during = sys.die_temp_c();
+        assert!(during > before + 40.0, "soak must heat the die: {during}");
+        let alarm = sys.poll_thermal_alarm();
+        assert!(alarm.is_some(), "85 °C alarm must latch during the soak");
+        // Polling clears the line and books exactly one tape event.
+        assert!(sys.poll_thermal_alarm().is_none());
+        // After the soak horizon the die relaxes back toward idle.
+        sys.engine_mut().run_for(SimDuration::from_millis(40));
+        let after = sys.die_temp_c();
+        assert!(after < during - 30.0, "soak must revert: {after}");
+    }
+
+    #[test]
+    fn heat_soak_without_the_loop_degrades_to_a_step() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        assert!(!sys.thermal_loop_enabled());
+        let before = sys.die_temp_c();
+        sys.inject_heat_soak(15_000, SimDuration::from_millis(5));
+        assert!((sys.die_temp_c() - before - 15.0).abs() < 1e-9);
+        assert_eq!(sys.thermal_samples().len(), 0);
+        assert_eq!(sys.thermal_trajectory_jsonl(), "");
+    }
+
+    #[test]
+    fn nominal_voltage_reports_are_bitwise_unchanged() {
+        // The voltage axis at 1000 mV must be invisible: same RNG draws,
+        // same float math, byte-identical report JSON.
+        let mut a = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let mut b = ZynqPdrSystem::new(SystemConfig::fast_test());
+        assert_eq!(b.vdd_mv(), pdr_power::VDD_NOMINAL_MV);
+        let bs_a = a.make_asp_bitstream(0, AspKind::Fir16, 7);
+        let bs_b = b.make_asp_bitstream(0, AspKind::Fir16, 7);
+        let ra = a.reconfigure(0, &bs_a, mhz(200));
+        b.set_vdd_mv(pdr_power::VDD_NOMINAL_MV); // explicit no-op set
+        let rb = b.reconfigure(0, &bs_b, mhz(200));
+        assert_eq!(ra.to_json_string(), rb.to_json_string());
+    }
+
+    #[test]
+    fn undervolting_kills_a_point_overvolting_rescues_one() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        let bs = sys.make_asp_bitstream(0, AspKind::Fir16, 8);
+        // 200 MHz is clean at nominal...
+        assert!(sys.reconfigure(0, &bs, mhz(200)).error.is_none());
+        // ...but at 950 mV the +150 MHz bias corrupts the data path.
+        sys.set_vdd_mv(950);
+        assert!(!sys.reconfigure(0, &bs, mhz(200)).crc_ok());
+        // 140 MHz still holds at 950 mV.
+        assert!(sys.reconfigure(0, &bs, mhz(140)).error.is_none());
+        // Over-volting to 1050 mV buys back the dead 310 MHz interrupt.
+        sys.set_vdd_mv(1050);
+        let r = sys.reconfigure(0, &bs, mhz(310));
+        assert!(r.interrupt_seen && r.error.is_none(), "{r:?}");
+    }
+
+    #[test]
+    fn vdd_survives_snapshot_and_old_snapshots_default_to_nominal() {
+        let mut sys = ZynqPdrSystem::new(SystemConfig::fast_test());
+        sys.set_vdd_mv(950);
+        let snap = sys.snapshot_json();
+        let mut restored = ZynqPdrSystem::new(SystemConfig::fast_test());
+        restored.restore_json(&snap).unwrap();
+        assert_eq!(restored.vdd_mv(), 950);
+        // A pre-voltage-axis snapshot (key absent) keeps the constructed
+        // nominal value rather than erroring.
+        let legacy = match snap {
+            Json::Obj(kv) => Json::Obj(kv.into_iter().filter(|(k, _)| k != "vdd_mv").collect()),
+            _ => unreachable!("snapshot is an object"),
+        };
+        let mut fresh = ZynqPdrSystem::new(SystemConfig::fast_test());
+        fresh.restore_json(&legacy).unwrap();
+        assert_eq!(fresh.vdd_mv(), pdr_power::VDD_NOMINAL_MV);
+    }
+
+    #[test]
+    fn thermal_loop_snapshot_restores_mid_soak_byte_identically() {
+        let cfg = thermal_cfg;
+        let mut a = ZynqPdrSystem::new(cfg());
+        a.engine_mut().run_for(SimDuration::from_millis(10));
+        a.inject_heat_soak(40_000, SimDuration::from_millis(15));
+        a.engine_mut().run_for(SimDuration::from_millis(5));
+        let snap = a.snapshot_json();
+        let mut b = ZynqPdrSystem::new(cfg());
+        b.restore_json(&snap).unwrap();
+        a.engine_mut().run_for(SimDuration::from_millis(30));
+        b.engine_mut().run_for(SimDuration::from_millis(30));
+        assert_eq!(a.thermal_trajectory_jsonl(), b.thermal_trajectory_jsonl());
+        assert_eq!(a.die_temp_c().to_bits(), b.die_temp_c().to_bits());
     }
 }

@@ -208,6 +208,25 @@ pub enum TraceEvent {
         /// Words the decompressor (or bypass) delivered to the ICAP.
         words_out: u64,
     },
+    /// The DVFS governor committed a new operating point.
+    DvfsSet {
+        /// Core supply voltage, millivolts.
+        vdd_mv: u64,
+        /// ICAP clock, MHz.
+        freq_mhz: u64,
+    },
+    /// The thermal RC node crossed its alarm threshold.
+    ThermalAlarm {
+        /// Die temperature at the crossing, milli-°C.
+        temp_mc: u64,
+    },
+    /// The governor backed off to its throttle point under thermal alarm.
+    ThermalThrottle {
+        /// Core supply voltage after the throttle, millivolts.
+        vdd_mv: u64,
+        /// ICAP clock after the throttle, MHz.
+        freq_mhz: u64,
+    },
 }
 
 impl TraceEvent {
@@ -233,6 +252,9 @@ impl TraceEvent {
             TraceEvent::SdFileStaged { .. } => "SdFileStaged",
             TraceEvent::StagedTransferStart { .. } => "StagedTransferStart",
             TraceEvent::StagedTransferDone { .. } => "StagedTransferDone",
+            TraceEvent::DvfsSet { .. } => "DvfsSet",
+            TraceEvent::ThermalAlarm { .. } => "ThermalAlarm",
+            TraceEvent::ThermalThrottle { .. } => "ThermalThrottle",
         }
     }
 
@@ -291,6 +313,13 @@ impl TraceEvent {
             TraceEvent::StagedTransferStart { sram_words } => vec![u("sram_words", sram_words)],
             TraceEvent::StagedTransferDone { ok, words_out } => {
                 vec![b("ok", ok), u("words_out", words_out)]
+            }
+            TraceEvent::DvfsSet { vdd_mv, freq_mhz } => {
+                vec![u("vdd_mv", vdd_mv), u("freq_mhz", freq_mhz)]
+            }
+            TraceEvent::ThermalAlarm { temp_mc } => vec![u("temp_mc", temp_mc)],
+            TraceEvent::ThermalThrottle { vdd_mv, freq_mhz } => {
+                vec![u("vdd_mv", vdd_mv), u("freq_mhz", freq_mhz)]
             }
         }
     }
@@ -421,6 +450,17 @@ impl FromJson for TraceRecord {
                 ok: b(json, "ok")?,
                 words_out: u(json, "words_out")?,
             },
+            "DvfsSet" => TraceEvent::DvfsSet {
+                vdd_mv: u(json, "vdd_mv")?,
+                freq_mhz: u(json, "freq_mhz")?,
+            },
+            "ThermalAlarm" => TraceEvent::ThermalAlarm {
+                temp_mc: u(json, "temp_mc")?,
+            },
+            "ThermalThrottle" => TraceEvent::ThermalThrottle {
+                vdd_mv: u(json, "vdd_mv")?,
+                freq_mhz: u(json, "freq_mhz")?,
+            },
             other => {
                 return Err(JsonError {
                     msg: format!("unknown trace event tag `{other}`"),
@@ -484,6 +524,12 @@ pub struct TraceCounters {
     pub sd_stored_bytes: u64,
     /// [`TraceEvent::StagedTransferStart`] events.
     pub staged_transfers: u64,
+    /// [`TraceEvent::DvfsSet`] events.
+    pub dvfs_sets: u64,
+    /// [`TraceEvent::ThermalAlarm`] events.
+    pub thermal_alarms: u64,
+    /// [`TraceEvent::ThermalThrottle`] events.
+    pub thermal_throttles: u64,
 }
 
 impl_json_struct!(TraceCounters {
@@ -510,6 +556,9 @@ impl_json_struct!(TraceCounters {
     sd_files,
     sd_stored_bytes,
     staged_transfers,
+    dvfs_sets,
+    thermal_alarms,
+    thermal_throttles,
 });
 
 impl TraceCounters {
@@ -553,6 +602,9 @@ impl TraceCounters {
             }
             TraceEvent::StagedTransferStart { .. } => self.staged_transfers += 1,
             TraceEvent::StagedTransferDone { .. } => {}
+            TraceEvent::DvfsSet { .. } => self.dvfs_sets += 1,
+            TraceEvent::ThermalAlarm { .. } => self.thermal_alarms += 1,
+            TraceEvent::ThermalThrottle { .. } => self.thermal_throttles += 1,
         }
     }
 }
@@ -900,6 +952,36 @@ mod tests {
         sink.emit(t(9), TraceEvent::Quarantine { rp: 2 });
         assert_eq!(sink.records()[0].seq, 0);
         assert_eq!(sink.level(), TraceLevel::Full);
+    }
+
+    #[test]
+    fn dvfs_events_round_trip_and_count() {
+        let mut sink = TraceSink::with_level(TraceLevel::Full);
+        sink.emit(
+            t(1),
+            TraceEvent::DvfsSet {
+                vdd_mv: 1000,
+                freq_mhz: 200,
+            },
+        );
+        sink.emit(t(2), TraceEvent::ThermalAlarm { temp_mc: 85_250 });
+        sink.emit(
+            t(3),
+            TraceEvent::ThermalThrottle {
+                vdd_mv: 950,
+                freq_mhz: 100,
+            },
+        );
+        assert_eq!(sink.counters().dvfs_sets, 1);
+        assert_eq!(sink.counters().thermal_alarms, 1);
+        assert_eq!(sink.counters().thermal_throttles, 1);
+        for rec in sink.records() {
+            let back = TraceRecord::from_json(&rec.to_json()).expect("round-trips");
+            assert_eq!(&back, rec);
+        }
+        assert!(sink
+            .export_jsonl()
+            .contains("{\"seq\":1,\"t_ps\":2,\"event\":\"ThermalAlarm\",\"temp_mc\":85250}"));
     }
 
     #[test]

@@ -73,6 +73,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_voltage_operating_point_yields_none_not_nan() {
+        // Regression for the DVFS voltage axis: a V=0 supply collapses
+        // P_PDR = (P_st + P_dyn)·(V/V_nom)² to exactly 0 W, and the
+        // report layer must degrade that to "no measurement" through the
+        // same None-not-NaN contract as a dead instrument.
+        use crate::model::{voltage_scale, PowerModel};
+        let m = PowerModel::paper_calibration();
+        let p = m.p_pdr_w_at(200e6, 40.0, 0);
+        assert_eq!(p, 0.0);
+        assert_eq!(performance_per_watt(781.84, p), None);
+        // And a zero-throughput point at a live supply is Some(0.0), not an
+        // accidental None: only the power side gates the measurement.
+        let p950 = m.p_pdr_w_at(200e6, 40.0, 950);
+        assert_eq!(performance_per_watt(0.0, p950), Some(0.0));
+        assert_eq!(voltage_scale(0), 0.0);
+    }
+
+    #[test]
     fn knee_found_on_paper_shaped_curve() {
         // Table I shape: linear to 200 MHz, then flat.
         let pts = [

@@ -34,4 +34,4 @@ pub mod model;
 
 pub use efficiency::{knee_frequency_mhz, performance_per_watt};
 pub use meter::{CurrentSenseMeter, EnergyMeter};
-pub use model::PowerModel;
+pub use model::{voltage_scale, PowerModel, VDD_NOMINAL_MV};

@@ -1,5 +1,17 @@
 //! The analytic power model.
 
+/// The nominal core supply voltage, millivolts. At this voltage every
+/// `*_at` accessor is bitwise identical to its voltage-free counterpart.
+pub const VDD_NOMINAL_MV: u32 = 1000;
+
+/// The CV²f supply-voltage scale factor relative to [`VDD_NOMINAL_MV`]:
+/// `(V/V_nom)²`. Applied to both dynamic (CV²f) and static (leakage tracks
+/// V² to first order over the narrow DVFS window) power.
+pub fn voltage_scale(vdd_mv: u32) -> f64 {
+    let r = vdd_mv as f64 / VDD_NOMINAL_MV as f64;
+    r * r
+}
+
 /// Power model of the PDR subsystem (and the board hosting it).
 ///
 /// * dynamic power: `α · f`, linear in clock frequency, temperature
@@ -76,6 +88,34 @@ impl PowerModel {
     pub fn p_board_w(&self, freq_hz: f64, temp_c: f64) -> f64 {
         self.p0_board_w + self.p_pdr_w(freq_hz, temp_c)
     }
+
+    /// Dynamic power at clock `freq_hz` and supply `vdd_mv`, in W.
+    pub fn p_dynamic_w_at(&self, freq_hz: f64, vdd_mv: u32) -> f64 {
+        if vdd_mv == VDD_NOMINAL_MV {
+            return self.p_dynamic_w(freq_hz);
+        }
+        self.p_dynamic_w(freq_hz) * voltage_scale(vdd_mv)
+    }
+
+    /// Static power at die temperature `temp_c` and supply `vdd_mv`, in W.
+    pub fn p_static_w_at(&self, temp_c: f64, vdd_mv: u32) -> f64 {
+        if vdd_mv == VDD_NOMINAL_MV {
+            return self.p_static_w(temp_c);
+        }
+        self.p_static_w(temp_c) * voltage_scale(vdd_mv)
+    }
+
+    /// `P_PDR(f, T, V)` — the Fig. 6 quantity with the DVFS voltage axis.
+    pub fn p_pdr_w_at(&self, freq_hz: f64, temp_c: f64, vdd_mv: u32) -> f64 {
+        self.p_static_w_at(temp_c, vdd_mv) + self.p_dynamic_w_at(freq_hz, vdd_mv)
+    }
+
+    /// Whole-board power with the DVFS voltage axis. The P0 baseline is the
+    /// PS + peripherals on their own rails and does not scale with the
+    /// PL core supply.
+    pub fn p_board_w_at(&self, freq_hz: f64, temp_c: f64, vdd_mv: u32) -> f64 {
+        self.p0_board_w + self.p_pdr_w_at(freq_hz, temp_c, vdd_mv)
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +175,36 @@ mod tests {
     fn board_power_adds_baseline() {
         let m = PowerModel::paper_calibration();
         assert!((m.p_board_w(100e6, 40.0) - m.p_pdr_w(100e6, 40.0) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_voltage_is_bitwise_identity() {
+        let m = PowerModel::paper_calibration();
+        for f in [100e6, 200e6, 280e6] {
+            for t in [40.0, 62.5, 100.0] {
+                assert_eq!(
+                    m.p_pdr_w(f, t).to_bits(),
+                    m.p_pdr_w_at(f, t, VDD_NOMINAL_MV).to_bits()
+                );
+                assert_eq!(
+                    m.p_board_w(f, t).to_bits(),
+                    m.p_board_w_at(f, t, VDD_NOMINAL_MV).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn voltage_scale_is_quadratic() {
+        assert!((voltage_scale(950) - 0.9025).abs() < 1e-12);
+        assert!((voltage_scale(1050) - 1.1025).abs() < 1e-12);
+        assert_eq!(voltage_scale(0), 0.0);
+        let m = PowerModel::paper_calibration();
+        // Undervolting cuts both components; the P0 baseline is untouched.
+        assert!(m.p_pdr_w_at(200e6, 40.0, 950) < m.p_pdr_w(200e6, 40.0));
+        assert!(m.p_dynamic_w_at(200e6, 0) == 0.0);
+        let delta = m.p_board_w(200e6, 40.0) - m.p_board_w_at(200e6, 40.0, 950);
+        let pdr_delta = m.p_pdr_w(200e6, 40.0) - m.p_pdr_w_at(200e6, 40.0, 950);
+        assert!((delta - pdr_delta).abs() < 1e-12);
     }
 }

@@ -65,6 +65,7 @@ pub mod irq;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod thermal;
 pub mod time;
 pub mod trace;
 pub mod vcd;
@@ -75,4 +76,5 @@ pub use engine::{EdgeCtx, Engine, EngineStrategy, RunResult, StopReason};
 pub use fifo::{fifo_channel, Consumer, Fifo, Producer};
 pub use irq::{IrqBus, IrqLine};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use thermal::{ThermalRc, ThermalRcConfig, ThermalSample};
 pub use time::{Frequency, SimDuration, SimTime};

@@ -39,5 +39,5 @@
 pub mod path;
 pub mod thermal;
 
-pub use path::{Assessment, CriticalPath, OverclockModel};
+pub use path::{voltage_derate_mhz, Assessment, CriticalPath, OverclockModel};
 pub use thermal::{DieThermal, XadcSensor};

@@ -2,6 +2,23 @@
 
 use pdr_sim_core::Frequency;
 
+/// The signed timing-margin shift of running the fabric at `vdd_mv`
+/// instead of the nominal 1000 mV supply, in MHz of derate (positive =
+/// margin lost, negative = margin gained).
+///
+/// Undervolting slows every path sharply (≈3 MHz of f_max lost per mV —
+/// the steep side of the shmoo); overvolting buys margin back at a
+/// diminished ≈1 MHz/mV, the asymmetry that makes overdrive a poor
+/// efficiency trade. At nominal voltage the shift is exactly `0.0`.
+pub fn voltage_derate_mhz(vdd_mv: u32) -> f64 {
+    let dv = vdd_mv as f64 - 1000.0;
+    if dv < 0.0 {
+        -dv * 3.0
+    } else {
+        -dv * 1.0
+    }
+}
+
 /// A critical timing path characterised by its maximum safe clock frequency
 /// as a function of die temperature:
 ///
@@ -149,12 +166,30 @@ impl OverclockModel {
             derate_mhz >= 0.0 && derate_mhz.is_finite(),
             "derate must be a finite non-negative MHz value: {derate_mhz}"
         );
-        let data_ok = self.data_path.slack_mhz(freq, temp_c) >= derate_mhz;
-        let interrupt_ok = self.interrupt_path.slack_mhz(freq, temp_c) >= derate_mhz;
+        self.assess_biased(freq, temp_c, derate_mhz)
+    }
+
+    /// Assesses an operating point with a *signed* timing-margin bias:
+    /// positive MHz shrink the envelope exactly like
+    /// [`OverclockModel::assess_derated`]; negative MHz grow it — the
+    /// supply-voltage axis ([`voltage_derate_mhz`]), where overvolting buys
+    /// margin back. Transient excursions and the voltage shift sum into one
+    /// bias before assessment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias_mhz` is non-finite.
+    pub fn assess_biased(&self, freq: Frequency, temp_c: f64, bias_mhz: f64) -> Assessment {
+        assert!(
+            bias_mhz.is_finite(),
+            "timing bias must be a finite MHz value: {bias_mhz}"
+        );
+        let data_ok = self.data_path.slack_mhz(freq, temp_c) >= bias_mhz;
+        let interrupt_ok = self.interrupt_path.slack_mhz(freq, temp_c) >= bias_mhz;
         let word_error_rate = if data_ok {
             0.0
         } else {
-            let overdrive = derate_mhz - self.data_path.slack_mhz(freq, temp_c);
+            let overdrive = bias_mhz - self.data_path.slack_mhz(freq, temp_c);
             (self.ber_floor + self.ber_per_mhz * overdrive).min(0.5)
         };
         Assessment {
@@ -305,5 +340,41 @@ mod tests {
     fn fmax_never_negative() {
         let p = CriticalPath::new("p", 10.0, 1.0, 0.0);
         assert_eq!(p.fmax_mhz(1000.0), 0.0);
+    }
+
+    #[test]
+    fn voltage_derate_sign_convention() {
+        assert_eq!(voltage_derate_mhz(1000), 0.0);
+        // Undervolt: 50 mV costs 150 MHz of margin.
+        assert_eq!(voltage_derate_mhz(950), 150.0);
+        // Overvolt: 50 mV buys 50 MHz back (negative derate).
+        assert_eq!(voltage_derate_mhz(1050), -50.0);
+    }
+
+    #[test]
+    fn undervolting_shrinks_the_envelope_and_overvolting_grows_it() {
+        let m = OverclockModel::paper_calibration();
+        // At 950 mV, 200 MHz still fits (305 − 200 = 105 < 150? no: the
+        // interrupt path has 105 MHz of slack, so the 150 MHz undervolt
+        // penalty kills it) — 140 MHz is the highest paper point that holds.
+        let uv = voltage_derate_mhz(950);
+        assert!(m.assess_biased(mhz(140), 40.0, uv).all_ok());
+        assert!(!m.assess_biased(mhz(200), 40.0, uv).all_ok());
+        // At 1050 mV the negative bias rescues 310 MHz's lost interrupt.
+        let ov = voltage_derate_mhz(1050);
+        assert!(!m.assess(mhz(310), 40.0).interrupt_ok);
+        assert!(m.assess_biased(mhz(310), 40.0, ov).all_ok());
+        // Nominal bias is exactly the plain assessment.
+        assert_eq!(
+            m.assess_biased(mhz(310), 40.0, voltage_derate_mhz(1000)),
+            m.assess(mhz(310), 40.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite MHz")]
+    fn non_finite_bias_is_rejected() {
+        let m = OverclockModel::paper_calibration();
+        let _ = m.assess_biased(mhz(200), 40.0, f64::NAN);
     }
 }

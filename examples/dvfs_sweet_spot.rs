@@ -1,0 +1,142 @@
+//! The closed-loop DVFS sweet spot, demonstrated end to end: three replicas
+//! start from different corners of the (V, T) plane — undervolted and cool,
+//! nominal, overvolted and hot — and every one converges onto the paper's
+//! own operating point (nominal supply, 200 MHz, ≈600 MB/J) with the
+//! thermal RC loop running underneath.
+//!
+//! The replicas are fanned across `PDR_THREADS` workers (each builds its
+//! own system inside its thread — `ZynqPdrSystem` is `!Send`) and the
+//! kernel strategy comes from `PDR_ENGINE`, but neither knob is observable
+//! in the output: the report JSON and the concatenated thermal trajectory
+//! tape are byte-identical for any thread count under either kernel. The
+//! CI `dvfs` smoke runs the {tick, event} × {1, 4} matrix and `cmp`s
+//! `target/experiments/dvfs_sweet_spot.json` and
+//! `target/experiments/dvfs_sweet_spot_thermal.jsonl` against one
+//! reference (see docs/DVFS.md).
+//!
+//! ```text
+//! cargo run --release --example dvfs_sweet_spot
+//! ```
+
+use pdr_lab::pdr::{
+    DvfsConfig, DvfsGovernor, ParallelExecutor, SystemConfig, ThermalLoopConfig, TraceLevel,
+    ZynqPdrSystem,
+};
+use pdr_lab::sim::json::{Json, ToJson};
+use pdr_lab::sim::EngineStrategy;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Initial (supply, die temperature) corners; every replica must end on the
+/// same sweet spot regardless of where it starts.
+const STARTS: [(u32, f64); 3] = [(950, 25.0), (1000, 40.0), (1050, 60.0)];
+
+struct Replica {
+    vdd0_mv: u32,
+    temp0_c: f64,
+    pick: Json,
+    vdd_mv: u32,
+    freq_mhz: u64,
+    ppw_mb_j: f64,
+    trajectory: String,
+}
+
+/// One replica: build a looped system at the starting corner, let the DVFS
+/// governor converge, and keep the pick plus the thermal trajectory tape.
+fn converge_from(strategy: EngineStrategy, vdd0_mv: u32, temp0_c: f64) -> Replica {
+    let mut config = SystemConfig::fast_test();
+    config.strategy = strategy;
+    config.thermal_loop = Some(ThermalLoopConfig::default());
+    let mut sys = ZynqPdrSystem::new(config);
+    sys.set_trace_level(TraceLevel::Counters);
+    sys.set_vdd_mv(vdd0_mv);
+    sys.set_die_temp_c(temp0_c);
+
+    let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+    let pick = dvfs.converge(&mut sys, 0);
+    Replica {
+        vdd0_mv,
+        temp0_c,
+        vdd_mv: pick.vdd_mv,
+        freq_mhz: pick.point.freq_mhz,
+        ppw_mb_j: pick.point.ppw_mb_j.expect("the sweet spot is usable"),
+        pick: pick.to_json(),
+        trajectory: sys.thermal_trajectory_jsonl(),
+    }
+}
+
+fn main() {
+    let strategy = EngineStrategy::from_env();
+    let threads = ParallelExecutor::from_env().threads().min(STARTS.len());
+
+    // Deterministic fan-out: workers pull indices from a shared cursor and
+    // commit into an index-ordered table, so completion order is racy but
+    // the merged output never is (the same contract as the campaign
+    // executor's Monte Carlo pool).
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Replica>>> = Mutex::new((0..STARTS.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(vdd0, temp0)) = STARTS.get(i) else {
+                    break;
+                };
+                let replica = converge_from(strategy, vdd0, temp0);
+                slots.lock().expect("no poisoned workers")[i] = Some(replica);
+            });
+        }
+    });
+    let replicas: Vec<Replica> = slots
+        .into_inner()
+        .expect("no poisoned workers")
+        .into_iter()
+        .map(|r| r.expect("every replica committed"))
+        .collect();
+
+    println!("== closed-loop DVFS: convergence from three (V, T) corners ==\n");
+    println!(
+        "{:>9} {:>8} | {:>8} {:>8} {:>11}",
+        "start mV", "start C", "pick mV", "pick MHz", "PpW [MB/J]"
+    );
+    for r in &replicas {
+        println!(
+            "{:>9} {:>8.0} | {:>8} {:>8} {:>11.0}",
+            r.vdd0_mv, r.temp0_c, r.vdd_mv, r.freq_mhz, r.ppw_mb_j
+        );
+        assert_eq!(
+            (r.vdd_mv, r.freq_mhz),
+            (1000, 200),
+            "every corner must find the paper's knee"
+        );
+    }
+    println!("\nall corners agree: nominal supply, 200 MHz — the paper's Table II knee.");
+
+    let report = Json::Obj(vec![
+        ("example".into(), Json::Str("dvfs_sweet_spot".into())),
+        (
+            "replicas".into(),
+            Json::Arr(
+                replicas
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("start_vdd_mv".into(), Json::U64(u64::from(r.vdd0_mv))),
+                            (
+                                "start_temp_mc".into(),
+                                Json::I64((r.temp0_c * 1000.0) as i64),
+                            ),
+                            ("pick".into(), r.pick.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    std::fs::write(dir.join("dvfs_sweet_spot.json"), report.render() + "\n").expect("write report");
+    let tape: String = replicas.iter().map(|r| r.trajectory.as_str()).collect();
+    std::fs::write(dir.join("dvfs_sweet_spot_thermal.jsonl"), tape).expect("write trajectory");
+    println!("wrote target/experiments/dvfs_sweet_spot.json and dvfs_sweet_spot_thermal.jsonl");
+}

@@ -43,6 +43,7 @@ fn run(config: SchedulerConfig, waves: u32, warm: bool) -> (SchedulerReport, Sch
                 // Tenants 0/2 are latency-critical, 1/3 best-effort.
                 priority: if rp % 2 == 0 { 5 } else { 1 },
                 deadline: SimDuration::from_millis(10 + wave as u64),
+                tenant: rp as u32,
             };
             sched.submit(&sys, &mgr, req).expect("workload admits");
         }

@@ -1,0 +1,195 @@
+//! Golden DVFS tapes: two fixed-seed closed-loop thermal scenarios —
+//! **thermal runaway** (sustained heat soaks climb through the alarm) and
+//! **throttling storm** (soaks mixed into the stock fault cocktail, with
+//! the governor oscillating between throttle and reinstatement) — each
+//! replayed under both kernel strategies and byte-diffed against committed
+//! tapes in `tests/golden/`. Both the flat event tape and the thermal
+//! trajectory tape are golden. Regenerate intentionally with
+//! `PDR_TESTKIT_BLESS=1 cargo test --test dvfs`.
+
+use pdr_lab::pdr::{
+    DvfsConfig, DvfsGovernor, FaultKind, FaultPlan, FaultPlanConfig, SystemConfig,
+    ThermalLoopConfig, TraceLevel, ZynqPdrSystem,
+};
+use pdr_lab::sim::{EngineStrategy, Frequency, SimDuration, SimTime};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+/// Diffs `actual` against the committed golden tape, or rewrites the tape
+/// when blessing (`PDR_TESTKIT_BLESS=1`).
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if pdr_testkit::blessing() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write golden tape");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nregenerate with: PDR_TESTKIT_BLESS=1 cargo test --test dvfs",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    for (i, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "{name}: first divergence at line {} (bless intentionally with PDR_TESTKIT_BLESS=1)",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: tapes agree on the common prefix but lengths differ: {} vs {} lines \
+         (bless intentionally with PDR_TESTKIT_BLESS=1)",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+fn looped_config(strategy: EngineStrategy) -> SystemConfig {
+    let mut config = SystemConfig::fast_test();
+    config.strategy = strategy;
+    config.thermal_loop = Some(ThermalLoopConfig::default());
+    config
+}
+
+fn run_to(sys: &mut ZynqPdrSystem, at: SimTime) {
+    let now = sys.now();
+    if at > now {
+        sys.engine_mut().run_for(at.duration_since(now));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scenario 1: thermal runaway — heat soaks only, back to back
+// ---------------------------------------------------------------------------
+
+fn runaway_scenario(strategy: EngineStrategy) -> ZynqPdrSystem {
+    let mut sys = ZynqPdrSystem::new(looped_config(strategy));
+    sys.set_trace_level(TraceLevel::Full);
+    let plan = FaultPlan::generate(&FaultPlanConfig::thermal_runaway(), sys.floorplan());
+    assert!(!plan.events.is_empty(), "the preset must schedule soaks");
+
+    // Park the fabric (and the thermal heater) at the paper's 200 MHz
+    // operating point, then replay the soak schedule, throttling on alarm.
+    let bs = sys.make_partial_bitstream(0, 1);
+    assert!(sys.reconfigure(0, &bs, Frequency::from_mhz(200)).crc_ok());
+    let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+    for e in plan.events.clone() {
+        assert_eq!(e.kind, FaultKind::HeatSoak, "runaway preset is soak-only");
+        run_to(&mut sys, SimTime::from_ps(e.at_ps));
+        sys.inject_heat_soak(e.delta_mc, SimDuration::from_ps(e.duration_ps));
+        sys.engine_mut().run_for(SimDuration::from_millis(2));
+        if sys.poll_thermal_alarm().is_some() && !dvfs.throttled() {
+            dvfs.on_thermal_alarm(&mut sys);
+        }
+    }
+    sys.engine_mut().run_for(SimDuration::from_millis(10));
+    sys
+}
+
+#[test]
+fn golden_runaway_tapes_are_byte_stable_across_kernels() {
+    let tick = runaway_scenario(EngineStrategy::Tick);
+    let event = runaway_scenario(EngineStrategy::EventSkip);
+    assert_eq!(
+        tick.tracer().export_jsonl(),
+        event.tracer().export_jsonl(),
+        "runaway event tape diverges between kernels"
+    );
+    assert_eq!(
+        tick.thermal_trajectory_jsonl(),
+        event.thermal_trajectory_jsonl(),
+        "runaway trajectory diverges between kernels"
+    );
+    assert_matches_golden("dvfs_runaway.jsonl", &tick.tracer().export_jsonl());
+    assert_matches_golden(
+        "dvfs_runaway_thermal.jsonl",
+        &tick.thermal_trajectory_jsonl(),
+    );
+
+    // The scenario must actually run away: the alarm latched and the
+    // governor throttled onto the tape.
+    let c = tick.tracer().counters();
+    assert!(c.thermal_alarms >= 1, "counters: {c:?}");
+    assert_eq!(c.thermal_throttles, 1);
+    assert!(c.faults_injected >= 5);
+}
+
+// ---------------------------------------------------------------------------
+// scenario 2: throttling storm — soaks inside the stock fault cocktail
+// ---------------------------------------------------------------------------
+
+fn storm_scenario(strategy: EngineStrategy) -> ZynqPdrSystem {
+    let mut sys = ZynqPdrSystem::new(looped_config(strategy));
+    sys.set_trace_level(TraceLevel::Full);
+    let plan = FaultPlan::generate(&FaultPlanConfig::throttling_storm(), sys.floorplan());
+    let bs = sys.make_partial_bitstream(0, 1);
+    assert!(sys.reconfigure(0, &bs, Frequency::from_mhz(200)).crc_ok());
+    let mut dvfs = DvfsGovernor::new(DvfsConfig::default());
+    for e in plan.events.clone() {
+        run_to(&mut sys, SimTime::from_ps(e.at_ps));
+        match e.kind {
+            FaultKind::HeatSoak => {
+                sys.inject_heat_soak(e.delta_mc, SimDuration::from_ps(e.duration_ps))
+            }
+            FaultKind::TimingBurst => {
+                sys.inject_timing_burst(e.derate_mhz, SimDuration::from_ps(e.duration_ps))
+            }
+            FaultKind::DmaStall => sys.inject_dma_stall(e.stall_cycles),
+            FaultKind::DroppedIrq => sys.drop_next_completion_irq(),
+            FaultKind::Seu => sys.inject_seu(e.rp, e.frame, e.word, e.bit),
+        }
+        sys.engine_mut().run_for(SimDuration::from_millis(1));
+        if sys.poll_thermal_alarm().is_some() {
+            if !dvfs.throttled() {
+                dvfs.on_thermal_alarm(&mut sys);
+            }
+        } else if dvfs.throttled() && sys.die_temp_c() < 70.0 {
+            // Cooled well under the alarm line: climb back to the sweet
+            // spot (the oscillation the storm is named for).
+            dvfs.reinstate();
+            sys.set_vdd_mv(1000);
+            let _ = sys.reconfigure(0, &bs, Frequency::from_mhz(200));
+        }
+    }
+    sys.engine_mut().run_for(SimDuration::from_millis(10));
+    sys
+}
+
+#[test]
+fn golden_storm_tapes_are_byte_stable_across_kernels() {
+    let tick = storm_scenario(EngineStrategy::Tick);
+    let event = storm_scenario(EngineStrategy::EventSkip);
+    assert_eq!(
+        tick.tracer().export_jsonl(),
+        event.tracer().export_jsonl(),
+        "storm event tape diverges between kernels"
+    );
+    assert_eq!(
+        tick.thermal_trajectory_jsonl(),
+        event.thermal_trajectory_jsonl(),
+        "storm trajectory diverges between kernels"
+    );
+    assert_matches_golden("dvfs_storm.jsonl", &tick.tracer().export_jsonl());
+    assert_matches_golden("dvfs_storm_thermal.jsonl", &tick.thermal_trajectory_jsonl());
+
+    let c = tick.tracer().counters();
+    assert!(
+        c.thermal_alarms >= 1,
+        "the storm must trip the alarm: {c:?}"
+    );
+    assert!(c.thermal_throttles >= 1);
+    assert!(
+        c.dvfs_sets > c.thermal_throttles,
+        "reinstatement must book extra DvfsSet events: {c:?}"
+    );
+}

@@ -199,6 +199,7 @@ fn scheduler_scenario(strategy: EngineStrategy) -> (ZynqPdrSystem, Scheduler) {
                 bitstream_id: rp as u32,
                 priority: 0,
                 deadline: SimDuration::from_millis(50 + wave),
+                tenant: 0,
             };
             sched.submit(&sys, &mgr, req).expect("workload must admit");
         }

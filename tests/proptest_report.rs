@@ -179,6 +179,8 @@ property! {
             rejected_invalid_partition: spread as u64 % 5,
             rejected_quarantined: spread as u64 % 3,
             rejected_queue_full: spread as u64 % 2,
+            rejected_energy_exhausted: spread as u64 % 4,
+            energy_charged_j: spread as f64 * 0.125,
             completed,
             failed,
             deadlines_met: completed / 2,

@@ -1,0 +1,142 @@
+//! Thermal-loop properties under random DVFS workloads: the trajectory
+//! tape and the governor's decisions are byte-identical between the tick
+//! and event-skipping kernels, and transparent to a mid-transient
+//! snapshot/restore — the loop's integer RC state, the soak horizon and
+//! the alarm latch all travel losslessly.
+
+use pdr_lab::pdr::{
+    DvfsConfig, DvfsGovernor, SystemConfig, ThermalLoopConfig, TraceLevel, ZynqPdrSystem,
+};
+use pdr_lab::sim::{EngineStrategy, Frequency, SimDuration};
+use pdr_testkit::{property, select, tuple2, u64s, Config, Gen};
+
+fn cfg() -> Config {
+    Config::with_cases(6).regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions.seeds"
+    ))
+}
+
+fn strategies() -> Gen<EngineStrategy> {
+    select(vec![EngineStrategy::Tick, EngineStrategy::EventSkip])
+}
+
+fn thermal_config(seed: u64, strategy: EngineStrategy) -> SystemConfig {
+    let mut config = SystemConfig::fast_test();
+    config.seed = seed;
+    config.strategy = strategy;
+    config.thermal_loop = Some(ThermalLoopConfig::default());
+    config
+}
+
+/// A seeded random DVFS workload: voltage moves, heat soaks and transfers
+/// drawn from the seed, with the thermal loop ticking underneath. Returns
+/// the system for trajectory/tape inspection.
+fn thermal_workload(seed: u64, strategy: EngineStrategy) -> ZynqPdrSystem {
+    let mut sys = ZynqPdrSystem::new(thermal_config(seed, strategy));
+    sys.set_trace_level(TraceLevel::Full);
+    let bs = sys.make_partial_bitstream(0, 1);
+    // Six operations decided by the seed bits alone (no RNG draws here, so
+    // the system's RNG stream is identical across kernels by construction).
+    for i in 0..6u64 {
+        let op = (seed >> (i * 8)) & 0xFF;
+        match op % 4 {
+            0 => {
+                let vdd = [950u32, 1000, 1050][(op as usize / 4) % 3];
+                sys.set_vdd_mv(vdd);
+            }
+            1 => {
+                let delta = 10_000 + (op as i64 % 5) * 8_000;
+                sys.inject_heat_soak(delta, SimDuration::from_millis(3));
+            }
+            2 => {
+                let f = [100u64, 140, 200][(op as usize / 4) % 3];
+                let _ = sys.reconfigure(0, &bs, Frequency::from_mhz(f));
+            }
+            _ => {}
+        }
+        sys.engine_mut().run_for(SimDuration::from_millis(2));
+        let _ = sys.poll_thermal_alarm();
+    }
+    sys
+}
+
+property! {
+    config = cfg();
+
+    /// The trajectory tape, the event tape and the final die state are
+    /// byte-identical between the tick kernel and the event-skipping
+    /// kernel on the same seeded workload.
+    fn thermal_trajectory_is_engine_invariant(seed in u64s(0..=u64::MAX)) {
+        let a = thermal_workload(seed, EngineStrategy::Tick);
+        let b = thermal_workload(seed, EngineStrategy::EventSkip);
+        assert_eq!(
+            a.thermal_trajectory_jsonl(),
+            b.thermal_trajectory_jsonl(),
+            "thermal trajectories diverge between kernels (seed {seed})"
+        );
+        assert_eq!(a.tracer().export_jsonl(), b.tracer().export_jsonl());
+        assert_eq!(a.die_temp_c().to_bits(), b.die_temp_c().to_bits());
+        assert_eq!(a.vdd_mv(), b.vdd_mv());
+    }
+
+    /// A snapshot taken mid-transient (with a heat soak still in flight
+    /// and the RC node between samples) restores to a run that is
+    /// byte-identical to the uninterrupted one.
+    fn snapshot_mid_transient_is_transparent(
+        seed_strategy in tuple2(u64s(0..=u64::MAX), strategies()),
+    ) {
+        let (seed, strategy) = seed_strategy;
+        let mut straight = ZynqPdrSystem::new(thermal_config(seed, strategy));
+        let mut resumed = ZynqPdrSystem::new(thermal_config(seed, strategy));
+
+        // Identical first half: heat the die and leave a soak in flight.
+        for sys in [&mut straight, &mut resumed] {
+            sys.set_vdd_mv(1050);
+            sys.engine_mut().run_for(SimDuration::from_millis(4));
+            sys.inject_heat_soak(30_000 + (seed % 5) as i64 * 5_000,
+                                 SimDuration::from_millis(10));
+            sys.engine_mut().run_for(SimDuration::from_micros(3_700));
+        }
+
+        // Interrupt one of them mid-transient.
+        let snap = resumed.snapshot_json();
+        let mut resumed = ZynqPdrSystem::new(thermal_config(seed, strategy));
+        resumed.restore_json(&snap).expect("snapshot restores");
+
+        for sys in [&mut straight, &mut resumed] {
+            sys.engine_mut().run_for(SimDuration::from_millis(12));
+        }
+        assert_eq!(
+            straight.thermal_trajectory_jsonl(),
+            resumed.thermal_trajectory_jsonl(),
+            "restore must not bend the trajectory (seed {seed})"
+        );
+        assert_eq!(straight.die_temp_c().to_bits(), resumed.die_temp_c().to_bits());
+        assert_eq!(straight.vdd_mv(), resumed.vdd_mv());
+        assert_eq!(
+            straight.thermal_alarm_irq().raise_count(),
+            resumed.thermal_alarm_irq().raise_count(),
+            "alarm latch state must travel"
+        );
+    }
+
+    /// The DVFS governor converges to the same committed (V, f) point — and
+    /// leaves the same trajectory behind — under both kernels.
+    fn governor_decisions_are_engine_invariant(seed in u64s(0..=u64::MAX)) {
+        let mut picks = Vec::new();
+        let mut tapes = Vec::new();
+        for strategy in [EngineStrategy::Tick, EngineStrategy::EventSkip] {
+            let mut sys = ZynqPdrSystem::new(thermal_config(seed, strategy));
+            let mut dvfs = DvfsGovernor::new(DvfsConfig {
+                max_rounds: 2,
+                ..DvfsConfig::default()
+            });
+            let pick = dvfs.converge(&mut sys, 0);
+            picks.push((pick.vdd_mv, pick.point.freq_mhz));
+            tapes.push(sys.thermal_trajectory_jsonl());
+        }
+        assert_eq!(picks[0], picks[1], "governor diverged between kernels");
+        assert_eq!(tapes[0], tapes[1]);
+    }
+}

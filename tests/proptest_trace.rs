@@ -82,6 +82,7 @@ fn scheduler_run(seed: u64, level: TraceLevel) -> SchedulerReport {
             bitstream_id: rp as u32,
             priority: (rp % 2) as u8,
             deadline: SimDuration::from_millis(50),
+            tenant: 0,
         };
         sched.submit(&sys, &mgr, req).expect("workload must admit");
     }

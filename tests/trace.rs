@@ -184,6 +184,7 @@ fn compressed_scheduler_scenario() -> (ZynqPdrSystem, Scheduler) {
                 bitstream_id: rp as u32,
                 priority: 0,
                 deadline: SimDuration::from_millis(50 + wave),
+                tenant: 0,
             };
             sched.submit(&sys, &mgr, req).expect("workload must admit");
         }

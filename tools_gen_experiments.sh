@@ -32,7 +32,7 @@ cargo run --release --offline --example fleet \
 
 for f in table1 fig5 temp_stress fig6 table2 table3 proposed headline \
          ablation_fifo ablation_burst ablation_crc ablation_compress ablation_interconnect ablation_size ablation_guardband ablation_contention seu_campaign \
-         recovery scheduler codec fault_fleet campaign fleet fleet_campaign; do
+         recovery scheduler codec fault_fleet campaign fleet fleet_campaign dvfs; do
   if [ -f "target/experiments/$f.md" ]; then
     cat "target/experiments/$f.md" >> "$out"
     echo >> "$out"
